@@ -1,0 +1,48 @@
+// Ablation: how big must the hidden intermediate buffer be?
+//
+// On the LAN the buffer only needs to cover the copy pipeline, so
+// indirect throughput saturates at modest sizes.  Over distance the buffer
+// is the indirect path's flow-control window: sustained throughput is
+// bounded by buffer_size / RTT until the buffer covers the
+// bandwidth-delay product (~60 MB at 10 Gb/s x 48 ms), which is why the
+// paper's distance results depend on buffering depth.
+#include <iostream>
+
+#include "support.hpp"
+
+namespace exs::bench {
+namespace {
+
+void Run(const Args& args) {
+  PrintBanner(std::cout, "Ablation: intermediate buffer size",
+              "indirect-only throughput vs buffer capacity", args);
+  Table table({"buffer size", "FDR LAN Mb/s", "10GbE + 48 ms RTT Mb/s"});
+  for (std::uint64_t buf :
+       {256 * kKiB, 1 * kMiB, 4 * kMiB, 8 * kMiB, 16 * kMiB, 64 * kMiB}) {
+    std::string name = buf >= kMiB ? std::to_string(buf / kMiB) + " MiB"
+                                   : std::to_string(buf / kKiB) + " KiB";
+    std::vector<std::string> row = {name};
+    for (bool wan : {false, true}) {
+      blast::BlastConfig c = wan ? WanBaseConfig(args) : FdrBaseConfig(args);
+      c.outstanding_recvs = 16;
+      c.outstanding_sends = 16;
+      c.stream.mode = ProtocolMode::kIndirectOnly;
+      c.stream.intermediate_buffer_bytes = buf;
+      if (wan) c.message_count = std::min<std::uint64_t>(args.messages, 150);
+      blast::BlastSummary s = blast::RunRepeated(c, args.runs);
+      row.push_back(FormatMetric(s.throughput_mbps, 0));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout, args.csv);
+}
+
+}  // namespace
+}  // namespace exs::bench
+
+int main(int argc, char** argv) {
+  using namespace exs::bench;
+  Args args = Args::Parse(argc, argv);
+  Run(args);
+  return 0;
+}

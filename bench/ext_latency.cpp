@@ -1,0 +1,102 @@
+// Extension (paper §VI: "We also plan on performing latency studies"):
+// ping-pong round-trip latency vs. message size for the three protocols on
+// FDR InfiniBand.
+//
+// Expected shape: direct transfers carry no copy cost, so direct-only and
+// the dynamic protocol (which runs direct here — the echoing receiver
+// always has its ADVERT out before the next ping) track each other, while
+// indirect-only pays the receiver-side copy on every hop and falls behind
+// by a growing margin as messages get larger.
+#include <iostream>
+#include <vector>
+
+#include "support.hpp"
+
+namespace exs::bench {
+namespace {
+
+/// One ping-pong session; returns mean RTT in microseconds.
+double MeasureRttUs(ProtocolMode mode, std::uint64_t size, int iterations,
+                    std::uint64_t seed) {
+  StreamOptions opts;
+  opts.mode = mode;
+  Simulation sim(simnet::HardwareProfile::FdrInfiniBand(), seed,
+                 /*carry_payload=*/false);
+  auto [client, server] = sim.CreateConnectedPair(SocketType::kStream, opts);
+
+  std::vector<std::uint8_t> ping(size), pong(size), ping_in(size),
+      pong_in(size);
+  client->RegisterMemory(ping.data(), size);
+  client->RegisterMemory(pong_in.data(), size);
+  server->RegisterMemory(pong.data(), size);
+  server->RegisterMemory(ping_in.data(), size);
+
+  int remaining = iterations;
+  SimTime first_send = 0;
+  SimTime last_recv = 0;
+
+  // Server: echo every fully-received ping.
+  server->events().SetHandler([&, server = server](const Event& ev) {
+    if (ev.type != EventType::kRecvComplete) return;
+    server->Send(pong.data(), size);
+    server->Recv(ping_in.data(), size, RecvFlags{.waitall = true});
+  });
+  // Client: next ping on every fully-received pong.
+  client->events().SetHandler([&, client = client](const Event& ev) {
+    if (ev.type != EventType::kRecvComplete) return;
+    if (--remaining <= 0) {
+      last_recv = sim.Now();
+      return;
+    }
+    client->Recv(pong_in.data(), size, RecvFlags{.waitall = true});
+    client->Send(ping.data(), size);
+  });
+
+  server->Recv(ping_in.data(), size, RecvFlags{.waitall = true});
+  client->Recv(pong_in.data(), size, RecvFlags{.waitall = true});
+  sim.RunFor(Microseconds(50));  // let initial ADVERTs settle
+  first_send = sim.Now();
+  client->Send(ping.data(), size);
+  sim.Run();
+
+  return ToMicroseconds(last_recv - first_send) / iterations;
+}
+
+void Run(const Args& args) {
+  PrintBanner(std::cout, "Ext: latency",
+              "ping-pong round-trip time vs message size (§VI future work)",
+              args);
+  const int iterations = args.quick ? 40 : 200;
+  Table table({"message size", "direct-only RTT us", "dynamic RTT us",
+               "indirect-only RTT us"});
+  for (std::uint64_t size :
+       {64ull, 512ull, 4096ull, 32768ull, 262144ull, 1048576ull}) {
+    std::string name = size >= kMiB ? std::to_string(size / kMiB) + " MiB"
+                       : size >= kKiB ? std::to_string(size / kKiB) + " KiB"
+                                      : std::to_string(size) + " B";
+    std::vector<std::string> row = {name};
+    for (ProtocolMode mode :
+         {ProtocolMode::kDirectOnly, ProtocolMode::kDynamic,
+          ProtocolMode::kIndirectOnly}) {
+      RunningStats stats;
+      for (int r = 0; r < args.runs; ++r) {
+        stats.Add(MeasureRttUs(mode, size, iterations, 1000 + r));
+      }
+      blast::Metric m{stats.Mean(), stats.ConfidenceHalfWidth95(),
+                      stats.Min(), stats.Max()};
+      row.push_back(FormatMetric(m, 1));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout, args.csv);
+}
+
+}  // namespace
+}  // namespace exs::bench
+
+int main(int argc, char** argv) {
+  using namespace exs::bench;
+  Args args = Args::Parse(argc, argv);
+  Run(args);
+  return 0;
+}

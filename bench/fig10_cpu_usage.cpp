@@ -1,0 +1,53 @@
+// Reproduces Fig. 10 of the paper: receiver CPU usage vs. number of
+// simultaneous outstanding operations on FDR InfiniBand.
+//
+// Paper shape: indirect-only approaches 100% as outstanding operations
+// increase (the intermediate-buffer copies saturate the receiver CPU);
+// direct-only stays far lower thanks to zero-copy; dynamic matches
+// whichever mode it is operating in.
+#include <iostream>
+
+#include "support.hpp"
+
+namespace exs::bench {
+namespace {
+
+void RunPart(const Args& args, const std::string& id,
+             const std::string& description, bool halve_sends) {
+  PrintBanner(std::cout, id, description, args);
+  Table table({"outstanding recvs", "outstanding sends", "direct-only CPU%",
+               "dynamic CPU%", "indirect-only CPU%"});
+  for (std::uint32_t k : kOutstandingSweep) {
+    std::uint32_t sends = halve_sends ? k / 2 : k;
+    if (sends == 0) continue;
+    std::vector<std::string> row = {std::to_string(k), std::to_string(sends)};
+    for (ProtocolMode mode :
+         {ProtocolMode::kDirectOnly, ProtocolMode::kDynamic,
+          ProtocolMode::kIndirectOnly}) {
+      blast::BlastConfig c = FdrBaseConfig(args);
+      c.outstanding_recvs = k;
+      c.outstanding_sends = sends;
+      c.stream.mode = mode;
+      blast::BlastSummary s = blast::RunRepeated(c, args.runs);
+      row.push_back(FormatMetric(s.receiver_cpu_percent, 1));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout, args.csv);
+  std::cout << "\n";
+}
+
+}  // namespace
+}  // namespace exs::bench
+
+int main(int argc, char** argv) {
+  using namespace exs::bench;
+  Args args = Args::Parse(argc, argv);
+  RunPart(args, "Fig 10a",
+          "receiver CPU usage vs outstanding ops (sends == recvs)",
+          /*halve_sends=*/false);
+  RunPart(args, "Fig 10b",
+          "receiver CPU usage vs outstanding ops (sends == recvs/2)",
+          /*halve_sends=*/true);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces Fig. 11 of the paper: the dynamic protocol with the number of
+// outstanding receive operations held at 32 while the number of
+// outstanding sends sweeps 1..32, for four fixed message sizes.
+//
+//   Fig. 11a — throughput
+//   Fig. 11b — ratio of direct transfers to total transfers
+//
+// Paper shape: throughput increases with message size; above a few
+// outstanding sends it is largely flat — except near the marginal message
+// size (128 KiB in the paper), where the direct-transfer ratio has very
+// high variance and drags throughput with it.
+#include <iostream>
+
+#include "support.hpp"
+
+namespace exs::bench {
+namespace {
+
+const std::vector<std::uint64_t> kSizes = {512, 8 * kKiB, 128 * kKiB,
+                                           2 * kMiB};
+const std::vector<std::uint32_t> kSends = {1, 2, 4, 5, 8, 16, 32};
+
+void Run(const Args& args) {
+  PrintBanner(std::cout, "Fig 11",
+              "dynamic protocol vs outstanding sends (recvs fixed at 32)",
+              args);
+  Table tput({"outstanding sends", "512 B Mb/s", "8 KiB Mb/s",
+              "128 KiB Mb/s", "2 MiB Mb/s"});
+  Table ratio({"outstanding sends", "512 B ratio", "8 KiB ratio",
+               "128 KiB ratio", "2 MiB ratio"});
+  for (std::uint32_t sends : kSends) {
+    std::vector<std::string> trow = {std::to_string(sends)};
+    std::vector<std::string> rrow = {std::to_string(sends)};
+    for (std::uint64_t size : kSizes) {
+      blast::BlastConfig c = FdrBaseConfig(args);
+      c.outstanding_recvs = 32;
+      c.outstanding_sends = sends;
+      c.fixed_message_bytes = size;
+      c.recv_buffer_bytes = size;
+      // Keep per-point cost bounded for the big sizes.
+      if (size >= 2 * kMiB && c.message_count > 200) c.message_count = 200;
+      blast::BlastSummary s = blast::RunRepeated(c, args.runs);
+      trow.push_back(FormatMetric(s.throughput_mbps, 0));
+      rrow.push_back(FormatMetric(s.direct_ratio, 2));
+    }
+    tput.AddRow(std::move(trow));
+    ratio.AddRow(std::move(rrow));
+  }
+  std::cout << "-- Fig 11a: throughput --\n";
+  tput.Print(std::cout, args.csv);
+  std::cout << "\n-- Fig 11b: direct:total transfer ratio --\n";
+  ratio.Print(std::cout, args.csv);
+}
+
+}  // namespace
+}  // namespace exs::bench
+
+int main(int argc, char** argv) {
+  using namespace exs::bench;
+  Args args = Args::Parse(argc, argv);
+  Run(args);
+  return 0;
+}

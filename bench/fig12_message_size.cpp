@@ -1,0 +1,64 @@
+// Reproduces Fig. 12 of the paper: the dynamic protocol's throughput and
+// direct:total transfer ratio as a function of message size, with 4
+// outstanding receives and 2 outstanding sends.
+//
+// Paper shape: throughput rises with message size toward the link limit
+// (with a peak around 2 MiB); the direct ratio is low for small and
+// mid-size messages, bottoms out near 32 KiB, then rises — at 512 KiB and
+// above every transfer is direct, because a message's transmission delay
+// exceeds the ADVERT round trip and the receiver always resupplies
+// ADVERTs in time.
+#include <iostream>
+
+#include "support.hpp"
+
+namespace exs::bench {
+namespace {
+
+const std::vector<std::uint64_t> kSizes = {
+    512,        2 * kKiB,   8 * kKiB,  32 * kKiB, 128 * kKiB,
+    512 * kKiB, 2 * kMiB,   8 * kMiB,  32 * kMiB, 128 * kMiB};
+
+std::string SizeName(std::uint64_t s) {
+  if (s >= kMiB) return std::to_string(s / kMiB) + " MiB";
+  if (s >= kKiB) return std::to_string(s / kKiB) + " KiB";
+  return std::to_string(s) + " B";
+}
+
+void Run(const Args& args) {
+  PrintBanner(std::cout, "Fig 12",
+              "dynamic protocol vs message size (recvs=4, sends=2)", args);
+  Table table({"message size", "throughput Mb/s", "direct:total ratio",
+               "mode switches"});
+  for (std::uint64_t size : kSizes) {
+    blast::BlastConfig c = FdrBaseConfig(args);
+    c.outstanding_recvs = 4;
+    c.outstanding_sends = 2;
+    c.fixed_message_bytes = size;
+    c.recv_buffer_bytes = size;
+    c.max_message_bytes = size;
+    // Bound total bytes per run: huge messages need few repetitions for a
+    // stable mean, and 128 MiB x 500 would be wasteful.
+    if (size >= 2 * kMiB) {
+      c.message_count = std::min<std::uint64_t>(c.message_count, 100);
+    }
+    if (size >= 32 * kMiB) {
+      c.message_count = std::min<std::uint64_t>(c.message_count, 30);
+    }
+    blast::BlastSummary s = blast::RunRepeated(c, args.runs);
+    table.AddRow({SizeName(size), FormatMetric(s.throughput_mbps, 0),
+                  FormatMetric(s.direct_ratio, 2),
+                  FormatMetric(s.mode_switches, 1)});
+  }
+  table.Print(std::cout, args.csv);
+}
+
+}  // namespace
+}  // namespace exs::bench
+
+int main(int argc, char** argv) {
+  using namespace exs::bench;
+  Args args = Args::Parse(argc, argv);
+  Run(args);
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Google-benchmark microbenchmarks of the substrate itself: these measure
+// *wall-clock* cost of the simulator and library plumbing (event
+// scheduling, CPU resource, verbs data path, a full blast run), which is
+// what bounds how large an experiment the harness can sweep.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "blast/blast.hpp"
+#include "common/ring_buffer.hpp"
+#include "common/rng.hpp"
+#include "exs/exs.hpp"
+#include "verbs/queue_pair.hpp"
+
+namespace {
+
+using namespace exs;  // NOLINT
+
+void BM_SchedulerEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    simnet::EventScheduler sched;
+    std::uint64_t count = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sched.ScheduleAt(i, [&count] { ++count; });
+    }
+    sched.Run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerEventThroughput);
+
+void BM_CpuTaskChain(benchmark::State& state) {
+  for (auto _ : state) {
+    simnet::EventScheduler sched;
+    simnet::Cpu cpu(sched);
+    for (int i = 0; i < 1000; ++i) cpu.Submit(10, [] {});
+    sched.Run();
+    benchmark::DoNotOptimize(cpu.BusyTime());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CpuTaskChain);
+
+void BM_RingCursorCycle(benchmark::State& state) {
+  RingCursor ring(4096);
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    std::uint64_t w = ring.ContiguousWritable() & 127;
+    ring.CommitWrite(w);
+    std::uint64_t r = ring.ContiguousReadable();
+    ring.CommitRead(r);
+    x += w + r;
+  }
+  benchmark::DoNotOptimize(x);
+}
+BENCHMARK(BM_RingCursorCycle);
+
+void BM_RngExponential(benchmark::State& state) {
+  Rng rng(1);
+  ExponentialSizeDistribution dist(256.0 * 1024, 4 << 20);
+  std::uint64_t x = 0;
+  for (auto _ : state) x += dist.Sample(rng);
+  benchmark::DoNotOptimize(x);
+}
+BENCHMARK(BM_RngExponential);
+
+void BM_VerbsMessageRate(benchmark::State& state) {
+  const auto payload = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    simnet::Fabric fabric(simnet::HardwareProfile::FdrInfiniBand(), 1);
+    verbs::Device d0(fabric, 0, /*carry_payload=*/false);
+    verbs::Device d1(fabric, 1, /*carry_payload=*/false);
+    auto scq0 = d0.CreateCompletionQueue();
+    auto rcq0 = d0.CreateCompletionQueue();
+    auto scq1 = d1.CreateCompletionQueue();
+    auto rcq1 = d1.CreateCompletionQueue();
+    verbs::QueuePair q0(d0, *scq0, *rcq0), q1(d1, *scq1, *rcq1);
+    verbs::QueuePair::ConnectPair(q0, q1);
+    std::vector<std::uint8_t> buf(payload);
+    auto mr0 = d0.RegisterMemory(buf.data(), buf.size());
+    auto mr1 = d1.RegisterMemory(buf.data(), buf.size());
+    constexpr int kMessages = 256;
+    for (int i = 0; i < kMessages; ++i) {
+      q1.PostRecv({.wr_id = 0,
+                   .sge = {reinterpret_cast<std::uint64_t>(buf.data()),
+                           payload, mr1->lkey()}});
+    }
+    for (int i = 0; i < kMessages; ++i) {
+      q0.PostSend({.wr_id = 0,
+                   .opcode = verbs::Opcode::kSend,
+                   .sge = {reinterpret_cast<std::uint64_t>(buf.data()),
+                           payload, mr0->lkey()}});
+    }
+    fabric.scheduler().Run();
+    benchmark::DoNotOptimize(q1.stats().messages_delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_VerbsMessageRate)->Arg(64)->Arg(4096);
+
+void BM_FullBlastRun(benchmark::State& state) {
+  for (auto _ : state) {
+    blast::BlastConfig c;
+    c.message_count = 100;
+    c.outstanding_sends = 8;
+    c.outstanding_recvs = 8;
+    c.carry_payload = false;
+    blast::BlastResult r = blast::RunBlast(c);
+    benchmark::DoNotOptimize(r.throughput_mbps);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_FullBlastRun);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,136 @@
+#include "support.hpp"
+
+#include <cstring>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+namespace exs::bench {
+
+Args Args::Parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next_value = [&](const char* name) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << name << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--csv") {
+      args.csv = true;
+    } else if (arg == "--quick") {
+      args.quick = true;
+      args.runs = 3;
+      args.messages = 150;
+    } else if (arg == "--runs") {
+      args.runs = std::stoi(next_value("--runs"));
+    } else if (arg == "--messages") {
+      args.messages = std::stoull(next_value("--messages"));
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "options: --csv --quick --runs N --messages N\n";
+      std::exit(0);
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print(std::ostream& os, bool csv) const {
+  if (csv) {
+    auto emit = [&os](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i) os << ",";
+        // CSV cells drop the " ± " decoration into a plain dash-free form.
+        std::string c = cells[i];
+        auto pos = c.find(" ± ");
+        if (pos != std::string::npos) c = c.substr(0, pos);
+        os << c;
+      }
+      os << "\n";
+    };
+    emit(headers_);
+    for (const auto& row : rows_) emit(row);
+    return;
+  }
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  auto measure = [&widths](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size() && i < widths.size(); ++i) {
+      // " ± " is three bytes of UTF-8 punctuation; width accounting uses
+      // display length, so count the multibyte character once.
+      std::size_t display = cells[i].size();
+      std::size_t pos = cells[i].find("±");
+      if (pos != std::string::npos) display -= 2;  // UTF-8 extra bytes
+      if (display > widths[i]) widths[i] = display;
+    }
+  };
+  measure(headers_);
+  for (const auto& row : rows_) measure(row);
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      std::size_t display = cells[i].size();
+      std::size_t pos = cells[i].find("±");
+      if (pos != std::string::npos) display -= 2;
+      std::size_t pad = widths[i] > display ? widths[i] - display : 0;
+      if (i == 0) {
+        os << cells[i] << std::string(pad, ' ');
+      } else {
+        os << std::string(pad, ' ') << cells[i];
+      }
+      os << (i + 1 == cells.size() ? "\n" : "  ");
+    }
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string FormatDouble(double v, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << v;
+  return oss.str();
+}
+
+std::string FormatMetric(const blast::Metric& m, int precision) {
+  return FormatDouble(m.mean, precision) + " ± " +
+         FormatDouble(m.ci95, precision);
+}
+
+void PrintBanner(std::ostream& os, const std::string& experiment_id,
+                 const std::string& description, const Args& args) {
+  os << "=== " << experiment_id << ": " << description << " ===\n";
+  os << "(" << args.runs << " runs per point, " << args.messages
+     << " messages per run; mean ± 95% CI)\n\n";
+}
+
+blast::BlastConfig FdrBaseConfig(const Args& args) {
+  blast::BlastConfig c;
+  c.profile = simnet::HardwareProfile::FdrInfiniBand();
+  c.message_count = args.messages;
+  c.exponential_mean_bytes = 256.0 * static_cast<double>(kKiB);
+  c.max_message_bytes = 4 * kMiB;
+  c.recv_buffer_bytes = 4 * kMiB;
+  c.carry_payload = false;  // timing model is payload-independent
+  return c;
+}
+
+blast::BlastConfig WanBaseConfig(const Args& args) {
+  blast::BlastConfig c = FdrBaseConfig(args);
+  c.profile = simnet::HardwareProfile::RoCE10GWithDelay(Milliseconds(24));
+  return c;
+}
+
+}  // namespace exs::bench

@@ -1,0 +1,61 @@
+// Shared scaffolding for the figure/table reproduction binaries: CLI
+// options, aligned table printing, and CSV output.
+//
+// Every binary prints the same series the corresponding paper figure
+// plots, as mean ± 95% confidence half-width over repeated seeded runs
+// (the paper averages 10 runs per point).  Pass --csv for
+// machine-readable output, --runs/--messages to trade accuracy for time,
+// and --quick for a fast smoke configuration.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "blast/blast.hpp"
+
+namespace exs::bench {
+
+struct Args {
+  bool csv = false;
+  int runs = 10;
+  std::uint64_t messages = 500;
+  bool quick = false;
+
+  static Args Parse(int argc, char** argv);
+};
+
+/// Aligned text table; first column left-aligned, the rest right-aligned.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void AddRow(std::vector<std::string> cells);
+  void Print(std::ostream& os, bool csv) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "<mean> ± <ci95>" with sensible precision.
+std::string FormatMetric(const blast::Metric& m, int precision = 1);
+std::string FormatDouble(double v, int precision = 1);
+
+/// Banner naming the experiment and the paper artefact it regenerates.
+void PrintBanner(std::ostream& os, const std::string& experiment_id,
+                 const std::string& description, const Args& args);
+
+/// The paper's outstanding-operation sweep.
+inline const std::vector<std::uint32_t> kOutstandingSweep = {1, 2, 4, 8, 16,
+                                                             32};
+
+/// Baseline configuration shared by the FDR InfiniBand experiments:
+/// exponential message sizes (mean 256 KiB, max 4 MiB), 4 MiB receive
+/// buffers, timing-only payloads.
+blast::BlastConfig FdrBaseConfig(const Args& args);
+
+/// The distance testbed: 10 GbE RoCE through the emulator at 48 ms RTT.
+blast::BlastConfig WanBaseConfig(const Args& args);
+
+}  // namespace exs::bench

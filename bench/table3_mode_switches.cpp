@@ -1,0 +1,46 @@
+// Reproduces Table III of the paper: for every Fig. 9 configuration of the
+// dynamic protocol, the average number of direct/indirect mode switches
+// and the ratio of direct transfers to total transfers.
+//
+// Paper shape: with equal outstanding counts the connection flips to
+// indirect service once, almost immediately (switch count ~1, ratio well
+// under 0.1, except many switches at 1/1); with doubled receives it stays
+// fully direct (ratio ~1) except the anomalous (4,2) point, whose ratio is
+// low with a confidence interval nearly as large as its mean.
+#include <iostream>
+
+#include "support.hpp"
+
+namespace exs::bench {
+namespace {
+
+void Run(const Args& args) {
+  PrintBanner(std::cout, "Table III",
+              "dynamic-protocol mode switches and direct:total ratio", args);
+  Table table({"outstanding recvs", "outstanding sends", "mode switches",
+               "direct:total ratio"});
+  auto add_case = [&](std::uint32_t recvs, std::uint32_t sends) {
+    blast::BlastConfig c = FdrBaseConfig(args);
+    c.outstanding_recvs = recvs;
+    c.outstanding_sends = sends;
+    blast::BlastSummary s = blast::RunRepeated(c, args.runs);
+    table.AddRow({std::to_string(recvs), std::to_string(sends),
+                  FormatMetric(s.mode_switches, 1),
+                  FormatMetric(s.direct_ratio, 2)});
+  };
+  for (std::uint32_t k : kOutstandingSweep) add_case(k, k);
+  for (std::uint32_t k : kOutstandingSweep) {
+    if (k >= 2) add_case(k, k / 2);
+  }
+  table.Print(std::cout, args.csv);
+}
+
+}  // namespace
+}  // namespace exs::bench
+
+int main(int argc, char** argv) {
+  using namespace exs::bench;
+  Args args = Args::Parse(argc, argv);
+  Run(args);
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Bulk file transfer over distance — the GridFTP-style scenario that
+// motivates the paper's interest in RDMA over wide-area paths (§I).
+//
+// Moves a 64 MiB "file" between two hosts connected by 10 GbE RoCE through
+// a 48 ms round-trip delay emulator, once with each protocol mode, and
+// reports the transfer time.  With a long round trip, waiting for each
+// ADVERT costs dearly when few receives are outstanding; buffered
+// (indirect) service hides that latency, and the dynamic algorithm finds
+// the better mode on its own.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/pattern.hpp"
+#include "exs/exs.hpp"
+
+namespace {
+
+using namespace exs;  // NOLINT
+
+constexpr std::uint64_t kFileBytes = 64 * kMiB;
+constexpr std::uint64_t kChunk = 1 * kMiB;  // application read/write size
+// The reader models a legacy application with little receive pipelining
+// (two posted receives); the writer streams eagerly.  Over a long round
+// trip this is precisely where waiting for ADVERTs hurts (§I).
+constexpr std::uint32_t kReaderWindow = 2;
+constexpr std::uint32_t kWriterWindow = 8;
+
+const std::vector<std::uint8_t>& FileContents() {
+  static const std::vector<std::uint8_t> file = [] {
+    std::vector<std::uint8_t> f(kFileBytes);
+    FillPattern(f.data(), f.size(), 0, 99);
+    return f;
+  }();
+  return file;
+}
+
+double TransferSeconds(ProtocolMode mode) {
+  StreamOptions opts;
+  opts.mode = mode;
+  opts.intermediate_buffer_bytes = 16 * kMiB;
+  Simulation sim(simnet::HardwareProfile::RoCE10GWithDelay(Milliseconds(24)),
+                 /*seed=*/7, /*carry_payload=*/true);
+  auto [client, server] = sim.CreateConnectedPair(SocketType::kStream, opts);
+
+  const std::vector<std::uint8_t>& file = FileContents();
+  std::vector<std::uint8_t> dest(kFileBytes);
+  client->RegisterMemory(const_cast<std::uint8_t*>(file.data()), file.size());
+  server->RegisterMemory(dest.data(), dest.size());
+
+  std::uint64_t write_offset = 0;   // bytes handed to Send()
+  std::uint64_t recv_claimed = 0;   // bytes covered by posted receives
+  std::uint64_t read_offset = 0;    // bytes completed at the reader
+  SimTime done_at = 0;
+
+  auto post_recv = [&] {
+    if (recv_claimed >= kFileBytes) return;
+    std::uint64_t n = std::min(kChunk, kFileBytes - recv_claimed);
+    server->Recv(dest.data() + recv_claimed, n, RecvFlags{.waitall = true});
+    recv_claimed += n;
+  };
+  auto post_send = [&] {
+    if (write_offset >= kFileBytes) return;
+    std::uint64_t n = std::min(kChunk, kFileBytes - write_offset);
+    client->Send(file.data() + write_offset, n);
+    write_offset += n;
+  };
+
+  // Reader: keep a window of receives posted until the file is complete.
+  server->events().SetHandler([&](const Event& ev) {
+    read_offset += ev.bytes;
+    if (read_offset >= kFileBytes) {
+      done_at = sim.Now();
+      return;
+    }
+    post_recv();
+  });
+  // Writer: stream the next chunk whenever one completes.
+  client->events().SetHandler([&](const Event&) { post_send(); });
+
+  // Prime both windows and go.
+  for (std::uint32_t i = 0; i < kReaderWindow; ++i) post_recv();
+  SimTime start = sim.Now();
+  for (std::uint32_t i = 0; i < kWriterWindow; ++i) post_send();
+  sim.Run();
+
+  if (VerifyPattern(dest.data(), dest.size(), 0, 99) != dest.size()) {
+    std::fprintf(stderr, "file corrupted in transit!\n");
+    std::exit(1);
+  }
+  std::printf(
+      "  %-13s  %6.2f s   (%4.0f Mb/s)   direct %llu / indirect %llu\n",
+      ToString(mode), ToSeconds(done_at - start),
+      ThroughputMbps(kFileBytes, done_at - start),
+      static_cast<unsigned long long>(client->stats().direct_transfers),
+      static_cast<unsigned long long>(client->stats().indirect_transfers));
+  return ToSeconds(done_at - start);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("transferring a %llu MiB file over 10 GbE with a 48 ms RTT\n",
+              static_cast<unsigned long long>(kFileBytes / kMiB));
+  std::printf("(reader keeps %u receives of %llu MiB posted; writer keeps %u "
+              "sends in flight)\n\n",
+              kReaderWindow, static_cast<unsigned long long>(kChunk / kMiB),
+              kWriterWindow);
+  double direct = TransferSeconds(ProtocolMode::kDirectOnly);
+  double indirect = TransferSeconds(ProtocolMode::kIndirectOnly);
+  double dynamic = TransferSeconds(ProtocolMode::kDynamic);
+  std::printf(
+      "\nbuffering hides the ADVERT round trip: indirect is %.1fx faster "
+      "than direct here,\nand the dynamic protocol reaches %.0f%% of the "
+      "better mode without being told which.\n",
+      direct / indirect, 100.0 * std::min(direct, indirect) / dynamic);
+  return 0;
+}

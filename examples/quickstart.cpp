@@ -1,0 +1,62 @@
+// Quickstart: the smallest complete EXS program.
+//
+// Creates a simulated FDR InfiniBand testbed with a connected stream
+// socket pair, sends a message, receives it, and prints the completion
+// events and the transfer statistics.  Build and run:
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exs/exs.hpp"
+
+int main() {
+  using namespace exs;
+
+  // A Simulation owns the two-node fabric: the clock, the link, one CPU
+  // and one RDMA device per node.
+  Simulation sim(simnet::HardwareProfile::FdrInfiniBand());
+
+  // Stream sockets give TCP-like byte-stream semantics over RDMA.
+  auto [client, server] = sim.CreateConnectedPair(SocketType::kStream);
+
+  const std::string message = "hello, stream semantics over RDMA";
+  std::vector<std::uint8_t> recv_buffer(256);
+
+  // Completions arrive asynchronously on each socket's event queue.
+  server->events().SetHandler([&](const Event& ev) {
+    if (ev.type == EventType::kRecvComplete) {
+      std::cout << "[server] received " << ev.bytes << " bytes: \""
+                << std::string(reinterpret_cast<char*>(recv_buffer.data()),
+                               ev.bytes)
+                << "\" at t=" << ToMicroseconds(sim.Now()) << " us\n";
+    }
+  });
+  client->events().SetHandler([&](const Event& ev) {
+    if (ev.type == EventType::kSendComplete) {
+      std::cout << "[client] send of " << ev.bytes << " bytes completed at t="
+                << ToMicroseconds(sim.Now()) << " us\n";
+    }
+  });
+
+  // Both calls are asynchronous and return request ids immediately; the
+  // simulation only advances inside Run()/RunFor().  Posting the receive
+  // first and letting its ADVERT reach the sender puts the transfer on the
+  // zero-copy direct path.
+  server->Recv(recv_buffer.data(), recv_buffer.size());
+  sim.RunFor(Microseconds(10));
+  client->Send(message.data(), message.size());
+  sim.Run();
+
+  const StreamStats& stats = client->stats();
+  std::cout << "\ntransfers: " << stats.direct_transfers << " direct, "
+            << stats.indirect_transfers << " indirect ("
+            << (stats.indirect_transfers > 0
+                    ? "the send raced ahead of the receive's ADVERT"
+                    : "the ADVERT was ready in time")
+            << ")\n";
+  return 0;
+}

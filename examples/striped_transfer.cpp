@@ -1,0 +1,125 @@
+// Striped wide-area transfer — the GridFTP pattern the paper's distance
+// work targets (§I cites an RDMA driver for GridFTP).
+//
+// One logical 128 MiB transfer is striped across several parallel stream
+// connections, each established through the listen/connect/accept
+// handshake.  Over a long round trip a single connection is limited by its
+// flow-control window (intermediate buffer for the indirect path); stripes
+// multiply the aggregate window, so total throughput scales until the link
+// saturates — the standard wide-area trick, built here entirely on the
+// public API.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/pattern.hpp"
+#include "exs/exs.hpp"
+
+namespace {
+
+using namespace exs;  // NOLINT
+
+constexpr std::uint64_t kTotalBytes = 128 * kMiB;
+constexpr std::uint64_t kChunk = 1 * kMiB;
+
+/// Transfer kTotalBytes over `stripes` connections; returns seconds.
+double StripedSeconds(int stripes) {
+  StreamOptions opts;
+  opts.intermediate_buffer_bytes = 4 * kMiB;  // per-connection window
+  Simulation sim(simnet::HardwareProfile::RoCE10GWithDelay(Milliseconds(24)),
+                 /*seed=*/11, /*carry_payload=*/false);
+
+  struct Stripe {
+    Socket* tx = nullptr;
+    Socket* rx = nullptr;
+    std::uint64_t sent = 0;
+    std::uint64_t received = 0;
+    std::uint64_t goal = 0;
+  };
+  std::vector<Stripe> lanes(stripes);
+  // Static stripe decomposition of the file.
+  for (int i = 0; i < stripes; ++i) {
+    lanes[i].goal = kTotalBytes / stripes;
+  }
+  lanes.back().goal += kTotalBytes % stripes;
+
+  // Source and sink staging buffers (one chunk in flight per direction per
+  // stripe keeps the example simple; the protocol pipelines underneath).
+  std::vector<std::vector<std::uint8_t>> src(stripes), dst(stripes);
+  for (int i = 0; i < stripes; ++i) {
+    src[i].resize(kChunk);
+    dst[i].resize(kChunk);
+  }
+
+  Listener* listener = sim.Listen(1, 7000, SocketType::kStream, opts);
+  int accepted = 0;
+  SimTime finished_at = 0;
+  std::uint64_t grand_total = 0;
+
+  listener->SetAcceptHandler([&](Socket* s) {
+    Stripe& lane = lanes[accepted];
+    lane.rx = s;
+    int index = accepted++;
+    s->events().SetHandler([&, index](const Event& ev) {
+      Stripe& me = lanes[index];
+      me.received += ev.bytes;
+      grand_total += ev.bytes;
+      if (grand_total >= kTotalBytes) {
+        finished_at = sim.Now();
+        return;
+      }
+      if (me.received < me.goal) {
+        std::uint64_t n = std::min(kChunk, me.goal - me.received);
+        me.rx->Recv(dst[index].data(), n, RecvFlags{.waitall = true});
+      }
+    });
+    std::uint64_t n = std::min(lane.goal, kChunk);
+    s->Recv(dst[index].data(), n, RecvFlags{.waitall = true});
+  });
+
+  for (int i = 0; i < stripes; ++i) {
+    sim.Connect(0, 7000, SocketType::kStream, opts, [&, i](Socket* s) {
+      Stripe& lane = lanes[i];
+      lane.tx = s;
+      s->events().SetHandler([&, i](const Event&) {
+        Stripe& me = lanes[i];
+        if (me.sent < me.goal) {
+          std::uint64_t n = std::min(kChunk, me.goal - me.sent);
+          me.tx->Send(src[i].data(), n);
+          me.sent += n;
+        }
+      });
+      // Prime four chunks per stripe.
+      for (int k = 0; k < 4 && lane.sent < lane.goal; ++k) {
+        std::uint64_t n = std::min(kChunk, lane.goal - lane.sent);
+        s->Send(src[i].data(), n);
+        lane.sent += n;
+      }
+    });
+  }
+
+  SimTime start = sim.Now();
+  sim.Run();
+  return ToSeconds(finished_at - start);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("striping a %llu MiB transfer over 10 GbE with a 48 ms RTT\n"
+              "(4 MiB window per connection; connections made via "
+              "listen/connect/accept)\n\n",
+              static_cast<unsigned long long>(kTotalBytes / kMiB));
+  double base = 0;
+  for (int stripes : {1, 2, 4, 8}) {
+    double secs = StripedSeconds(stripes);
+    if (stripes == 1) base = secs;
+    std::printf("  %d stripe%s  %6.2f s   %7.0f Mb/s   speedup %.2fx\n",
+                stripes, stripes == 1 ? ": " : "s:", secs,
+                ThroughputMbps(kTotalBytes, Seconds(secs)), base / secs);
+  }
+  std::printf("\neach stripe is window-limited by its buffer over the long "
+              "round trip;\nparallel connections multiply the aggregate "
+              "window — the GridFTP recipe.\n");
+  return 0;
+}

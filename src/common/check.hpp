@@ -1,0 +1,44 @@
+// Invariant checking that is always on.
+//
+// Protocol-state invariants (phase monotonicity, sequence agreement, credit
+// non-negativity) guard against silent data corruption; violating one is a
+// bug in this library or in a caller's use of it, so we throw a dedicated
+// exception type that tests can assert on and applications can report.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace exs {
+
+class InvariantViolation : public std::logic_error {
+ public:
+  explicit InvariantViolation(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void FailCheck(const char* condition, const char* file,
+                                   int line, const std::string& detail) {
+  std::ostringstream oss;
+  oss << "invariant violated: " << condition << " at " << file << ":" << line;
+  if (!detail.empty()) oss << " — " << detail;
+  throw InvariantViolation(oss.str());
+}
+
+}  // namespace exs
+
+#define EXS_CHECK(cond)                                          \
+  do {                                                           \
+    if (!(cond)) ::exs::FailCheck(#cond, __FILE__, __LINE__, {}); \
+  } while (0)
+
+#define EXS_CHECK_MSG(cond, msg)                                  \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      std::ostringstream exs_check_oss_;                          \
+      exs_check_oss_ << msg;                                      \
+      ::exs::FailCheck(#cond, __FILE__, __LINE__,                 \
+                       exs_check_oss_.str());                     \
+    }                                                             \
+  } while (0)

@@ -1,0 +1,51 @@
+#include "common/logging.hpp"
+
+#include <cstdlib>
+
+namespace exs {
+namespace {
+
+LogLevel InitialLevel() {
+  if (const char* env = std::getenv("EXS_LOG")) {
+    return ParseLogLevel(env);
+  }
+  return LogLevel::kWarn;
+}
+
+LogLevel& MutableLevel() {
+  static LogLevel level = InitialLevel();
+  return level;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return MutableLevel(); }
+void SetLogLevel(LogLevel level) { MutableLevel() = level; }
+
+LogLevel ParseLogLevel(const std::string& name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+void LogLine(LogLevel level, const std::string& message) {
+  std::cerr << "[" << LevelName(level) << "] " << message << "\n";
+}
+
+}  // namespace exs

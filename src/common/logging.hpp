@@ -1,0 +1,40 @@
+// Minimal leveled logging.  Protocol traces are invaluable when debugging
+// ADVERT/phase interactions, but must cost nothing when disabled, so the
+// macro evaluates its stream expression only when the level is active.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace exs {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Process-wide log threshold.  Defaults to kWarn; tests and the EXS_LOG
+/// environment variable can lower it to kTrace for protocol traces.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+/// Parse "trace"/"debug"/"info"/"warn"/"error"/"off"; anything else -> kWarn.
+LogLevel ParseLogLevel(const std::string& name);
+
+void LogLine(LogLevel level, const std::string& message);
+
+}  // namespace exs
+
+#define EXS_LOG(level, expr)                                    \
+  do {                                                          \
+    if (static_cast<int>(level) >=                              \
+        static_cast<int>(::exs::GetLogLevel())) {               \
+      std::ostringstream exs_log_oss_;                          \
+      exs_log_oss_ << expr;                                     \
+      ::exs::LogLine(level, exs_log_oss_.str());                \
+    }                                                           \
+  } while (0)
+
+#define EXS_TRACE(expr) EXS_LOG(::exs::LogLevel::kTrace, expr)
+#define EXS_DEBUG(expr) EXS_LOG(::exs::LogLevel::kDebug, expr)
+#define EXS_INFO(expr) EXS_LOG(::exs::LogLevel::kInfo, expr)
+#define EXS_WARN(expr) EXS_LOG(::exs::LogLevel::kWarn, expr)
+#define EXS_ERROR(expr) EXS_LOG(::exs::LogLevel::kError, expr)

@@ -1,0 +1,46 @@
+// Position-dependent byte patterns for end-to-end data-integrity checks.
+//
+// A byte stream's defining property is that byte k of the receive stream is
+// byte k of the send stream, regardless of how transfers were split between
+// direct and indirect paths.  Filling buffers with a function of the stream
+// offset lets tests detect reordering, duplication, and loss — not just
+// corruption.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace exs {
+
+/// Deterministic pattern byte for stream offset `offset` under `seed`.
+inline std::uint8_t PatternByte(std::uint64_t offset, std::uint64_t seed) {
+  std::uint64_t x = offset * 0x9e3779b97f4a7c15ULL + seed;
+  x ^= x >> 29;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 32;
+  return static_cast<std::uint8_t>(x);
+}
+
+/// Fill `buf[0..len)` with the pattern for stream offsets starting at
+/// `stream_offset`.
+inline void FillPattern(void* buf, std::size_t len, std::uint64_t stream_offset,
+                        std::uint64_t seed) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  for (std::size_t i = 0; i < len; ++i) {
+    p[i] = PatternByte(stream_offset + i, seed);
+  }
+}
+
+/// Return the first mismatching index, or `len` if the buffer matches the
+/// pattern for stream offsets starting at `stream_offset`.
+inline std::size_t VerifyPattern(const void* buf, std::size_t len,
+                                 std::uint64_t stream_offset,
+                                 std::uint64_t seed) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  for (std::size_t i = 0; i < len; ++i) {
+    if (p[i] != PatternByte(stream_offset + i, seed)) return i;
+  }
+  return len;
+}
+
+}  // namespace exs

@@ -1,0 +1,80 @@
+// Index arithmetic for a circular byte buffer.
+//
+// The stream protocol's intermediate receive buffer is a circular region of
+// registered memory at the receiver.  The *sender* tracks a write cursor and
+// a free-byte count (`b_s` in the paper); the *receiver* tracks a read
+// cursor and a full-byte count (`b_r`).  Both sides therefore need the same
+// cursor arithmetic but neither owns the bytes through this class, so this
+// is a pure index machine: the payload lives in a registered memory region
+// owned by the receiver.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace exs {
+
+class RingCursor {
+ public:
+  RingCursor() = default;
+  explicit RingCursor(std::uint64_t capacity) : capacity_(capacity) {}
+
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t used() const { return used_; }
+  std::uint64_t free() const { return capacity_ - used_; }
+  bool Empty() const { return used_ == 0; }
+  bool Full() const { return used_ == capacity_; }
+
+  /// Offset at which the next write lands.
+  std::uint64_t write_offset() const { return write_; }
+  /// Offset from which the next read drains.
+  std::uint64_t read_offset() const { return read_; }
+
+  /// Largest write that can be performed as a single contiguous copy:
+  /// bounded by free space and by the distance to the wrap point.
+  std::uint64_t ContiguousWritable() const {
+    std::uint64_t to_wrap = capacity_ - write_;
+    return free() < to_wrap ? free() : to_wrap;
+  }
+
+  /// Largest read that can be performed as a single contiguous copy.
+  std::uint64_t ContiguousReadable() const {
+    std::uint64_t to_wrap = capacity_ - read_;
+    return used_ < to_wrap ? used_ : to_wrap;
+  }
+
+  /// Advance the write cursor.  `n` must not exceed ContiguousWritable().
+  void CommitWrite(std::uint64_t n) {
+    assert(n <= ContiguousWritable());
+    write_ = Advance(write_, n);
+    used_ += n;
+  }
+
+  /// Advance the read cursor.  `n` must not exceed ContiguousReadable().
+  void CommitRead(std::uint64_t n) {
+    assert(n <= ContiguousReadable());
+    read_ = Advance(read_, n);
+    used_ -= n;
+  }
+
+  /// Return free space to the pool without moving the read cursor — used by
+  /// the sender side, whose "reads" are remote and reported via ACKs.
+  void ReleaseFree(std::uint64_t n) {
+    assert(n <= used_);
+    read_ = Advance(read_, n);
+    used_ -= n;
+  }
+
+ private:
+  std::uint64_t Advance(std::uint64_t cursor, std::uint64_t n) const {
+    cursor += n;
+    return cursor >= capacity_ ? cursor - capacity_ : cursor;
+  }
+
+  std::uint64_t capacity_ = 0;
+  std::uint64_t write_ = 0;
+  std::uint64_t read_ = 0;
+  std::uint64_t used_ = 0;
+};
+
+}  // namespace exs

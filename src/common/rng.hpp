@@ -1,0 +1,117 @@
+// Deterministic pseudo-random number generation for workloads.
+//
+// We carry our own xoshiro256** generator (public-domain algorithm by
+// Blackman & Vigna) instead of std::mt19937 so that workload streams are
+// identical across standard-library implementations, and our own
+// distribution transforms so results are bit-stable across platforms.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+namespace exs {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9d5c0ec5e731337bULL) { Seed(seed); }
+
+  void Seed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.Next();
+  }
+
+  std::uint64_t NextU64() {
+    const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound).  `bound` must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound) {
+    // Lemire's nearly-divisionless method with rejection for exactness.
+    std::uint64_t x = NextU64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = NextU64();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t NextInRange(std::uint64_t lo, std::uint64_t hi) {
+    return lo + NextBelow(hi - lo + 1);
+  }
+
+  /// Exponentially distributed value with the given mean.
+  double NextExponential(double mean) {
+    // Inverse-CDF; 1 - u avoids log(0).
+    return -mean * std::log(1.0 - NextDouble());
+  }
+
+  bool NextBool(double p_true = 0.5) { return NextDouble() < p_true; }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+/// Message-size distribution used by the paper's blast tool: exponential,
+/// truncated at a maximum, with a minimum of one byte.
+class ExponentialSizeDistribution {
+ public:
+  ExponentialSizeDistribution(double mean_bytes, std::uint64_t max_bytes)
+      : mean_(mean_bytes), max_(max_bytes) {}
+
+  std::uint64_t Sample(Rng& rng) const {
+    double v = rng.NextExponential(mean_);
+    if (v < 1.0) return 1;
+    auto bytes = static_cast<std::uint64_t>(v);
+    return bytes > max_ ? max_ : bytes;
+  }
+
+  double mean() const { return mean_; }
+  std::uint64_t max() const { return max_; }
+
+ private:
+  double mean_;
+  std::uint64_t max_;
+};
+
+}  // namespace exs

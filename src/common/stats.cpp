@@ -1,0 +1,37 @@
+#include "common/stats.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace exs {
+
+double RunningStats::StdDev() const { return std::sqrt(Variance()); }
+
+double StudentT975(std::size_t dof) {
+  // Table of two-sided 95% (one-sided 97.5%) critical values.
+  static constexpr std::array<double, 31> kTable = {
+      0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+      2.306,  2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131,
+      2.120,  2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069,
+      2.064,  2.060,  2.056, 2.052, 2.048, 2.045, 2.042};
+  if (dof == 0) return 0.0;
+  if (dof < kTable.size()) return kTable[dof];
+  if (dof < 40) return 2.030;
+  if (dof < 60) return 2.009;
+  if (dof < 120) return 1.990;
+  return 1.960;
+}
+
+double RunningStats::ConfidenceHalfWidth95() const {
+  if (n_ < 2) return 0.0;
+  double sem = StdDev() / std::sqrt(static_cast<double>(n_));
+  return StudentT975(n_ - 1) * sem;
+}
+
+RunningStats Summarize(const std::vector<double>& samples) {
+  RunningStats s;
+  for (double x : samples) s.Add(x);
+  return s;
+}
+
+}  // namespace exs

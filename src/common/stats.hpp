@@ -1,0 +1,51 @@
+// Small-sample statistics: mean and 95% confidence interval half-width,
+// matching the paper's "average and 95% confidence interval" over 10 runs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace exs {
+
+/// Welford online accumulator for mean/variance.
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+
+  std::size_t Count() const { return n_; }
+  double Mean() const { return mean_; }
+  double Min() const { return min_; }
+  double Max() const { return max_; }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double Variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double StdDev() const;
+
+  /// Half-width of the 95% confidence interval for the mean, using
+  /// Student's t quantiles for small n.  Returns 0 for n < 2.
+  double ConfidenceHalfWidth95() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Convenience: accumulate a vector of samples.
+RunningStats Summarize(const std::vector<double>& samples);
+
+/// Two-sided 97.5% Student t quantile for `dof` degrees of freedom.
+double StudentT975(std::size_t dof);
+
+}  // namespace exs

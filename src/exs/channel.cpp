@@ -1,0 +1,173 @@
+#include "exs/channel.hpp"
+
+#include "common/check.hpp"
+#include "common/logging.hpp"
+
+namespace exs {
+
+ControlChannel::ControlChannel(verbs::Device& device, std::uint32_t credits)
+    : device_(&device),
+      credits_(credits),
+      send_cq_(device.CreateCompletionQueue()),
+      recv_cq_(device.CreateCompletionQueue()),
+      slab_(static_cast<std::size_t>(credits) * wire::kControlSlotBytes) {
+  EXS_CHECK_MSG(credits >= 4, "credit pool too small to make progress");
+  slab_mr_ = device.RegisterMemory(slab_.data(), slab_.size());
+  send_cq_->SetHandler(
+      [this](const verbs::WorkCompletion& wc) { OnSendCompletion(wc); });
+  recv_cq_->SetHandler(
+      [this](const verbs::WorkCompletion& wc) { OnRecvCompletion(wc); });
+}
+
+void ControlChannel::Connect(ControlChannel& a, ControlChannel& b) {
+  a.qp_ = std::make_unique<verbs::QueuePair>(*a.device_, *a.send_cq_,
+                                             *a.recv_cq_);
+  b.qp_ = std::make_unique<verbs::QueuePair>(*b.device_, *b.send_cq_,
+                                             *b.recv_cq_);
+  verbs::QueuePair::ConnectPair(*a.qp_, *b.qp_);
+  // Pre-post the full pool on both sides before any traffic (§II-B: "each
+  // side will post n RECV transactions at startup, prior to connection
+  // establishment") and grant the matching credits to the peer.
+  for (std::uint32_t slot = 0; slot < a.credits_; ++slot) a.PostSlotRecv(slot);
+  for (std::uint32_t slot = 0; slot < b.credits_; ++slot) b.PostSlotRecv(slot);
+  a.remote_credits_ = b.credits_;
+  b.remote_credits_ = a.credits_;
+}
+
+void ControlChannel::PostSlotRecv(std::uint32_t slot) {
+  verbs::RecvWorkRequest wr;
+  wr.wr_id = slot;
+  wr.sge.addr = reinterpret_cast<std::uint64_t>(
+      slab_.data() + static_cast<std::size_t>(slot) * wire::kControlSlotBytes);
+  wr.sge.length = wire::kControlSlotBytes;
+  wr.sge.lkey = slab_mr_->lkey();
+  qp_->PostRecv(wr);
+}
+
+void ControlChannel::ConsumeCredit() {
+  EXS_CHECK_MSG(remote_credits_ > 0, "send attempted with no credits");
+  --remote_credits_;
+}
+
+std::uint32_t ControlChannel::TakeCreditReturn() {
+  std::uint32_t owed = owed_credits_;
+  owed_credits_ = 0;
+  return owed;
+}
+
+void ControlChannel::SendControl(wire::ControlMessage msg) {
+  ConsumeCredit();
+  msg.credit_return = TakeCreditReturn();
+
+  // Control messages travel inline: the payload is captured at post time,
+  // so the stack-local serialisation buffer below is safe.
+  std::uint8_t buf[wire::kControlSlotBytes] = {};
+  wire::Serialize(msg, buf);
+
+  verbs::SendWorkRequest wr;
+  wr.wr_id = kControlWrId;
+  wr.opcode = verbs::Opcode::kSend;
+  wr.inline_data = true;
+  wr.sge.addr = reinterpret_cast<std::uint64_t>(buf);
+  wr.sge.length = wire::kControlSlotBytes;
+  qp_->PostSend(wr);
+}
+
+void ControlChannel::PostDataWwi(std::uint64_t wr_id, const void* src,
+                                 std::uint32_t lkey, std::uint64_t len,
+                                 std::uint64_t remote_addr, std::uint32_t rkey,
+                                 bool indirect) {
+  EXS_CHECK(wr_id != kControlWrId);
+  ConsumeCredit();
+
+  verbs::SendWorkRequest wr;
+  wr.wr_id = wr_id;
+  wr.opcode = verbs::Opcode::kRdmaWriteWithImm;
+  wr.sge.addr = reinterpret_cast<std::uint64_t>(src);
+  wr.sge.length = static_cast<std::uint32_t>(len);
+  wr.sge.lkey = lkey;
+  wr.remote_addr = remote_addr;
+  wr.rkey = rkey;
+  wr.has_imm = true;
+  wr.imm = wire::EncodeDataImm(indirect, len);
+  qp_->PostSend(wr);
+}
+
+void ControlChannel::PostRead(std::uint64_t wr_id, void* dst,
+                              std::uint32_t lkey, std::uint64_t len,
+                              std::uint64_t remote_addr,
+                              std::uint32_t rkey) {
+  EXS_CHECK(wr_id != kControlWrId);
+  verbs::SendWorkRequest wr;
+  wr.wr_id = wr_id;
+  wr.opcode = verbs::Opcode::kRdmaRead;
+  wr.sge.addr = reinterpret_cast<std::uint64_t>(dst);
+  wr.sge.length = static_cast<std::uint32_t>(len);
+  wr.sge.lkey = lkey;
+  wr.remote_addr = remote_addr;
+  wr.rkey = rkey;
+  qp_->PostSend(wr);
+}
+
+void ControlChannel::OnSendCompletion(const verbs::WorkCompletion& wc) {
+  EXS_CHECK_MSG(wc.status == verbs::WcStatus::kSuccess,
+                "send failed: " << verbs::ToString(wc.status)
+                                << " — the credit scheme should prevent this");
+  if (wc.wr_id == kControlWrId) return;
+  if (wc.opcode == verbs::WcOpcode::kRdmaRead) {
+    if (callbacks_.on_read_done) {
+      callbacks_.on_read_done(wc.wr_id, wc.byte_len);
+    }
+    return;
+  }
+  if (callbacks_.on_data_sent) callbacks_.on_data_sent(wc.wr_id);
+}
+
+void ControlChannel::OnRecvCompletion(const verbs::WorkCompletion& wc) {
+  EXS_CHECK_MSG(wc.status == verbs::WcStatus::kSuccess,
+                "receive failed: " << verbs::ToString(wc.status));
+  // Recycle the consumed slot right away so the pool never shrinks.
+  auto slot = static_cast<std::uint32_t>(wc.wr_id);
+  PostSlotRecv(slot);
+  ++owed_credits_;
+
+  if (wc.opcode == verbs::WcOpcode::kRecvRdmaWithImm) {
+    EXS_CHECK(wc.has_imm);
+    if (callbacks_.on_data) {
+      callbacks_.on_data(wire::ImmIsIndirect(wc.imm), wire::ImmLength(wc.imm));
+    }
+    MaybeSendStandaloneCredit();
+    return;
+  }
+
+  EXS_CHECK(wc.opcode == verbs::WcOpcode::kRecv);
+  const std::uint8_t* slot_mem =
+      slab_.data() + static_cast<std::size_t>(slot) * wire::kControlSlotBytes;
+  wire::ControlMessage msg = wire::Parse(slot_mem, wc.byte_len);
+
+  bool credits_grew = msg.credit_return > 0;
+  remote_credits_ += msg.credit_return;
+
+  if (static_cast<wire::ControlType>(msg.type) != wire::ControlType::kCredit &&
+      callbacks_.on_control) {
+    callbacks_.on_control(msg);
+  }
+  if (credits_grew && callbacks_.on_credit_available) {
+    callbacks_.on_credit_available();
+  }
+  MaybeSendStandaloneCredit();
+}
+
+void ControlChannel::MaybeSendStandaloneCredit() {
+  // Return credits proactively once half the pool is owed and no other
+  // message has carried them back.  The reserved credit guarantees this
+  // can always go out.
+  if (owed_credits_ >= credits_ / 2 && remote_credits_ >= 1) {
+    wire::ControlMessage msg;
+    msg.type = static_cast<std::uint8_t>(wire::ControlType::kCredit);
+    ++credit_messages_sent_;
+    SendControl(msg);
+  }
+}
+
+}  // namespace exs

@@ -1,0 +1,104 @@
+// The connection's transport plumbing, shared by both socket modes.
+//
+// A ControlChannel owns the queue pair and implements the credit scheme of
+// §II-B: each side pre-posts `credits` receive work requests backed by a
+// slab of small registered buffers; every SEND (control message) or RDMA
+// WRITE WITH IMM (data chunk) consumes one credit at the destination, and
+// consumed receives are reposted immediately and returned to the peer as
+// `credit_return` piggybacked on control traffic — with a standalone
+// CREDIT message when enough accumulate and nothing else is flowing.  One
+// credit is held in reserve so a CREDIT message can always be sent,
+// which keeps the scheme deadlock-free.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "exs/wire.hpp"
+#include "verbs/device.hpp"
+#include "verbs/queue_pair.hpp"
+
+namespace exs {
+
+class ControlChannel {
+ public:
+  struct Callbacks {
+    /// An ADVERT or ACK arrived (CREDIT messages are absorbed internally).
+    std::function<void(const wire::ControlMessage&)> on_control;
+    /// A data WWI arrived: kind and chunk length decoded from the imm.
+    std::function<void(bool indirect, std::uint64_t len)> on_data;
+    /// A locally posted data WWI completed (transport-acknowledged).
+    std::function<void(std::uint64_t wr_id)> on_data_sent;
+    /// A locally posted RDMA READ completed (data landed here).
+    std::function<void(std::uint64_t wr_id, std::uint64_t bytes)>
+        on_read_done;
+    /// Our send credit increased; blocked work may be retried.
+    std::function<void()> on_credit_available;
+  };
+
+  ControlChannel(verbs::Device& device, std::uint32_t credits);
+
+  ControlChannel(const ControlChannel&) = delete;
+  ControlChannel& operator=(const ControlChannel&) = delete;
+
+  /// Wire two channels on opposite nodes together and pre-post the credit
+  /// pool on both.
+  static void Connect(ControlChannel& a, ControlChannel& b);
+
+  void set_callbacks(Callbacks callbacks) { callbacks_ = std::move(callbacks); }
+
+  /// Can a normal message (control or data) be sent right now?  One credit
+  /// is reserved for CREDIT messages.
+  bool CanSend() const { return remote_credits_ >= 2; }
+
+  /// Send an ADVERT or ACK; fills in the piggybacked credit return.
+  /// Caller must have checked CanSend().
+  void SendControl(wire::ControlMessage msg);
+
+  /// Post a data chunk as RDMA WRITE WITH IMM into peer memory.  Caller
+  /// must have checked CanSend().  `wr_id` is returned via on_data_sent.
+  void PostDataWwi(std::uint64_t wr_id, const void* src, std::uint32_t lkey,
+                   std::uint64_t len, std::uint64_t remote_addr,
+                   std::uint32_t rkey, bool indirect);
+
+  /// Pull `len` bytes from peer memory with RDMA READ (rendezvous mode).
+  /// READs consume no receive at the target, hence no credit.
+  void PostRead(std::uint64_t wr_id, void* dst, std::uint32_t lkey,
+                std::uint64_t len, std::uint64_t remote_addr,
+                std::uint32_t rkey);
+
+  verbs::Device& device() { return *device_; }
+  std::uint32_t remote_credits() const { return remote_credits_; }
+  std::uint32_t credit_pool_size() const { return credits_; }
+  const verbs::QueuePairStats& qp_stats() const { return qp_->stats(); }
+  std::uint64_t credit_messages_sent() const { return credit_messages_sent_; }
+
+ private:
+  void OnSendCompletion(const verbs::WorkCompletion& wc);
+  void OnRecvCompletion(const verbs::WorkCompletion& wc);
+  void PostSlotRecv(std::uint32_t slot);
+  void ConsumeCredit();
+  void ReturnConsumedSlot();
+  void MaybeSendStandaloneCredit();
+  std::uint32_t TakeCreditReturn();
+
+  verbs::Device* device_;
+  std::uint32_t credits_;
+  std::unique_ptr<verbs::CompletionQueue> send_cq_;
+  std::unique_ptr<verbs::CompletionQueue> recv_cq_;
+  std::unique_ptr<verbs::QueuePair> qp_;
+  std::vector<std::uint8_t> slab_;
+  verbs::MemoryRegionPtr slab_mr_;
+  Callbacks callbacks_;
+
+  std::uint32_t remote_credits_ = 0;  ///< peer receives we may consume
+  std::uint32_t owed_credits_ = 0;    ///< reposted receives not yet reported
+  std::uint64_t credit_messages_sent_ = 0;
+
+  /// Work-request id marking internal control sends on the send CQ.
+  static constexpr std::uint64_t kControlWrId = ~std::uint64_t{0};
+};
+
+}  // namespace exs

@@ -1,0 +1,153 @@
+#include "exs/connection.hpp"
+
+#include "common/check.hpp"
+#include "common/logging.hpp"
+
+namespace exs {
+
+ConnectionService::ConnectionService(simnet::Fabric& fabric,
+                                     verbs::Device& device0,
+                                     verbs::Device& device1)
+    : fabric_(&fabric), device0_(&device0), device1_(&device1) {}
+
+Listener* ConnectionService::Listen(std::size_t node_index,
+                                    std::uint16_t port, SocketType type,
+                                    StreamOptions options) {
+  auto key = std::make_pair(node_index, port);
+  EXS_CHECK_MSG(listeners_.find(key) == listeners_.end(),
+                "port " << port << " already has a listener on node "
+                        << node_index);
+  auto listener = std::unique_ptr<Listener>(
+      new Listener(node_index, port, type, std::move(options)));
+  Listener* raw = listener.get();
+  listeners_.emplace(key, std::move(listener));
+  return raw;
+}
+
+Socket* ConnectionService::Connect(std::size_t node_index,
+                                   std::uint16_t port, SocketType type,
+                                   StreamOptions options,
+                                   std::function<void(Socket*)> on_complete) {
+  std::uint64_t id = next_id_++;
+  auto socket = std::make_unique<Socket>(device(node_index), type, options,
+                                         "active-" + std::to_string(id));
+  Socket* raw = socket.get();
+
+  HandshakeMessage req;
+  req.kind = HandshakeMessage::Kind::kReq;
+  req.id = id;
+  req.port = port;
+  req.type = type;
+  req.ring = raw->LocalRingCredentials();
+
+  pending_.emplace(id, Pending{id, std::move(socket), type,
+                               std::move(on_complete)});
+  Transmit(node_index, req);
+  return raw;
+}
+
+void ConnectionService::Transmit(std::size_t from_node,
+                                 const HandshakeMessage& msg) {
+  std::size_t to_node = 1 - from_node;
+  fabric_->channel_from(from_node).Transmit(
+      kHandshakeWireBytes,
+      [this, to_node, msg] { OnMessage(to_node, msg); });
+}
+
+void ConnectionService::OnMessage(std::size_t at_node,
+                                  const HandshakeMessage& msg) {
+  switch (msg.kind) {
+    case HandshakeMessage::Kind::kReq:
+      HandleReq(at_node, msg);
+      break;
+    case HandshakeMessage::Kind::kRep:
+    case HandshakeMessage::Kind::kReject:
+      HandleRepOrReject(msg);
+      break;
+    case HandshakeMessage::Kind::kRtu:
+      HandleRtu(msg);
+      break;
+  }
+}
+
+void ConnectionService::HandleReq(std::size_t at_node,
+                                  const HandshakeMessage& msg) {
+  auto it = listeners_.find(std::make_pair(at_node, msg.port));
+  if (it == listeners_.end() || it->second->type_ != msg.type) {
+    EXS_DEBUG("rejecting connection to port " << msg.port << " on node "
+                                              << at_node);
+    HandshakeMessage reject;
+    reject.kind = HandshakeMessage::Kind::kReject;
+    reject.id = msg.id;
+    Transmit(at_node, reject);
+    return;
+  }
+  Listener* listener = it->second.get();
+
+  auto socket = std::make_unique<Socket>(
+      device(at_node), msg.type, listener->options_,
+      "passive-" + std::to_string(msg.id));
+
+  // Wire the endpoints now: queue pairs connected, receive pools posted —
+  // the state both sides prepare before the handshake concludes.  The
+  // peer's Socket object is reachable because the service brokered the
+  // REQ; only *timing* flows through the wire.
+  auto pending_it = pending_.find(msg.id);
+  EXS_CHECK_MSG(pending_it != pending_.end(),
+                "REQ for an unknown pending connection");
+  ControlChannel::Connect(pending_it->second.socket->channel_internal(),
+                          socket->channel_internal());
+
+  HandshakeMessage rep;
+  rep.kind = HandshakeMessage::Kind::kRep;
+  rep.id = msg.id;
+  rep.ring = socket->LocalRingCredentials();
+
+  // The server half finishes when the RTU arrives.
+  ServerPending sp;
+  sp.id = msg.id;
+  sp.socket = std::move(socket);
+  sp.socket->CompleteEstablishment(
+      Socket::RingCredentials{msg.ring.addr, msg.ring.rkey,
+                              msg.ring.capacity});
+  sp.listener = listener;
+  server_pending_.emplace(msg.id, std::move(sp));
+
+  Transmit(at_node, rep);
+}
+
+void ConnectionService::HandleRepOrReject(const HandshakeMessage& msg) {
+  auto it = pending_.find(msg.id);
+  EXS_CHECK_MSG(it != pending_.end(), "REP for an unknown connection");
+  Pending pending = std::move(it->second);
+  pending_.erase(it);
+
+  if (msg.kind == HandshakeMessage::Kind::kReject) {
+    if (pending.on_complete) pending.on_complete(nullptr);
+    return;  // the socket is discarded with the Pending record
+  }
+
+  pending.socket->CompleteEstablishment(msg.ring);
+  Socket* raw = pending.socket.get();
+  std::size_t client_node = raw->device().node_index();
+  established_.push_back(std::move(pending.socket));
+
+  HandshakeMessage rtu;
+  rtu.kind = HandshakeMessage::Kind::kRtu;
+  rtu.id = msg.id;
+  Transmit(client_node, rtu);
+
+  if (pending.on_complete) pending.on_complete(raw);
+}
+
+void ConnectionService::HandleRtu(const HandshakeMessage& msg) {
+  auto it = server_pending_.find(msg.id);
+  EXS_CHECK_MSG(it != server_pending_.end(), "RTU for an unknown connection");
+  Socket* raw = it->second.socket.get();
+  Listener* listener = it->second.listener;
+  established_.push_back(std::move(it->second.socket));
+  server_pending_.erase(it);
+  listener->Deliver(raw);
+}
+
+}  // namespace exs

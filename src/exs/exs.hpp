@@ -1,0 +1,8 @@
+// Umbrella header: the public API of the EXS stream-over-RDMA library.
+#pragma once
+
+#include "exs/event_queue.hpp"   // IWYU pragma: export
+#include "exs/simulation.hpp"    // IWYU pragma: export
+#include "exs/socket.hpp"        // IWYU pragma: export
+#include "exs/types.hpp"         // IWYU pragma: export
+#include "simnet/profile.hpp"    // IWYU pragma: export

@@ -1,0 +1,92 @@
+// Top-level facade: a two-node RDMA testbed with EXS sockets on it.
+//
+//   exs::Simulation sim(exs::simnet::HardwareProfile::FdrInfiniBand());
+//   auto [client, server] = sim.CreateConnectedPair(exs::SocketType::kStream);
+//   client->Send(buf, len);
+//   server->Recv(out, len);
+//   sim.Run();
+//
+// The Simulation owns the fabric (clock, links, CPUs), one verbs device per
+// node, and every socket created on it.  Time only advances inside
+// Run()/RunFor()/RunUntil().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "exs/connection.hpp"
+#include "exs/socket.hpp"
+#include "simnet/fabric.hpp"
+#include "verbs/device.hpp"
+
+namespace exs {
+
+class Simulation {
+ public:
+  /// `carry_payload` moves real bytes through every transfer (keep on for
+  /// correctness checks; benchmarks turn it off — timing is unaffected).
+  explicit Simulation(simnet::HardwareProfile profile, std::uint64_t seed = 1,
+                      bool carry_payload = true)
+      : fabric_(std::move(profile), seed),
+        device0_(fabric_, 0, carry_payload),
+        device1_(fabric_, 1, carry_payload) {}
+
+  /// Create a connected socket pair: first on node 0 ("client"), second on
+  /// node 1 ("server").
+  std::pair<Socket*, Socket*> CreateConnectedPair(
+      SocketType type, StreamOptions options = StreamOptions{}) {
+    sockets_.push_back(
+        std::make_unique<Socket>(device0_, type, options, "client"));
+    Socket* a = sockets_.back().get();
+    sockets_.push_back(
+        std::make_unique<Socket>(device1_, type, options, "server"));
+    Socket* b = sockets_.back().get();
+    Socket::ConnectPair(*a, *b);
+    return {a, b};
+  }
+
+  /// Realistic connection establishment (listen/connect/accept with a
+  /// timed handshake over the wire); see exs/connection.hpp.  The zero-
+  /// time CreateConnectedPair above remains for tests that don't care.
+  Listener* Listen(std::size_t node_index, std::uint16_t port,
+                   SocketType type, StreamOptions options = StreamOptions{}) {
+    return connections().Listen(node_index, port, type, std::move(options));
+  }
+  Socket* Connect(std::size_t node_index, std::uint16_t port, SocketType type,
+                  StreamOptions options,
+                  std::function<void(Socket*)> on_complete) {
+    return connections().Connect(node_index, port, type, std::move(options),
+                                 std::move(on_complete));
+  }
+  ConnectionService& connections() {
+    if (!connections_) {
+      connections_ = std::make_unique<ConnectionService>(fabric_, device0_,
+                                                         device1_);
+    }
+    return *connections_;
+  }
+
+  simnet::EventScheduler& scheduler() { return fabric_.scheduler(); }
+  simnet::Fabric& fabric() { return fabric_; }
+  verbs::Device& device(std::size_t i) { return i == 0 ? device0_ : device1_; }
+  SimTime Now() { return fabric_.scheduler().Now(); }
+
+  /// Run until the event queue drains (the system is fully quiescent).
+  void Run() { fabric_.scheduler().Run(); }
+  void RunFor(SimDuration d) { fabric_.scheduler().RunFor(d); }
+  bool RunUntil(const std::function<bool()>& done) {
+    return fabric_.scheduler().RunUntilPredicate(done);
+  }
+
+ private:
+  simnet::Fabric fabric_;
+  verbs::Device device0_;
+  verbs::Device device1_;
+  std::vector<std::unique_ptr<Socket>> sockets_;
+  std::unique_ptr<ConnectionService> connections_;
+};
+
+}  // namespace exs

@@ -1,0 +1,222 @@
+#include "exs/socket.hpp"
+
+#include "common/check.hpp"
+
+namespace exs {
+
+const char* ToString(ProtocolMode mode) {
+  switch (mode) {
+    case ProtocolMode::kDynamic: return "dynamic";
+    case ProtocolMode::kDirectOnly: return "direct-only";
+    case ProtocolMode::kIndirectOnly: return "indirect-only";
+    case ProtocolMode::kReadRendezvous: return "read-rendezvous";
+  }
+  return "?";
+}
+
+Socket::Socket(verbs::Device& device, SocketType type, StreamOptions options,
+               std::string name)
+    : device_(&device),
+      type_(type),
+      options_(options),
+      name_(std::move(name)) {
+  channel_ = std::make_unique<ControlChannel>(device, options_.credits);
+  events_ = std::make_unique<EventQueue>(device.node().cpu(),
+                                         device.profile().per_event_cpu);
+  if (type_ == SocketType::kStream &&
+      options_.mode == ProtocolMode::kReadRendezvous) {
+    rendezvous_tx_ = std::make_unique<RendezvousTx>(MakeContext(&tx_trace_));
+    rendezvous_rx_ = std::make_unique<RendezvousRx>(MakeContext(&rx_trace_));
+  } else if (type_ == SocketType::kStream) {
+    tx_ = std::make_unique<StreamTx>(MakeContext(&tx_trace_));
+    rx_ = std::make_unique<StreamRx>(MakeContext(&rx_trace_));
+  } else {
+    packet_tx_ = std::make_unique<SeqPacketTx>(MakeContext(&tx_trace_));
+    packet_rx_ = std::make_unique<SeqPacketRx>(MakeContext(&rx_trace_));
+  }
+  WireCallbacks();
+}
+
+StreamContext Socket::MakeContext(TraceLog* trace) {
+  StreamContext ctx;
+  ctx.trace = trace;
+  ctx.channel = channel_.get();
+  ctx.scheduler = &device_->scheduler();
+  ctx.cpu = &device_->node().cpu();
+  ctx.events = events_.get();
+  ctx.stats = &stats_;
+  ctx.options = options_;
+  ctx.memcpy_bandwidth = device_->profile().memcpy_bandwidth;
+  ctx.carry_payload = device_->carry_payload();
+  ctx.debug_name = name_;
+  return ctx;
+}
+
+void Socket::WireCallbacks() {
+  ControlChannel::Callbacks cb;
+  cb.on_control = [this](const wire::ControlMessage& msg) {
+    switch (static_cast<wire::ControlType>(msg.type)) {
+      case wire::ControlType::kAdvert:
+        if (tx_) tx_->OnAdvert(msg);
+        if (packet_tx_) packet_tx_->OnAdvert(msg);
+        break;
+      case wire::ControlType::kAck:
+        EXS_CHECK_MSG(tx_ != nullptr, "ACK only exists in stream mode");
+        tx_->OnAck(msg.freed);
+        break;
+      case wire::ControlType::kCredit:
+        break;  // absorbed by the channel
+      case wire::ControlType::kSrcAdvert:
+        EXS_CHECK_MSG(rendezvous_rx_ != nullptr,
+                      "SRC-ADVERT outside rendezvous mode");
+        rendezvous_rx_->OnSrcAdvert(msg);
+        break;
+      case wire::ControlType::kReadDone:
+        EXS_CHECK_MSG(rendezvous_tx_ != nullptr,
+                      "READ-DONE outside rendezvous mode");
+        rendezvous_tx_->OnReadDone(msg.freed);
+        break;
+      case wire::ControlType::kShutdown:
+        if (rx_) {
+          rx_->OnShutdown();
+        } else if (rendezvous_rx_) {
+          rendezvous_rx_->OnShutdown();
+        } else {
+          packet_rx_->OnShutdown();
+        }
+        break;
+    }
+  };
+  cb.on_data = [this](bool indirect, std::uint64_t len) {
+    if (rx_) {
+      rx_->OnData(indirect, len);
+    } else {
+      EXS_CHECK_MSG(packet_rx_ != nullptr,
+                    "data WWI on a rendezvous connection");
+      packet_rx_->OnData(indirect, len);
+    }
+  };
+  cb.on_data_sent = [this](std::uint64_t wr_id) {
+    if (tx_) {
+      tx_->OnWwiComplete(wr_id);
+    } else {
+      packet_tx_->OnWwiComplete(wr_id);
+    }
+  };
+  cb.on_read_done = [this](std::uint64_t wr_id, std::uint64_t bytes) {
+    EXS_CHECK_MSG(rendezvous_rx_ != nullptr,
+                  "READ completion outside rendezvous mode");
+    rendezvous_rx_->OnReadComplete(wr_id, bytes);
+  };
+  cb.on_credit_available = [this] {
+    if (tx_) tx_->OnCreditAvailable();
+    if (rx_) rx_->OnCreditAvailable();
+    if (packet_tx_) packet_tx_->OnCreditAvailable();
+    if (packet_rx_) packet_rx_->OnCreditAvailable();
+    if (rendezvous_tx_) rendezvous_tx_->OnCreditAvailable();
+    if (rendezvous_rx_) rendezvous_rx_->OnCreditAvailable();
+  };
+  channel_->set_callbacks(std::move(cb));
+}
+
+Socket::RingCredentials Socket::LocalRingCredentials() const {
+  if (rx_ == nullptr) return RingCredentials{};
+  return RingCredentials{rx_->ring_addr(), rx_->ring_rkey(),
+                         rx_->ring_capacity()};
+}
+
+void Socket::CompleteEstablishment(const RingCredentials& peer_ring) {
+  EXS_CHECK_MSG(!connected_, "socket already connected");
+  if (tx_) {
+    tx_->SetRemoteRing(peer_ring.addr, peer_ring.rkey, peer_ring.capacity);
+  }
+  connected_ = true;
+}
+
+void Socket::ConnectPair(Socket& a, Socket& b) {
+  EXS_CHECK_MSG(a.type_ == b.type_, "socket types must match");
+  EXS_CHECK_MSG(!a.connected_ && !b.connected_, "socket already connected");
+  ControlChannel::Connect(*a.channel_, *b.channel_);
+  // Exchange intermediate-buffer credentials, as the real library does in
+  // the connection handshake's private data.
+  a.CompleteEstablishment(b.LocalRingCredentials());
+  b.CompleteEstablishment(a.LocalRingCredentials());
+}
+
+verbs::MemoryRegionPtr Socket::RegisterMemory(void* addr, std::size_t len) {
+  auto mr = device_->RegisterMemory(addr, len);
+  regions_by_start_.emplace(reinterpret_cast<std::uint64_t>(addr), mr);
+  return mr;
+}
+
+const verbs::MemoryRegion* Socket::FindOrRegister(const void* addr,
+                                                  std::uint64_t len) {
+  auto start = reinterpret_cast<std::uint64_t>(addr);
+  auto it = regions_by_start_.upper_bound(start);
+  if (it != regions_by_start_.begin()) {
+    --it;
+    if (it->second->Covers(start, len)) return it->second.get();
+  }
+  EXS_CHECK_MSG(options_.auto_register_memory,
+                "buffer not registered and auto-registration is off");
+  return RegisterMemory(const_cast<void*>(addr), len).get();
+}
+
+std::uint64_t Socket::Send(const void* buf, std::uint64_t len,
+                           SendFlags /*flags*/) {
+  EXS_CHECK_MSG(connected_, "Send on unconnected socket");
+  std::uint64_t id = next_request_id_++;
+  const verbs::MemoryRegion* mr = len > 0 ? FindOrRegister(buf, len) : nullptr;
+  if (tx_) {
+    tx_->Submit(id, buf, len, mr ? mr->lkey() : 0);
+  } else if (rendezvous_tx_) {
+    // The peer pulls with RDMA READ, so the *remote* key travels.
+    rendezvous_tx_->Submit(id, buf, len, mr ? mr->rkey() : 0);
+  } else {
+    packet_tx_->Submit(id, buf, len, mr ? mr->lkey() : 0);
+  }
+  return id;
+}
+
+std::uint64_t Socket::Recv(void* buf, std::uint64_t len, RecvFlags flags) {
+  EXS_CHECK_MSG(connected_, "Recv on unconnected socket");
+  std::uint64_t id = next_request_id_++;
+  const verbs::MemoryRegion* mr = FindOrRegister(buf, len);
+  if (rx_) {
+    rx_->Submit(id, buf, len, mr->rkey(), flags.waitall);
+  } else if (rendezvous_rx_) {
+    // READ responses land locally, so the *local* key is needed.
+    rendezvous_rx_->Submit(id, buf, len, mr->lkey(), flags.waitall);
+  } else {
+    packet_rx_->Submit(id, buf, len, mr->rkey());
+  }
+  return id;
+}
+
+void Socket::Close() {
+  EXS_CHECK_MSG(connected_, "Close on unconnected socket");
+  if (CloseRequested()) return;  // idempotent
+  if (tx_) {
+    tx_->RequestShutdown();
+  } else if (rendezvous_tx_) {
+    rendezvous_tx_->RequestShutdown();
+  } else {
+    packet_tx_->RequestShutdown();
+  }
+}
+
+bool Socket::CloseRequested() const {
+  if (tx_) return tx_->ShutdownRequested();
+  if (rendezvous_tx_) return rendezvous_tx_->ShutdownRequested();
+  return packet_tx_->ShutdownRequested();
+}
+
+bool Socket::Quiescent() const {
+  if (tx_ && rx_) return tx_->Quiescent() && rx_->Quiescent();
+  if (rendezvous_tx_) {
+    return rendezvous_tx_->Quiescent() && rendezvous_rx_->Quiescent();
+  }
+  return packet_tx_->Quiescent() && packet_rx_->Quiescent();
+}
+
+}  // namespace exs

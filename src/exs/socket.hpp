@@ -1,0 +1,132 @@
+// The EXS socket: the public, sockets-like face of the library.
+//
+// Mirrors the ES-API shape the paper describes: sockets are created with a
+// type (SOCK_STREAM or SOCK_SEQPACKET), I/O memory can be registered
+// explicitly for zero-copy transfers, Send()/Recv() are asynchronous and
+// return a request id immediately, and completions are retrieved from the
+// socket's event queue.  Connection establishment is collapsed into
+// ConnectPair() — the simulated stand-in for the listen/connect/accept
+// exchange, during which the peers trade intermediate-buffer credentials.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "exs/channel.hpp"
+#include "exs/event_queue.hpp"
+#include "exs/rendezvous.hpp"
+#include "exs/seqpacket.hpp"
+#include "exs/stream.hpp"
+#include "exs/trace.hpp"
+#include "exs/types.hpp"
+#include "verbs/device.hpp"
+
+namespace exs {
+
+class Socket {
+ public:
+  Socket(verbs::Device& device, SocketType type, StreamOptions options,
+         std::string name);
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Establish the connection between two sockets of the same type on
+  /// opposite nodes (stands in for exs_connect()/exs_accept()).
+  static void ConnectPair(Socket& a, Socket& b);
+
+  /// Explicitly register I/O memory (exs_mregister()).  Buffers passed to
+  /// Send()/Recv() must be covered by a registration; with
+  /// options.auto_register_memory the library registers them on first use.
+  verbs::MemoryRegionPtr RegisterMemory(void* addr, std::size_t len);
+
+  /// Asynchronous send; returns the request id reported by the completion
+  /// event.  The buffer must stay untouched until then (zero-copy).
+  std::uint64_t Send(const void* buf, std::uint64_t len, SendFlags flags = {});
+
+  /// Asynchronous receive; RecvFlags::waitall requests MSG_WAITALL
+  /// semantics (complete only when the buffer is full).
+  std::uint64_t Recv(void* buf, std::uint64_t len, RecvFlags flags = {});
+
+  /// Orderly close of this socket's *sending* direction (shutdown-write):
+  /// queued sends flush first, then the peer observes end-of-stream — its
+  /// outstanding receives complete with whatever they hold and it gets a
+  /// kPeerClosed event.  Receiving on this socket remains possible until
+  /// the peer closes its own sending side.  Sending after Close() throws.
+  void Close();
+  bool CloseRequested() const;
+
+  EventQueue& events() { return *events_; }
+  const StreamStats& stats() const { return stats_; }
+  SocketType type() const { return type_; }
+  const StreamOptions& options() const { return options_; }
+  const std::string& name() const { return name_; }
+  verbs::Device& device() { return *device_; }
+  const ControlChannel& channel() const { return *channel_; }
+
+  /// Protocol-state introspection (tests, invariant checks, examples).
+  StreamTx* stream_tx() { return tx_.get(); }
+  StreamRx* stream_rx() { return rx_.get(); }
+
+  /// Record protocol traces for this socket (off by default).  The
+  /// outgoing stream's sender events and the incoming stream's receiver
+  /// events are kept separately so the lemma validators in exs/trace.hpp
+  /// can run on each.
+  void EnableTracing() {
+    tx_trace_.Enable();
+    rx_trace_.Enable();
+  }
+  const TraceLog& tx_trace() const { return tx_trace_; }
+  const TraceLog& rx_trace() const { return rx_trace_; }
+
+  /// True when no requests are pending in either direction.
+  bool Quiescent() const;
+
+  // ---- Connection-establishment internals -------------------------------
+  // Used by ConnectPair() and by the ConnectionService handshake
+  // (exs/connection.hpp); not part of the application API.
+
+  /// Intermediate-buffer credentials this socket's incoming stream
+  /// advertises to its peer (zeros for SOCK_SEQPACKET).
+  struct RingCredentials {
+    std::uint64_t addr = 0;
+    std::uint32_t rkey = 0;
+    std::uint64_t capacity = 0;
+  };
+  RingCredentials LocalRingCredentials() const;
+
+  /// Install the peer's intermediate-buffer credentials and open the
+  /// socket for I/O.  The control channels must already be linked.
+  void CompleteEstablishment(const RingCredentials& peer_ring);
+
+  ControlChannel& channel_internal() { return *channel_; }
+
+ private:
+  const verbs::MemoryRegion* FindOrRegister(const void* addr,
+                                            std::uint64_t len);
+  StreamContext MakeContext(TraceLog* trace);
+  void WireCallbacks();
+
+  verbs::Device* device_;
+  SocketType type_;
+  StreamOptions options_;
+  std::string name_;
+  StreamStats stats_;
+  std::unique_ptr<ControlChannel> channel_;
+  std::unique_ptr<EventQueue> events_;
+  std::unique_ptr<StreamTx> tx_;
+  std::unique_ptr<StreamRx> rx_;
+  std::unique_ptr<SeqPacketTx> packet_tx_;
+  std::unique_ptr<SeqPacketRx> packet_rx_;
+  std::unique_ptr<RendezvousTx> rendezvous_tx_;
+  std::unique_ptr<RendezvousRx> rendezvous_rx_;
+  std::map<std::uint64_t, verbs::MemoryRegionPtr> regions_by_start_;
+  TraceLog tx_trace_;
+  TraceLog rx_trace_;
+  std::uint64_t next_request_id_ = 1;
+  bool connected_ = false;
+};
+
+}  // namespace exs

@@ -1,0 +1,227 @@
+// The dynamic stream protocol (the paper's core contribution).
+//
+// A full-duplex stream socket instantiates one StreamTx (the paper's
+// "sender": Fig. 2) for its outgoing byte stream and one StreamRx (the
+// paper's "receiver": Figs. 3–5) for its incoming stream.  Both keep the
+// phase/sequence machinery that lets the connection switch between
+//
+//   direct transfers   — WWI straight into user memory named by an ADVERT,
+//   indirect transfers — WWI into the hidden circular intermediate buffer,
+//
+// without ever matching a direct transfer to the wrong memory (Theorem 1).
+// Phase numbers are even in direct phases and odd in indirect phases and
+// only ever advance; ADVERT sequence numbers are estimates except for the
+// first ADVERT of a new direct phase, which is exact because the receiver
+// holds ADVERTs back until its buffer is empty and every receive from the
+// previous phase has been satisfied (the Fig. 7 rule).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ring_buffer.hpp"
+#include "common/units.hpp"
+#include "exs/channel.hpp"
+#include "exs/event_queue.hpp"
+#include "exs/trace.hpp"
+#include "exs/types.hpp"
+#include "exs/wire.hpp"
+
+namespace exs {
+
+/// Shared wiring handed to both halves by the socket.
+struct StreamContext {
+  ControlChannel* channel = nullptr;
+  simnet::EventScheduler* scheduler = nullptr;
+  simnet::Cpu* cpu = nullptr;
+  EventQueue* events = nullptr;
+  StreamStats* stats = nullptr;
+  TraceLog* trace = nullptr;
+  StreamOptions options;
+  Bandwidth memcpy_bandwidth;
+  bool carry_payload = true;
+  std::string debug_name;
+};
+
+// ---------------------------------------------------------------------------
+// Sender half (Fig. 2)
+// ---------------------------------------------------------------------------
+
+class StreamTx {
+ public:
+  explicit StreamTx(StreamContext ctx) : ctx_(std::move(ctx)) {}
+
+  /// Learn where the peer's intermediate buffer lives (exchanged at
+  /// connection establishment).
+  void SetRemoteRing(std::uint64_t addr, std::uint32_t rkey,
+                     std::uint64_t capacity);
+
+  /// Queue a send request.  `lkey` names the registered region covering
+  /// [buf, buf+len).  Completion is reported on the event queue once every
+  /// chunk has been transferred and locally completed.
+  void Submit(std::uint64_t id, const void* buf, std::uint64_t len,
+              std::uint32_t lkey);
+
+  void OnAdvert(const wire::ControlMessage& msg);
+  void OnAck(std::uint64_t freed);
+  void OnCreditAvailable() { Pump(); }
+  void OnWwiComplete(std::uint64_t wr_id);
+
+  /// Orderly close of this direction: a SHUTDOWN control message goes out
+  /// after every queued send has been fully transferred; no further sends
+  /// are accepted.
+  void RequestShutdown();
+  bool ShutdownRequested() const { return shutdown_requested_; }
+
+  // Introspection for tests and invariant checks.
+  std::uint64_t phase() const { return phase_; }
+  std::uint64_t sequence() const { return seq_; }
+  std::size_t PendingSends() const { return inflight_.size(); }
+  std::size_t AdvertQueueDepth() const { return advert_queue_.size(); }
+  std::uint64_t RemoteRingFree() const { return remote_ring_.free(); }
+  bool Quiescent() const { return inflight_.empty(); }
+
+ private:
+  struct PendingSend {
+    std::uint64_t id = 0;
+    const std::uint8_t* base = nullptr;
+    std::uint64_t len = 0;
+    std::uint64_t sent = 0;
+    std::uint32_t lkey = 0;
+    std::uint32_t wwis_outstanding = 0;
+    bool fully_chunked = false;
+  };
+
+  /// A received ADVERT queued at the sender (the paper's q_A).
+  struct Advert {
+    std::uint64_t addr = 0;
+    std::uint32_t rkey = 0;
+    std::uint64_t len = 0;
+    std::uint64_t filled = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t phase = 0;
+    bool waitall = false;
+  };
+
+  /// The matching loop of Fig. 2: emit chunks while an ADVERT or buffer
+  /// space and a credit are available; otherwise wait for the event that
+  /// unblocks us (ADVERT, ACK, or credit return).
+  void Pump();
+  void PostDirect(PendingSend& s, Advert& advert, std::uint64_t len);
+  void PostIndirect(PendingSend& s, std::uint64_t len);
+  void NoteTransfer(bool indirect);
+  void Trace(TraceEventType type, std::uint64_t len = 0,
+             std::uint64_t msg_seq = 0, std::uint64_t msg_phase = 0) {
+    if (ctx_.trace != nullptr && ctx_.trace->enabled()) {
+      ctx_.trace->Record(TraceEvent{ctx_.scheduler->Now(), type, seq_,
+                                    phase_, len, msg_seq, msg_phase});
+    }
+  }
+  std::uint64_t MaxChunk() const {
+    std::uint64_t cap = ctx_.options.max_wwi_chunk;
+    return cap == 0 ? wire::kMaxWwiChunk
+                    : (cap < wire::kMaxWwiChunk ? cap : wire::kMaxWwiChunk);
+  }
+
+  StreamContext ctx_;
+  std::uint64_t phase_ = 0;  ///< P_s
+  std::uint64_t seq_ = 0;    ///< S_s
+  RingCursor remote_ring_;   ///< sender's view of the remote buffer (b_s)
+  std::uint64_t remote_ring_addr_ = 0;
+  std::uint32_t remote_ring_rkey_ = 0;
+  std::deque<Advert> advert_queue_;                        ///< q_A
+  std::deque<std::shared_ptr<PendingSend>> chunk_queue_;   ///< not fully sent
+  std::unordered_map<std::uint64_t, std::shared_ptr<PendingSend>> inflight_;
+  bool last_transfer_indirect_ = false;  ///< connections begin direct
+  bool shutdown_requested_ = false;
+  bool shutdown_sent_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Receiver half (Figs. 3, 4, 5)
+// ---------------------------------------------------------------------------
+
+class StreamRx {
+ public:
+  explicit StreamRx(StreamContext ctx);
+
+  std::uint64_t ring_addr() const;
+  std::uint32_t ring_rkey() const { return ring_mr_->rkey(); }
+  std::uint64_t ring_capacity() const { return ring_.capacity(); }
+
+  /// Queue a receive request for user memory [buf, buf+len) registered
+  /// under `rkey`/`base` (the ADVERT must name remotely writable memory).
+  void Submit(std::uint64_t id, void* buf, std::uint64_t len,
+              std::uint32_t rkey, bool waitall);
+
+  /// A data WWI arrived (dispatched from the control channel).
+  void OnData(bool indirect, std::uint64_t len);
+  void OnCreditAvailable();
+
+  /// The peer closed its sending direction.  In-order delivery puts the
+  /// SHUTDOWN behind all of the stream's data; once the intermediate
+  /// buffer drains, outstanding receives complete with what they hold and
+  /// a kPeerClosed event is raised.  Receives submitted afterwards
+  /// complete immediately with zero bytes.
+  void OnShutdown();
+  bool PeerClosed() const { return peer_closed_; }
+
+  // Introspection for tests and invariant checks.
+  std::uint64_t phase() const { return phase_; }
+  std::uint64_t sequence() const { return seq_; }          ///< S_r
+  std::uint64_t sequence_estimate() const { return seq_est_; }  ///< S'_r
+  std::uint64_t RingBytes() const { return ring_.used(); }
+  std::size_t PendingRecvs() const { return pending_.size(); }
+  bool Quiescent() const { return pending_.empty() && ring_.Empty(); }
+
+ private:
+  struct PendingRecv {
+    std::uint64_t id = 0;
+    std::uint8_t* base = nullptr;
+    std::uint64_t len = 0;
+    std::uint64_t filled = 0;
+    std::uint32_t rkey = 0;
+    bool waitall = false;
+    bool adverted = false;
+    std::uint64_t advert_phase = 0;
+  };
+
+  /// Fig. 3: advertise pending receives in order, gated on an empty
+  /// intermediate buffer and no outstanding receives from a prior phase.
+  void TryAdvertise();
+  /// Fig. 5: copy buffered bytes into pending receives FIFO, charging the
+  /// node CPU at memcpy bandwidth.
+  void DrainRing();
+  void MaybeSendAck();
+  void CompleteFront();
+  /// After the peer's SHUTDOWN, once every buffered byte has been copied
+  /// out: complete the remaining receives and raise kPeerClosed.
+  void MaybeFinishEof();
+  void Trace(TraceEventType type, std::uint64_t len = 0,
+             std::uint64_t msg_seq = 0, std::uint64_t msg_phase = 0) {
+    if (ctx_.trace != nullptr && ctx_.trace->enabled()) {
+      ctx_.trace->Record(TraceEvent{ctx_.scheduler->Now(), type, seq_,
+                                    phase_, len, msg_seq, msg_phase});
+    }
+  }
+
+  StreamContext ctx_;
+  std::uint64_t phase_ = 0;    ///< P_r
+  std::uint64_t seq_ = 0;      ///< S_r
+  std::uint64_t seq_est_ = 0;  ///< S'_r (next-expected used in ADVERTs)
+  std::vector<std::uint8_t> ring_mem_;
+  verbs::MemoryRegionPtr ring_mr_;
+  RingCursor ring_;            ///< b_r plus cursors
+  std::deque<PendingRecv> pending_;
+  std::uint64_t pending_ack_bytes_ = 0;
+  bool copy_in_progress_ = false;
+  bool peer_closed_ = false;
+  bool eof_delivered_ = false;
+};
+
+}  // namespace exs

@@ -1,0 +1,265 @@
+// Receiver half of the dynamic stream protocol — Figs. 3 (ADVERT send),
+// 4 (transfer arrival) and 5 (copy-out) of the paper.
+#include "exs/stream.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/logging.hpp"
+
+namespace exs {
+
+StreamRx::StreamRx(StreamContext ctx)
+    : ctx_(std::move(ctx)),
+      ring_mem_(ctx_.options.intermediate_buffer_bytes),
+      ring_(ctx_.options.intermediate_buffer_bytes) {
+  EXS_CHECK_MSG(ctx_.options.intermediate_buffer_bytes > 0,
+                "intermediate buffer must have nonzero capacity");
+  ring_mr_ = ctx_.channel->device().RegisterMemory(ring_mem_.data(),
+                                                   ring_mem_.size());
+}
+
+std::uint64_t StreamRx::ring_addr() const {
+  return reinterpret_cast<std::uint64_t>(ring_mem_.data());
+}
+
+void StreamRx::Submit(std::uint64_t id, void* buf, std::uint64_t len,
+                      std::uint32_t rkey, bool waitall) {
+  EXS_CHECK_MSG(len > 0, "zero-length receive is not meaningful");
+  if (eof_delivered_) {
+    // End-of-stream already reached: classic sockets semantics, the
+    // receive completes immediately with zero bytes.
+    ++ctx_.stats->recvs_completed;
+    ctx_.events->Push(Event{EventType::kRecvComplete, id, 0, false});
+    return;
+  }
+  PendingRecv rec;
+  rec.id = id;
+  rec.base = static_cast<std::uint8_t*>(buf);
+  rec.len = len;
+  rec.rkey = rkey;
+  rec.waitall = waitall;
+  pending_.push_back(rec);
+  // Buffered data may already be waiting for this receive; otherwise see
+  // whether the new receive can be advertised (Fig. 3).
+  DrainRing();
+  TryAdvertise();
+}
+
+void StreamRx::TryAdvertise() {
+  if (ctx_.options.mode == ProtocolMode::kIndirectOnly) return;
+  while (true) {
+    // The un-adverted receives form a suffix of the pending queue (they
+    // are advertised strictly in order); find its start.
+    std::size_t first_unadverted = pending_.size();
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      if (!pending_[i].adverted) {
+        first_unadverted = i;
+        break;
+      }
+    }
+    if (first_unadverted == pending_.size()) return;  // nothing to advertise
+
+    // Fig. 3 line 1, the gate: no ADVERT while buffered bytes remain
+    // (b_r > 0) ...
+    if (ring_.used() > 0 || copy_in_progress_) return;
+
+    // ... or while any earlier receive still holds an ADVERT from a prior
+    // phase (k_a > 0).  Earlier receives with *no* ADVERT (k_b) cannot
+    // occur here because we advertise in order.
+    std::uint64_t candidate_phase =
+        PhaseIsIndirect(phase_) ? NextPhase(phase_) : phase_;
+    for (std::size_t i = 0; i < first_unadverted; ++i) {
+      if (pending_[i].advert_phase != candidate_phase) return;
+    }
+
+    if (!ctx_.channel->CanSend()) return;  // resumed by credit return
+
+    if (PhaseIsIndirect(phase_)) {
+      // Resuming direct service after an indirect phase (Fig. 3 lines 5-7).
+      // At this point the buffer is empty and every prior receive was
+      // satisfied, so seq_est_ has been corrected to equal seq_ exactly.
+      EXS_CHECK_MSG(first_unadverted == 0 ? seq_est_ == seq_ : true,
+                    "resynchronisation invariant: S'_r == S_r at the first "
+                    "ADVERT of a new phase");
+      phase_ = NextPhase(phase_);
+      ctx_.stats->receiver_phase = phase_;
+      Trace(TraceEventType::kReceiverPhaseChanged);
+    }
+
+    PendingRecv& r = pending_[first_unadverted];
+    Trace(TraceEventType::kAdvertSent, r.len - r.filled, seq_est_, phase_);
+    wire::ControlMessage msg;
+    msg.type = static_cast<std::uint8_t>(wire::ControlType::kAdvert);
+    msg.addr = reinterpret_cast<std::uint64_t>(r.base) + r.filled;
+    msg.rkey = r.rkey;
+    msg.len = r.len - r.filled;
+    msg.seq = seq_est_;
+    msg.set_phase(phase_);
+    msg.waitall = r.waitall ? 1 : 0;
+    ctx_.channel->SendControl(msg);
+    ++ctx_.stats->adverts_sent;
+
+    r.adverted = true;
+    r.advert_phase = phase_;
+    // Advance the next-expected estimate (Fig. 3 lines 10-14): by the full
+    // remaining length under MSG_WAITALL, else by the minimum bytes that
+    // can complete the receive (one).
+    seq_est_ += r.waitall ? (r.len - r.filled) : 1;
+  }
+}
+
+void StreamRx::OnData(bool indirect, std::uint64_t len) {
+  if (!indirect) {
+    // Direct arrival (Fig. 4 lines 1-6).  By Theorem 1 it belongs to the
+    // receive at the head of the queue; these checks *are* the safety
+    // property and fail loudly if the matching logic is ever wrong.
+    EXS_CHECK_MSG(!pending_.empty(),
+                  "direct transfer with no pending receive");
+    PendingRecv& r = pending_.front();
+    EXS_CHECK_MSG(r.adverted, "direct transfer into un-advertised receive");
+    EXS_CHECK_MSG(ring_.used() == 0 && !copy_in_progress_,
+                  "direct transfer while the intermediate buffer is in use");
+    EXS_CHECK_MSG(r.filled + len <= r.len, "direct transfer overfills");
+    r.filled += len;
+    seq_ += len;
+    // Fig. 4 lines 3-5: a non-WAITALL ADVERT estimated one byte; the
+    // receive completes with this transfer, so correct the estimate with
+    // the actual length.  A WAITALL estimate was already exact.
+    if (!r.waitall) seq_est_ += len - 1;
+    ctx_.stats->direct_bytes_received += len;
+    Trace(TraceEventType::kDirectArrived, len);
+    if (!r.waitall || r.filled == r.len) CompleteFront();
+    TryAdvertise();
+    return;
+  }
+
+  // Indirect arrival (Fig. 4 lines 7-11): data is already in the ring at
+  // our fill cursor; account for it and move to an indirect phase.
+  if (PhaseIsDirect(phase_)) {
+    phase_ = NextPhase(phase_);
+    ctx_.stats->receiver_phase = phase_;
+    Trace(TraceEventType::kReceiverPhaseChanged);
+  }
+  Trace(TraceEventType::kIndirectArrived, len);
+  EXS_CHECK_MSG(len <= ring_.ContiguousWritable(),
+                "indirect transfer overruns the intermediate buffer — the "
+                "sender's b_s view must prevent this");
+  ring_.CommitWrite(len);
+  ctx_.stats->indirect_bytes_received += len;
+  DrainRing();
+}
+
+void StreamRx::DrainRing() {
+  if (copy_in_progress_) return;
+  if (ring_.used() == 0 || pending_.empty()) {
+    if (ring_.used() == 0) {
+      MaybeSendAck();
+      MaybeFinishEof();
+    }
+    TryAdvertise();
+    return;
+  }
+  PendingRecv& r = pending_.front();
+  std::uint64_t n = ring_.ContiguousReadable();
+  if (r.len - r.filled < n) n = r.len - r.filled;
+  EXS_CHECK(n > 0);
+
+  // Fig. 5: the copy occupies the CPU at memcpy bandwidth — this is the
+  // "higher CPU usage at the receiver" the paper trades for latency.
+  copy_in_progress_ = true;
+  SimDuration cost = ctx_.memcpy_bandwidth.TransmissionTime(n);
+  ctx_.cpu->Submit(cost, [this, n] {
+    copy_in_progress_ = false;
+    EXS_CHECK(!pending_.empty());
+    PendingRecv& front = pending_.front();
+    if (ctx_.carry_payload) {
+      std::memcpy(front.base + front.filled,
+                  ring_mem_.data() + ring_.read_offset(), n);
+    }
+    ring_.CommitRead(n);
+    front.filled += n;
+    seq_ += n;
+    // Fig. 5 lines 5-7: keep the next-expected estimate in step with what
+    // was actually consumed.  A receive that never advertised contributed
+    // no estimate, so S'_r tracks S_r directly; an advertised non-WAITALL
+    // receive estimated one byte and completes with this copy; an
+    // advertised WAITALL estimate was already exact.
+    if (!front.adverted) {
+      seq_est_ += n;
+    } else if (!front.waitall) {
+      seq_est_ += n - 1;
+    }
+    pending_ack_bytes_ += n;
+    ctx_.stats->bytes_copied_out += n;
+    Trace(TraceEventType::kCopyOut, n);
+    // A plain receive completes with whatever one pass delivered; a
+    // MSG_WAITALL receive keeps waiting until full.
+    if (!front.waitall || front.filled == front.len) CompleteFront();
+    MaybeSendAck();
+    DrainRing();
+  });
+}
+
+void StreamRx::CompleteFront() {
+  PendingRecv r = pending_.front();
+  pending_.pop_front();
+  ++ctx_.stats->recvs_completed;
+  ctx_.stats->bytes_received += r.filled;
+  ctx_.events->Push(Event{EventType::kRecvComplete, r.id, r.filled, false});
+}
+
+void StreamRx::MaybeSendAck() {
+  if (pending_ack_bytes_ == 0) return;
+  // Fig. 5 line 2, batched: ACK when enough space has been freed, when the
+  // sender's view of the buffer must be exhausted (it is certainly
+  // blocked), or when the connection has gone idle here (no pending
+  // receives and nothing buffered) and the freed space should be returned
+  // promptly rather than parked.
+  bool sender_view_full =
+      ring_.used() + pending_ack_bytes_ >= ring_.capacity();
+  bool idle_flush = ring_.used() == 0 && pending_.empty();
+  bool due = pending_ack_bytes_ >= ctx_.options.ResolvedAckThreshold() ||
+             sender_view_full || idle_flush;
+  if (!due) return;
+  if (!ctx_.channel->CanSend()) return;  // resumed by credit return
+  wire::ControlMessage msg;
+  msg.type = static_cast<std::uint8_t>(wire::ControlType::kAck);
+  msg.freed = pending_ack_bytes_;
+  ctx_.channel->SendControl(msg);
+  Trace(TraceEventType::kAckSent, pending_ack_bytes_);
+  pending_ack_bytes_ = 0;
+  ++ctx_.stats->acks_sent;
+}
+
+void StreamRx::OnShutdown() {
+  EXS_CHECK_MSG(!peer_closed_, "duplicate SHUTDOWN");
+  peer_closed_ = true;
+  // In-order delivery guarantees every data WWI of the stream has already
+  // arrived; what remains may still sit in the intermediate buffer.
+  MaybeFinishEof();
+}
+
+void StreamRx::MaybeFinishEof() {
+  if (!peer_closed_ || eof_delivered_) return;
+  if (ring_.used() > 0 || copy_in_progress_) return;  // still draining
+  eof_delivered_ = true;
+  // Outstanding receives complete with whatever they hold — including
+  // MSG_WAITALL ones, which can never fill now (partial data at EOF).
+  while (!pending_.empty()) {
+    PendingRecv r = pending_.front();
+    pending_.pop_front();
+    ++ctx_.stats->recvs_completed;
+    ctx_.stats->bytes_received += r.filled;
+    ctx_.events->Push(Event{EventType::kRecvComplete, r.id, r.filled,
+                            false});
+  }
+  ctx_.events->Push(Event{EventType::kPeerClosed, 0, 0, false});
+}
+
+void StreamRx::OnCreditAvailable() {
+  MaybeSendAck();
+  TryAdvertise();
+}
+
+}  // namespace exs

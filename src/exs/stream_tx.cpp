@@ -1,0 +1,217 @@
+// Sender half of the dynamic stream protocol — the algorithm of Fig. 2.
+#include "exs/stream.hpp"
+
+#include "common/check.hpp"
+#include "common/logging.hpp"
+
+namespace exs {
+
+void StreamTx::SetRemoteRing(std::uint64_t addr, std::uint32_t rkey,
+                             std::uint64_t capacity) {
+  remote_ring_addr_ = addr;
+  remote_ring_rkey_ = rkey;
+  remote_ring_ = RingCursor(capacity);
+}
+
+void StreamTx::Submit(std::uint64_t id, const void* buf, std::uint64_t len,
+                      std::uint32_t lkey) {
+  EXS_CHECK_MSG(!shutdown_requested_, "send after Close()");
+  auto rec = std::make_shared<PendingSend>();
+  rec->id = id;
+  rec->base = static_cast<const std::uint8_t*>(buf);
+  rec->len = len;
+  rec->lkey = lkey;
+  inflight_.emplace(id, rec);
+
+  if (len == 0) {
+    // Zero-length sends complete immediately; a byte stream carries no
+    // message boundaries, so there is nothing to transfer.
+    rec->fully_chunked = true;
+    inflight_.erase(id);
+    ++ctx_.stats->sends_completed;
+    ctx_.events->Push(Event{EventType::kSendComplete, id, 0, false});
+    return;
+  }
+
+  chunk_queue_.push_back(rec);
+  Pump();
+}
+
+void StreamTx::OnAdvert(const wire::ControlMessage& msg) {
+  Advert advert;
+  advert.addr = msg.addr;
+  advert.rkey = msg.rkey;
+  advert.len = msg.len;
+  advert.seq = msg.seq;
+  advert.phase = msg.phase();
+  advert.waitall = msg.waitall != 0;
+  EXS_CHECK_MSG(PhaseIsDirect(advert.phase),
+                "Lemma 1: every ADVERT carries a direct phase number");
+  advert_queue_.push_back(advert);
+  ++ctx_.stats->adverts_received;
+  Trace(TraceEventType::kAdvertReceived, advert.len, advert.seq,
+        advert.phase);
+  Pump();
+}
+
+void StreamTx::OnAck(std::uint64_t freed) {
+  remote_ring_.ReleaseFree(freed);
+  Trace(TraceEventType::kAckReceived, freed);
+  Pump();
+}
+
+void StreamTx::RequestShutdown() {
+  shutdown_requested_ = true;
+  Pump();
+}
+
+void StreamTx::Pump() {
+  while (!chunk_queue_.empty()) {
+    PendingSend& s = *chunk_queue_.front();
+    EXS_CHECK(s.sent < s.len);
+
+    if (!advert_queue_.empty()) {
+      Advert& advert = advert_queue_.front();
+      if (PhaseIsIndirect(phase_) &&
+          (advert.phase < phase_ || advert.seq < seq_)) {
+        // Stale ADVERT (Fig. 2 lines 3-7).  If it carries a *higher* phase
+        // its whole sequence is based on estimates we have outrun; jump our
+        // phase past it so the rest of that burst is discarded too (the
+        // Fig. 8 rule).
+        Trace(TraceEventType::kAdvertDiscarded, advert.len, advert.seq,
+              advert.phase);
+        if (phase_ < advert.phase) {
+          phase_ = NextPhase(advert.phase);
+          ctx_.stats->sender_phase = phase_;
+          Trace(TraceEventType::kSenderPhaseChanged);
+        }
+        advert_queue_.pop_front();
+        ++ctx_.stats->adverts_discarded;
+        continue;
+      }
+      if (!ctx_.channel->CanSend()) return;  // resumed by credit return
+      if (advert.filled == 0) {
+        // First chunk into this ADVERT: record the match with the sender
+        // state *before* any phase advance (the validators rely on it).
+        Trace(TraceEventType::kAdvertAccepted, advert.len, advert.seq,
+              advert.phase);
+      }
+      if (PhaseIsIndirect(phase_)) {
+        // Accepting an ADVERT ends the indirect phase (Fig. 2 lines 9-11).
+        // The receiver resynchronised before sending it, so its sequence
+        // number is exact (Theorem 1).
+        EXS_CHECK_MSG(advert.seq == seq_,
+                      "accepted ADVERT must carry the exact next sequence ("
+                          << advert.seq << " vs " << seq_ << ")");
+        phase_ = advert.phase;
+        ctx_.stats->sender_phase = phase_;
+        Trace(TraceEventType::kSenderPhaseChanged);
+      }
+      std::uint64_t len = s.len - s.sent;
+      std::uint64_t room = advert.len - advert.filled;
+      if (room < len) len = room;
+      if (MaxChunk() < len) len = MaxChunk();
+      PostDirect(s, advert, len);
+      seq_ += len;
+      s.sent += len;
+      advert.filled += len;
+      // A non-WAITALL receive completes on its first chunk, so its ADVERT
+      // is consumed even when partially filled; a WAITALL ADVERT stays at
+      // the head until all of it has been transferred (§II-C).
+      if (!advert.waitall || advert.filled == advert.len) {
+        advert_queue_.pop_front();
+      }
+    } else if (ctx_.options.mode != ProtocolMode::kDirectOnly &&
+               remote_ring_.free() > 0) {
+      if (!ctx_.channel->CanSend()) return;
+      std::uint64_t len = s.len - s.sent;
+      std::uint64_t room = remote_ring_.ContiguousWritable();
+      if (room < len) len = room;
+      if (MaxChunk() < len) len = MaxChunk();
+      if (PhaseIsDirect(phase_)) {
+        // First indirect transfer of a burst (Fig. 2 lines 18-20).
+        phase_ = NextPhase(phase_);
+        ctx_.stats->sender_phase = phase_;
+        Trace(TraceEventType::kSenderPhaseChanged);
+      }
+      PostIndirect(s, len);
+      seq_ += len;
+      s.sent += len;
+    } else {
+      return;  // wait for an ADVERT or an ACK freeing buffer space
+    }
+
+    if (s.sent == s.len) {
+      s.fully_chunked = true;
+      auto rec = chunk_queue_.front();
+      chunk_queue_.pop_front();
+      if (rec->wwis_outstanding == 0) {
+        // All chunks already completed locally (possible with inline-fast
+        // paths); report completion now.
+        inflight_.erase(rec->id);
+        ++ctx_.stats->sends_completed;
+        ctx_.stats->bytes_sent += rec->len;
+        ctx_.events->Push(
+            Event{EventType::kSendComplete, rec->id, rec->len, false});
+      }
+    }
+  }
+
+  // Orderly close: the SHUTDOWN goes out only once every queued send has
+  // been fully chunked, so it trails all stream data on the wire.
+  if (shutdown_requested_ && !shutdown_sent_ && ctx_.channel->CanSend()) {
+    wire::ControlMessage msg;
+    msg.type = static_cast<std::uint8_t>(wire::ControlType::kShutdown);
+    ctx_.channel->SendControl(msg);
+    shutdown_sent_ = true;
+  }
+}
+
+void StreamTx::PostDirect(PendingSend& s, Advert& advert, std::uint64_t len) {
+  Trace(TraceEventType::kDirectPosted, len);
+  NoteTransfer(/*indirect=*/false);
+  ++ctx_.stats->direct_transfers;
+  ctx_.stats->direct_bytes += len;
+  ++s.wwis_outstanding;
+  ctx_.channel->PostDataWwi(s.id, s.base + s.sent, s.lkey, len,
+                            advert.addr + advert.filled, advert.rkey,
+                            /*indirect=*/false);
+}
+
+void StreamTx::PostIndirect(PendingSend& s, std::uint64_t len) {
+  Trace(TraceEventType::kIndirectPosted, len);
+  NoteTransfer(/*indirect=*/true);
+  ++ctx_.stats->indirect_transfers;
+  ctx_.stats->indirect_bytes += len;
+  ++s.wwis_outstanding;
+  std::uint64_t offset = remote_ring_.write_offset();
+  remote_ring_.CommitWrite(len);
+  ctx_.channel->PostDataWwi(s.id, s.base + s.sent, s.lkey, len,
+                            remote_ring_addr_ + offset, remote_ring_rkey_,
+                            /*indirect=*/true);
+}
+
+void StreamTx::NoteTransfer(bool indirect) {
+  if (indirect != last_transfer_indirect_) {
+    ++ctx_.stats->mode_switches;
+    last_transfer_indirect_ = indirect;
+  }
+}
+
+void StreamTx::OnWwiComplete(std::uint64_t wr_id) {
+  auto it = inflight_.find(wr_id);
+  EXS_CHECK_MSG(it != inflight_.end(), "completion for unknown send");
+  PendingSend& s = *it->second;
+  EXS_CHECK(s.wwis_outstanding > 0);
+  --s.wwis_outstanding;
+  if (s.fully_chunked && s.wwis_outstanding == 0) {
+    auto rec = it->second;
+    inflight_.erase(it);
+    ++ctx_.stats->sends_completed;
+    ctx_.stats->bytes_sent += rec->len;
+    ctx_.events->Push(
+        Event{EventType::kSendComplete, rec->id, rec->len, false});
+  }
+}
+
+}  // namespace exs

@@ -1,0 +1,106 @@
+// Protocol tracing and runtime verification of the paper's lemmas.
+//
+// When enabled on a socket, every protocol-relevant action — ADVERTs sent,
+// received, accepted and discarded; direct and indirect transfers posted
+// and arriving; copies; ACKs; phase changes — is recorded with its
+// timestamp and the live sequence/phase values.  The validators below then
+// check the statements the paper *proves* (§IV-A) against what actually
+// happened:
+//
+//   Lemma 1  — every ADVERT carries a direct (even) phase number;
+//   Lemma 2  — between indirect arrivals, all ADVERTs carry one phase;
+//   Lemma 3  — a direct sender phase implies the most recent transfer
+//              was direct;
+//   Lemma 4  — an ADVERT accepted while the sender is direct carries
+//              exactly the sender's phase;
+//   plus the monotonicity and sequence-continuity facts the proofs use.
+//
+// This is cheaper than it sounds and is exercised by randomized property
+// tests: a protocol change that falsifies a lemma fails those sweeps even
+// if no byte happens to be misdelivered in the sampled runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace exs {
+
+enum class TraceEventType : std::uint8_t {
+  // Sender-side (outgoing stream).
+  kAdvertReceived,
+  kAdvertAccepted,
+  kAdvertDiscarded,
+  kDirectPosted,
+  kIndirectPosted,
+  kSenderPhaseChanged,
+  kAckReceived,
+  // Receiver-side (incoming stream).
+  kAdvertSent,
+  kDirectArrived,
+  kIndirectArrived,
+  kCopyOut,
+  kAckSent,
+  kReceiverPhaseChanged,
+};
+
+const char* ToString(TraceEventType type);
+
+struct TraceEvent {
+  SimTime time = 0;
+  TraceEventType type = TraceEventType::kAdvertSent;
+  /// Local sequence number (S_s or S_r) when the event was recorded.
+  std::uint64_t seq = 0;
+  /// Local phase (P_s or P_r) when the event was recorded.
+  std::uint64_t phase = 0;
+  /// Event payload: transfer/copy length, or the ADVERT's length.
+  std::uint64_t len = 0;
+  /// ADVERT events: the sequence number carried in the message.
+  std::uint64_t msg_seq = 0;
+  /// ADVERT events: the phase carried in the message.
+  std::uint64_t msg_phase = 0;
+};
+
+class TraceLog {
+ public:
+  /// Tracing is off until enabled; recording to a disabled log is a no-op.
+  void Enable() { enabled_ = true; }
+  bool enabled() const { return enabled_; }
+
+  void Record(const TraceEvent& event) {
+    if (enabled_) events_.push_back(event);
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void Clear() { events_.clear(); }
+
+  /// Human-readable dump (debugging aid and example output).
+  std::string Format() const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+/// Result of checking one run's traces against the paper's statements.
+struct TraceCheckResult {
+  std::vector<std::string> violations;
+  bool ok() const { return violations.empty(); }
+  std::string Summary() const;
+};
+
+/// Validate a *sender-side* trace (the outgoing half of one socket).
+TraceCheckResult ValidateSenderTrace(const std::vector<TraceEvent>& events);
+
+/// Validate a *receiver-side* trace (the incoming half of one socket).
+TraceCheckResult ValidateReceiverTrace(const std::vector<TraceEvent>& events);
+
+/// Validate the pair: sender trace of one socket against the receiver
+/// trace of its peer (cross-checks byte totals and phase agreement).
+TraceCheckResult ValidateConnectionTraces(
+    const std::vector<TraceEvent>& sender_events,
+    const std::vector<TraceEvent>& receiver_events);
+
+}  // namespace exs

@@ -1,0 +1,146 @@
+// Public vocabulary of the EXS library: socket types, protocol modes,
+// per-request flags, completion events, and statistics.
+//
+// Naming follows the paper: a connection's outgoing byte stream has a
+// "sender" half (phase P_s, sequence S_s, remote-buffer view b_s, ADVERT
+// queue q_A) and its incoming stream a "receiver" half (phase P_r,
+// sequences S_r / S'_r, intermediate buffer b_r).  Both halves exist on
+// both sockets — connections are full duplex.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace exs {
+
+enum class SocketType {
+  kStream,     ///< SOCK_STREAM: byte-stream semantics (the paper's subject)
+  kSeqPacket,  ///< SOCK_SEQPACKET: message semantics (§II-C)
+};
+
+/// Transfer-selection policy.  The paper's evaluation compares the dynamic
+/// algorithm against two forced baselines (§IV-B).
+enum class ProtocolMode {
+  kDynamic,       ///< switch between direct and indirect per conditions
+  kDirectOnly,    ///< always wait for an ADVERT; never touch the buffer
+  kIndirectOnly,  ///< receiver sends no ADVERTs; everything is buffered
+  /// Receiver-driven alternative the paper chose *not* to use ("A similar
+  /// RDMA READ operation works in the opposite direction, but is not used
+  /// in our solution", §II-B): the sender exposes its source memory and
+  /// the receiver pulls with RDMA READ.  Zero-copy and never waits for
+  /// receive-side ADVERTs — but every transfer costs an extra wire
+  /// crossing, which is ruinous over distance.  Implemented as a
+  /// comparison engine (exs/rendezvous.hpp); the ext_rendezvous bench
+  /// quantifies the trade.
+  kReadRendezvous,
+};
+
+const char* ToString(ProtocolMode mode);
+
+struct StreamOptions {
+  ProtocolMode mode = ProtocolMode::kDynamic;
+
+  /// Capacity of the hidden circular receive buffer (per direction).
+  std::uint64_t intermediate_buffer_bytes = 8 * kMiB;
+
+  /// Send an ACK once this many bytes have been copied out of the buffer
+  /// since the last ACK.  0 means intermediate_buffer_bytes / 8.  The
+  /// buffer becoming empty always triggers an ACK.
+  std::uint64_t ack_threshold_bytes = 0;
+
+  /// Receive work requests pre-posted per side at connection setup — the
+  /// credit pool for SENDs and RDMA-WRITE-WITH-IMMs (§II-B).
+  std::uint32_t credits = 128;
+
+  /// Upper bound on a single WWI chunk; 0 means unbounded.  Useful in
+  /// tests to force sends to split.
+  std::uint64_t max_wwi_chunk = 0;
+
+  /// Register send/receive buffers on first use instead of requiring an
+  /// explicit RegisterMemory() call.
+  bool auto_register_memory = true;
+
+  std::uint64_t ResolvedAckThreshold() const {
+    return ack_threshold_bytes != 0 ? ack_threshold_bytes
+                                    : intermediate_buffer_bytes / 8;
+  }
+};
+
+struct SendFlags {};
+
+struct RecvFlags {
+  /// MSG_WAITALL: complete only once the buffer is completely full.
+  bool waitall = false;
+};
+
+enum class EventType : std::uint8_t {
+  kSendComplete,
+  kRecvComplete,
+  /// The peer closed its sending direction; all stream data has been
+  /// delivered.  Outstanding and future receives complete with whatever
+  /// bytes they already hold (possibly zero) — classic end-of-stream.
+  kPeerClosed,
+  kError,
+};
+
+/// Completion event delivered on a socket's event queue, the asynchronous
+/// half of the ES-API: requests return immediately and finish here.
+struct Event {
+  EventType type = EventType::kError;
+  std::uint64_t id = 0;      ///< request id returned by Send()/Recv()
+  std::uint64_t bytes = 0;   ///< bytes transferred
+  bool truncated = false;    ///< SEQPACKET only: message exceeded the buffer
+};
+
+/// Counters the paper reports (Table III and the transfer-ratio figures)
+/// plus supporting protocol detail.  Direction-specific: a socket has one
+/// set for its outgoing stream ("tx") and the peer socket observes the
+/// matching receiver-side counts for its incoming stream ("rx").
+struct StreamStats {
+  // Sender half (this socket's outgoing stream).
+  std::uint64_t direct_transfers = 0;
+  std::uint64_t indirect_transfers = 0;
+  std::uint64_t direct_bytes = 0;
+  std::uint64_t indirect_bytes = 0;
+  /// Transitions between consecutive transfers of different kinds; starting
+  /// with an indirect transfer counts as one switch (the connection begins
+  /// in a direct phase).
+  std::uint64_t mode_switches = 0;
+  std::uint64_t adverts_received = 0;
+  std::uint64_t adverts_discarded = 0;
+  std::uint64_t sender_phase = 0;
+
+  // Receiver half (this socket's incoming stream).
+  std::uint64_t adverts_sent = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t credit_messages_sent = 0;
+  std::uint64_t bytes_copied_out = 0;  ///< drained from intermediate buffer
+  std::uint64_t direct_bytes_received = 0;
+  std::uint64_t indirect_bytes_received = 0;
+  std::uint64_t receiver_phase = 0;
+
+  // Application-visible totals.
+  std::uint64_t sends_completed = 0;
+  std::uint64_t recvs_completed = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+
+  std::uint64_t TotalTransfers() const {
+    return direct_transfers + indirect_transfers;
+  }
+  double DirectTransferRatio() const {
+    std::uint64_t total = TotalTransfers();
+    return total == 0 ? 0.0
+                      : static_cast<double>(direct_transfers) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Phase parity per the paper: even phases are direct, odd are indirect.
+constexpr bool PhaseIsDirect(std::uint64_t phase) { return (phase & 1) == 0; }
+constexpr bool PhaseIsIndirect(std::uint64_t phase) { return (phase & 1) == 1; }
+constexpr std::uint64_t NextPhase(std::uint64_t phase) { return phase + 1; }
+
+}  // namespace exs

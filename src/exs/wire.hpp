@@ -1,0 +1,98 @@
+// Wire formats of the EXS stream protocol.
+//
+// Control traffic (ADVERT, ACK, CREDIT) travels as small inline SENDs;
+// data travels as RDMA WRITE WITH IMM ("WWI") either into advertised user
+// memory (direct) or into the peer's intermediate circular buffer
+// (indirect).  The 32-bit immediate carries the transfer kind and chunk
+// length, which is all the receiver needs: by the paper's safety theorem a
+// direct transfer always belongs to the receive at the head of the queue,
+// and an indirect transfer always lands at the receiver's fill cursor.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace exs::wire {
+
+enum class ControlType : std::uint8_t {
+  kAdvert = 1,
+  kAck = 2,
+  kCredit = 3,
+  kShutdown = 4,   ///< orderly end-of-stream for the sending direction
+  kSrcAdvert = 5,  ///< rendezvous: sender exposes source memory for READ
+  kReadDone = 6,   ///< rendezvous: oldest source fully consumed (freed=bytes)
+};
+
+/// One POD covers all control messages; unused fields are zero.  Every
+/// control message piggybacks `credit_return`: the number of receive work
+/// requests this side has reposted since it last told the peer (§II-B's
+/// periodic credit return).
+struct ControlMessage {
+  std::uint8_t type = 0;
+  std::uint8_t waitall = 0;       // ADVERT: MSG_WAITALL was set
+  std::uint16_t reserved = 0;
+  std::uint32_t credit_return = 0;
+
+  // ADVERT fields (Fig. 3): where to write, how much fits, and the
+  // receiver's expected sequence number and phase.
+  std::uint64_t addr = 0;
+  std::uint32_t rkey = 0;
+  std::uint32_t phase_lo = 0;     // low half of the 64-bit phase
+  std::uint64_t phase_hi = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t len = 0;
+
+  // ACK field (Fig. 5): bytes drained from the intermediate buffer since
+  // the previous ACK.
+  std::uint64_t freed = 0;
+
+  std::uint64_t phase() const {
+    return (phase_hi << 32) | phase_lo;
+  }
+  void set_phase(std::uint64_t p) {
+    phase_lo = static_cast<std::uint32_t>(p & 0xffffffffULL);
+    phase_hi = p >> 32;
+  }
+};
+/// Receive-slot size; control messages must fit.
+inline constexpr std::uint32_t kControlSlotBytes = 64;
+static_assert(sizeof(ControlMessage) <= kControlSlotBytes,
+              "control message fits one slot");
+
+inline void Serialize(const ControlMessage& msg, void* out) {
+  std::memcpy(out, &msg, sizeof(msg));
+}
+
+inline ControlMessage Parse(const void* in, std::size_t len) {
+  EXS_CHECK_MSG(len >= sizeof(ControlMessage), "short control message");
+  ControlMessage msg;
+  std::memcpy(&msg, in, sizeof(msg));
+  return msg;
+}
+
+// ---- Immediate-data encoding for data WWIs --------------------------------
+
+inline constexpr std::uint32_t kImmIndirectBit = 0x80000000u;
+inline constexpr std::uint32_t kImmLengthMask = 0x7fffffffu;
+
+/// Largest chunk a single WWI may carry under this encoding (2 GiB - 1).
+inline constexpr std::uint64_t kMaxWwiChunk = kImmLengthMask;
+
+inline std::uint32_t EncodeDataImm(bool indirect, std::uint64_t length) {
+  EXS_CHECK_MSG(length > 0 && length <= kMaxWwiChunk,
+                "WWI chunk length out of range");
+  return (indirect ? kImmIndirectBit : 0u) |
+         static_cast<std::uint32_t>(length);
+}
+
+inline bool ImmIsIndirect(std::uint32_t imm) {
+  return (imm & kImmIndirectBit) != 0;
+}
+
+inline std::uint64_t ImmLength(std::uint32_t imm) {
+  return imm & kImmLengthMask;
+}
+
+}  // namespace exs::wire

@@ -1,0 +1,98 @@
+// A node's CPU as a serially-shared resource.
+//
+// Everything a host does in software — processing a completion, running the
+// EXS library's matching logic, and above all copying bytes out of the
+// intermediate receive buffer — occupies the CPU for a modelled duration.
+// Tasks queue FIFO, so a long memcpy delays subsequent completions and ACKs
+// exactly the way it does on real hardware.  Cumulative busy time divided by
+// elapsed time reproduces the paper's receiver CPU-usage measurements
+// (Fig. 10).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "simnet/event_scheduler.hpp"
+
+namespace exs::simnet {
+
+class Cpu {
+ public:
+  explicit Cpu(EventScheduler& scheduler) : scheduler_(&scheduler) {}
+
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+
+  /// Model OS scheduling noise: each task's cost is scaled by a uniform
+  /// factor in [1-fraction, 1+fraction].  Deterministic for a seed.  Real
+  /// hosts always have this jitter, and it matters for the protocol: brief
+  /// stalls open the drain windows in which the receiver resynchronises.
+  void SetJitter(double fraction, std::uint64_t seed) {
+    EXS_CHECK(fraction >= 0.0 && fraction < 1.0);
+    jitter_ = fraction;
+    rng_.Seed(seed);
+  }
+
+  /// Enqueue `work` to run after the CPU has been busy for `cost`.  The
+  /// callback executes at the task's completion instant.
+  void Submit(SimDuration cost, std::function<void()> work) {
+    EXS_CHECK(cost >= 0);
+    if (jitter_ > 0.0 && cost > 0) {
+      double factor = 1.0 + jitter_ * (2.0 * rng_.NextDouble() - 1.0);
+      cost = static_cast<SimDuration>(static_cast<double>(cost) * factor);
+    }
+    tasks_.push_back(Task{cost, std::move(work)});
+    if (!running_) StartNext();
+  }
+
+  /// Total time this CPU has spent executing tasks.
+  SimDuration BusyTime() const { return busy_; }
+
+  /// Number of tasks executed to completion.
+  std::uint64_t CompletedTasks() const { return completed_; }
+
+  /// Tasks waiting or executing.
+  std::size_t QueueDepth() const {
+    return tasks_.size() + (running_ ? 1 : 0);
+  }
+
+  bool Idle() const { return !running_ && tasks_.empty(); }
+
+ private:
+  struct Task {
+    SimDuration cost;
+    std::function<void()> work;
+  };
+
+  void StartNext() {
+    if (tasks_.empty()) {
+      running_ = false;
+      return;
+    }
+    running_ = true;
+    Task task = std::move(tasks_.front());
+    tasks_.pop_front();
+    scheduler_->ScheduleAfter(task.cost, [this, task = std::move(task)]() {
+      busy_ += task.cost;
+      ++completed_;
+      // Run the work before starting the next task so that work submitted
+      // from inside a callback lands behind already-queued tasks.
+      if (task.work) task.work();
+      StartNext();
+    });
+  }
+
+  EventScheduler* scheduler_;
+  std::deque<Task> tasks_;
+  double jitter_ = 0.0;
+  Rng rng_;
+  bool running_ = false;
+  SimDuration busy_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace exs::simnet

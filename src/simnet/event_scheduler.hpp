@@ -1,0 +1,154 @@
+// Discrete-event scheduler: the simulated clock and event queue that every
+// other component (links, NICs, CPUs, protocol timers) runs on.
+//
+// Events scheduled for the same instant execute in scheduling order (a
+// monotone sequence number breaks ties), which makes runs bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace exs::simnet {
+
+class EventScheduler;
+
+/// Cancellation handle for a scheduled event.  Default-constructed handles
+/// are inert; cancelling an already-run or already-cancelled event is a
+/// no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  void Cancel() {
+    if (auto rec = record_.lock()) rec->cancelled = true;
+    record_.reset();
+  }
+
+  /// True while the event is still scheduled to run.
+  bool Pending() const {
+    auto rec = record_.lock();
+    return rec && !rec->cancelled && !rec->executed;
+  }
+
+ private:
+  friend class EventScheduler;
+  struct Record {
+    SimTime when = 0;
+    std::uint64_t seq = 0;
+    std::function<void()> fn;
+    bool cancelled = false;
+    bool executed = false;
+  };
+  explicit EventHandle(std::weak_ptr<Record> record)
+      : record_(std::move(record)) {}
+  std::weak_ptr<Record> record_;
+};
+
+class EventScheduler {
+ public:
+  SimTime Now() const { return now_; }
+
+  EventHandle ScheduleAt(SimTime when, std::function<void()> fn) {
+    EXS_CHECK_MSG(when >= now_, "cannot schedule into the past");
+    auto rec = std::make_shared<EventHandle::Record>();
+    rec->when = when;
+    rec->seq = next_seq_++;
+    rec->fn = std::move(fn);
+    queue_.push(rec);
+    return EventHandle(rec);
+  }
+
+  EventHandle ScheduleAfter(SimDuration delay, std::function<void()> fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  /// Run the next pending event.  Returns false when the queue is empty.
+  bool Step() {
+    while (!queue_.empty()) {
+      auto rec = queue_.top();
+      queue_.pop();
+      if (rec->cancelled) continue;
+      now_ = rec->when;
+      rec->executed = true;
+      ++executed_;
+      // Move the callback out so the record does not pin captured state.
+      auto fn = std::move(rec->fn);
+      fn();
+      return true;
+    }
+    return false;
+  }
+
+  /// Run until the event queue drains.
+  void Run() {
+    while (Step()) {
+    }
+  }
+
+  /// Run events with time <= deadline; afterwards Now() == deadline unless
+  /// the queue drained earlier.
+  void RunUntil(SimTime deadline) {
+    while (!queue_.empty()) {
+      if (NextEventTime() > deadline) break;
+      Step();
+    }
+    if (now_ < deadline) now_ = deadline;
+  }
+
+  void RunFor(SimDuration duration) { RunUntil(now_ + duration); }
+
+  /// Run until `done()` returns true or the queue drains.  Returns whether
+  /// the predicate was satisfied.
+  bool RunUntilPredicate(const std::function<bool()>& done) {
+    while (!done()) {
+      if (!Step()) return done();
+    }
+    return true;
+  }
+
+  bool Empty() const { return PendingCount() == 0; }
+
+  std::size_t PendingCount() const {
+    // Cancelled events linger in the queue until popped; count live ones.
+    // O(n), intended for tests and idle checks, not hot paths.
+    std::size_t n = 0;
+    auto copy = queue_;
+    while (!copy.empty()) {
+      if (!copy.top()->cancelled) ++n;
+      copy.pop();
+    }
+    return n;
+  }
+
+  std::uint64_t ExecutedCount() const { return executed_; }
+
+ private:
+  SimTime NextEventTime() {
+    while (!queue_.empty() && queue_.top()->cancelled) queue_.pop();
+    EXS_CHECK(!queue_.empty());
+    return queue_.top()->when;
+  }
+
+  struct Later {
+    bool operator()(const std::shared_ptr<EventHandle::Record>& a,
+                    const std::shared_ptr<EventHandle::Record>& b) const {
+      if (a->when != b->when) return a->when > b->when;
+      return a->seq > b->seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<std::shared_ptr<EventHandle::Record>,
+                      std::vector<std::shared_ptr<EventHandle::Record>>, Later>
+      queue_;
+};
+
+}  // namespace exs::simnet

@@ -1,0 +1,86 @@
+// A two-node point-to-point testbed: the simulated equivalent of the
+// paper's "two identical nodes connected through a switch".
+//
+// The Fabric owns the clock (EventScheduler), both hosts (each with a CPU
+// resource) and the duplex link between them.  Higher layers — the verbs
+// devices and the EXS sockets — borrow references from here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.hpp"
+#include "simnet/cpu.hpp"
+#include "simnet/event_scheduler.hpp"
+#include "simnet/link.hpp"
+#include "simnet/profile.hpp"
+
+namespace exs::simnet {
+
+class Node {
+ public:
+  Node(EventScheduler& scheduler, std::string name)
+      : name_(std::move(name)), cpu_(scheduler) {}
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  const std::string& name() const { return name_; }
+  Cpu& cpu() { return cpu_; }
+  const Cpu& cpu() const { return cpu_; }
+
+ private:
+  std::string name_;
+  Cpu cpu_;
+};
+
+class Fabric {
+ public:
+  explicit Fabric(HardwareProfile profile, std::uint64_t seed = 1)
+      : seed_(seed),
+        profile_(std::move(profile)),
+        node0_(scheduler_, "node0"),
+        node1_(scheduler_, "node1"),
+        channel0_(scheduler_, MakeChannelConfig(profile_), seed * 2 + 1),
+        channel1_(scheduler_, MakeChannelConfig(profile_), seed * 2 + 2) {
+    node0_.cpu().SetJitter(profile_.cpu_jitter, seed * 4 + 3);
+    node1_.cpu().SetJitter(profile_.cpu_jitter, seed * 4 + 4);
+  }
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  EventScheduler& scheduler() { return scheduler_; }
+  const HardwareProfile& profile() const { return profile_; }
+  std::uint64_t seed() const { return seed_; }
+
+  Node& node(std::size_t i) {
+    EXS_CHECK(i < 2);
+    return i == 0 ? node0_ : node1_;
+  }
+
+  /// Channel carrying traffic transmitted by node `from`.
+  SimplexChannel& channel_from(std::size_t from) {
+    EXS_CHECK(from < 2);
+    return from == 0 ? channel0_ : channel1_;
+  }
+
+ private:
+  static ChannelConfig MakeChannelConfig(const HardwareProfile& p) {
+    ChannelConfig c;
+    c.bandwidth = p.link_bandwidth;
+    c.propagation = p.propagation;
+    c.netem = p.netem;
+    return c;
+  }
+
+  std::uint64_t seed_;
+  HardwareProfile profile_;
+  EventScheduler scheduler_;
+  Node node0_;
+  Node node1_;
+  SimplexChannel channel0_;
+  SimplexChannel channel1_;
+};
+
+}  // namespace exs::simnet

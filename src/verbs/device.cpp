@@ -1,0 +1,57 @@
+#include "verbs/device.hpp"
+
+#include "common/check.hpp"
+
+namespace exs::verbs {
+
+Device::Device(simnet::Fabric& fabric, std::size_t node_index,
+               bool carry_payload)
+    : fabric_(&fabric), node_index_(node_index),
+      carry_payload_(carry_payload) {
+  EXS_CHECK(node_index < 2);
+}
+
+MemoryRegionPtr Device::RegisterMemory(void* addr, std::size_t length) {
+  EXS_CHECK_MSG(addr != nullptr && length > 0,
+                "memory registration needs a real region");
+  // Distinct lkey/rkey, as on real hardware.
+  std::uint32_t lkey = next_key_++;
+  std::uint32_t rkey = next_key_++;
+  auto mr = std::make_shared<MemoryRegion>(addr, length, lkey, rkey);
+  by_lkey_.emplace(lkey, mr);
+  by_rkey_.emplace(rkey, mr);
+  return mr;
+}
+
+void Device::DeregisterMemory(const MemoryRegionPtr& mr) {
+  EXS_CHECK(mr != nullptr);
+  mr->invalidated_ = true;
+  by_lkey_.erase(mr->lkey());
+  by_rkey_.erase(mr->rkey());
+}
+
+const MemoryRegion* Device::FindByLkey(std::uint32_t lkey) const {
+  auto it = by_lkey_.find(lkey);
+  return it == by_lkey_.end() ? nullptr : it->second.get();
+}
+
+const MemoryRegion* Device::FindByRkey(std::uint32_t rkey) const {
+  auto it = by_rkey_.find(rkey);
+  return it == by_rkey_.end() ? nullptr : it->second.get();
+}
+
+std::unique_ptr<CompletionQueue> Device::CreateCompletionQueue() {
+  const auto& p = profile();
+  SimDuration notify = p.busy_polling ? p.busy_poll_check
+                                      : p.completion_notify_delay;
+  auto cq = std::make_unique<CompletionQueue>(scheduler(), node().cpu(),
+                                              notify, p.per_event_cpu);
+  // A spinning poller has no wake-up variance.
+  cq->SetNotifyJitter(p.busy_polling ? 0.0 : p.notify_jitter,
+                      fabric_->seed() * 0x9d2c5680ULL +
+                          (node_index_ + 1) * 6364136223846793005ULL +
+                          ++cq_seed_);
+  return cq;
+}
+
+}  // namespace exs::verbs

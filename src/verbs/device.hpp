@@ -1,0 +1,57 @@
+// A node's RDMA device: owns memory registrations and manufactures
+// completion queues bound to the node's CPU.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "simnet/fabric.hpp"
+#include "verbs/completion.hpp"
+#include "verbs/memory.hpp"
+
+namespace exs::verbs {
+
+class Device {
+ public:
+  /// `carry_payload` controls whether transfers move real bytes between
+  /// buffers.  Tests and examples keep it on (data-integrity checks);
+  /// large benchmark sweeps turn it off — the timing model is unaffected.
+  Device(simnet::Fabric& fabric, std::size_t node_index,
+         bool carry_payload = true);
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  MemoryRegionPtr RegisterMemory(void* addr, std::size_t length);
+  void DeregisterMemory(const MemoryRegionPtr& mr);
+
+  /// Key lookups used by the data path; null when unknown or invalidated.
+  const MemoryRegion* FindByLkey(std::uint32_t lkey) const;
+  const MemoryRegion* FindByRkey(std::uint32_t rkey) const;
+
+  /// A completion queue whose notification path runs on this node's CPU
+  /// with the profile's event-notification costs.
+  std::unique_ptr<CompletionQueue> CreateCompletionQueue();
+
+  simnet::Fabric& fabric() { return *fabric_; }
+  simnet::EventScheduler& scheduler() { return fabric_->scheduler(); }
+  simnet::Node& node() { return fabric_->node(node_index_); }
+  std::size_t node_index() const { return node_index_; }
+  const simnet::HardwareProfile& profile() const { return fabric_->profile(); }
+  bool carry_payload() const { return carry_payload_; }
+  std::uint32_t max_inline() const { return profile().max_inline; }
+
+  std::size_t RegisteredRegionCount() const { return by_lkey_.size(); }
+
+ private:
+  simnet::Fabric* fabric_;
+  std::size_t node_index_;
+  bool carry_payload_;
+  std::uint32_t next_key_ = 1;
+  std::uint64_t cq_seed_ = 0;
+  std::unordered_map<std::uint32_t, MemoryRegionPtr> by_lkey_;
+  std::unordered_map<std::uint32_t, MemoryRegionPtr> by_rkey_;
+};
+
+}  // namespace exs::verbs

@@ -1,0 +1,49 @@
+// Memory registration.
+//
+// RDMA transfers may only touch registered memory; a region is addressed
+// locally by its lkey and remotely by its rkey.  The paper's library (and
+// the ES-API it implements) exposes registration to the user precisely so
+// that transfers can be zero-copy, so we model registration and key checks
+// faithfully: RDMA operations against an address range not covered by a
+// valid key fail with a remote-access error completion.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace exs::verbs {
+
+class Device;
+
+class MemoryRegion {
+ public:
+  MemoryRegion(void* addr, std::size_t length, std::uint32_t lkey,
+               std::uint32_t rkey)
+      : addr_(addr), length_(length), lkey_(lkey), rkey_(rkey) {}
+
+  void* addr() const { return addr_; }
+  std::size_t length() const { return length_; }
+  std::uint32_t lkey() const { return lkey_; }
+  std::uint32_t rkey() const { return rkey_; }
+
+  /// Does [start, start+len) fall entirely inside this region?
+  bool Covers(std::uint64_t start, std::uint64_t len) const {
+    auto base = reinterpret_cast<std::uint64_t>(addr_);
+    return start >= base && len <= length_ &&
+           start - base <= length_ - len;
+  }
+
+  bool invalidated() const { return invalidated_; }
+
+ private:
+  friend class Device;
+  void* addr_;
+  std::size_t length_;
+  std::uint32_t lkey_;
+  std::uint32_t rkey_;
+  bool invalidated_ = false;
+};
+
+using MemoryRegionPtr = std::shared_ptr<MemoryRegion>;
+
+}  // namespace exs::verbs

@@ -1,0 +1,290 @@
+#include "verbs/queue_pair.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/logging.hpp"
+
+namespace exs::verbs {
+
+const char* ToString(WcStatus status) {
+  switch (status) {
+    case WcStatus::kSuccess: return "success";
+    case WcStatus::kRnrError: return "receiver-not-ready";
+    case WcStatus::kLocalLengthError: return "local-length-error";
+    case WcStatus::kRemoteAccessError: return "remote-access-error";
+  }
+  return "?";
+}
+
+const char* ToString(WcOpcode opcode) {
+  switch (opcode) {
+    case WcOpcode::kSend: return "send";
+    case WcOpcode::kRdmaWrite: return "rdma-write";
+    case WcOpcode::kRdmaWriteWithImm: return "rdma-write-imm";
+    case WcOpcode::kRdmaRead: return "rdma-read";
+    case WcOpcode::kRecv: return "recv";
+    case WcOpcode::kRecvRdmaWithImm: return "recv-rdma-imm";
+  }
+  return "?";
+}
+
+QueuePair::QueuePair(Device& device, CompletionQueue& send_cq,
+                     CompletionQueue& recv_cq)
+    : device_(&device), send_cq_(&send_cq), recv_cq_(&recv_cq) {}
+
+void QueuePair::ConnectPair(QueuePair& a, QueuePair& b) {
+  EXS_CHECK_MSG(!a.connected() && !b.connected(),
+                "queue pair already connected");
+  EXS_CHECK_MSG(&a.device_->fabric() == &b.device_->fabric(),
+                "queue pairs must share a fabric");
+  EXS_CHECK_MSG(a.device_->node_index() != b.device_->node_index(),
+                "RC connection needs two distinct nodes");
+  a.peer_ = &b;
+  b.peer_ = &a;
+  a.tx_channel_ = &a.device_->fabric().channel_from(a.device_->node_index());
+  b.tx_channel_ = &b.device_->fabric().channel_from(b.device_->node_index());
+}
+
+WcOpcode QueuePair::SendWcOpcode(Opcode op) {
+  switch (op) {
+    case Opcode::kSend: return WcOpcode::kSend;
+    case Opcode::kRdmaWrite: return WcOpcode::kRdmaWrite;
+    case Opcode::kRdmaWriteWithImm: return WcOpcode::kRdmaWriteWithImm;
+    case Opcode::kRdmaRead: return WcOpcode::kRdmaRead;
+  }
+  return WcOpcode::kSend;
+}
+
+SimDuration QueuePair::AckReturnDelay() const {
+  // Transport acknowledgments ride the reverse direction without queueing
+  // behind data (they coalesce into headers on real hardware), so they see
+  // only the propagation path, including any emulator-added delay.
+  const auto& cfg = tx_channel_->config();
+  return cfg.propagation + cfg.netem.extra_delay;
+}
+
+void QueuePair::PostSend(const SendWorkRequest& wr) {
+  EXS_CHECK_MSG(connected(), "PostSend on unconnected queue pair");
+
+  auto pkt = std::make_shared<Packet>();
+  pkt->wr = wr;
+  pkt->payload_len = wr.sge.length;
+
+  if (wr.opcode == Opcode::kRdmaRead) {
+    // The SGE names *local* memory the response lands in.
+    const MemoryRegion* mr = device_->FindByLkey(wr.sge.lkey);
+    EXS_CHECK_MSG(mr != nullptr && mr->Covers(wr.sge.addr, wr.sge.length),
+                  "RDMA READ response buffer not registered");
+  } else if (wr.inline_data) {
+    EXS_CHECK_MSG(wr.sge.length <= device_->max_inline(),
+                  "inline payload exceeds max_inline");
+    // Inline payloads are always carried: the upper layer's control
+    // messages must survive even when bulk payload carrying is disabled.
+    if (wr.sge.length > 0) {
+      pkt->payload.resize(wr.sge.length);
+      std::memcpy(pkt->payload.data(),
+                  reinterpret_cast<const void*>(wr.sge.addr), wr.sge.length);
+    }
+  } else if (wr.sge.length > 0) {
+    const MemoryRegion* mr = device_->FindByLkey(wr.sge.lkey);
+    EXS_CHECK_MSG(mr != nullptr && mr->Covers(wr.sge.addr, wr.sge.length),
+                  "send payload not covered by registered memory (lkey)");
+    if (device_->carry_payload()) {
+      pkt->payload.resize(wr.sge.length);
+      std::memcpy(pkt->payload.data(),
+                  reinterpret_cast<const void*>(wr.sge.addr), wr.sge.length);
+    }
+  }
+
+  ++stats_.sends_posted;
+  stats_.payload_bytes_sent += pkt->payload_len;
+
+  if (wr.opcode == Opcode::kRdmaWriteWithImm &&
+      device_->profile().emulate_wwi_with_send) {
+    // Legacy iWARP has no WRITE WITH IMM: ship the data as a plain RDMA
+    // WRITE and the notification as a trailing zero-payload SEND (§II-B).
+    // The pair costs two work requests and two wire messages.
+    pkt->wr.opcode = Opcode::kRdmaWrite;
+    pkt->wr.has_imm = false;
+    pkt->suppress_success_completion = true;
+    ScheduleTransmit(pkt);
+
+    auto notify = std::make_shared<Packet>();
+    notify->wr = wr;  // keeps the WWI opcode, imm and wr_id
+    notify->wr.sge = Sge{};
+    notify->payload_len = 0;
+    notify->wwi_notify = true;
+    notify->notify_len = wr.sge.length;
+    ++stats_.sends_posted;
+    ScheduleTransmit(notify);
+    return;
+  }
+
+  ScheduleTransmit(pkt);
+}
+
+void QueuePair::ScheduleTransmit(const PacketPtr& pkt) {
+  // The HCA works through posted WRs FIFO, spending the per-WR overhead on
+  // each before handing it to the link.
+  SimTime now = device_->scheduler().Now();
+  SimTime ready = (now > hca_busy_until_ ? now : hca_busy_until_) +
+                  device_->profile().send_wr_overhead;
+  hca_busy_until_ = ready;
+  device_->scheduler().ScheduleAt(ready, [this, pkt] { Transmit(pkt); });
+}
+
+void QueuePair::Transmit(const PacketPtr& pkt) {
+  std::uint64_t wire_bytes =
+      pkt->payload_len + kWireHeaderBytes + (pkt->wr.has_imm ? 4 : 0);
+  stats_.wire_bytes_sent += wire_bytes;
+  QueuePair* peer = peer_;
+  tx_channel_->Transmit(wire_bytes, [this, peer, pkt] {
+    WcStatus status = peer->Deliver(pkt, *this);
+    if (pkt->wr.opcode != Opcode::kRdmaRead) {
+      CompleteSend(pkt, status, AckReturnDelay());
+    }
+    // READ completions are raised by DeliverRead when the response lands.
+  });
+}
+
+void QueuePair::CompleteSend(const PacketPtr& pkt, WcStatus status,
+                             SimDuration extra_delay) {
+  if (pkt->suppress_success_completion && status == WcStatus::kSuccess) {
+    return;  // data half of an emulated WWI; the notification reports
+  }
+  device_->scheduler().ScheduleAfter(extra_delay, [this, pkt, status] {
+    WorkCompletion wc;
+    wc.wr_id = pkt->wr.wr_id;
+    wc.opcode = SendWcOpcode(pkt->wr.opcode);
+    wc.status = status;
+    wc.byte_len = static_cast<std::uint32_t>(pkt->payload_len);
+    wc.qp = this;
+    send_cq_->Push(wc);
+  });
+}
+
+WcStatus QueuePair::Deliver(const PacketPtr& pkt, QueuePair& sender) {
+  ++stats_.messages_delivered;
+  const SendWorkRequest& wr = pkt->wr;
+
+  if (pkt->wwi_notify) {
+    // Trailing notification of an emulated WWI: the data already landed
+    // via the preceding RDMA WRITE (in-order delivery guarantees it).
+    if (recv_queue_.empty()) {
+      ++stats_.rnr_errors;
+      return WcStatus::kRnrError;
+    }
+    RecvWorkRequest recv = recv_queue_.front();
+    recv_queue_.pop_front();
+    WorkCompletion wc;
+    wc.wr_id = recv.wr_id;
+    wc.qp = this;
+    wc.opcode = WcOpcode::kRecvRdmaWithImm;
+    wc.status = WcStatus::kSuccess;
+    wc.has_imm = wr.has_imm;
+    wc.imm = wr.imm;
+    wc.byte_len = static_cast<std::uint32_t>(pkt->notify_len);
+    PushRecvCompletionLater(wc);
+    return WcStatus::kSuccess;
+  }
+
+  // RDMA opcodes touch our memory through the advertised rkey.
+  if (wr.opcode == Opcode::kRdmaWrite ||
+      wr.opcode == Opcode::kRdmaWriteWithImm ||
+      wr.opcode == Opcode::kRdmaRead) {
+    const MemoryRegion* mr = device_->FindByRkey(wr.rkey);
+    if (mr == nullptr || !mr->Covers(wr.remote_addr, pkt->payload_len)) {
+      ++stats_.remote_access_errors;
+      EXS_WARN("RDMA " << static_cast<int>(wr.opcode)
+                       << " remote access check failed (rkey=" << wr.rkey
+                       << " addr=" << wr.remote_addr
+                       << " len=" << pkt->payload_len << ")");
+      return WcStatus::kRemoteAccessError;
+    }
+    if (wr.opcode == Opcode::kRdmaRead) return DeliverRead(pkt, sender);
+    if (device_->carry_payload() && pkt->payload_len > 0) {
+      std::memcpy(reinterpret_cast<void*>(wr.remote_addr),
+                  pkt->payload.data(), pkt->payload_len);
+    }
+    if (wr.opcode == Opcode::kRdmaWrite) return WcStatus::kSuccess;
+    // WWI falls through to consume a receive and notify.
+  }
+
+  if (recv_queue_.empty()) {
+    ++stats_.rnr_errors;
+    EXS_WARN("message arrived with no posted receive (RNR)");
+    return WcStatus::kRnrError;
+  }
+  RecvWorkRequest recv = recv_queue_.front();
+  recv_queue_.pop_front();
+
+  WorkCompletion wc;
+  wc.wr_id = recv.wr_id;
+  wc.qp = this;
+  wc.has_imm = wr.has_imm;
+  wc.imm = wr.imm;
+  wc.byte_len = static_cast<std::uint32_t>(pkt->payload_len);
+
+  if (wr.opcode == Opcode::kSend) {
+    wc.opcode = WcOpcode::kRecv;
+    if (pkt->payload_len > recv.sge.length) {
+      ++stats_.length_errors;
+      wc.status = WcStatus::kLocalLengthError;
+      wc.byte_len = 0;
+      PushRecvCompletionLater(wc);
+      return WcStatus::kLocalLengthError;
+    }
+    if (!pkt->payload.empty()) {
+      std::memcpy(reinterpret_cast<void*>(recv.sge.addr), pkt->payload.data(),
+                  pkt->payload_len);
+    }
+  } else {
+    wc.opcode = WcOpcode::kRecvRdmaWithImm;  // data already placed above
+  }
+  wc.status = WcStatus::kSuccess;
+  PushRecvCompletionLater(wc);
+  return WcStatus::kSuccess;
+}
+
+WcStatus QueuePair::DeliverRead(const PacketPtr& pkt, QueuePair& sender) {
+  // Build the response: bytes read from our memory travel back over our
+  // transmit channel and complete the requester's READ when they arrive.
+  auto response = std::make_shared<Packet>(*pkt);
+  if (device_->carry_payload() && pkt->payload_len > 0) {
+    response->payload.resize(pkt->payload_len);
+    std::memcpy(response->payload.data(),
+                reinterpret_cast<const void*>(pkt->wr.remote_addr),
+                pkt->payload_len);
+  }
+  std::uint64_t wire_bytes = pkt->payload_len + kWireHeaderBytes;
+  stats_.wire_bytes_sent += wire_bytes;
+  QueuePair* requester = &sender;
+  tx_channel_->Transmit(wire_bytes, [requester, response] {
+    if (requester->device_->carry_payload() && response->payload_len > 0) {
+      std::memcpy(reinterpret_cast<void*>(response->wr.sge.addr),
+                  response->payload.data(), response->payload_len);
+    }
+    requester->CompleteSend(response, WcStatus::kSuccess, 0);
+  });
+  return WcStatus::kSuccess;
+}
+
+void QueuePair::PushRecvCompletionLater(const WorkCompletion& wc) {
+  device_->scheduler().ScheduleAfter(
+      device_->profile().recv_delivery_overhead,
+      [this, wc] { recv_cq_->Push(wc); });
+}
+
+void QueuePair::PostRecv(const RecvWorkRequest& wr) {
+  EXS_CHECK_MSG(connected(), "PostRecv on unconnected queue pair");
+  if (wr.sge.length > 0) {
+    const MemoryRegion* mr = device_->FindByLkey(wr.sge.lkey);
+    EXS_CHECK_MSG(mr != nullptr && mr->Covers(wr.sge.addr, wr.sge.length),
+                  "receive buffer not covered by registered memory (lkey)");
+  }
+  ++stats_.recvs_posted;
+  recv_queue_.push_back(wr);
+}
+
+}  // namespace exs::verbs

@@ -1,0 +1,101 @@
+// Reliable-connected queue pair.
+//
+// Models the RC transport the paper uses: posted send work requests are
+// processed FIFO by the sender HCA (per-WR overhead, then serialisation on
+// the link), delivered in order, and completed back to the sender once the
+// transport-level acknowledgment returns.  SEND and RDMA WRITE WITH IMM
+// consume one posted receive at the destination — arriving with none posted
+// is the receiver-not-ready condition, surfaced as an error completion
+// (the upper layer's credit scheme must prevent it, and tests check that it
+// does).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/units.hpp"
+#include "verbs/device.hpp"
+#include "verbs/types.hpp"
+
+namespace exs::verbs {
+
+struct QueuePairStats {
+  std::uint64_t sends_posted = 0;
+  std::uint64_t recvs_posted = 0;
+  std::uint64_t payload_bytes_sent = 0;
+  std::uint64_t wire_bytes_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t rnr_errors = 0;
+  std::uint64_t remote_access_errors = 0;
+  std::uint64_t length_errors = 0;
+};
+
+class QueuePair {
+ public:
+  QueuePair(Device& device, CompletionQueue& send_cq,
+            CompletionQueue& recv_cq);
+
+  QueuePair(const QueuePair&) = delete;
+  QueuePair& operator=(const QueuePair&) = delete;
+
+  /// Bind two queue pairs on opposite nodes into an RC connection.
+  static void ConnectPair(QueuePair& a, QueuePair& b);
+
+  bool connected() const { return peer_ != nullptr; }
+
+  /// Post a send-queue work request (SEND / RDMA WRITE / WWI / READ).
+  /// Local misuse (unregistered memory, oversize inline, not connected)
+  /// throws InvariantViolation; remote failures arrive as error
+  /// completions.
+  void PostSend(const SendWorkRequest& wr);
+
+  /// Post a receive buffer.  Zero-length receives are permitted (they can
+  /// still be consumed by WWI notifications).
+  void PostRecv(const RecvWorkRequest& wr);
+
+  std::size_t PostedRecvCount() const { return recv_queue_.size(); }
+  Device& device() { return *device_; }
+  const QueuePairStats& stats() const { return stats_; }
+
+ private:
+  struct Packet {
+    SendWorkRequest wr;
+    std::uint64_t payload_len = 0;
+    std::vector<std::uint8_t> payload;  // snapshot when carrying bytes
+    /// WWI emulation on legacy iWARP (§II-B): the data half is a plain
+    /// RDMA WRITE whose success completion is suppressed; the trailing
+    /// notification SEND consumes the receive and reports the original
+    /// WWI length through `notify_len`.
+    bool wwi_notify = false;
+    bool suppress_success_completion = false;
+    std::uint64_t notify_len = 0;
+  };
+  using PacketPtr = std::shared_ptr<Packet>;
+
+  void ScheduleTransmit(const PacketPtr& pkt);
+  void Transmit(const PacketPtr& pkt);
+  /// Runs on the destination QP at arrival time; returns the status the
+  /// transport acknowledgment reports back to the sender.
+  WcStatus Deliver(const PacketPtr& pkt, QueuePair& sender);
+  void CompleteSend(const PacketPtr& pkt, WcStatus status,
+                    SimDuration extra_delay);
+  WcStatus DeliverRead(const PacketPtr& pkt, QueuePair& sender);
+  /// Raise a receive-side completion after the HCA delivery overhead.
+  void PushRecvCompletionLater(const WorkCompletion& wc);
+
+  static WcOpcode SendWcOpcode(Opcode op);
+  SimDuration AckReturnDelay() const;
+
+  Device* device_;
+  CompletionQueue* send_cq_;
+  CompletionQueue* recv_cq_;
+  QueuePair* peer_ = nullptr;
+  simnet::SimplexChannel* tx_channel_ = nullptr;
+  SimTime hca_busy_until_ = 0;
+  std::deque<RecvWorkRequest> recv_queue_;
+  QueuePairStats stats_;
+};
+
+}  // namespace exs::verbs

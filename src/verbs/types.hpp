@@ -1,0 +1,90 @@
+// Work-request / work-completion vocabulary of the software verbs layer.
+//
+// This mirrors the OFA verbs objects the paper's library is written
+// against: send and receive work requests posted to a queue pair, completed
+// asynchronously through completion queues.  Differences from the hardware
+// API are intentional simplifications and are documented in DESIGN.md
+// (single SGE per work request; local misuse throws instead of returning
+// errno; remote failures still surface as error completions).
+#pragma once
+
+#include <cstdint>
+
+namespace exs::verbs {
+
+class QueuePair;
+
+/// Bytes of link/transport framing charged per message on the wire
+/// (roughly LRH + BTH + ICRC/VCRC for InfiniBand).
+inline constexpr std::uint64_t kWireHeaderBytes = 30;
+
+enum class Opcode : std::uint8_t {
+  kSend,              ///< channel semantics; consumes a receive at the peer
+  kRdmaWrite,         ///< memory semantics; peer passive
+  kRdmaWriteWithImm,  ///< RDMA WRITE that also consumes a receive ("WWI")
+  kRdmaRead,          ///< fetch from peer memory; peer passive
+};
+
+/// Completion opcodes distinguish send-side from receive-side completions.
+enum class WcOpcode : std::uint8_t {
+  kSend,
+  kRdmaWrite,
+  kRdmaWriteWithImm,
+  kRdmaRead,
+  kRecv,              ///< a SEND landed in our posted receive
+  kRecvRdmaWithImm,   ///< a WWI consumed our posted receive
+};
+
+enum class WcStatus : std::uint8_t {
+  kSuccess,
+  kRnrError,          ///< message arrived with no posted receive
+  kLocalLengthError,  ///< payload larger than the posted receive buffer
+  kRemoteAccessError, ///< RDMA address/rkey check failed at the peer
+};
+
+const char* ToString(WcStatus status);
+const char* ToString(WcOpcode opcode);
+
+/// Scatter/gather element.  `addr` is a real pointer into this process,
+/// which plays the role of registered user virtual memory.
+struct Sge {
+  std::uint64_t addr = 0;
+  std::uint32_t length = 0;
+  std::uint32_t lkey = 0;
+};
+
+struct SendWorkRequest {
+  std::uint64_t wr_id = 0;
+  Opcode opcode = Opcode::kSend;
+  Sge sge;
+
+  /// Copy the payload into the work request at post time instead of
+  /// reading registered memory during the transfer; only valid up to the
+  /// device's max_inline.  No lkey check is performed for inline sends.
+  bool inline_data = false;
+
+  bool has_imm = false;
+  std::uint32_t imm = 0;
+
+  /// RDMA opcodes address peer memory through these.
+  std::uint64_t remote_addr = 0;
+  std::uint32_t rkey = 0;
+};
+
+struct RecvWorkRequest {
+  std::uint64_t wr_id = 0;
+  Sge sge;
+};
+
+struct WorkCompletion {
+  std::uint64_t wr_id = 0;
+  WcOpcode opcode = WcOpcode::kSend;
+  WcStatus status = WcStatus::kSuccess;
+  /// Bytes placed by the completed operation (receive-side and RDMA READ).
+  std::uint32_t byte_len = 0;
+  bool has_imm = false;
+  std::uint32_t imm = 0;
+  QueuePair* qp = nullptr;
+};
+
+}  // namespace exs::verbs

@@ -1,0 +1,151 @@
+// The blast measurement tool: data integrity under load, plausibility of
+// the reported metrics, and the qualitative protocol behaviours the
+// paper's evaluation rests on.
+#include <gtest/gtest.h>
+
+#include "blast/blast.hpp"
+
+namespace exs::blast {
+namespace {
+
+BlastConfig SmallConfig() {
+  BlastConfig c;
+  c.message_count = 60;
+  c.exponential_mean_bytes = 64.0 * 1024;
+  c.max_message_bytes = 1 * kMiB;
+  c.recv_buffer_bytes = 1 * kMiB;
+  c.outstanding_sends = 4;
+  c.outstanding_recvs = 8;
+  c.carry_payload = true;
+  c.verify_data = true;
+  return c;
+}
+
+TEST(BlastTest, DeliversAndVerifiesEveryByte) {
+  BlastResult r = RunBlast(SmallConfig());
+  EXPECT_TRUE(r.data_verified);
+  EXPECT_GT(r.bytes_transferred, 0u);
+  EXPECT_EQ(r.messages_sent, 60u);
+  EXPECT_GT(r.throughput_mbps, 0.0);
+  EXPECT_GT(r.elapsed_seconds, 0.0);
+  EXPECT_GT(r.receiver_cpu_percent, 0.0);
+  EXPECT_LE(r.receiver_cpu_percent, 100.5);
+}
+
+TEST(BlastTest, FixedSizeMessagesAreExact) {
+  BlastConfig c = SmallConfig();
+  c.fixed_message_bytes = 128 * 1024;
+  c.message_count = 40;
+  BlastResult r = RunBlast(c);
+  EXPECT_EQ(r.bytes_transferred, 40u * 128 * 1024);
+}
+
+TEST(BlastTest, DeterministicForSeed) {
+  BlastConfig c = SmallConfig();
+  c.verify_data = false;
+  c.carry_payload = false;
+  BlastResult a = RunBlast(c);
+  BlastResult b = RunBlast(c);
+  EXPECT_EQ(a.throughput_mbps, b.throughput_mbps);
+  EXPECT_EQ(a.direct_transfers, b.direct_transfers);
+  EXPECT_EQ(a.mode_switches, b.mode_switches);
+}
+
+TEST(BlastTest, CarryPayloadDoesNotChangeTiming) {
+  // The timing model must be independent of whether real bytes move.
+  BlastConfig c = SmallConfig();
+  c.verify_data = false;
+  BlastConfig no_payload = c;
+  no_payload.carry_payload = false;
+  BlastResult with_bytes = RunBlast(c);
+  BlastResult without_bytes = RunBlast(no_payload);
+  EXPECT_DOUBLE_EQ(with_bytes.throughput_mbps, without_bytes.throughput_mbps);
+  EXPECT_EQ(with_bytes.direct_transfers, without_bytes.direct_transfers);
+}
+
+TEST(BlastTest, DirectOnlyBeatsIndirectOnlyOnFdr) {
+  // The paper's headline LAN result: with copies slower than the wire,
+  // direct-only throughput is well above indirect-only (Fig. 9).
+  BlastConfig c;
+  c.message_count = 150;
+  c.outstanding_sends = 8;
+  c.outstanding_recvs = 8;
+  c.carry_payload = false;
+  c.stream.mode = ProtocolMode::kDirectOnly;
+  BlastResult direct = RunBlast(c);
+  c.stream.mode = ProtocolMode::kIndirectOnly;
+  BlastResult indirect = RunBlast(c);
+
+  EXPECT_GT(direct.throughput_mbps, indirect.throughput_mbps);
+  EXPECT_EQ(direct.indirect_transfers, 0u);
+  EXPECT_EQ(indirect.direct_transfers, 0u);
+  // And the CPU story (Fig. 10): buffering burns receiver CPU.
+  EXPECT_GT(indirect.receiver_cpu_percent,
+            direct.receiver_cpu_percent * 2.0);
+}
+
+TEST(BlastTest, EqualOutstandingCollapsesToIndirect) {
+  // Fig. 9a / Table III: with equal outstanding operations the dynamic
+  // protocol falls to indirect service almost immediately (about one mode
+  // switch, tiny direct ratio).
+  BlastConfig c;
+  c.message_count = 200;
+  c.outstanding_sends = 8;
+  c.outstanding_recvs = 8;
+  c.carry_payload = false;
+  BlastResult r = RunBlast(c);
+  EXPECT_LE(r.direct_ratio, 0.25);
+  EXPECT_GE(r.indirect_transfers, 1u);
+}
+
+TEST(BlastTest, DoubleOutstandingRecvsStayDirect) {
+  // Fig. 9b: with twice as many outstanding receives, ADVERTs always
+  // arrive in time and the dynamic protocol stays fully direct.
+  BlastConfig c;
+  c.message_count = 200;
+  c.outstanding_sends = 8;
+  c.outstanding_recvs = 16;
+  c.carry_payload = false;
+  BlastResult r = RunBlast(c);
+  EXPECT_GE(r.direct_ratio, 0.9);
+}
+
+TEST(BlastTest, RepeatedRunsAggregate) {
+  BlastConfig c = SmallConfig();
+  c.verify_data = false;
+  c.carry_payload = false;
+  c.message_count = 40;
+  BlastSummary s = RunRepeated(c, 5);
+  ASSERT_EQ(s.runs.size(), 5u);
+  EXPECT_GT(s.throughput_mbps.mean, 0.0);
+  EXPECT_GE(s.throughput_mbps.ci95, 0.0);
+  EXPECT_GE(s.throughput_mbps.max, s.throughput_mbps.min);
+  // Different seeds -> different workloads -> some variance.
+  EXPECT_GT(s.throughput_mbps.max, s.throughput_mbps.min);
+}
+
+TEST(BlastTest, SeqPacketBlastWorks) {
+  BlastConfig c = SmallConfig();
+  c.socket_type = SocketType::kSeqPacket;
+  c.message_count = 50;
+  BlastResult r = RunBlast(c);
+  EXPECT_TRUE(r.data_verified);
+  EXPECT_EQ(r.direct_transfers, 50u);  // one WWI per message
+  EXPECT_EQ(r.indirect_transfers, 0u);
+}
+
+TEST(BlastTest, WanProfileRuns) {
+  BlastConfig c;
+  c.profile = simnet::HardwareProfile::RoCE10GWithDelay(Milliseconds(24));
+  c.message_count = 30;
+  c.outstanding_sends = 4;
+  c.outstanding_recvs = 4;
+  c.carry_payload = false;
+  BlastResult r = RunBlast(c);
+  EXPECT_GT(r.throughput_mbps, 0.0);
+  // 48 ms RTT: the run cannot possibly finish in under one RTT.
+  EXPECT_GT(r.elapsed_seconds, 0.048);
+}
+
+}  // namespace
+}  // namespace exs::blast

@@ -1,0 +1,93 @@
+// The blast tool's workload-shaping features: bursty traffic and mid-run
+// message-size shifts (used by the §VI future-work extension benches).
+#include <gtest/gtest.h>
+
+#include "blast/blast.hpp"
+
+namespace exs::blast {
+namespace {
+
+TEST(BlastWorkload, BurstsDeliverEverythingAndStretchElapsed) {
+  BlastConfig base;
+  base.message_count = 60;
+  base.fixed_message_bytes = 64 * kKiB;
+  base.recv_buffer_bytes = 64 * kKiB;
+  base.outstanding_sends = 4;
+  base.outstanding_recvs = 4;
+  base.carry_payload = true;
+  base.verify_data = true;
+
+  BlastResult continuous = RunBlast(base);
+
+  BlastConfig bursty = base;
+  bursty.burst_messages = 10;
+  bursty.burst_idle = Milliseconds(1);
+  BlastResult r = RunBlast(bursty);
+
+  EXPECT_TRUE(r.data_verified);
+  EXPECT_EQ(r.bytes_transferred, 60u * 64 * kKiB);
+  // Five idle gaps of 1 ms each must show up in the elapsed time.
+  EXPECT_GT(r.elapsed_seconds, continuous.elapsed_seconds + 0.004);
+}
+
+TEST(BlastWorkload, BurstGapsLetDynamicProtocolResync) {
+  // Equal windows lock a continuous blast into indirect service; with long
+  // idle gaps the receiver drains and each burst can restart direct.
+  BlastConfig c;
+  c.message_count = 120;
+  c.outstanding_sends = 4;
+  c.outstanding_recvs = 4;
+  c.exponential_mean_bytes = 64.0 * kKiB;
+  c.max_message_bytes = 256 * kKiB;
+  c.recv_buffer_bytes = 256 * kKiB;
+  c.carry_payload = false;
+  BlastResult continuous = RunBlast(c);
+
+  c.burst_messages = 4;
+  c.burst_idle = Milliseconds(2);
+  BlastResult bursty = RunBlast(c);
+
+  EXPECT_LE(continuous.direct_ratio, 0.2);
+  // With generous idle gaps each burst restarts in direct service; the
+  // ratio recovers dramatically (a tiny burst may even stay at 1.0 with
+  // zero switches — that is ideal adaptation, not a missing transition).
+  EXPECT_GT(bursty.direct_ratio, 0.5);
+}
+
+TEST(BlastWorkload, SizeShiftChangesSecondHalf) {
+  BlastConfig c;
+  c.message_count = 100;
+  c.exponential_mean_bytes = 4.0 * kKiB;
+  c.shifted_mean_bytes = 512.0 * kKiB;
+  c.shift_at_message = 50;
+  c.max_message_bytes = 2 * kMiB;
+  c.recv_buffer_bytes = 2 * kMiB;
+  c.outstanding_sends = 2;
+  c.outstanding_recvs = 4;
+  c.carry_payload = true;
+  c.verify_data = true;
+  BlastResult r = RunBlast(c);
+  EXPECT_TRUE(r.data_verified);
+  // Second-half mean is 128x the first: the total must be dominated by it.
+  EXPECT_GT(r.bytes_transferred, 50u * 100 * kKiB);
+}
+
+TEST(BlastWorkload, SeqPacketRejectsNothingUnderBursts) {
+  BlastConfig c;
+  c.socket_type = SocketType::kSeqPacket;
+  c.message_count = 40;
+  c.fixed_message_bytes = 16 * kKiB;
+  c.recv_buffer_bytes = 16 * kKiB;
+  c.outstanding_sends = 2;
+  c.outstanding_recvs = 4;
+  c.burst_messages = 8;
+  c.burst_idle = Microseconds(300);
+  c.carry_payload = true;
+  c.verify_data = true;
+  BlastResult r = RunBlast(c);
+  EXPECT_TRUE(r.data_verified);
+  EXPECT_EQ(r.direct_transfers, 40u);
+}
+
+}  // namespace
+}  // namespace exs::blast

@@ -1,0 +1,204 @@
+// Orderly close (shutdown-write) and end-of-stream semantics: the
+// SHUTDOWN trails all queued data, outstanding receives complete with what
+// they hold, later receives return zero bytes, and the two directions
+// close independently.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/pattern.hpp"
+#include "exs/exs.hpp"
+
+namespace exs {
+namespace {
+
+using simnet::HardwareProfile;
+
+class CloseTest : public ::testing::Test {
+ protected:
+  Simulation sim_{HardwareProfile::FdrInfiniBand(), /*seed=*/17,
+                  /*carry_payload=*/true};
+};
+
+TEST_F(CloseTest, CloseFlushesQueuedDataFirst) {
+  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream);
+  constexpr std::uint64_t kTotal = 128 * 1024;
+  std::vector<std::uint8_t> out(kTotal), in(kTotal);
+  FillPattern(out.data(), out.size(), 0, 1);
+
+  // Send a burst and close immediately — the data must all arrive before
+  // the peer observes end-of-stream.
+  client->Send(out.data(), kTotal);
+  client->Close();
+  EXPECT_TRUE(client->CloseRequested());
+
+  std::vector<Event> events;
+  server->events().SetHandler([&](const Event& ev) {
+    events.push_back(ev);
+    if (ev.type == EventType::kRecvComplete && ev.bytes > 0) {
+      // keep consuming the stream
+    }
+  });
+  server->Recv(in.data(), kTotal, RecvFlags{.waitall = true});
+  sim_.Run();
+
+  ASSERT_GE(events.size(), 2u);
+  EXPECT_EQ(events[0].type, EventType::kRecvComplete);
+  EXPECT_EQ(events[0].bytes, kTotal);
+  EXPECT_EQ(events.back().type, EventType::kPeerClosed);
+  EXPECT_EQ(VerifyPattern(in.data(), kTotal, 0, 1), kTotal);
+}
+
+TEST_F(CloseTest, WaitallRecvCompletesPartialAtEof) {
+  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream);
+  std::vector<std::uint8_t> out(4096), in(8192);
+  FillPattern(out.data(), out.size(), 0, 2);
+
+  std::vector<Event> events;
+  server->events().SetHandler([&](const Event& ev) { events.push_back(ev); });
+  // The WAITALL receive wants 8 KiB but only 4 KiB will ever come.
+  server->Recv(in.data(), in.size(), RecvFlags{.waitall = true});
+  sim_.RunFor(Microseconds(20));
+  client->Send(out.data(), out.size());
+  client->Close();
+  sim_.Run();
+
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].type, EventType::kRecvComplete);
+  EXPECT_EQ(events[0].bytes, 4096u);  // partial delivery at EOF
+  EXPECT_EQ(events[1].type, EventType::kPeerClosed);
+  EXPECT_EQ(VerifyPattern(in.data(), 4096, 0, 2), 4096u);
+}
+
+TEST_F(CloseTest, RecvAfterEofReturnsZeroBytes) {
+  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream);
+  (void)client;
+  client->Close();
+  sim_.Run();
+
+  std::vector<Event> events;
+  server->events().SetHandler([&](const Event& ev) { events.push_back(ev); });
+  std::vector<std::uint8_t> buf(256);
+  server->Recv(buf.data(), buf.size());
+  sim_.Run();
+  // The kPeerClosed event was queued when the SHUTDOWN arrived (before the
+  // handler existed); the late receive then completes with zero bytes.
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].type, EventType::kPeerClosed);
+  EXPECT_EQ(events[1].type, EventType::kRecvComplete);
+  EXPECT_EQ(events[1].bytes, 0u);
+}
+
+TEST_F(CloseTest, SendAfterCloseThrows) {
+  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream);
+  (void)server;
+  client->Close();
+  std::vector<std::uint8_t> buf(64);
+  EXPECT_THROW(client->Send(buf.data(), buf.size()), InvariantViolation);
+}
+
+TEST_F(CloseTest, CloseIsIdempotent) {
+  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream);
+  (void)server;
+  client->Close();
+  client->Close();  // no-op, no throw
+  sim_.Run();
+  EXPECT_EQ(server->stats().recvs_completed, 0u);
+}
+
+TEST_F(CloseTest, DirectionsCloseIndependently) {
+  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream);
+  std::vector<std::uint8_t> out(2048), in(2048);
+  FillPattern(out.data(), out.size(), 0, 3);
+
+  // Client closes its sending side; the server can still send to it.
+  client->Close();
+  client->Recv(in.data(), in.size(), RecvFlags{.waitall = true});
+  sim_.RunFor(Microseconds(20));
+  server->Send(out.data(), out.size());
+  sim_.Run();
+  EXPECT_EQ(client->stats().bytes_received, 2048u);
+  EXPECT_EQ(VerifyPattern(in.data(), in.size(), 0, 3), in.size());
+}
+
+TEST_F(CloseTest, EofDrainsBufferedDataBeforeDelivery) {
+  // Data parked in the intermediate buffer at close time must still reach
+  // the application before the EOF fires.
+  StreamOptions opts;
+  opts.mode = ProtocolMode::kIndirectOnly;
+  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream, opts);
+  std::vector<std::uint8_t> out(64 * 1024), in(64 * 1024);
+  FillPattern(out.data(), out.size(), 0, 4);
+
+  client->Send(out.data(), out.size());
+  client->Close();
+  sim_.RunFor(Milliseconds(1));  // data sits in the receiver's buffer
+
+  std::vector<Event> events;
+  server->events().SetHandler([&](const Event& ev) { events.push_back(ev); });
+  server->Recv(in.data(), in.size(), RecvFlags{.waitall = true});
+  sim_.Run();
+
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].bytes, out.size());
+  EXPECT_EQ(events[1].type, EventType::kPeerClosed);
+  EXPECT_EQ(VerifyPattern(in.data(), in.size(), 0, 4), in.size());
+}
+
+TEST_F(CloseTest, SeqPacketClose) {
+  auto [client, server] = sim_.CreateConnectedPair(SocketType::kSeqPacket);
+  std::vector<std::uint8_t> out(512), in(512);
+  FillPattern(out.data(), out.size(), 0, 5);
+
+  std::vector<Event> events;
+  server->events().SetHandler([&](const Event& ev) { events.push_back(ev); });
+  server->Recv(in.data(), in.size());
+  sim_.RunFor(Microseconds(20));
+  client->Send(out.data(), out.size());
+  client->Close();
+  sim_.Run();
+
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].bytes, 512u);  // the message, then EOF
+  EXPECT_EQ(events[1].type, EventType::kPeerClosed);
+  EXPECT_THROW(client->Send(out.data(), 1), InvariantViolation);
+}
+
+TEST_F(CloseTest, SeqPacketPendingRecvsReturnZeroAtEof) {
+  auto [client, server] = sim_.CreateConnectedPair(SocketType::kSeqPacket);
+  std::vector<std::uint8_t> in(256);
+  std::vector<Event> events;
+  server->events().SetHandler([&](const Event& ev) { events.push_back(ev); });
+  server->Recv(in.data(), in.size());
+  server->Recv(in.data(), in.size());
+  client->Close();
+  sim_.Run();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].bytes, 0u);
+  EXPECT_EQ(events[1].bytes, 0u);
+  EXPECT_EQ(events[2].type, EventType::kPeerClosed);
+}
+
+TEST_F(CloseTest, CloseWaitsForCreditWhenPoolIsTight) {
+  StreamOptions opts;
+  opts.credits = 4;
+  opts.max_wwi_chunk = 1024;
+  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream, opts);
+  std::vector<std::uint8_t> out(32 * 1024), in(32 * 1024);
+  FillPattern(out.data(), out.size(), 0, 6);
+
+  std::vector<Event> events;
+  server->events().SetHandler([&](const Event& ev) { events.push_back(ev); });
+  client->Send(out.data(), out.size());  // 32 chunks through 4 credits
+  client->Close();
+  server->Recv(in.data(), in.size(), RecvFlags{.waitall = true});
+  sim_.Run();
+
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].bytes, out.size());
+  EXPECT_EQ(events[1].type, EventType::kPeerClosed);
+  EXPECT_EQ(VerifyPattern(in.data(), in.size(), 0, 6), in.size());
+}
+
+}  // namespace
+}  // namespace exs

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simnet/cpu.hpp"
+
+namespace exs::simnet {
+namespace {
+
+TEST(Cpu, SingleTaskRunsAfterCost) {
+  EventScheduler sched;
+  Cpu cpu(sched);
+  SimTime done = -1;
+  cpu.Submit(100, [&] { done = sched.Now(); });
+  sched.Run();
+  EXPECT_EQ(done, 100);
+  EXPECT_EQ(cpu.BusyTime(), 100);
+  EXPECT_EQ(cpu.CompletedTasks(), 1u);
+  EXPECT_TRUE(cpu.Idle());
+}
+
+TEST(Cpu, TasksSerializeFifo) {
+  EventScheduler sched;
+  Cpu cpu(sched);
+  std::vector<std::pair<int, SimTime>> done;
+  cpu.Submit(100, [&] { done.emplace_back(1, sched.Now()); });
+  cpu.Submit(50, [&] { done.emplace_back(2, sched.Now()); });
+  cpu.Submit(10, [&] { done.emplace_back(3, sched.Now()); });
+  sched.Run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0], std::make_pair(1, SimTime{100}));
+  EXPECT_EQ(done[1], std::make_pair(2, SimTime{150}));
+  EXPECT_EQ(done[2], std::make_pair(3, SimTime{160}));
+  EXPECT_EQ(cpu.BusyTime(), 160);
+}
+
+TEST(Cpu, IdleGapsDoNotCountAsBusy) {
+  EventScheduler sched;
+  Cpu cpu(sched);
+  cpu.Submit(10, [] {});
+  sched.Run();
+  // Queue a second task much later.
+  sched.ScheduleAt(1000, [&] { cpu.Submit(10, [] {}); });
+  sched.Run();
+  EXPECT_EQ(sched.Now(), 1010);
+  EXPECT_EQ(cpu.BusyTime(), 20);  // busy 20 of 1010
+}
+
+TEST(Cpu, WorkSubmittingWorkQueuesBehind) {
+  EventScheduler sched;
+  Cpu cpu(sched);
+  std::vector<int> order;
+  cpu.Submit(10, [&] {
+    order.push_back(1);
+    cpu.Submit(10, [&] { order.push_back(3); });
+  });
+  cpu.Submit(10, [&] { order.push_back(2); });
+  sched.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Cpu, ZeroCostTaskStillRunsInOrder) {
+  EventScheduler sched;
+  Cpu cpu(sched);
+  std::vector<int> order;
+  cpu.Submit(0, [&] { order.push_back(1); });
+  cpu.Submit(5, [&] { order.push_back(2); });
+  sched.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(cpu.BusyTime(), 5);
+}
+
+TEST(Cpu, QueueDepthTracksBacklog) {
+  EventScheduler sched;
+  Cpu cpu(sched);
+  EXPECT_EQ(cpu.QueueDepth(), 0u);
+  cpu.Submit(10, [] {});
+  cpu.Submit(10, [] {});
+  EXPECT_EQ(cpu.QueueDepth(), 2u);
+  sched.Run();
+  EXPECT_EQ(cpu.QueueDepth(), 0u);
+}
+
+}  // namespace
+}  // namespace exs::simnet

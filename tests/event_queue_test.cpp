@@ -1,0 +1,79 @@
+// The per-socket event queue: polling vs handler delivery, ordering, and
+// CPU cost accounting for handler-mode events.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "exs/event_queue.hpp"
+
+namespace exs {
+namespace {
+
+struct Harness {
+  simnet::EventScheduler sched;
+  simnet::Cpu cpu{sched};
+  EventQueue eq{cpu, Microseconds(2)};
+};
+
+Event MakeEvent(std::uint64_t id, std::uint64_t bytes) {
+  return Event{EventType::kRecvComplete, id, bytes, false};
+}
+
+TEST(EventQueue, PollModeIsFifo) {
+  Harness h;
+  h.eq.Push(MakeEvent(1, 10));
+  h.eq.Push(MakeEvent(2, 20));
+  EXPECT_EQ(h.eq.Depth(), 2u);
+  Event ev;
+  ASSERT_TRUE(h.eq.Poll(&ev));
+  EXPECT_EQ(ev.id, 1u);
+  ASSERT_TRUE(h.eq.Poll(&ev));
+  EXPECT_EQ(ev.id, 2u);
+  EXPECT_FALSE(h.eq.Poll(&ev));
+  EXPECT_EQ(h.eq.TotalEvents(), 2u);
+}
+
+TEST(EventQueue, HandlerReceivesQueuedBacklogOnInstall) {
+  Harness h;
+  h.eq.Push(MakeEvent(1, 10));
+  h.eq.Push(MakeEvent(2, 20));
+  std::vector<std::uint64_t> seen;
+  h.eq.SetHandler([&](const Event& ev) { seen.push_back(ev.id); });
+  h.sched.Run();
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_EQ(h.eq.Depth(), 0u);
+}
+
+TEST(EventQueue, HandlerEventsChargeCpu) {
+  Harness h;
+  h.eq.SetHandler([](const Event&) {});
+  h.eq.Push(MakeEvent(1, 0));
+  h.eq.Push(MakeEvent(2, 0));
+  h.sched.Run();
+  // Two events, 2 us each, with the profile-free Cpu (no jitter).
+  EXPECT_EQ(h.cpu.BusyTime(), Microseconds(4));
+}
+
+TEST(EventQueue, PollModeCostsNothing) {
+  Harness h;
+  h.eq.Push(MakeEvent(1, 0));
+  Event ev;
+  ASSERT_TRUE(h.eq.Poll(&ev));
+  h.sched.Run();
+  EXPECT_EQ(h.cpu.BusyTime(), 0);
+}
+
+TEST(EventQueue, HandlerMayPushMoreEvents) {
+  Harness h;
+  std::vector<std::uint64_t> seen;
+  h.eq.SetHandler([&](const Event& ev) {
+    seen.push_back(ev.id);
+    if (ev.id < 3) h.eq.Push(MakeEvent(ev.id + 1, 0));
+  });
+  h.eq.Push(MakeEvent(1, 0));
+  h.sched.Run();
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace exs

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simnet/event_scheduler.hpp"
+
+namespace exs::simnet {
+namespace {
+
+TEST(EventScheduler, RunsEventsInTimeOrder) {
+  EventScheduler sched;
+  std::vector<int> order;
+  sched.ScheduleAt(300, [&] { order.push_back(3); });
+  sched.ScheduleAt(100, [&] { order.push_back(1); });
+  sched.ScheduleAt(200, [&] { order.push_back(2); });
+  sched.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.Now(), 300);
+}
+
+TEST(EventScheduler, TiesBreakInSchedulingOrder) {
+  EventScheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sched.ScheduleAt(50, [&order, i] { order.push_back(i); });
+  }
+  sched.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventScheduler, ScheduleAfterUsesCurrentTime) {
+  EventScheduler sched;
+  SimTime seen = -1;
+  sched.ScheduleAt(100, [&] {
+    sched.ScheduleAfter(50, [&] { seen = sched.Now(); });
+  });
+  sched.Run();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(EventScheduler, CancelPreventsExecution) {
+  EventScheduler sched;
+  bool ran = false;
+  EventHandle h = sched.ScheduleAt(10, [&] { ran = true; });
+  EXPECT_TRUE(h.Pending());
+  h.Cancel();
+  EXPECT_FALSE(h.Pending());
+  sched.Run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sched.ExecutedCount(), 0u);
+}
+
+TEST(EventScheduler, CancelAfterExecutionIsHarmless) {
+  EventScheduler sched;
+  EventHandle h = sched.ScheduleAt(10, [] {});
+  sched.Run();
+  EXPECT_FALSE(h.Pending());
+  h.Cancel();  // no-op
+}
+
+TEST(EventScheduler, RunUntilStopsAtDeadline) {
+  EventScheduler sched;
+  std::vector<int> order;
+  sched.ScheduleAt(100, [&] { order.push_back(1); });
+  sched.ScheduleAt(200, [&] { order.push_back(2); });
+  sched.RunUntil(150);
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(sched.Now(), 150);
+  sched.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventScheduler, RunForAdvancesRelative) {
+  EventScheduler sched;
+  sched.ScheduleAt(100, [] {});
+  sched.RunFor(100);
+  EXPECT_EQ(sched.Now(), 100);
+  sched.RunFor(25);
+  EXPECT_EQ(sched.Now(), 125);
+}
+
+TEST(EventScheduler, RunUntilPredicate) {
+  EventScheduler sched;
+  int count = 0;
+  for (int t = 1; t <= 10; ++t) {
+    sched.ScheduleAt(t, [&] { ++count; });
+  }
+  EXPECT_TRUE(sched.RunUntilPredicate([&] { return count == 4; }));
+  EXPECT_EQ(count, 4);
+  EXPECT_FALSE(sched.RunUntilPredicate([&] { return count == 100; }));
+  EXPECT_EQ(count, 10);
+}
+
+TEST(EventScheduler, SchedulingIntoThePastThrows) {
+  EventScheduler sched;
+  sched.ScheduleAt(100, [] {});
+  sched.Run();
+  EXPECT_THROW(sched.ScheduleAt(50, [] {}), InvariantViolation);
+}
+
+TEST(EventScheduler, EventsScheduledDuringRunExecute) {
+  EventScheduler sched;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) sched.ScheduleAfter(5, recurse);
+  };
+  sched.ScheduleAt(0, recurse);
+  sched.Run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sched.Now(), 45);
+}
+
+TEST(EventScheduler, PendingCountIgnoresCancelled) {
+  EventScheduler sched;
+  EventHandle a = sched.ScheduleAt(10, [] {});
+  sched.ScheduleAt(20, [] {});
+  EXPECT_EQ(sched.PendingCount(), 2u);
+  a.Cancel();
+  EXPECT_EQ(sched.PendingCount(), 1u);
+}
+
+}  // namespace
+}  // namespace exs::simnet

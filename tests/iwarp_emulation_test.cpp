@@ -1,0 +1,126 @@
+// WWI emulation for legacy iWARP (§II-B): "The operation can be simulated
+// on older iWARP hardware by following an RDMA WRITE with a small SEND."
+// The emulation must be invisible above the verbs API: same completions,
+// same data placement — just one extra wire message per transfer.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/pattern.hpp"
+#include "exs/exs.hpp"
+#include "verbs/queue_pair.hpp"
+
+namespace exs {
+namespace {
+
+using simnet::HardwareProfile;
+
+TEST(IwarpEmulation, WwiDeliversDataAndNotification) {
+  simnet::Fabric fabric(HardwareProfile::Iwarp10G(), 1);
+  verbs::Device d0(fabric, 0), d1(fabric, 1);
+  auto scq0 = d0.CreateCompletionQueue();
+  auto rcq0 = d0.CreateCompletionQueue();
+  auto scq1 = d1.CreateCompletionQueue();
+  auto rcq1 = d1.CreateCompletionQueue();
+  verbs::QueuePair q0(d0, *scq0, *rcq0), q1(d1, *scq1, *rcq1);
+  verbs::QueuePair::ConnectPair(q0, q1);
+
+  std::vector<std::uint8_t> src(1024), dst(1024, 0), slot(64);
+  FillPattern(src.data(), src.size(), 0, 21);
+  auto src_mr = d0.RegisterMemory(src.data(), src.size());
+  auto dst_mr = d1.RegisterMemory(dst.data(), dst.size());
+  auto slot_mr = d1.RegisterMemory(slot.data(), slot.size());
+
+  q1.PostRecv({.wr_id = 3,
+               .sge = {reinterpret_cast<std::uint64_t>(slot.data()), 64,
+                       slot_mr->lkey()}});
+  verbs::SendWorkRequest wr;
+  wr.wr_id = 9;
+  wr.opcode = verbs::Opcode::kRdmaWriteWithImm;
+  wr.sge = {reinterpret_cast<std::uint64_t>(src.data()), 1024,
+            src_mr->lkey()};
+  wr.remote_addr = reinterpret_cast<std::uint64_t>(dst.data());
+  wr.rkey = dst_mr->rkey();
+  wr.has_imm = true;
+  wr.imm = 0xabcd1234;
+  q0.PostSend(wr);
+  fabric.scheduler().Run();
+
+  // Receiver sees exactly one WWI-style completion with the right length.
+  verbs::WorkCompletion wc;
+  ASSERT_TRUE(rcq1->Poll(&wc));
+  EXPECT_EQ(wc.opcode, verbs::WcOpcode::kRecvRdmaWithImm);
+  EXPECT_EQ(wc.wr_id, 3u);
+  EXPECT_EQ(wc.byte_len, 1024u);
+  EXPECT_TRUE(wc.has_imm);
+  EXPECT_EQ(wc.imm, 0xabcd1234u);
+  EXPECT_FALSE(rcq1->Poll(&wc));
+  EXPECT_EQ(VerifyPattern(dst.data(), dst.size(), 0, 21), dst.size());
+
+  // Sender sees exactly one completion, reported as the WWI it posted.
+  ASSERT_TRUE(scq0->Poll(&wc));
+  EXPECT_EQ(wc.opcode, verbs::WcOpcode::kRdmaWriteWithImm);
+  EXPECT_EQ(wc.wr_id, 9u);
+  EXPECT_FALSE(scq0->Poll(&wc));
+
+  // But two messages crossed the wire (write + trailing notification).
+  EXPECT_EQ(q1.stats().messages_delivered, 2u);
+}
+
+TEST(IwarpEmulation, CostsOneExtraWireMessagePerTransfer) {
+  auto count_messages = [](const HardwareProfile& profile) {
+    Simulation sim(profile, 2, true);
+    auto [client, server] = sim.CreateConnectedPair(SocketType::kStream);
+    std::vector<std::uint8_t> out(32 * 1024), in(32 * 1024);
+    server->Recv(in.data(), in.size(), RecvFlags{.waitall = true});
+    sim.RunFor(Microseconds(30));
+    client->Send(out.data(), out.size());
+    sim.Run();
+    return sim.fabric().channel_from(0).MessagesCarried();
+  };
+  std::uint64_t native = count_messages(HardwareProfile::RoCE10G());
+  std::uint64_t emulated = count_messages(HardwareProfile::Iwarp10G());
+  EXPECT_EQ(emulated, native + 1);  // one direct WWI -> one extra SEND
+}
+
+TEST(IwarpEmulation, StreamProtocolRunsUnmodified) {
+  // The EXS layer must not notice the emulation: full dynamic-protocol
+  // stream with mixed direct and indirect service over legacy iWARP.
+  Simulation sim(HardwareProfile::Iwarp10G(), 3, true);
+  auto [client, server] = sim.CreateConnectedPair(SocketType::kStream);
+  constexpr std::uint64_t kTotal = 256 * 1024;
+  std::vector<std::uint8_t> out(kTotal), in(kTotal);
+  FillPattern(out.data(), out.size(), 0, 33);
+
+  client->Send(out.data(), kTotal / 2);  // indirect (no receive posted)
+  for (int i = 0; i < 8; ++i) {
+    server->Recv(in.data() + i * 32 * 1024, 32 * 1024,
+                 RecvFlags{.waitall = true});
+    sim.RunFor(Microseconds(60));
+  }
+  client->Send(out.data() + kTotal / 2, kTotal / 2);  // mostly direct
+  sim.Run();
+
+  EXPECT_EQ(server->stats().bytes_received, kTotal);
+  EXPECT_EQ(VerifyPattern(in.data(), in.size(), 0, 33), in.size());
+  EXPECT_GE(client->stats().indirect_transfers, 1u);
+  EXPECT_GE(client->stats().direct_transfers, 1u);
+  EXPECT_TRUE(client->Quiescent());
+  EXPECT_TRUE(server->Quiescent());
+}
+
+TEST(IwarpEmulation, SeqPacketWorksOverIwarp) {
+  Simulation sim(HardwareProfile::Iwarp10G(), 4, true);
+  auto [client, server] = sim.CreateConnectedPair(SocketType::kSeqPacket);
+  std::vector<std::uint8_t> out(2048), in(2048);
+  FillPattern(out.data(), out.size(), 0, 44);
+  server->Recv(in.data(), in.size());
+  sim.RunFor(Microseconds(30));
+  client->Send(out.data(), out.size());
+  sim.Run();
+  EXPECT_EQ(server->stats().recvs_completed, 1u);
+  EXPECT_EQ(VerifyPattern(in.data(), in.size(), 0, 44), in.size());
+}
+
+}  // namespace
+}  // namespace exs

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simnet/fabric.hpp"
+#include "simnet/link.hpp"
+
+namespace exs::simnet {
+namespace {
+
+ChannelConfig OneGigabytePerSecond(SimDuration prop) {
+  ChannelConfig c;
+  c.bandwidth = Bandwidth::GigabytesPerSecond(1.0);  // 1000 bytes per us
+  c.propagation = prop;
+  return c;
+}
+
+TEST(SimplexChannel, DeliveryTimeIsSerializationPlusPropagation) {
+  EventScheduler sched;
+  SimplexChannel ch(sched, OneGigabytePerSecond(Microseconds(5)));
+  SimTime arrival = ch.Transmit(1000, [] {});
+  EXPECT_EQ(arrival, Microseconds(1) + Microseconds(5));
+  SimTime delivered = -1;
+  sched.Run();
+  EXPECT_EQ(sched.Now(), arrival);
+  (void)delivered;
+}
+
+TEST(SimplexChannel, BackToBackMessagesQueueOnTransmitter) {
+  EventScheduler sched;
+  SimplexChannel ch(sched, OneGigabytePerSecond(0));
+  std::vector<SimTime> arrivals;
+  ch.Transmit(1000, [&] { arrivals.push_back(sched.Now()); });
+  ch.Transmit(1000, [&] { arrivals.push_back(sched.Now()); });
+  ch.Transmit(500, [&] { arrivals.push_back(sched.Now()); });
+  sched.Run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_EQ(arrivals[0], Microseconds(1));
+  EXPECT_EQ(arrivals[1], Microseconds(2));
+  EXPECT_EQ(arrivals[2], Microseconds(2.5));
+}
+
+TEST(SimplexChannel, TransmitterFreesUpOverTime) {
+  EventScheduler sched;
+  SimplexChannel ch(sched, OneGigabytePerSecond(0));
+  ch.Transmit(1000, [] {});
+  EXPECT_EQ(ch.TxFreeAt(), Microseconds(1));
+  sched.Run();
+  // After the line idles, a new message starts immediately.
+  SimTime arrival = ch.Transmit(1000, [] {});
+  EXPECT_EQ(arrival, Microseconds(2));
+}
+
+TEST(SimplexChannel, NetemExtraDelayShiftsArrival) {
+  EventScheduler sched;
+  ChannelConfig cfg = OneGigabytePerSecond(Microseconds(1));
+  cfg.netem.extra_delay = Milliseconds(24);  // the paper's 48 ms RTT
+  SimplexChannel ch(sched, cfg);
+  SimTime arrival = ch.Transmit(1000, [] {});
+  EXPECT_EQ(arrival, Microseconds(2) + Milliseconds(24));
+}
+
+TEST(SimplexChannel, JitterVariesButPreservesOrder) {
+  EventScheduler sched;
+  ChannelConfig cfg = OneGigabytePerSecond(Microseconds(1));
+  cfg.netem.jitter = Microseconds(10);
+  SimplexChannel ch(sched, cfg, /*jitter_seed=*/3);
+  std::vector<SimTime> arrivals;
+  for (int i = 0; i < 50; ++i) {
+    ch.Transmit(100, [&] { arrivals.push_back(sched.Now()); });
+  }
+  sched.Run();
+  ASSERT_EQ(arrivals.size(), 50u);
+  bool varied = false;
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    // Reliable in-order transport: arrivals never go backwards.
+    ASSERT_GE(arrivals[i], arrivals[i - 1]);
+    SimDuration gap_a = arrivals[i] - arrivals[i - 1];
+    varied |= gap_a != Nanoseconds(100);
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(SimplexChannel, CountsTraffic) {
+  EventScheduler sched;
+  SimplexChannel ch(sched, OneGigabytePerSecond(0));
+  ch.Transmit(100, [] {});
+  ch.Transmit(200, [] {});
+  sched.Run();
+  EXPECT_EQ(ch.BytesCarried(), 300u);
+  EXPECT_EQ(ch.MessagesCarried(), 2u);
+}
+
+TEST(Fabric, BuildsTwoNodesWithIndependentChannels) {
+  Fabric fabric(HardwareProfile::FdrInfiniBand(), 1);
+  EXPECT_EQ(fabric.node(0).name(), "node0");
+  EXPECT_EQ(fabric.node(1).name(), "node1");
+  EXPECT_NE(&fabric.channel_from(0), &fabric.channel_from(1));
+  // FDR profile: 47 Gb/s effective.
+  EXPECT_NEAR(fabric.profile().link_bandwidth.GigabitsPerSecondValue(), 47.0,
+              1e-9);
+}
+
+TEST(Profiles, WanProfileCarriesDelay) {
+  auto p = HardwareProfile::RoCE10GWithDelay(Milliseconds(24));
+  EXPECT_EQ(p.netem.extra_delay, Milliseconds(24));
+  EXPECT_NEAR(p.link_bandwidth.GigabitsPerSecondValue(), 9.4, 1e-9);
+}
+
+}  // namespace
+}  // namespace exs::simnet

@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/pattern.hpp"
+
+namespace exs {
+namespace {
+
+TEST(Pattern, FillAndVerifyRoundTrip) {
+  std::vector<std::uint8_t> buf(4096);
+  FillPattern(buf.data(), buf.size(), 1234, 99);
+  EXPECT_EQ(VerifyPattern(buf.data(), buf.size(), 1234, 99), buf.size());
+}
+
+TEST(Pattern, DetectsCorruption) {
+  std::vector<std::uint8_t> buf(256);
+  FillPattern(buf.data(), buf.size(), 0, 1);
+  buf[100] ^= 0xff;
+  EXPECT_EQ(VerifyPattern(buf.data(), buf.size(), 0, 1), 100u);
+}
+
+TEST(Pattern, OffsetDependence) {
+  // The same bytes verified at the wrong stream offset must fail — this is
+  // what catches reordering and loss, not just corruption.
+  std::vector<std::uint8_t> buf(256);
+  FillPattern(buf.data(), buf.size(), 1000, 1);
+  EXPECT_LT(VerifyPattern(buf.data(), buf.size(), 1001, 1), buf.size());
+}
+
+TEST(Pattern, SeedDependence) {
+  std::vector<std::uint8_t> buf(256);
+  FillPattern(buf.data(), buf.size(), 0, 1);
+  EXPECT_LT(VerifyPattern(buf.data(), buf.size(), 0, 2), buf.size());
+}
+
+TEST(Pattern, SplitFillsAreSeamless) {
+  // Filling [0,100) and [100,256) separately equals one fill — the property
+  // the stream tests rely on when sends are split into chunks.
+  std::vector<std::uint8_t> whole(256), split(256);
+  FillPattern(whole.data(), whole.size(), 500, 7);
+  FillPattern(split.data(), 100, 500, 7);
+  FillPattern(split.data() + 100, 156, 600, 7);
+  EXPECT_EQ(whole, split);
+}
+
+}  // namespace
+}  // namespace exs

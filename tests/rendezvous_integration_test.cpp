@@ -1,0 +1,124 @@
+// Rendezvous-mode integration with the rest of the stack: the timed
+// listen/connect/accept handshake, full-duplex operation, WAN profiles,
+// and coexistence with WRITE-based connections on the same fabric.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/pattern.hpp"
+#include "exs/exs.hpp"
+
+namespace exs {
+namespace {
+
+using simnet::HardwareProfile;
+
+StreamOptions Rendezvous() {
+  StreamOptions opts;
+  opts.mode = ProtocolMode::kReadRendezvous;
+  return opts;
+}
+
+TEST(RendezvousIntegration, WorksThroughTheHandshake) {
+  Simulation sim(HardwareProfile::FdrInfiniBand(), 31, true);
+  Listener* listener = sim.Listen(1, 6000, SocketType::kStream, Rendezvous());
+  Socket* server = nullptr;
+  listener->SetAcceptHandler([&](Socket* s) { server = s; });
+  Socket* client = nullptr;
+  sim.Connect(0, 6000, SocketType::kStream, Rendezvous(),
+              [&](Socket* s) { client = s; });
+  sim.Run();
+  ASSERT_NE(client, nullptr);
+  ASSERT_NE(server, nullptr);
+
+  std::vector<std::uint8_t> out(24 * 1024), in(24 * 1024);
+  FillPattern(out.data(), out.size(), 0, 41);
+  server->Recv(in.data(), in.size(), RecvFlags{.waitall = true});
+  client->Send(out.data(), out.size());
+  sim.Run();
+  EXPECT_EQ(VerifyPattern(in.data(), in.size(), 0, 41), in.size());
+}
+
+TEST(RendezvousIntegration, FullDuplexPulls) {
+  Simulation sim(HardwareProfile::FdrInfiniBand(), 32, true);
+  auto [a, b] = sim.CreateConnectedPair(SocketType::kStream, Rendezvous());
+  std::vector<std::uint8_t> ab_out(16 * 1024), ab_in(16 * 1024);
+  std::vector<std::uint8_t> ba_out(12 * 1024), ba_in(12 * 1024);
+  FillPattern(ab_out.data(), ab_out.size(), 0, 51);
+  FillPattern(ba_out.data(), ba_out.size(), 0, 52);
+
+  b->Recv(ab_in.data(), ab_in.size(), RecvFlags{.waitall = true});
+  a->Recv(ba_in.data(), ba_in.size(), RecvFlags{.waitall = true});
+  a->Send(ab_out.data(), ab_out.size());
+  b->Send(ba_out.data(), ba_out.size());
+  sim.Run();
+
+  EXPECT_EQ(VerifyPattern(ab_in.data(), ab_in.size(), 0, 51), ab_in.size());
+  EXPECT_EQ(VerifyPattern(ba_in.data(), ba_in.size(), 0, 52), ba_in.size());
+  EXPECT_TRUE(a->Quiescent());
+  EXPECT_TRUE(b->Quiescent());
+}
+
+TEST(RendezvousIntegration, CoexistsWithWriteBasedConnection) {
+  Simulation sim(HardwareProfile::FdrInfiniBand(), 33, true);
+  auto [a1, b1] = sim.CreateConnectedPair(SocketType::kStream);  // dynamic
+  auto [a2, b2] = sim.CreateConnectedPair(SocketType::kStream, Rendezvous());
+
+  std::vector<std::uint8_t> s1(32 * 1024), r1(32 * 1024);
+  std::vector<std::uint8_t> s2(32 * 1024), r2(32 * 1024);
+  FillPattern(s1.data(), s1.size(), 0, 61);
+  FillPattern(s2.data(), s2.size(), 0, 62);
+
+  b1->Recv(r1.data(), r1.size(), RecvFlags{.waitall = true});
+  b2->Recv(r2.data(), r2.size(), RecvFlags{.waitall = true});
+  a1->Send(s1.data(), s1.size());
+  a2->Send(s2.data(), s2.size());
+  sim.Run();
+
+  EXPECT_EQ(VerifyPattern(r1.data(), r1.size(), 0, 61), r1.size());
+  EXPECT_EQ(VerifyPattern(r2.data(), r2.size(), 0, 62), r2.size());
+}
+
+TEST(RendezvousIntegration, SurvivesJitteredWanPath) {
+  Simulation sim(
+      HardwareProfile::RoCE10GWithDelay(Milliseconds(24), Milliseconds(2)),
+      34, true);
+  auto [client, server] =
+      sim.CreateConnectedPair(SocketType::kStream, Rendezvous());
+  constexpr std::uint64_t kTotal = 512 * 1024;
+  std::vector<std::uint8_t> out(kTotal), in(kTotal);
+  FillPattern(out.data(), out.size(), 0, 71);
+
+  for (int i = 0; i < 8; ++i) {
+    client->Send(out.data() + i * 64 * 1024, 64 * 1024);
+    server->Recv(in.data() + i * 64 * 1024, 64 * 1024,
+                 RecvFlags{.waitall = true});
+  }
+  client->Close();
+  std::uint64_t eof_seen = 0;
+  server->events().SetHandler([&](const Event& ev) {
+    if (ev.type == EventType::kPeerClosed) ++eof_seen;
+  });
+  sim.Run();
+
+  EXPECT_EQ(server->stats().bytes_received, kTotal);
+  EXPECT_EQ(VerifyPattern(in.data(), kTotal, 0, 71), kTotal);
+  EXPECT_EQ(eof_seen, 1u);
+}
+
+TEST(RendezvousIntegration, LegacyIwarpReadsStillWork) {
+  // RDMA READ is native even on the legacy profile (only WWI is emulated);
+  // the rendezvous engine must be unaffected by the emulation flag.
+  Simulation sim(HardwareProfile::Iwarp10G(), 35, true);
+  auto [client, server] =
+      sim.CreateConnectedPair(SocketType::kStream, Rendezvous());
+  std::vector<std::uint8_t> out(8 * 1024), in(8 * 1024);
+  FillPattern(out.data(), out.size(), 0, 81);
+  server->Recv(in.data(), in.size(), RecvFlags{.waitall = true});
+  client->Send(out.data(), out.size());
+  sim.Run();
+  EXPECT_EQ(VerifyPattern(in.data(), in.size(), 0, 81), in.size());
+}
+
+}  // namespace
+}  // namespace exs

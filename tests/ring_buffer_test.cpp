@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "common/ring_buffer.hpp"
+
+namespace exs {
+namespace {
+
+TEST(RingCursor, StartsEmpty) {
+  RingCursor ring(100);
+  EXPECT_EQ(ring.capacity(), 100u);
+  EXPECT_TRUE(ring.Empty());
+  EXPECT_FALSE(ring.Full());
+  EXPECT_EQ(ring.free(), 100u);
+  EXPECT_EQ(ring.ContiguousWritable(), 100u);
+  EXPECT_EQ(ring.ContiguousReadable(), 0u);
+}
+
+TEST(RingCursor, WriteThenReadAdvancesCursors) {
+  RingCursor ring(100);
+  ring.CommitWrite(40);
+  EXPECT_EQ(ring.used(), 40u);
+  EXPECT_EQ(ring.write_offset(), 40u);
+  EXPECT_EQ(ring.ContiguousReadable(), 40u);
+  ring.CommitRead(40);
+  EXPECT_TRUE(ring.Empty());
+  EXPECT_EQ(ring.read_offset(), 40u);
+}
+
+TEST(RingCursor, ContiguousWritableStopsAtWrap) {
+  RingCursor ring(100);
+  ring.CommitWrite(80);
+  ring.CommitRead(80);
+  // Cursors at 80; only 20 bytes remain before the wrap point.
+  EXPECT_EQ(ring.free(), 100u);
+  EXPECT_EQ(ring.ContiguousWritable(), 20u);
+  ring.CommitWrite(20);
+  EXPECT_EQ(ring.write_offset(), 0u);
+  EXPECT_EQ(ring.ContiguousWritable(), 80u);
+}
+
+TEST(RingCursor, ContiguousReadableStopsAtWrap) {
+  RingCursor ring(100);
+  ring.CommitWrite(90);
+  ring.CommitRead(90);
+  ring.CommitWrite(10);  // to the wrap point
+  ring.CommitWrite(30);  // wrapped
+  EXPECT_EQ(ring.used(), 40u);
+  EXPECT_EQ(ring.ContiguousReadable(), 10u);
+  ring.CommitRead(10);
+  EXPECT_EQ(ring.ContiguousReadable(), 30u);
+}
+
+TEST(RingCursor, FullStopsWrites) {
+  RingCursor ring(64);
+  ring.CommitWrite(64);
+  EXPECT_TRUE(ring.Full());
+  EXPECT_EQ(ring.ContiguousWritable(), 0u);
+}
+
+TEST(RingCursor, ReleaseFreeMirrorsRemoteDrain) {
+  // The sender side tracks remote free space with ReleaseFree (driven by
+  // ACKs) rather than local reads.
+  RingCursor remote(128);
+  remote.CommitWrite(100);
+  EXPECT_EQ(remote.free(), 28u);
+  remote.ReleaseFree(60);
+  EXPECT_EQ(remote.free(), 88u);
+  EXPECT_EQ(remote.used(), 40u);
+}
+
+TEST(RingCursor, ManyWrappedCyclesStayConsistent) {
+  RingCursor ring(37);  // odd capacity exercises wrap arithmetic
+  std::uint64_t pending = 0;
+  std::uint64_t written = 0, read = 0;
+  for (int i = 0; i < 1000; ++i) {
+    std::uint64_t w = (i * 7 + 3) % 11;
+    w = std::min(w, ring.ContiguousWritable());
+    ring.CommitWrite(w);
+    written += w;
+    pending += w;
+    std::uint64_t r = (i * 5 + 1) % 9;
+    r = std::min(r, ring.ContiguousReadable());
+    ring.CommitRead(r);
+    read += r;
+    pending -= r;
+    ASSERT_EQ(ring.used(), pending);
+    ASSERT_EQ(written - read, pending);
+    ASSERT_LE(ring.used(), ring.capacity());
+  }
+}
+
+}  // namespace
+}  // namespace exs

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace exs {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.NextU64() == b.NextU64();
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(9);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) ASSERT_LT(rng.NextBelow(bound), bound);
+  }
+}
+
+TEST(Rng, NextInRangeHitsEndpoints) {
+  Rng rng(11);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    std::uint64_t v = rng.NextInRange(3, 6);
+    ASSERT_GE(v, 3u);
+    ASSERT_LE(v, 6u);
+    lo |= v == 3;
+    hi |= v == 6;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Rng, ExponentialMeanIsClose) {
+  Rng rng(13);
+  const double mean = 250.0;
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(mean);
+  EXPECT_NEAR(sum / n, mean, mean * 0.02);
+}
+
+TEST(ExponentialSizeDistribution, TruncatesAtMaxAndFloorsAtOne) {
+  Rng rng(17);
+  ExponentialSizeDistribution dist(1000.0, 4096);
+  bool hit_max = false;
+  for (int i = 0; i < 50000; ++i) {
+    std::uint64_t s = dist.Sample(rng);
+    ASSERT_GE(s, 1u);
+    ASSERT_LE(s, 4096u);
+    hit_max |= s == 4096;
+  }
+  EXPECT_TRUE(hit_max);  // P(X > 4096) = e^-4.1 ~ 1.7%, certain in 50k draws
+}
+
+TEST(ExponentialSizeDistribution, MeanReflectsTruncation) {
+  Rng rng(19);
+  const double mean = 1024.0;
+  ExponentialSizeDistribution dist(mean, 1 << 22);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(dist.Sample(rng));
+  // Truncation at 4096x the mean barely moves it.
+  EXPECT_NEAR(sum / n, mean, mean * 0.03);
+}
+
+}  // namespace
+}  // namespace exs

@@ -1,0 +1,116 @@
+// Property sweep for SOCK_SEQPACKET: random message sizes and posting
+// interleavings; boundaries must be preserved exactly (no coalescing, no
+// splitting), in order, with truncation only when a message exceeds its
+// buffer.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/pattern.hpp"
+#include "common/rng.hpp"
+#include "exs/exs.hpp"
+
+namespace exs {
+namespace {
+
+using simnet::HardwareProfile;
+
+class SeqPacketPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SeqPacketPropertyTest, BoundariesSurviveRandomInterleavings) {
+  const std::uint64_t seed = GetParam();
+  Simulation sim(HardwareProfile::FdrInfiniBand(), seed, true);
+  auto [client, server] = sim.CreateConnectedPair(SocketType::kSeqPacket);
+
+  Rng rng(seed * 17 + 5);
+  constexpr int kMessages = 120;
+  constexpr std::uint64_t kBufSize = 8 * 1024;
+
+  // Message sizes; some deliberately exceed the receive buffers.
+  std::vector<std::uint64_t> sizes(kMessages);
+  std::uint64_t payload_offset = 0;
+  std::vector<std::uint64_t> offsets(kMessages);
+  for (int i = 0; i < kMessages; ++i) {
+    sizes[i] = rng.NextBool(0.1) ? rng.NextInRange(kBufSize + 1, 2 * kBufSize)
+                                 : rng.NextInRange(1, kBufSize);
+    offsets[i] = payload_offset;
+    payload_offset += sizes[i];
+  }
+  std::vector<std::uint8_t> out(payload_offset);
+  FillPattern(out.data(), out.size(), 0, seed);
+
+  // Receive side: a pool of equal buffers, reposted on completion.
+  constexpr int kPool = 5;
+  std::vector<std::vector<std::uint8_t>> pool(
+      kPool, std::vector<std::uint8_t>(kBufSize));
+  std::vector<std::size_t> free_pool;
+  for (std::size_t i = 0; i < kPool; ++i) free_pool.push_back(i);
+  std::unordered_map<std::uint64_t, std::size_t> posted;
+
+  int completed = 0;
+  server->events().SetHandler([&](const Event& ev) {
+    ASSERT_EQ(ev.type, EventType::kRecvComplete);
+    auto it = posted.find(ev.id);
+    ASSERT_NE(it, posted.end());
+    std::size_t idx = it->second;
+    posted.erase(it);
+    // Message `completed` arrives as exactly min(size, buffer) bytes of
+    // the right payload — boundary preservation.
+    std::uint64_t expect =
+        std::min<std::uint64_t>(sizes[completed], kBufSize);
+    ASSERT_EQ(ev.bytes, expect) << "message " << completed;
+    ASSERT_EQ(VerifyPattern(pool[idx].data(), ev.bytes, offsets[completed],
+                            seed),
+              ev.bytes);
+    ++completed;
+    free_pool.push_back(idx);
+  });
+
+  std::vector<bool> truncated_events(kMessages, false);
+  client->events().SetHandler([&](const Event& ev) {
+    if (ev.type == EventType::kSendComplete && ev.truncated) {
+      truncated_events[ev.id - 1] = true;  // ids are 1-based in order
+    }
+  });
+
+  int sent = 0;
+  std::uint64_t recv_posted_count = 0;
+  std::uint64_t guard = 0;
+  while (completed < kMessages) {
+    ASSERT_LT(++guard, 100000u);
+    if (sent < kMessages && rng.NextBool()) {
+      client->Send(out.data() + offsets[sent], sizes[sent]);
+      ++sent;
+    }
+    if (recv_posted_count < static_cast<std::uint64_t>(kMessages) &&
+        !free_pool.empty() && rng.NextBool()) {
+      std::size_t idx = free_pool.back();
+      free_pool.pop_back();
+      std::uint64_t id = server->Recv(pool[idx].data(), kBufSize);
+      posted.emplace(id, idx);
+      ++recv_posted_count;
+    }
+    sim.RunFor(static_cast<SimDuration>(
+        rng.NextInRange(0, static_cast<std::uint64_t>(Microseconds(20)))));
+  }
+  sim.Run();
+
+  EXPECT_EQ(completed, kMessages);
+  EXPECT_TRUE(client->Quiescent());
+  // Every oversize message (and only those) reported truncation.
+  for (int i = 0; i < kMessages; ++i) {
+    EXPECT_EQ(truncated_events[i], sizes[i] > kBufSize) << "message " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SeqPacketPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& i) {
+                           return "seed" + std::to_string(i.param);
+                         });
+
+}  // namespace
+}  // namespace exs

@@ -1,0 +1,142 @@
+// SOCK_SEQPACKET message-mode semantics (§II-C): boundaries preserved,
+// one ADVERT per receive, truncation of oversize messages.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/pattern.hpp"
+#include "exs/exs.hpp"
+
+namespace exs {
+namespace {
+
+using simnet::HardwareProfile;
+
+class SeqPacketTest : public ::testing::Test {
+ protected:
+  Simulation sim_{HardwareProfile::FdrInfiniBand(), /*seed=*/9,
+                  /*carry_payload=*/true};
+};
+
+TEST_F(SeqPacketTest, MessageBoundariesArePreserved) {
+  auto [client, server] = sim_.CreateConnectedPair(SocketType::kSeqPacket);
+  std::vector<std::uint8_t> out(3 * 1024), in(3 * 4096);
+  FillPattern(out.data(), out.size(), 0, 1);
+
+  std::vector<Event> recvs;
+  server->events().SetHandler([&](const Event& ev) { recvs.push_back(ev); });
+
+  // Three receives, three differently-sized messages: each message lands
+  // in its own buffer, never coalesced or split.
+  for (int i = 0; i < 3; ++i) server->Recv(in.data() + i * 4096, 4096);
+  sim_.RunFor(Microseconds(20));
+  client->Send(out.data(), 100);
+  client->Send(out.data() + 100, 1000);
+  client->Send(out.data() + 1100, 500);
+  sim_.Run();
+
+  ASSERT_EQ(recvs.size(), 3u);
+  EXPECT_EQ(recvs[0].bytes, 100u);
+  EXPECT_EQ(recvs[1].bytes, 1000u);
+  EXPECT_EQ(recvs[2].bytes, 500u);
+  EXPECT_EQ(VerifyPattern(in.data(), 100, 0, 1), 100u);
+  EXPECT_EQ(VerifyPattern(in.data() + 4096, 1000, 100, 1), 1000u);
+  EXPECT_EQ(VerifyPattern(in.data() + 8192, 500, 1100, 1), 500u);
+}
+
+TEST_F(SeqPacketTest, SendWaitsForAdvert) {
+  auto [client, server] = sim_.CreateConnectedPair(SocketType::kSeqPacket);
+  std::vector<std::uint8_t> out(256), in(256);
+
+  client->Send(out.data(), out.size());
+  sim_.RunFor(Milliseconds(1));
+  // No receive posted: message mode never buffers, so nothing moved.
+  EXPECT_EQ(client->stats().TotalTransfers(), 0u);
+  EXPECT_EQ(client->stats().sends_completed, 0u);
+
+  server->Recv(in.data(), in.size());
+  sim_.Run();
+  EXPECT_EQ(client->stats().sends_completed, 1u);
+  EXPECT_EQ(server->stats().recvs_completed, 1u);
+}
+
+TEST_F(SeqPacketTest, OversizeMessageIsTruncated) {
+  auto [client, server] = sim_.CreateConnectedPair(SocketType::kSeqPacket);
+  std::vector<std::uint8_t> out(2048), in(512);
+  FillPattern(out.data(), out.size(), 0, 2);
+
+  std::vector<Event> client_events, server_events;
+  client->events().SetHandler(
+      [&](const Event& ev) { client_events.push_back(ev); });
+  server->events().SetHandler(
+      [&](const Event& ev) { server_events.push_back(ev); });
+
+  server->Recv(in.data(), in.size());
+  sim_.RunFor(Microseconds(20));
+  client->Send(out.data(), out.size());  // 2048 into a 512-byte buffer
+  sim_.Run();
+
+  // The message-oriented hazard of §I: only the part that fits is sent.
+  ASSERT_EQ(client_events.size(), 1u);
+  EXPECT_TRUE(client_events[0].truncated);
+  EXPECT_EQ(client_events[0].bytes, 512u);
+  ASSERT_EQ(server_events.size(), 1u);
+  EXPECT_EQ(server_events[0].bytes, 512u);
+  EXPECT_EQ(VerifyPattern(in.data(), 512, 0, 2), 512u);
+}
+
+TEST_F(SeqPacketTest, ManyOutstandingMessages) {
+  auto [client, server] = sim_.CreateConnectedPair(SocketType::kSeqPacket);
+  constexpr int kMessages = 100;
+  constexpr std::uint64_t kSize = 2048;
+  std::vector<std::uint8_t> out(kMessages * kSize), in(kMessages * kSize);
+  FillPattern(out.data(), out.size(), 0, 3);
+
+  std::uint64_t received = 0;
+  server->events().SetHandler(
+      [&](const Event& ev) { received += ev.bytes; });
+  for (int i = 0; i < kMessages; ++i) {
+    server->Recv(in.data() + i * kSize, kSize);
+  }
+  sim_.RunFor(Microseconds(30));
+  for (int i = 0; i < kMessages; ++i) {
+    client->Send(out.data() + i * kSize, kSize);
+  }
+  sim_.Run();
+
+  EXPECT_EQ(received, out.size());
+  EXPECT_EQ(VerifyPattern(in.data(), in.size(), 0, 3), in.size());
+  EXPECT_EQ(client->stats().direct_transfers,
+            static_cast<std::uint64_t>(kMessages));
+  EXPECT_TRUE(client->Quiescent());
+  EXPECT_TRUE(server->Quiescent());
+}
+
+TEST_F(SeqPacketTest, FullDuplexMessages) {
+  auto [client, server] = sim_.CreateConnectedPair(SocketType::kSeqPacket);
+  std::vector<std::uint8_t> ping(64), pong(64), ping_in(64), pong_in(64);
+  FillPattern(ping.data(), 64, 0, 4);
+  FillPattern(pong.data(), 64, 0, 5);
+
+  server->Recv(ping_in.data(), 64);
+  client->Recv(pong_in.data(), 64);
+  sim_.RunFor(Microseconds(20));
+  client->Send(ping.data(), 64);
+  server->Send(pong.data(), 64);
+  sim_.Run();
+
+  EXPECT_EQ(VerifyPattern(ping_in.data(), 64, 0, 4), 64u);
+  EXPECT_EQ(VerifyPattern(pong_in.data(), 64, 0, 5), 64u);
+}
+
+TEST_F(SeqPacketTest, MismatchedTypesRefuseToConnect) {
+  Simulation sim2(HardwareProfile::FdrInfiniBand(), 1, true);
+  auto& d0 = sim2.device(0);
+  auto& d1 = sim2.device(1);
+  Socket a(d0, SocketType::kStream, StreamOptions{}, "a");
+  Socket b(d1, SocketType::kSeqPacket, StreamOptions{}, "b");
+  EXPECT_THROW(Socket::ConnectPair(a, b), InvariantViolation);
+}
+
+}  // namespace
+}  // namespace exs

@@ -1,0 +1,141 @@
+// Deeper simnet coverage: jitter determinism and bounds, profile sanity,
+// multi-flow channel sharing, and CPU accounting under jitter.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simnet/cpu.hpp"
+#include "simnet/fabric.hpp"
+#include "simnet/link.hpp"
+#include "simnet/profile.hpp"
+
+namespace exs::simnet {
+namespace {
+
+TEST(CpuJitter, DeterministicForSeed) {
+  auto run = [](std::uint64_t seed) {
+    EventScheduler sched;
+    Cpu cpu(sched);
+    cpu.SetJitter(0.3, seed);
+    for (int i = 0; i < 50; ++i) cpu.Submit(Microseconds(1), [] {});
+    sched.Run();
+    return cpu.BusyTime();
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(CpuJitter, StaysWithinConfiguredBounds) {
+  EventScheduler sched;
+  Cpu cpu(sched);
+  cpu.SetJitter(0.25, 3);
+  SimDuration nominal = Microseconds(10);
+  for (int i = 0; i < 200; ++i) {
+    SimDuration before = cpu.BusyTime();
+    cpu.Submit(nominal, [] {});
+    sched.Run();
+    SimDuration cost = cpu.BusyTime() - before;
+    EXPECT_GE(cost, static_cast<SimDuration>(nominal * 0.75) - 1);
+    EXPECT_LE(cost, static_cast<SimDuration>(nominal * 1.25) + 1);
+  }
+}
+
+TEST(CpuJitter, ZeroJitterIsExact) {
+  EventScheduler sched;
+  Cpu cpu(sched);
+  for (int i = 0; i < 10; ++i) cpu.Submit(Microseconds(2), [] {});
+  sched.Run();
+  EXPECT_EQ(cpu.BusyTime(), Microseconds(20));
+}
+
+TEST(Profiles, RelativeBandwidthOrdering) {
+  auto fdr = HardwareProfile::FdrInfiniBand();
+  auto qdr = HardwareProfile::QdrInfiniBand();
+  auto roce = HardwareProfile::RoCE10G();
+  EXPECT_GT(fdr.link_bandwidth.bytes_per_second,
+            qdr.link_bandwidth.bytes_per_second);
+  EXPECT_GT(qdr.link_bandwidth.bytes_per_second,
+            roce.link_bandwidth.bytes_per_second);
+  // FDR wire rate is above memcpy; that gap powers Fig. 9.
+  EXPECT_GT(fdr.link_bandwidth.bytes_per_second,
+            fdr.memcpy_bandwidth.bytes_per_second);
+}
+
+TEST(Profiles, SmallTransferLatencyMatchesPaper) {
+  // ib_write_lat for 64 B: ~0.76 us one-way on the FDR testbed.
+  auto p = HardwareProfile::FdrInfiniBand();
+  SimDuration t = p.send_wr_overhead +
+                  p.link_bandwidth.TransmissionTime(64 + 30) +
+                  p.propagation + p.recv_delivery_overhead;
+  EXPECT_NEAR(ToMicroseconds(t), 0.76, 0.08);
+}
+
+TEST(Profiles, BusyPollingVariantKeepsEverythingElse) {
+  auto base = HardwareProfile::FdrInfiniBand();
+  auto poll = base.WithBusyPolling();
+  EXPECT_TRUE(poll.busy_polling);
+  EXPECT_FALSE(base.busy_polling);
+  EXPECT_EQ(poll.link_bandwidth.bytes_per_second,
+            base.link_bandwidth.bytes_per_second);
+}
+
+TEST(Profiles, IwarpEmulationFlag) {
+  EXPECT_FALSE(HardwareProfile::RoCE10G().emulate_wwi_with_send);
+  EXPECT_TRUE(HardwareProfile::Iwarp10G().emulate_wwi_with_send);
+}
+
+TEST(Channel, InterleavedFlowsShareBandwidthFifo) {
+  // Two logical flows on one channel: serialisation is strictly FIFO, so
+  // a burst from flow A delays flow B by exactly A's serialisation time.
+  EventScheduler sched;
+  ChannelConfig cfg;
+  cfg.bandwidth = Bandwidth::GigabytesPerSecond(1.0);
+  SimplexChannel ch(sched, cfg);
+  std::vector<std::pair<char, SimTime>> arrivals;
+  ch.Transmit(10000, [&] { arrivals.emplace_back('A', sched.Now()); });
+  ch.Transmit(100, [&] { arrivals.emplace_back('B', sched.Now()); });
+  sched.Run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0].first, 'A');
+  EXPECT_EQ(arrivals[0].second, Microseconds(10));
+  EXPECT_EQ(arrivals[1].second, Microseconds(10.1));
+}
+
+TEST(Channel, ZeroByteMessageStillTravels) {
+  EventScheduler sched;
+  ChannelConfig cfg;
+  cfg.bandwidth = Bandwidth::GigabytesPerSecond(1.0);
+  cfg.propagation = Microseconds(3);
+  SimplexChannel ch(sched, cfg);
+  SimTime arrival = ch.Transmit(0, [] {});
+  EXPECT_EQ(arrival, Microseconds(3));
+}
+
+TEST(Fabric, SeedsPropagateToChannels) {
+  // Different fabric seeds give different jitter streams (visible through
+  // delivery times when jitter is on).
+  auto profile = HardwareProfile::RoCE10GWithDelay(0, Microseconds(50));
+  auto deliveries = [&](std::uint64_t seed) {
+    Fabric f(profile, seed);
+    std::vector<SimTime> times;
+    for (int i = 0; i < 10; ++i) {
+      f.channel_from(0).Transmit(
+          100, [&] { times.push_back(f.scheduler().Now()); });
+    }
+    f.scheduler().Run();
+    return times;
+  };
+  EXPECT_NE(deliveries(1), deliveries(2));
+  EXPECT_EQ(deliveries(3), deliveries(3));
+}
+
+TEST(Fabric, NodesHaveIndependentCpus) {
+  Fabric f(HardwareProfile::FdrInfiniBand(), 1);
+  f.node(0).cpu().Submit(Microseconds(5), [] {});
+  f.scheduler().Run();
+  EXPECT_GT(f.node(0).cpu().BusyTime(), 0);
+  EXPECT_EQ(f.node(1).cpu().BusyTime(), 0);
+}
+
+}  // namespace
+}  // namespace exs::simnet

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace exs {
+namespace {
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.Count(), 8u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_NEAR(s.Variance(), 4.571428571, 1e-8);
+  EXPECT_EQ(s.Min(), 2.0);
+  EXPECT_EQ(s.Max(), 9.0);
+}
+
+TEST(RunningStats, ConfidenceIntervalTenRuns) {
+  // The paper's setting: 10 runs, 95% CI uses t(9) = 2.262.
+  RunningStats s;
+  for (int i = 1; i <= 10; ++i) s.Add(static_cast<double>(i));
+  double sem = s.StdDev() / std::sqrt(10.0);
+  EXPECT_NEAR(s.ConfidenceHalfWidth95(), 2.262 * sem, 1e-9);
+}
+
+TEST(RunningStats, DegenerateCases) {
+  RunningStats s;
+  EXPECT_EQ(s.ConfidenceHalfWidth95(), 0.0);
+  s.Add(3.0);
+  EXPECT_EQ(s.Variance(), 0.0);
+  EXPECT_EQ(s.ConfidenceHalfWidth95(), 0.0);
+  EXPECT_EQ(s.Mean(), 3.0);
+}
+
+TEST(RunningStats, ConstantSamplesHaveZeroWidth) {
+  RunningStats s;
+  for (int i = 0; i < 10; ++i) s.Add(42.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.ConfidenceHalfWidth95(), 0.0);
+}
+
+TEST(StudentT, TableValues) {
+  EXPECT_DOUBLE_EQ(StudentT975(1), 12.706);
+  EXPECT_DOUBLE_EQ(StudentT975(9), 2.262);
+  EXPECT_DOUBLE_EQ(StudentT975(30), 2.042);
+  EXPECT_DOUBLE_EQ(StudentT975(1000), 1.960);
+}
+
+TEST(Summarize, MatchesRunningStats) {
+  RunningStats s = Summarize({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.0);
+  EXPECT_EQ(s.Count(), 3u);
+}
+
+}  // namespace
+}  // namespace exs

@@ -1,0 +1,273 @@
+// End-to-end behaviour of the stream socket: byte delivery, splitting,
+// MSG_WAITALL, zero-copy registration, and the forced baseline modes.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "common/pattern.hpp"
+#include "exs/exs.hpp"
+
+namespace exs {
+namespace {
+
+using simnet::HardwareProfile;
+
+struct EventLog {
+  std::vector<Event> events;
+  void Attach(Socket& s) {
+    s.events().SetHandler([this](const Event& ev) { events.push_back(ev); });
+  }
+  std::uint64_t TotalBytes(EventType type) const {
+    std::uint64_t total = 0;
+    for (const auto& ev : events) {
+      if (ev.type == type) total += ev.bytes;
+    }
+    return total;
+  }
+  std::size_t Count(EventType type) const {
+    std::size_t n = 0;
+    for (const auto& ev : events) n += ev.type == type ? 1 : 0;
+    return n;
+  }
+};
+
+class StreamBasicTest : public ::testing::Test {
+ protected:
+  Simulation sim_{HardwareProfile::FdrInfiniBand(), /*seed=*/7,
+                  /*carry_payload=*/true};
+};
+
+TEST_F(StreamBasicTest, SingleMessageDeliversBytes) {
+  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream);
+  EventLog client_log, server_log;
+  client_log.Attach(*client);
+  server_log.Attach(*server);
+
+  std::vector<std::uint8_t> out(4096), in(4096, 0);
+  FillPattern(out.data(), out.size(), 0, 1);
+
+  server->Recv(in.data(), in.size());
+  client->Send(out.data(), out.size());
+  sim_.Run();
+
+  ASSERT_EQ(server_log.Count(EventType::kRecvComplete), 1u);
+  EXPECT_EQ(server_log.events[0].bytes, 4096u);
+  EXPECT_EQ(VerifyPattern(in.data(), in.size(), 0, 1), in.size());
+  ASSERT_EQ(client_log.Count(EventType::kSendComplete), 1u);
+  EXPECT_EQ(client_log.events[0].bytes, 4096u);
+}
+
+TEST_F(StreamBasicTest, RecvPostedFirstUsesDirectTransfer) {
+  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream);
+  std::vector<std::uint8_t> out(64 * 1024), in(64 * 1024);
+
+  server->Recv(in.data(), in.size());
+  // Let the ADVERT reach the client before it sends.
+  sim_.RunFor(Microseconds(20));
+  client->Send(out.data(), out.size());
+  sim_.Run();
+
+  EXPECT_EQ(client->stats().direct_transfers, 1u);
+  EXPECT_EQ(client->stats().indirect_transfers, 0u);
+  EXPECT_EQ(client->stats().mode_switches, 0u);
+}
+
+TEST_F(StreamBasicTest, SendBeforeRecvUsesIndirectTransfer) {
+  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream);
+  std::vector<std::uint8_t> out(64 * 1024), in(64 * 1024);
+  FillPattern(out.data(), out.size(), 0, 9);
+
+  client->Send(out.data(), out.size());
+  sim_.RunFor(Microseconds(50));
+  EventLog server_log;
+  server_log.Attach(*server);
+  server->Recv(in.data(), in.size());
+  sim_.Run();
+
+  EXPECT_GE(client->stats().indirect_transfers, 1u);
+  EXPECT_EQ(client->stats().direct_transfers, 0u);
+  EXPECT_EQ(client->stats().mode_switches, 1u);
+  EXPECT_EQ(server_log.TotalBytes(EventType::kRecvComplete), out.size());
+  EXPECT_EQ(VerifyPattern(in.data(), out.size(), 0, 9), out.size());
+}
+
+TEST_F(StreamBasicTest, LargeSendSplitsAcrossMultipleRecvs) {
+  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream);
+  constexpr std::uint64_t kTotal = 256 * 1024;
+  constexpr std::uint64_t kRecvSize = 64 * 1024;
+  std::vector<std::uint8_t> out(kTotal), in(kTotal);
+  FillPattern(out.data(), out.size(), 0, 3);
+
+  EventLog server_log;
+  server_log.Attach(*server);
+  for (int i = 0; i < 4; ++i) {
+    server->Recv(in.data() + i * kRecvSize, kRecvSize,
+                 RecvFlags{.waitall = true});
+  }
+  sim_.RunFor(Microseconds(20));
+  client->Send(out.data(), kTotal);
+  sim_.Run();
+
+  EXPECT_EQ(server_log.Count(EventType::kRecvComplete), 4u);
+  EXPECT_EQ(server_log.TotalBytes(EventType::kRecvComplete), kTotal);
+  EXPECT_EQ(VerifyPattern(in.data(), kTotal, 0, 3), kTotal);
+}
+
+TEST_F(StreamBasicTest, WaitallHoldsCompletionUntilFull) {
+  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream);
+  constexpr std::uint64_t kRecvSize = 96 * 1024;
+  std::vector<std::uint8_t> out(kRecvSize), in(kRecvSize);
+  FillPattern(out.data(), out.size(), 0, 4);
+
+  EventLog server_log;
+  server_log.Attach(*server);
+  server->Recv(in.data(), kRecvSize, RecvFlags{.waitall = true});
+  sim_.RunFor(Microseconds(20));
+
+  // Three sends fill one WAITALL receive; only then may it complete.
+  client->Send(out.data(), 32 * 1024);
+  sim_.Run();
+  EXPECT_EQ(server_log.Count(EventType::kRecvComplete), 0u);
+  client->Send(out.data() + 32 * 1024, 32 * 1024);
+  sim_.Run();
+  EXPECT_EQ(server_log.Count(EventType::kRecvComplete), 0u);
+  client->Send(out.data() + 64 * 1024, 32 * 1024);
+  sim_.Run();
+
+  ASSERT_EQ(server_log.Count(EventType::kRecvComplete), 1u);
+  EXPECT_EQ(server_log.events[0].bytes, kRecvSize);
+  EXPECT_EQ(VerifyPattern(in.data(), kRecvSize, 0, 4), kRecvSize);
+}
+
+TEST_F(StreamBasicTest, WithoutWaitallRecvCompletesOnFirstChunk) {
+  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream);
+  std::vector<std::uint8_t> out(8 * 1024), in(64 * 1024);
+
+  EventLog server_log;
+  server_log.Attach(*server);
+  server->Recv(in.data(), in.size());  // bigger than the send
+  sim_.RunFor(Microseconds(20));
+  client->Send(out.data(), out.size());
+  sim_.Run();
+
+  ASSERT_EQ(server_log.Count(EventType::kRecvComplete), 1u);
+  EXPECT_EQ(server_log.events[0].bytes, out.size());
+}
+
+TEST_F(StreamBasicTest, DirectOnlyModeNeverTouchesBuffer) {
+  StreamOptions opts;
+  opts.mode = ProtocolMode::kDirectOnly;
+  auto [client, server] =
+      sim_.CreateConnectedPair(SocketType::kStream, opts);
+  std::vector<std::uint8_t> out(32 * 1024), in(32 * 1024);
+  FillPattern(out.data(), out.size(), 0, 5);
+
+  // Send first: the sender must *wait* rather than go indirect.
+  client->Send(out.data(), out.size());
+  sim_.RunFor(Milliseconds(1));
+  EXPECT_EQ(client->stats().TotalTransfers(), 0u);
+
+  server->Recv(in.data(), in.size());
+  sim_.Run();
+  EXPECT_EQ(client->stats().direct_transfers, 1u);
+  EXPECT_EQ(client->stats().indirect_transfers, 0u);
+  EXPECT_EQ(VerifyPattern(in.data(), in.size(), 0, 5), in.size());
+}
+
+TEST_F(StreamBasicTest, IndirectOnlyModeSendsNoAdverts) {
+  StreamOptions opts;
+  opts.mode = ProtocolMode::kIndirectOnly;
+  auto [client, server] =
+      sim_.CreateConnectedPair(SocketType::kStream, opts);
+  std::vector<std::uint8_t> out(32 * 1024), in(32 * 1024);
+  FillPattern(out.data(), out.size(), 0, 6);
+
+  EventLog server_log;
+  server_log.Attach(*server);
+  server->Recv(in.data(), in.size());
+  sim_.RunFor(Microseconds(20));
+  client->Send(out.data(), out.size());
+  sim_.Run();
+
+  EXPECT_EQ(server->stats().adverts_sent, 0u);
+  EXPECT_EQ(client->stats().direct_transfers, 0u);
+  EXPECT_GE(client->stats().indirect_transfers, 1u);
+  EXPECT_EQ(server_log.TotalBytes(EventType::kRecvComplete), out.size());
+  EXPECT_EQ(VerifyPattern(in.data(), in.size(), 0, 6), in.size());
+}
+
+TEST_F(StreamBasicTest, FullDuplexStreamsAreIndependent) {
+  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream);
+  std::vector<std::uint8_t> a_out(16 * 1024), a_in(16 * 1024);
+  std::vector<std::uint8_t> b_out(24 * 1024), b_in(24 * 1024);
+  FillPattern(a_out.data(), a_out.size(), 0, 11);
+  FillPattern(b_out.data(), b_out.size(), 0, 22);
+
+  server->Recv(a_in.data(), a_in.size(), RecvFlags{.waitall = true});
+  client->Recv(b_in.data(), b_in.size(), RecvFlags{.waitall = true});
+  client->Send(a_out.data(), a_out.size());
+  server->Send(b_out.data(), b_out.size());
+  sim_.Run();
+
+  EXPECT_EQ(VerifyPattern(a_in.data(), a_in.size(), 0, 11), a_in.size());
+  EXPECT_EQ(VerifyPattern(b_in.data(), b_in.size(), 0, 22), b_in.size());
+  EXPECT_TRUE(client->Quiescent());
+  EXPECT_TRUE(server->Quiescent());
+}
+
+TEST_F(StreamBasicTest, ZeroLengthSendCompletesImmediately) {
+  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream);
+  (void)server;
+  EventLog log;
+  log.Attach(*client);
+  client->Send(nullptr, 0);
+  sim_.Run();
+  ASSERT_EQ(log.Count(EventType::kSendComplete), 1u);
+  EXPECT_EQ(log.events[0].bytes, 0u);
+}
+
+TEST_F(StreamBasicTest, ExplicitRegistrationIsHonored) {
+  StreamOptions opts;
+  opts.auto_register_memory = false;
+  auto [client, server] =
+      sim_.CreateConnectedPair(SocketType::kStream, opts);
+  std::vector<std::uint8_t> out(4096), in(4096);
+  client->RegisterMemory(out.data(), out.size());
+  server->RegisterMemory(in.data(), in.size());
+
+  server->Recv(in.data(), in.size());
+  client->Send(out.data(), out.size());
+  sim_.Run();
+  EXPECT_EQ(server->stats().recvs_completed, 1u);
+
+  // An unregistered buffer must be rejected when auto-registration is off.
+  std::vector<std::uint8_t> rogue(128);
+  EXPECT_THROW(client->Send(rogue.data(), rogue.size()), InvariantViolation);
+}
+
+TEST_F(StreamBasicTest, ManySmallSendsPreserveOrder) {
+  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream);
+  constexpr int kMessages = 200;
+  constexpr std::uint64_t kSize = 777;
+  std::vector<std::uint8_t> out(kMessages * kSize), in(kMessages * kSize);
+  FillPattern(out.data(), out.size(), 0, 13);
+
+  EventLog server_log;
+  server_log.Attach(*server);
+  for (int i = 0; i < kMessages; ++i) {
+    server->Recv(in.data() + i * kSize, kSize, RecvFlags{.waitall = true});
+  }
+  for (int i = 0; i < kMessages; ++i) {
+    client->Send(out.data() + i * kSize, kSize);
+  }
+  sim_.Run();
+
+  EXPECT_EQ(server_log.Count(EventType::kRecvComplete),
+            static_cast<std::size_t>(kMessages));
+  EXPECT_EQ(VerifyPattern(in.data(), in.size(), 0, 13), in.size());
+}
+
+}  // namespace
+}  // namespace exs

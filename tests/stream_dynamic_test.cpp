@@ -1,0 +1,256 @@
+// Dynamic direct/indirect switching: phase transitions, stale-ADVERT
+// discarding, resynchronisation, buffer backpressure, and the protocol
+// invariants the paper proves.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/pattern.hpp"
+#include "exs/exs.hpp"
+
+namespace exs {
+namespace {
+
+using simnet::HardwareProfile;
+
+class StreamDynamicTest : public ::testing::Test {
+ protected:
+  Simulation sim_{HardwareProfile::FdrInfiniBand(), /*seed=*/21,
+                  /*carry_payload=*/true};
+};
+
+TEST_F(StreamDynamicTest, SwitchesFromIndirectBackToDirect) {
+  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream);
+  std::vector<std::uint8_t> out(32 * 1024), in(32 * 1024);
+  FillPattern(out.data(), out.size(), 0, 1);
+
+  // Phase 1: send with no receive posted -> indirect.
+  client->Send(out.data(), 16 * 1024);
+  sim_.RunFor(Microseconds(100));
+  EXPECT_EQ(client->stream_tx()->phase() % 2, 1u) << "sender phase is odd";
+
+  // Receiver drains it, then posts a fresh receive -> new ADVERT.
+  server->Recv(in.data(), 16 * 1024, RecvFlags{.waitall = true});
+  sim_.RunFor(Milliseconds(1));
+  EXPECT_TRUE(server->stream_rx()->Quiescent());
+
+  server->Recv(in.data() + 16 * 1024, 16 * 1024);
+  sim_.RunFor(Milliseconds(1));
+
+  // Phase 2: the sender accepted the new ADVERT and returned to direct.
+  FillPattern(out.data() + 16 * 1024, 16 * 1024, 16 * 1024, 1);
+  client->Send(out.data() + 16 * 1024, 16 * 1024);
+  sim_.Run();
+
+  EXPECT_GE(client->stats().indirect_transfers, 1u);
+  EXPECT_GE(client->stats().direct_transfers, 1u);
+  EXPECT_EQ(client->stats().mode_switches, 2u);  // direct->indirect->direct
+  EXPECT_EQ(client->stream_tx()->phase() % 2, 0u);
+  EXPECT_EQ(VerifyPattern(in.data(), 32 * 1024, 0, 1), 32u * 1024);
+}
+
+TEST_F(StreamDynamicTest, StaleAdvertIsDiscarded) {
+  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream);
+  std::vector<std::uint8_t> out(64 * 1024), in(64 * 1024);
+  FillPattern(out.data(), out.size(), 0, 2);
+
+  // The receive is posted but its ADVERT is still in flight when the send
+  // is issued, so the sender goes indirect; the ADVERT then arrives stale
+  // and must be discarded — which happens when the next send request runs
+  // the matching loop (Fig. 2 runs per send, not per ADVERT arrival).
+  server->Recv(in.data(), 32 * 1024);
+  client->Send(out.data(), 16 * 1024);  // same instant: no ADVERT yet
+  sim_.Run();
+  EXPECT_EQ(server->stats().bytes_received, 16u * 1024);
+  EXPECT_EQ(client->stats().adverts_received, 1u);
+
+  client->Send(out.data() + 16 * 1024, 16 * 1024);
+  sim_.RunFor(Microseconds(5));
+  EXPECT_GE(client->stats().adverts_discarded, 1u);
+  EXPECT_EQ(client->stats().direct_transfers, 0u);
+
+  server->Recv(in.data() + 16 * 1024, 16 * 1024,
+               RecvFlags{.waitall = true});
+  sim_.Run();
+  EXPECT_EQ(server->stats().bytes_received, 32u * 1024);
+  EXPECT_EQ(VerifyPattern(in.data(), 32 * 1024, 0, 2), 32u * 1024);
+}
+
+TEST_F(StreamDynamicTest, ResynchronisationAfterIndirectBurst) {
+  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream);
+  constexpr std::uint64_t kChunk = 8 * 1024;
+  constexpr int kChunks = 16;
+  std::vector<std::uint8_t> out(kChunks * kChunk), in(kChunks * kChunk);
+  FillPattern(out.data(), out.size(), 0, 3);
+
+  // Burst of sends with receives racing behind them: a mix of direct and
+  // indirect service with several phase changes.
+  for (int i = 0; i < kChunks; ++i) {
+    client->Send(out.data() + i * kChunk, kChunk);
+    server->Recv(in.data() + i * kChunk, kChunk, RecvFlags{.waitall = true});
+    sim_.RunFor(Microseconds(30));
+  }
+  sim_.Run();
+
+  EXPECT_EQ(server->stats().bytes_received, out.size());
+  EXPECT_EQ(VerifyPattern(in.data(), in.size(), 0, 3), in.size());
+  // Sequence agreement once quiescent: S_s == S_r == S'_r == total bytes.
+  EXPECT_EQ(client->stream_tx()->sequence(), out.size());
+  EXPECT_EQ(server->stream_rx()->sequence(), out.size());
+  EXPECT_EQ(server->stream_rx()->sequence_estimate(), out.size());
+}
+
+TEST_F(StreamDynamicTest, BufferFullBlocksSenderUntilAck) {
+  StreamOptions opts;
+  opts.mode = ProtocolMode::kIndirectOnly;
+  opts.intermediate_buffer_bytes = 64 * 1024;
+  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream, opts);
+  std::vector<std::uint8_t> out(256 * 1024), in(256 * 1024);
+  FillPattern(out.data(), out.size(), 0, 4);
+
+  // Four buffers' worth with no receive posted: the sender can place at
+  // most the buffer capacity.
+  client->Send(out.data(), out.size());
+  sim_.RunFor(Milliseconds(2));
+  EXPECT_EQ(client->stats().indirect_bytes, 64u * 1024);
+  EXPECT_EQ(client->stream_tx()->RemoteRingFree(), 0u);
+
+  // Draining the buffer lets the rest flow.
+  server->Recv(in.data(), in.size(), RecvFlags{.waitall = true});
+  sim_.Run();
+  EXPECT_EQ(client->stats().indirect_bytes, out.size());
+  EXPECT_EQ(VerifyPattern(in.data(), in.size(), 0, 4), in.size());
+}
+
+TEST_F(StreamDynamicTest, IndirectDataWrapsAroundRing) {
+  StreamOptions opts;
+  opts.mode = ProtocolMode::kIndirectOnly;
+  opts.intermediate_buffer_bytes = 24 * 1024;  // forces many wraps
+  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream, opts);
+  constexpr std::uint64_t kTotal = 256 * 1024;
+  std::vector<std::uint8_t> out(kTotal), in(kTotal);
+  FillPattern(out.data(), out.size(), 0, 5);
+
+  server->Recv(in.data(), in.size(), RecvFlags{.waitall = true});
+  client->Send(out.data(), out.size());
+  sim_.Run();
+
+  EXPECT_EQ(VerifyPattern(in.data(), in.size(), 0, 5), in.size());
+  // Wrap splits mean strictly more transfers than buffers' worth.
+  EXPECT_GT(client->stats().indirect_transfers, kTotal / (24 * 1024));
+}
+
+TEST_F(StreamDynamicTest, PhasesAreMonotone) {
+  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream);
+  std::vector<std::uint8_t> out(128 * 1024), in(128 * 1024);
+  FillPattern(out.data(), out.size(), 0, 6);
+
+  std::uint64_t last_tx_phase = 0, last_rx_phase = 0;
+  std::uint64_t sent = 0, recvd = 0;
+  constexpr std::uint64_t kStep = 8 * 1024;
+  while (recvd < out.size()) {
+    if (sent < out.size()) {
+      client->Send(out.data() + sent, kStep);
+      sent += kStep;
+    }
+    server->Recv(in.data() + recvd, kStep, RecvFlags{.waitall = true});
+    recvd += kStep;
+    sim_.RunFor(Microseconds(40));
+    std::uint64_t tx_phase = client->stream_tx()->phase();
+    std::uint64_t rx_phase = server->stream_rx()->phase();
+    ASSERT_GE(tx_phase, last_tx_phase);
+    ASSERT_GE(rx_phase, last_rx_phase);
+    last_tx_phase = tx_phase;
+    last_rx_phase = rx_phase;
+  }
+  sim_.Run();
+  EXPECT_EQ(VerifyPattern(in.data(), in.size(), 0, 6), in.size());
+}
+
+TEST_F(StreamDynamicTest, MixedDirectThenIndirectFillOfWaitallRecv) {
+  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream);
+  constexpr std::uint64_t kRecvSize = 64 * 1024;
+  std::vector<std::uint8_t> out(kRecvSize), in(kRecvSize);
+  FillPattern(out.data(), out.size(), 0, 7);
+
+  // The WAITALL receive is advertised; the first half arrives directly.
+  server->Recv(in.data(), kRecvSize, RecvFlags{.waitall = true});
+  sim_.RunFor(Microseconds(20));
+  client->Send(out.data(), kRecvSize / 2);
+  sim_.Run();
+  EXPECT_EQ(server->stats().recvs_completed, 0u);
+  EXPECT_EQ(client->stats().direct_transfers, 1u);
+
+  // A second receive posted behind it can't advertise past the WAITALL
+  // head... but the remaining half still flows (directly, same ADVERT).
+  client->Send(out.data() + kRecvSize / 2, kRecvSize / 2);
+  sim_.Run();
+  EXPECT_EQ(server->stats().recvs_completed, 1u);
+  EXPECT_EQ(VerifyPattern(in.data(), kRecvSize, 0, 7), kRecvSize);
+}
+
+TEST_F(StreamDynamicTest, SmallBufferStillMakesProgressDynamically) {
+  StreamOptions opts;
+  opts.intermediate_buffer_bytes = 4 * 1024;  // tiny
+  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream, opts);
+  constexpr std::uint64_t kTotal = 512 * 1024;
+  std::vector<std::uint8_t> out(kTotal), in(kTotal);
+  FillPattern(out.data(), out.size(), 0, 8);
+
+  client->Send(out.data(), kTotal);
+  // Receives trickle in while the buffer thrashes.
+  for (std::uint64_t off = 0; off < kTotal; off += 16 * 1024) {
+    server->Recv(in.data() + off, 16 * 1024, RecvFlags{.waitall = true});
+    sim_.RunFor(Microseconds(25));
+  }
+  sim_.Run();
+
+  EXPECT_EQ(server->stats().bytes_received, kTotal);
+  EXPECT_EQ(VerifyPattern(in.data(), kTotal, 0, 8), kTotal);
+}
+
+TEST_F(StreamDynamicTest, ChunkCapSplitsTransfers) {
+  StreamOptions opts;
+  opts.max_wwi_chunk = 4 * 1024;
+  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream, opts);
+  std::vector<std::uint8_t> out(64 * 1024), in(64 * 1024);
+  FillPattern(out.data(), out.size(), 0, 9);
+
+  server->Recv(in.data(), in.size(), RecvFlags{.waitall = true});
+  sim_.RunFor(Microseconds(20));
+  client->Send(out.data(), out.size());
+  sim_.Run();
+
+  EXPECT_EQ(client->stats().direct_transfers, 16u);
+  EXPECT_EQ(VerifyPattern(in.data(), in.size(), 0, 9), in.size());
+}
+
+TEST_F(StreamDynamicTest, StatsAccountingIsConsistent) {
+  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream);
+  std::vector<std::uint8_t> out(96 * 1024), in(96 * 1024);
+  FillPattern(out.data(), out.size(), 0, 10);
+
+  client->Send(out.data(), 48 * 1024);  // indirect (no recv yet)
+  sim_.RunFor(Microseconds(100));
+  server->Recv(in.data(), 48 * 1024, RecvFlags{.waitall = true});
+  sim_.RunFor(Milliseconds(1));
+  server->Recv(in.data() + 48 * 1024, 48 * 1024, RecvFlags{.waitall = true});
+  sim_.RunFor(Milliseconds(1));
+  client->Send(out.data() + 48 * 1024, 48 * 1024);  // direct
+  sim_.Run();
+
+  const StreamStats& cs = client->stats();
+  const StreamStats& ss = server->stats();
+  EXPECT_EQ(cs.direct_bytes + cs.indirect_bytes, out.size());
+  EXPECT_EQ(cs.bytes_sent, out.size());
+  EXPECT_EQ(ss.bytes_received, out.size());
+  EXPECT_EQ(ss.direct_bytes_received, cs.direct_bytes);
+  EXPECT_EQ(ss.indirect_bytes_received, cs.indirect_bytes);
+  EXPECT_EQ(ss.bytes_copied_out, cs.indirect_bytes);
+  EXPECT_EQ(cs.sends_completed, 2u);
+  EXPECT_EQ(ss.recvs_completed, 2u);
+  EXPECT_GE(ss.acks_sent, 1u);
+}
+
+}  // namespace
+}  // namespace exs

@@ -1,0 +1,155 @@
+// Stream behaviour over the emulated wide-area path (10 GbE RoCE through
+// a 48 ms round-trip delay): correctness is unaffected by distance, the
+// intermediate buffer acts as the indirect path's flow-control window, and
+// jitter does not break ordering.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/pattern.hpp"
+#include "exs/exs.hpp"
+
+namespace exs {
+namespace {
+
+using simnet::HardwareProfile;
+
+TEST(StreamWan, IntegrityOverDistance) {
+  Simulation sim(HardwareProfile::RoCE10GWithDelay(Milliseconds(24)), 1,
+                 true);
+  auto [client, server] = sim.CreateConnectedPair(SocketType::kStream);
+  constexpr std::uint64_t kTotal = 2 * kMiB;
+  std::vector<std::uint8_t> out(kTotal), in(kTotal);
+  FillPattern(out.data(), out.size(), 0, 5);
+
+  client->Send(out.data(), kTotal);
+  server->Recv(in.data(), kTotal, RecvFlags{.waitall = true});
+  sim.Run();
+
+  EXPECT_EQ(VerifyPattern(in.data(), in.size(), 0, 5), in.size());
+  // One-way delivery cannot beat the emulator's one-way delay.
+  EXPECT_GE(sim.Now(), Milliseconds(24));
+}
+
+TEST(StreamWan, DirectTransferWaitsFullRoundTrip) {
+  StreamOptions opts;
+  opts.mode = ProtocolMode::kDirectOnly;
+  Simulation sim(HardwareProfile::RoCE10GWithDelay(Milliseconds(24)), 2,
+                 true);
+  auto [client, server] = sim.CreateConnectedPair(SocketType::kStream, opts);
+  std::vector<std::uint8_t> out(4096), in(4096);
+
+  // Send posted first: the data cannot leave until the ADVERT has crossed
+  // the 24 ms one-way path, so delivery takes at least a full RTT.
+  client->Send(out.data(), out.size());
+  server->Recv(in.data(), in.size(), RecvFlags{.waitall = true});
+  SimTime start = sim.Now();
+  sim.Run();
+  EXPECT_GE(sim.Now() - start, Milliseconds(48));
+}
+
+TEST(StreamWan, IndirectAvoidsTheAdvertLeg) {
+  StreamOptions opts;
+  opts.mode = ProtocolMode::kIndirectOnly;
+  Simulation sim(HardwareProfile::RoCE10GWithDelay(Milliseconds(24)), 3,
+                 true);
+  auto [client, server] = sim.CreateConnectedPair(SocketType::kStream, opts);
+  std::vector<std::uint8_t> out(4096), in(4096);
+  FillPattern(out.data(), out.size(), 0, 9);
+
+  client->Send(out.data(), out.size());
+  server->Recv(in.data(), in.size(), RecvFlags{.waitall = true});
+  SimTime start = sim.Now();
+  std::uint64_t done_bytes = 0;
+  SimTime done_at = 0;
+  server->events().SetHandler([&](const Event& ev) {
+    done_bytes = ev.bytes;
+    done_at = sim.Now();
+  });
+  sim.Run();
+
+  EXPECT_EQ(done_bytes, 4096u);
+  // One-way plus processing, but well under a full round trip.
+  EXPECT_GE(done_at - start, Milliseconds(24));
+  EXPECT_LT(done_at - start, Milliseconds(40));
+  EXPECT_EQ(VerifyPattern(in.data(), in.size(), 0, 9), in.size());
+}
+
+TEST(StreamWan, BufferBoundsInFlightData) {
+  StreamOptions opts;
+  opts.mode = ProtocolMode::kIndirectOnly;
+  opts.intermediate_buffer_bytes = 1 * kMiB;
+  Simulation sim(HardwareProfile::RoCE10GWithDelay(Milliseconds(24)), 4,
+                 true);
+  auto [client, server] = sim.CreateConnectedPair(SocketType::kStream, opts);
+  constexpr std::uint64_t kTotal = 8 * kMiB;
+  std::vector<std::uint8_t> out(kTotal), in(kTotal);
+  FillPattern(out.data(), out.size(), 0, 11);
+
+  client->Send(out.data(), kTotal);
+  for (int i = 0; i < 8; ++i) {
+    server->Recv(in.data() + i * kMiB, kMiB, RecvFlags{.waitall = true});
+  }
+  SimTime start = sim.Now();
+  sim.Run();
+
+  EXPECT_EQ(VerifyPattern(in.data(), in.size(), 0, 11), in.size());
+  // 8 MiB through a 1 MiB window over a 48 ms loop: at least ~7 ACK round
+  // trips must have elapsed.
+  EXPECT_GE(sim.Now() - start, Milliseconds(48 * 4));
+  EXPECT_GE(server->stats().acks_sent, 7u);
+}
+
+TEST(StreamWan, JitterPreservesByteOrder) {
+  Simulation sim(
+      HardwareProfile::RoCE10GWithDelay(Milliseconds(24), Milliseconds(5)),
+      5, true);
+  auto [client, server] = sim.CreateConnectedPair(SocketType::kStream);
+  constexpr std::uint64_t kTotal = 1 * kMiB;
+  constexpr std::uint64_t kChunk = 64 * kKiB;
+  std::vector<std::uint8_t> out(kTotal), in(kTotal);
+  FillPattern(out.data(), out.size(), 0, 13);
+
+  for (std::uint64_t off = 0; off < kTotal; off += kChunk) {
+    client->Send(out.data() + off, kChunk);
+    server->Recv(in.data() + off, kChunk, RecvFlags{.waitall = true});
+  }
+  sim.Run();
+  EXPECT_EQ(VerifyPattern(in.data(), in.size(), 0, 13), in.size());
+  EXPECT_EQ(server->stats().bytes_received, kTotal);
+}
+
+TEST(StreamWan, QdrProfileNarrowsDirectIndirectGap) {
+  // The paper notes indirect compares much more favourably on QDR, whose
+  // wire rate is not dramatically above memcpy throughput.  Check the
+  // relative gap orders correctly across profiles.
+  auto run = [](const HardwareProfile& profile, ProtocolMode mode) {
+    StreamOptions opts;
+    opts.mode = mode;
+    Simulation sim(profile, 6, false);
+    auto [client, server] = sim.CreateConnectedPair(SocketType::kStream,
+                                                    opts);
+    constexpr std::uint64_t kTotal = 16 * kMiB;
+    static std::vector<std::uint8_t> out(kTotal), in(kTotal);
+    SimTime start = sim.Now();
+    for (int i = 0; i < 16; ++i) {
+      server->Recv(in.data() + i * kMiB, kMiB, RecvFlags{.waitall = true});
+    }
+    client->Send(out.data(), kTotal);
+    sim.Run();
+    return ThroughputMbps(kTotal, sim.Now() - start);
+  };
+  double fdr_direct = run(HardwareProfile::FdrInfiniBand(),
+                          ProtocolMode::kDirectOnly);
+  double fdr_indirect = run(HardwareProfile::FdrInfiniBand(),
+                            ProtocolMode::kIndirectOnly);
+  double qdr_direct = run(HardwareProfile::QdrInfiniBand(),
+                          ProtocolMode::kDirectOnly);
+  double qdr_indirect = run(HardwareProfile::QdrInfiniBand(),
+                            ProtocolMode::kIndirectOnly);
+  EXPECT_GT(fdr_direct / fdr_indirect, qdr_direct / qdr_indirect);
+  EXPECT_GT(qdr_direct, qdr_indirect * 0.8);  // near parity on QDR
+}
+
+}  // namespace
+}  // namespace exs

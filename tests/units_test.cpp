@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace exs {
+namespace {
+
+TEST(Units, ConversionsRoundTrip) {
+  EXPECT_EQ(Microseconds(1.0), 1'000'000);
+  EXPECT_EQ(Milliseconds(1.0), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(ToSeconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(ToMicroseconds(Microseconds(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(ToMilliseconds(Milliseconds(48.0)), 48.0);
+}
+
+TEST(Units, BandwidthTransmissionTime) {
+  // 1 GB/s: 1000 bytes serialise in 1 us.
+  Bandwidth bw = Bandwidth::GigabytesPerSecond(1.0);
+  EXPECT_EQ(bw.TransmissionTime(1000), Microseconds(1.0));
+}
+
+TEST(Units, GigabitConstruction) {
+  Bandwidth fdr = Bandwidth::GigabitsPerSecond(54.24);
+  EXPECT_NEAR(fdr.bytes_per_second, 54.24e9 / 8.0, 1.0);
+  EXPECT_NEAR(fdr.GigabitsPerSecondValue(), 54.24, 1e-9);
+}
+
+TEST(Units, ZeroBandwidthIsInstant) {
+  Bandwidth zero{};
+  EXPECT_EQ(zero.TransmissionTime(1 << 20), 0);
+}
+
+TEST(Units, ThroughputMbpsMatchesDefinition) {
+  // 1 MiB in 1 ms = 8 * 1.048576 Gb/s = 8388.608 Mb/s.
+  EXPECT_NEAR(ThroughputMbps(kMiB, Milliseconds(1.0)), 8388.608, 1e-6);
+  EXPECT_EQ(ThroughputMbps(123, 0), 0.0);
+}
+
+TEST(Units, TransmissionTimeScalesLinearly) {
+  Bandwidth bw = Bandwidth::GigabitsPerSecond(10.0);
+  SimDuration one = bw.TransmissionTime(1250);  // 1 us at 10 Gb/s
+  EXPECT_EQ(one, Microseconds(1.0));
+  EXPECT_EQ(bw.TransmissionTime(12500), Microseconds(10.0));
+}
+
+}  // namespace
+}  // namespace exs

@@ -1,0 +1,82 @@
+// Wire-format encoding: the control-message POD and the 32-bit immediate
+// that classifies data WWIs.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "exs/wire.hpp"
+
+namespace exs::wire {
+namespace {
+
+TEST(WireImm, RoundTripsKindAndLength) {
+  for (bool indirect : {false, true}) {
+    for (std::uint64_t len :
+         {std::uint64_t{1}, std::uint64_t{511}, std::uint64_t{4096},
+          kMaxWwiChunk}) {
+      std::uint32_t imm = EncodeDataImm(indirect, len);
+      EXPECT_EQ(ImmIsIndirect(imm), indirect);
+      EXPECT_EQ(ImmLength(imm), len);
+    }
+  }
+}
+
+TEST(WireImm, RejectsOutOfRangeLengths) {
+  EXPECT_THROW(EncodeDataImm(false, 0), InvariantViolation);
+  EXPECT_THROW(EncodeDataImm(true, kMaxWwiChunk + 1), InvariantViolation);
+}
+
+TEST(WireImm, KindBitDoesNotCollideWithLength) {
+  std::uint32_t direct = EncodeDataImm(false, kMaxWwiChunk);
+  std::uint32_t indirect = EncodeDataImm(true, kMaxWwiChunk);
+  EXPECT_NE(direct, indirect);
+  EXPECT_EQ(ImmLength(direct), ImmLength(indirect));
+}
+
+TEST(WireControl, SerializeParseRoundTrip) {
+  ControlMessage msg;
+  msg.type = static_cast<std::uint8_t>(ControlType::kAdvert);
+  msg.waitall = 1;
+  msg.credit_return = 7;
+  msg.addr = 0xdeadbeefcafef00dULL;
+  msg.rkey = 0x1234;
+  msg.set_phase(0x1'0000'0002ULL);  // exercises the split phase field
+  msg.seq = 0x42424242ULL;
+  msg.len = 65536;
+  msg.freed = 99;
+
+  std::uint8_t buf[kControlSlotBytes] = {};
+  Serialize(msg, buf);
+  ControlMessage parsed = Parse(buf, sizeof(buf));
+
+  EXPECT_EQ(parsed.type, msg.type);
+  EXPECT_EQ(parsed.waitall, 1);
+  EXPECT_EQ(parsed.credit_return, 7u);
+  EXPECT_EQ(parsed.addr, msg.addr);
+  EXPECT_EQ(parsed.rkey, msg.rkey);
+  EXPECT_EQ(parsed.phase(), 0x1'0000'0002ULL);
+  EXPECT_EQ(parsed.seq, msg.seq);
+  EXPECT_EQ(parsed.len, msg.len);
+  EXPECT_EQ(parsed.freed, 99u);
+}
+
+TEST(WireControl, PhaseSplitFieldCoversFullRange) {
+  ControlMessage msg;
+  for (std::uint64_t phase :
+       {0ull, 1ull, 0xffffffffull, 0x100000000ull, ~0ull}) {
+    msg.set_phase(phase);
+    EXPECT_EQ(msg.phase(), phase);
+  }
+}
+
+TEST(WireControl, ShortBufferRejected) {
+  std::uint8_t buf[8] = {};
+  EXPECT_THROW(Parse(buf, sizeof(buf)), InvariantViolation);
+}
+
+TEST(WireControl, FitsInOneSlot) {
+  EXPECT_LE(sizeof(ControlMessage), kControlSlotBytes);
+}
+
+}  // namespace
+}  // namespace exs::wire

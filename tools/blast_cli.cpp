@@ -1,0 +1,212 @@
+// blast — the paper's measurement tool as a command-line program.
+//
+// Runs a one-directional blast between the two simulated nodes and prints
+// throughput (Eq. 1), time per message, CPU usage on both sides, and the
+// dynamic protocol's transfer statistics.  All the knobs of the paper's
+// evaluation are flags:
+//
+//   ./blast --protocol dynamic --sends 8 --recvs 16 --messages 1000
+//   ./blast --protocol indirect --profile wan --size 128K
+//   ./blast --profile fdr --mean 256K --max 4M --runs 10 --csv
+//
+// Sizes accept K/M suffixes (KiB/MiB).  With --runs > 1, prints
+// mean ± 95% confidence interval over seeded repetitions.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "blast/blast.hpp"
+
+namespace {
+
+using namespace exs;         // NOLINT
+using namespace exs::blast;  // NOLINT
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --protocol dynamic|direct|indirect|rendezvous\n"
+      "                   transfer policy (dynamic)\n"
+      "  --profile fdr|qdr|roce|iwarp|wan     fabric profile (fdr)\n"
+      "  --type stream|seqpacket              socket type (stream)\n"
+      "  --sends N        outstanding send operations (4)\n"
+      "  --recvs N        outstanding receive operations (8)\n"
+      "  --messages N     messages per run (1000)\n"
+      "  --size BYTES     fixed message size (default: exponential)\n"
+      "  --mean BYTES     exponential mean (256K)\n"
+      "  --max BYTES      maximum message size (4M)\n"
+      "  --buffer BYTES   intermediate buffer capacity (8M)\n"
+      "  --credits N      pre-posted receive pool (128)\n"
+      "  --runs N         repetitions with distinct seeds (1)\n"
+      "  --seed N         base seed (1)\n"
+      "  --delay MS       extra one-way delay, any profile (0)\n"
+      "  --verify         carry and verify real payload bytes\n"
+      "  --csv            machine-readable one-line output\n",
+      argv0);
+  std::exit(2);
+}
+
+std::uint64_t ParseSize(const std::string& s) {
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str()) {
+    std::fprintf(stderr, "bad size: %s\n", s.c_str());
+    std::exit(2);
+  }
+  std::string suffix = end;
+  if (suffix == "K" || suffix == "k") return static_cast<std::uint64_t>(v * 1024);
+  if (suffix == "M" || suffix == "m") {
+    return static_cast<std::uint64_t>(v * 1024 * 1024);
+  }
+  if (suffix == "G" || suffix == "g") {
+    return static_cast<std::uint64_t>(v * 1024 * 1024 * 1024);
+  }
+  if (!suffix.empty()) {
+    std::fprintf(stderr, "bad size suffix: %s\n", suffix.c_str());
+    std::exit(2);
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BlastConfig config;
+  config.message_count = 1000;
+  config.outstanding_sends = 4;
+  config.outstanding_recvs = 8;
+  int runs = 1;
+  bool csv = false;
+  double extra_delay_ms = 0;
+  std::string profile = "fdr";
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) Usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--protocol") {
+      std::string v = value();
+      if (v == "dynamic") config.stream.mode = ProtocolMode::kDynamic;
+      else if (v == "direct") config.stream.mode = ProtocolMode::kDirectOnly;
+      else if (v == "indirect") {
+        config.stream.mode = ProtocolMode::kIndirectOnly;
+      } else if (v == "rendezvous") {
+        config.stream.mode = ProtocolMode::kReadRendezvous;
+      } else Usage(argv[0]);
+    } else if (arg == "--profile") {
+      profile = value();
+    } else if (arg == "--type") {
+      std::string v = value();
+      if (v == "stream") config.socket_type = SocketType::kStream;
+      else if (v == "seqpacket") config.socket_type = SocketType::kSeqPacket;
+      else Usage(argv[0]);
+    } else if (arg == "--sends") {
+      config.outstanding_sends = static_cast<std::uint32_t>(
+          std::stoul(value()));
+    } else if (arg == "--recvs") {
+      config.outstanding_recvs = static_cast<std::uint32_t>(
+          std::stoul(value()));
+    } else if (arg == "--messages") {
+      config.message_count = std::stoull(value());
+    } else if (arg == "--size") {
+      config.fixed_message_bytes = ParseSize(value());
+    } else if (arg == "--mean") {
+      config.exponential_mean_bytes = static_cast<double>(ParseSize(value()));
+    } else if (arg == "--max") {
+      config.max_message_bytes = ParseSize(value());
+    } else if (arg == "--buffer") {
+      config.stream.intermediate_buffer_bytes = ParseSize(value());
+    } else if (arg == "--credits") {
+      config.stream.credits = static_cast<std::uint32_t>(
+          std::stoul(value()));
+    } else if (arg == "--runs") {
+      runs = std::stoi(value());
+    } else if (arg == "--seed") {
+      config.seed = std::stoull(value());
+    } else if (arg == "--delay") {
+      extra_delay_ms = std::stod(value());
+    } else if (arg == "--verify") {
+      config.carry_payload = true;
+      config.verify_data = true;
+    } else if (arg == "--csv") {
+      csv = true;
+    } else {
+      Usage(argv[0]);
+    }
+  }
+
+  if (profile == "fdr") {
+    config.profile = simnet::HardwareProfile::FdrInfiniBand();
+  } else if (profile == "qdr") {
+    config.profile = simnet::HardwareProfile::QdrInfiniBand();
+  } else if (profile == "roce") {
+    config.profile = simnet::HardwareProfile::RoCE10G();
+  } else if (profile == "iwarp") {
+    config.profile = simnet::HardwareProfile::Iwarp10G();
+  } else if (profile == "wan") {
+    config.profile = simnet::HardwareProfile::RoCE10GWithDelay(
+        Milliseconds(24));
+  } else {
+    Usage(argv[0]);
+  }
+  if (extra_delay_ms > 0) {
+    config.profile.netem.extra_delay = Milliseconds(extra_delay_ms);
+  }
+  if (config.fixed_message_bytes != 0) {
+    config.max_message_bytes = config.fixed_message_bytes;
+    if (config.recv_buffer_bytes < config.fixed_message_bytes) {
+      config.recv_buffer_bytes = config.fixed_message_bytes;
+    }
+  }
+
+  BlastSummary summary = RunRepeated(config, runs);
+
+  if (csv) {
+    std::printf(
+        "protocol,profile,sends,recvs,messages,throughput_mbps,ci95,"
+        "time_per_msg_us,recv_cpu_pct,send_cpu_pct,direct_ratio,"
+        "mode_switches\n");
+    std::printf("%s,%s,%u,%u,%llu,%.1f,%.1f,%.2f,%.1f,%.1f,%.3f,%.1f\n",
+                ToString(config.stream.mode), config.profile.name.c_str(),
+                config.outstanding_sends, config.outstanding_recvs,
+                static_cast<unsigned long long>(config.message_count),
+                summary.throughput_mbps.mean, summary.throughput_mbps.ci95,
+                summary.time_per_message_us.mean,
+                summary.receiver_cpu_percent.mean,
+                summary.sender_cpu_percent.mean, summary.direct_ratio.mean,
+                summary.mode_switches.mean);
+    return 0;
+  }
+
+  const BlastResult& first = summary.runs.front();
+  std::printf("blast: %llu messages, %s protocol, %s profile\n",
+              static_cast<unsigned long long>(config.message_count),
+              ToString(config.stream.mode), config.profile.name.c_str());
+  std::printf("  outstanding: %u sends / %u recvs; buffer %llu KiB; "
+              "credits %u\n",
+              config.outstanding_sends, config.outstanding_recvs,
+              static_cast<unsigned long long>(
+                  config.stream.intermediate_buffer_bytes / 1024),
+              config.stream.credits);
+  std::printf("  throughput        %.1f ± %.1f Mb/s (%d run%s)\n",
+              summary.throughput_mbps.mean, summary.throughput_mbps.ci95,
+              runs, runs == 1 ? "" : "s");
+  std::printf("  time per message  %.2f ± %.2f us\n",
+              summary.time_per_message_us.mean,
+              summary.time_per_message_us.ci95);
+  std::printf("  receiver CPU      %.1f ± %.1f %%\n",
+              summary.receiver_cpu_percent.mean,
+              summary.receiver_cpu_percent.ci95);
+  std::printf("  sender CPU        %.1f ± %.1f %%\n",
+              summary.sender_cpu_percent.mean,
+              summary.sender_cpu_percent.ci95);
+  std::printf("  direct:total      %.3f ± %.3f (switches %.1f ± %.1f)\n",
+              summary.direct_ratio.mean, summary.direct_ratio.ci95,
+              summary.mode_switches.mean, summary.mode_switches.ci95);
+  if (first.data_verified) std::printf("  payload verified byte-for-byte\n");
+  return 0;
+}
