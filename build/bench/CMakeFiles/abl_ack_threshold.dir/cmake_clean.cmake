@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ack_threshold.dir/abl_ack_threshold.cpp.o"
+  "CMakeFiles/abl_ack_threshold.dir/abl_ack_threshold.cpp.o.d"
+  "abl_ack_threshold"
+  "abl_ack_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ack_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_ack_threshold.
+# This may be replaced when dependencies are built.

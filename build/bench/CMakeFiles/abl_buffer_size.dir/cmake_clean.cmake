@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_buffer_size.dir/abl_buffer_size.cpp.o"
+  "CMakeFiles/abl_buffer_size.dir/abl_buffer_size.cpp.o.d"
+  "abl_buffer_size"
+  "abl_buffer_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_buffer_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

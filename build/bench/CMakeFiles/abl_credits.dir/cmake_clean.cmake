@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_credits.dir/abl_credits.cpp.o"
+  "CMakeFiles/abl_credits.dir/abl_credits.cpp.o.d"
+  "abl_credits"
+  "abl_credits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_credits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

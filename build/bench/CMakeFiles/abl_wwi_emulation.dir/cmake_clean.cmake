@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_wwi_emulation.dir/abl_wwi_emulation.cpp.o"
+  "CMakeFiles/abl_wwi_emulation.dir/abl_wwi_emulation.cpp.o.d"
+  "abl_wwi_emulation"
+  "abl_wwi_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_wwi_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libexs_bench_support.a"
+  "../lib/libexs_bench_support.pdb"
+  "CMakeFiles/exs_bench_support.dir/support.cpp.o"
+  "CMakeFiles/exs_bench_support.dir/support.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exs_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

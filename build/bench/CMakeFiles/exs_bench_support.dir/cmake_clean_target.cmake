@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libexs_bench_support.a"
+)

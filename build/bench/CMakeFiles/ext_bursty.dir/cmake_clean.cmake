@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_bursty.dir/ext_bursty.cpp.o"
+  "CMakeFiles/ext_bursty.dir/ext_bursty.cpp.o.d"
+  "ext_bursty"
+  "ext_bursty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_bursty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_busy_poll.dir/ext_busy_poll.cpp.o"
+  "CMakeFiles/ext_busy_poll.dir/ext_busy_poll.cpp.o.d"
+  "ext_busy_poll"
+  "ext_busy_poll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_busy_poll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

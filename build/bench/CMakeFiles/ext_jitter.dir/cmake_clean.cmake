@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_jitter.dir/ext_jitter.cpp.o"
+  "CMakeFiles/ext_jitter.dir/ext_jitter.cpp.o.d"
+  "ext_jitter"
+  "ext_jitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_rendezvous.dir/ext_rendezvous.cpp.o"
+  "CMakeFiles/ext_rendezvous.dir/ext_rendezvous.cpp.o.d"
+  "ext_rendezvous"
+  "ext_rendezvous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_rendezvous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

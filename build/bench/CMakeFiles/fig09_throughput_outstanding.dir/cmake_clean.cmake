@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_throughput_outstanding.dir/fig09_throughput_outstanding.cpp.o"
+  "CMakeFiles/fig09_throughput_outstanding.dir/fig09_throughput_outstanding.cpp.o.d"
+  "fig09_throughput_outstanding"
+  "fig09_throughput_outstanding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_throughput_outstanding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

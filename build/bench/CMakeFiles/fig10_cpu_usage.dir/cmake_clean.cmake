@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cpu_usage.dir/fig10_cpu_usage.cpp.o"
+  "CMakeFiles/fig10_cpu_usage.dir/fig10_cpu_usage.cpp.o.d"
+  "fig10_cpu_usage"
+  "fig10_cpu_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cpu_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

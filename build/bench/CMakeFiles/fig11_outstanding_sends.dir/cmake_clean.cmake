@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_outstanding_sends.dir/fig11_outstanding_sends.cpp.o"
+  "CMakeFiles/fig11_outstanding_sends.dir/fig11_outstanding_sends.cpp.o.d"
+  "fig11_outstanding_sends"
+  "fig11_outstanding_sends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_outstanding_sends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_message_size.dir/fig12_message_size.cpp.o"
+  "CMakeFiles/fig12_message_size.dir/fig12_message_size.cpp.o.d"
+  "fig12_message_size"
+  "fig12_message_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_message_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

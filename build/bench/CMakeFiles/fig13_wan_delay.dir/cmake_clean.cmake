@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_wan_delay.dir/fig13_wan_delay.cpp.o"
+  "CMakeFiles/fig13_wan_delay.dir/fig13_wan_delay.cpp.o.d"
+  "fig13_wan_delay"
+  "fig13_wan_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_wan_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_mode_switches.dir/table3_mode_switches.cpp.o"
+  "CMakeFiles/table3_mode_switches.dir/table3_mode_switches.cpp.o.d"
+  "table3_mode_switches"
+  "table3_mode_switches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_mode_switches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

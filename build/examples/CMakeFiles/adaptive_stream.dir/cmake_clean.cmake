@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_stream.dir/adaptive_stream.cpp.o"
+  "CMakeFiles/adaptive_stream.dir/adaptive_stream.cpp.o.d"
+  "adaptive_stream"
+  "adaptive_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

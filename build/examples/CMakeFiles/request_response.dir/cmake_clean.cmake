@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/request_response.dir/request_response.cpp.o"
+  "CMakeFiles/request_response.dir/request_response.cpp.o.d"
+  "request_response"
+  "request_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/request_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/striped_transfer.dir/striped_transfer.cpp.o"
+  "CMakeFiles/striped_transfer.dir/striped_transfer.cpp.o.d"
+  "striped_transfer"
+  "striped_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/striped_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

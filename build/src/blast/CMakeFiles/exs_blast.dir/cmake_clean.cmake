@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exs_blast.dir/blast.cpp.o"
+  "CMakeFiles/exs_blast.dir/blast.cpp.o.d"
+  "libexs_blast.a"
+  "libexs_blast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exs_blast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libexs_blast.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for exs_blast.
+# This may be replaced when dependencies are built.

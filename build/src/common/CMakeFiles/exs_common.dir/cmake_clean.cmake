@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exs_common.dir/logging.cpp.o"
+  "CMakeFiles/exs_common.dir/logging.cpp.o.d"
+  "CMakeFiles/exs_common.dir/stats.cpp.o"
+  "CMakeFiles/exs_common.dir/stats.cpp.o.d"
+  "libexs_common.a"
+  "libexs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exs/channel.cpp" "src/exs/CMakeFiles/exs_core.dir/channel.cpp.o" "gcc" "src/exs/CMakeFiles/exs_core.dir/channel.cpp.o.d"
+  "/root/repo/src/exs/connection.cpp" "src/exs/CMakeFiles/exs_core.dir/connection.cpp.o" "gcc" "src/exs/CMakeFiles/exs_core.dir/connection.cpp.o.d"
+  "/root/repo/src/exs/rendezvous.cpp" "src/exs/CMakeFiles/exs_core.dir/rendezvous.cpp.o" "gcc" "src/exs/CMakeFiles/exs_core.dir/rendezvous.cpp.o.d"
+  "/root/repo/src/exs/seqpacket.cpp" "src/exs/CMakeFiles/exs_core.dir/seqpacket.cpp.o" "gcc" "src/exs/CMakeFiles/exs_core.dir/seqpacket.cpp.o.d"
+  "/root/repo/src/exs/socket.cpp" "src/exs/CMakeFiles/exs_core.dir/socket.cpp.o" "gcc" "src/exs/CMakeFiles/exs_core.dir/socket.cpp.o.d"
+  "/root/repo/src/exs/stream_rx.cpp" "src/exs/CMakeFiles/exs_core.dir/stream_rx.cpp.o" "gcc" "src/exs/CMakeFiles/exs_core.dir/stream_rx.cpp.o.d"
+  "/root/repo/src/exs/stream_tx.cpp" "src/exs/CMakeFiles/exs_core.dir/stream_tx.cpp.o" "gcc" "src/exs/CMakeFiles/exs_core.dir/stream_tx.cpp.o.d"
+  "/root/repo/src/exs/trace.cpp" "src/exs/CMakeFiles/exs_core.dir/trace.cpp.o" "gcc" "src/exs/CMakeFiles/exs_core.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/exs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/verbs/CMakeFiles/exs_verbs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exs_core.dir/channel.cpp.o"
+  "CMakeFiles/exs_core.dir/channel.cpp.o.d"
+  "CMakeFiles/exs_core.dir/connection.cpp.o"
+  "CMakeFiles/exs_core.dir/connection.cpp.o.d"
+  "CMakeFiles/exs_core.dir/rendezvous.cpp.o"
+  "CMakeFiles/exs_core.dir/rendezvous.cpp.o.d"
+  "CMakeFiles/exs_core.dir/seqpacket.cpp.o"
+  "CMakeFiles/exs_core.dir/seqpacket.cpp.o.d"
+  "CMakeFiles/exs_core.dir/socket.cpp.o"
+  "CMakeFiles/exs_core.dir/socket.cpp.o.d"
+  "CMakeFiles/exs_core.dir/stream_rx.cpp.o"
+  "CMakeFiles/exs_core.dir/stream_rx.cpp.o.d"
+  "CMakeFiles/exs_core.dir/stream_tx.cpp.o"
+  "CMakeFiles/exs_core.dir/stream_tx.cpp.o.d"
+  "CMakeFiles/exs_core.dir/trace.cpp.o"
+  "CMakeFiles/exs_core.dir/trace.cpp.o.d"
+  "libexs_core.a"
+  "libexs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

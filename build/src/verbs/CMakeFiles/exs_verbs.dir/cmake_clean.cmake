@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exs_verbs.dir/device.cpp.o"
+  "CMakeFiles/exs_verbs.dir/device.cpp.o.d"
+  "CMakeFiles/exs_verbs.dir/queue_pair.cpp.o"
+  "CMakeFiles/exs_verbs.dir/queue_pair.cpp.o.d"
+  "libexs_verbs.a"
+  "libexs_verbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exs_verbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

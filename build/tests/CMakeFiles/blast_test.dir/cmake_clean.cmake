@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blast_test.dir/blast_test.cpp.o"
+  "CMakeFiles/blast_test.dir/blast_test.cpp.o.d"
+  "CMakeFiles/blast_test.dir/blast_workload_test.cpp.o"
+  "CMakeFiles/blast_test.dir/blast_workload_test.cpp.o.d"
+  "CMakeFiles/blast_test.dir/calibration_test.cpp.o"
+  "CMakeFiles/blast_test.dir/calibration_test.cpp.o.d"
+  "blast_test"
+  "blast_test.pdb"
+  "blast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pattern_test.cpp" "tests/CMakeFiles/common_test.dir/pattern_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/pattern_test.cpp.o.d"
+  "/root/repo/tests/ring_buffer_test.cpp" "tests/CMakeFiles/common_test.dir/ring_buffer_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/ring_buffer_test.cpp.o.d"
+  "/root/repo/tests/rng_test.cpp" "tests/CMakeFiles/common_test.dir/rng_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/rng_test.cpp.o.d"
+  "/root/repo/tests/stats_test.cpp" "tests/CMakeFiles/common_test.dir/stats_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/stats_test.cpp.o.d"
+  "/root/repo/tests/units_test.cpp" "tests/CMakeFiles/common_test.dir/units_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/units_test.cpp.o.d"
+  "/root/repo/tests/wire_test.cpp" "tests/CMakeFiles/common_test.dir/wire_test.cpp.o" "gcc" "tests/CMakeFiles/common_test.dir/wire_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exs/CMakeFiles/exs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/blast/CMakeFiles/exs_blast.dir/DependInfo.cmake"
+  "/root/repo/build/src/verbs/CMakeFiles/exs_verbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/exs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

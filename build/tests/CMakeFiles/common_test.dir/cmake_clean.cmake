@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_test.dir/pattern_test.cpp.o"
+  "CMakeFiles/common_test.dir/pattern_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/ring_buffer_test.cpp.o"
+  "CMakeFiles/common_test.dir/ring_buffer_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/rng_test.cpp.o"
+  "CMakeFiles/common_test.dir/rng_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/stats_test.cpp.o"
+  "CMakeFiles/common_test.dir/stats_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/units_test.cpp.o"
+  "CMakeFiles/common_test.dir/units_test.cpp.o.d"
+  "CMakeFiles/common_test.dir/wire_test.cpp.o"
+  "CMakeFiles/common_test.dir/wire_test.cpp.o.d"
+  "common_test"
+  "common_test.pdb"
+  "common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/channel_test.cpp" "tests/CMakeFiles/exs_test.dir/channel_test.cpp.o" "gcc" "tests/CMakeFiles/exs_test.dir/channel_test.cpp.o.d"
+  "/root/repo/tests/close_test.cpp" "tests/CMakeFiles/exs_test.dir/close_test.cpp.o" "gcc" "tests/CMakeFiles/exs_test.dir/close_test.cpp.o.d"
+  "/root/repo/tests/connection_test.cpp" "tests/CMakeFiles/exs_test.dir/connection_test.cpp.o" "gcc" "tests/CMakeFiles/exs_test.dir/connection_test.cpp.o.d"
+  "/root/repo/tests/cross_profile_test.cpp" "tests/CMakeFiles/exs_test.dir/cross_profile_test.cpp.o" "gcc" "tests/CMakeFiles/exs_test.dir/cross_profile_test.cpp.o.d"
+  "/root/repo/tests/event_queue_test.cpp" "tests/CMakeFiles/exs_test.dir/event_queue_test.cpp.o" "gcc" "tests/CMakeFiles/exs_test.dir/event_queue_test.cpp.o.d"
+  "/root/repo/tests/rendezvous_integration_test.cpp" "tests/CMakeFiles/exs_test.dir/rendezvous_integration_test.cpp.o" "gcc" "tests/CMakeFiles/exs_test.dir/rendezvous_integration_test.cpp.o.d"
+  "/root/repo/tests/rendezvous_test.cpp" "tests/CMakeFiles/exs_test.dir/rendezvous_test.cpp.o" "gcc" "tests/CMakeFiles/exs_test.dir/rendezvous_test.cpp.o.d"
+  "/root/repo/tests/scenario_test.cpp" "tests/CMakeFiles/exs_test.dir/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/exs_test.dir/scenario_test.cpp.o.d"
+  "/root/repo/tests/seqpacket_property_test.cpp" "tests/CMakeFiles/exs_test.dir/seqpacket_property_test.cpp.o" "gcc" "tests/CMakeFiles/exs_test.dir/seqpacket_property_test.cpp.o.d"
+  "/root/repo/tests/seqpacket_test.cpp" "tests/CMakeFiles/exs_test.dir/seqpacket_test.cpp.o" "gcc" "tests/CMakeFiles/exs_test.dir/seqpacket_test.cpp.o.d"
+  "/root/repo/tests/socket_api_test.cpp" "tests/CMakeFiles/exs_test.dir/socket_api_test.cpp.o" "gcc" "tests/CMakeFiles/exs_test.dir/socket_api_test.cpp.o.d"
+  "/root/repo/tests/stream_basic_test.cpp" "tests/CMakeFiles/exs_test.dir/stream_basic_test.cpp.o" "gcc" "tests/CMakeFiles/exs_test.dir/stream_basic_test.cpp.o.d"
+  "/root/repo/tests/stream_dynamic_test.cpp" "tests/CMakeFiles/exs_test.dir/stream_dynamic_test.cpp.o" "gcc" "tests/CMakeFiles/exs_test.dir/stream_dynamic_test.cpp.o.d"
+  "/root/repo/tests/stream_edge_test.cpp" "tests/CMakeFiles/exs_test.dir/stream_edge_test.cpp.o" "gcc" "tests/CMakeFiles/exs_test.dir/stream_edge_test.cpp.o.d"
+  "/root/repo/tests/stream_property_test.cpp" "tests/CMakeFiles/exs_test.dir/stream_property_test.cpp.o" "gcc" "tests/CMakeFiles/exs_test.dir/stream_property_test.cpp.o.d"
+  "/root/repo/tests/stream_wan_test.cpp" "tests/CMakeFiles/exs_test.dir/stream_wan_test.cpp.o" "gcc" "tests/CMakeFiles/exs_test.dir/stream_wan_test.cpp.o.d"
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/exs_test.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/exs_test.dir/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exs/CMakeFiles/exs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/blast/CMakeFiles/exs_blast.dir/DependInfo.cmake"
+  "/root/repo/build/src/verbs/CMakeFiles/exs_verbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/exs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cpu_test.cpp" "tests/CMakeFiles/simnet_test.dir/cpu_test.cpp.o" "gcc" "tests/CMakeFiles/simnet_test.dir/cpu_test.cpp.o.d"
+  "/root/repo/tests/event_scheduler_test.cpp" "tests/CMakeFiles/simnet_test.dir/event_scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/simnet_test.dir/event_scheduler_test.cpp.o.d"
+  "/root/repo/tests/link_test.cpp" "tests/CMakeFiles/simnet_test.dir/link_test.cpp.o" "gcc" "tests/CMakeFiles/simnet_test.dir/link_test.cpp.o.d"
+  "/root/repo/tests/simnet_extra_test.cpp" "tests/CMakeFiles/simnet_test.dir/simnet_extra_test.cpp.o" "gcc" "tests/CMakeFiles/simnet_test.dir/simnet_extra_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exs/CMakeFiles/exs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/blast/CMakeFiles/exs_blast.dir/DependInfo.cmake"
+  "/root/repo/build/src/verbs/CMakeFiles/exs_verbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/exs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simnet_test.dir/cpu_test.cpp.o"
+  "CMakeFiles/simnet_test.dir/cpu_test.cpp.o.d"
+  "CMakeFiles/simnet_test.dir/event_scheduler_test.cpp.o"
+  "CMakeFiles/simnet_test.dir/event_scheduler_test.cpp.o.d"
+  "CMakeFiles/simnet_test.dir/link_test.cpp.o"
+  "CMakeFiles/simnet_test.dir/link_test.cpp.o.d"
+  "CMakeFiles/simnet_test.dir/simnet_extra_test.cpp.o"
+  "CMakeFiles/simnet_test.dir/simnet_extra_test.cpp.o.d"
+  "simnet_test"
+  "simnet_test.pdb"
+  "simnet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simnet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

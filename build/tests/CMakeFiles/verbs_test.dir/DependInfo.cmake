@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/iwarp_emulation_test.cpp" "tests/CMakeFiles/verbs_test.dir/iwarp_emulation_test.cpp.o" "gcc" "tests/CMakeFiles/verbs_test.dir/iwarp_emulation_test.cpp.o.d"
+  "/root/repo/tests/verbs_extra_test.cpp" "tests/CMakeFiles/verbs_test.dir/verbs_extra_test.cpp.o" "gcc" "tests/CMakeFiles/verbs_test.dir/verbs_extra_test.cpp.o.d"
+  "/root/repo/tests/verbs_test.cpp" "tests/CMakeFiles/verbs_test.dir/verbs_test.cpp.o" "gcc" "tests/CMakeFiles/verbs_test.dir/verbs_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exs/CMakeFiles/exs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/blast/CMakeFiles/exs_blast.dir/DependInfo.cmake"
+  "/root/repo/build/src/verbs/CMakeFiles/exs_verbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/exs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verbs_test.dir/iwarp_emulation_test.cpp.o"
+  "CMakeFiles/verbs_test.dir/iwarp_emulation_test.cpp.o.d"
+  "CMakeFiles/verbs_test.dir/verbs_extra_test.cpp.o"
+  "CMakeFiles/verbs_test.dir/verbs_extra_test.cpp.o.d"
+  "CMakeFiles/verbs_test.dir/verbs_test.cpp.o"
+  "CMakeFiles/verbs_test.dir/verbs_test.cpp.o.d"
+  "verbs_test"
+  "verbs_test.pdb"
+  "verbs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verbs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blast_cli.dir/blast_cli.cpp.o"
+  "CMakeFiles/blast_cli.dir/blast_cli.cpp.o.d"
+  "blast"
+  "blast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blast_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
