@@ -11,7 +11,16 @@ Args Args::Parse(int argc, char** argv) {
   Args args;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    // Accept both "--flag value" and "--flag=value".
+    std::string inline_value;
+    bool has_inline_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      inline_value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_inline_value = true;
+    }
     auto next_value = [&](const char* name) -> std::string {
+      if (has_inline_value) return inline_value;
       if (i + 1 >= argc) {
         std::cerr << name << " needs a value\n";
         std::exit(2);
@@ -28,8 +37,13 @@ Args Args::Parse(int argc, char** argv) {
       args.runs = std::stoi(next_value("--runs"));
     } else if (arg == "--messages") {
       args.messages = std::stoull(next_value("--messages"));
+    } else if (arg == "--metrics-json") {
+      args.metrics_json_path = next_value("--metrics-json");
+    } else if (arg == "--timeline-json") {
+      args.timeline_json_path = next_value("--timeline-json");
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "options: --csv --quick --runs N --messages N\n";
+      std::cout << "options: --csv --quick --runs N --messages N "
+                   "--metrics-json FILE --timeline-json FILE\n";
       std::exit(0);
     } else {
       std::cerr << "unknown option: " << arg << "\n";
@@ -124,6 +138,8 @@ blast::BlastConfig FdrBaseConfig(const Args& args) {
   c.max_message_bytes = 4 * kMiB;
   c.recv_buffer_bytes = 4 * kMiB;
   c.carry_payload = false;  // timing model is payload-independent
+  c.metrics_json_path = args.metrics_json_path;
+  c.timeline_json_path = args.timeline_json_path;
   return c;
 }
 

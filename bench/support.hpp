@@ -22,6 +22,11 @@ struct Args {
   int runs = 10;
   std::uint64_t messages = 500;
   bool quick = false;
+  /// Exporter outputs for the first run of each configuration ("-" =
+  /// stdout).  With several swept configurations the last one wins — meant
+  /// for single-point inspection, see docs/OBSERVABILITY.md.
+  std::string metrics_json_path;
+  std::string timeline_json_path;
 
   static Args Parse(int argc, char** argv);
 };

@@ -1,6 +1,8 @@
 #include "blast/blast.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <unordered_map>
 
 #include "common/check.hpp"
@@ -9,6 +11,28 @@
 
 namespace exs::blast {
 namespace {
+
+bool CaptureMetrics(const BlastConfig& c) {
+  return c.capture_metrics || !c.metrics_json_path.empty();
+}
+
+bool CaptureTimeline(const BlastConfig& c) {
+  return c.capture_timeline || !c.timeline_json_path.empty();
+}
+
+/// Write exporter output to `path`; "-" streams to stdout, "" is a no-op.
+void WriteOutput(const std::string& path, const std::string& content) {
+  if (path.empty()) return;
+  if (path == "-") {
+    std::fwrite(content.data(), 1, content.size(), stdout);
+    std::fputc('\n', stdout);
+    return;
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  EXS_CHECK_MSG(out.good(), "cannot open output file: " << path);
+  out << content << '\n';
+  EXS_CHECK_MSG(out.good(), "write failed: " << path);
+}
 
 /// Per-run driver: owns the simulation, the socket pair, and the client /
 /// server application state machines, which react to completion events the
@@ -26,6 +50,15 @@ class BlastRun {
     auto pair = sim_.CreateConnectedPair(config.socket_type, config.stream);
     client_ = pair.first;
     server_ = pair.second;
+
+    if (CaptureTimeline(config_)) {
+      // Spans and instants come from the trace logs; cap them so a long
+      // blast cannot grow the log without bound (drops are counted).
+      client_->EnableTracing(
+          static_cast<std::size_t>(config_.trace_event_capacity));
+      server_->EnableTracing(
+          static_cast<std::size_t>(config_.trace_event_capacity));
+    }
 
     GenerateSizes();
     AllocateBuffers();
@@ -220,6 +253,8 @@ class BlastRun {
     r.direct_ratio = r.client_stats.DirectTransferRatio();
     r.adverts_discarded = r.client_stats.adverts_discarded;
     r.data_verified = config_.verify_data;
+    if (CaptureMetrics(config_)) r.metrics_json = sim_.MetricsJson();
+    if (CaptureTimeline(config_)) r.timeline_json = sim_.TimelineJson();
     return r;
   }
 
@@ -261,7 +296,10 @@ Metric Summarize(const std::vector<double>& samples) {
 
 BlastResult RunBlast(const BlastConfig& config) {
   BlastRun run(config);
-  return run.Run();
+  BlastResult result = run.Run();
+  WriteOutput(config.metrics_json_path, result.metrics_json);
+  WriteOutput(config.timeline_json_path, result.timeline_json);
+  return result;
 }
 
 BlastSummary RunRepeated(const BlastConfig& config, int runs) {
@@ -271,6 +309,14 @@ BlastSummary RunRepeated(const BlastConfig& config, int runs) {
   for (int i = 0; i < runs; ++i) {
     BlastConfig c = config;
     c.seed = config.seed + static_cast<std::uint64_t>(i) * 7919;
+    if (i > 0) {
+      // Only the first (representative) run captures and writes exporter
+      // output; repeats would overwrite the files and slow the sweep.
+      c.capture_metrics = false;
+      c.capture_timeline = false;
+      c.metrics_json_path.clear();
+      c.timeline_json_path.clear();
+    }
     BlastResult r = RunBlast(c);
     tput.push_back(r.throughput_mbps);
     tpm.push_back(r.time_per_message_us);

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -60,6 +61,17 @@ struct BlastConfig {
   /// reach the client first — the connection then genuinely starts in a
   /// direct phase, as the paper observes.
   SimDuration client_start_delay = Microseconds(50);
+
+  // Observability capture (see docs/OBSERVABILITY.md).  The JSON snapshots
+  // land in BlastResult::metrics_json / timeline_json; the paths below
+  // additionally write them to disk ("-" writes to stdout).  Setting a
+  // path implies the corresponding capture flag.
+  bool capture_metrics = false;
+  bool capture_timeline = false;
+  std::string metrics_json_path;
+  std::string timeline_json_path;
+  /// Per-log trace-event cap while capturing a timeline (0 = unbounded).
+  std::uint64_t trace_event_capacity = 1'000'000;
 };
 
 struct BlastResult {
@@ -83,6 +95,10 @@ struct BlastResult {
   StreamStats server_stats;
 
   bool data_verified = false;  ///< true when verify_data ran and passed
+
+  /// Captured exporter output (empty unless the config asked for it).
+  std::string metrics_json;
+  std::string timeline_json;
 };
 
 /// Run one blast with the given configuration.

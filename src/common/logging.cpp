@@ -1,9 +1,15 @@
 #include "common/logging.hpp"
 
+#include <cstdio>
 #include <cstdlib>
+
+#include "common/sim_clock.hpp"
+#include "common/units.hpp"
 
 namespace exs {
 namespace {
+
+const SimClock* log_clock = nullptr;
 
 LogLevel InitialLevel() {
   if (const char* env = std::getenv("EXS_LOG")) {
@@ -44,7 +50,18 @@ LogLevel ParseLogLevel(const std::string& name) {
   return LogLevel::kWarn;
 }
 
+void SetLogClock(const SimClock* clock) { log_clock = clock; }
+const SimClock* GetLogClock() { return log_clock; }
+
 void LogLine(LogLevel level, const std::string& message) {
+  if (log_clock != nullptr) {
+    char stamp[32];
+    std::snprintf(stamp, sizeof stamp, "%.3f",
+                  ToMicroseconds(log_clock->Now()));
+    std::cerr << "[" << LevelName(level) << " " << stamp << "us] " << message
+              << "\n";
+    return;
+  }
   std::cerr << "[" << LevelName(level) << "] " << message << "\n";
 }
 

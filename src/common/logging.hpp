@@ -9,6 +9,8 @@
 
 namespace exs {
 
+class SimClock;
+
 enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
 
 /// Process-wide log threshold.  Defaults to kWarn; tests and the EXS_LOG
@@ -18,6 +20,14 @@ void SetLogLevel(LogLevel level);
 
 /// Parse "trace"/"debug"/"info"/"warn"/"error"/"off"; anything else -> kWarn.
 LogLevel ParseLogLevel(const std::string& name);
+
+/// When a clock is registered, every log line is stamped with the current
+/// simulated time (microseconds), so debug logs line up with metrics
+/// snapshots and timeline exports.  Simulation registers its scheduler on
+/// construction and clears it on destruction; with several simulations
+/// alive, the most recent wins.
+void SetLogClock(const SimClock* clock);
+const SimClock* GetLogClock();
 
 void LogLine(LogLevel level, const std::string& message);
 

@@ -1,0 +1,176 @@
+// Metrics instruments for a discrete-event simulation.
+//
+// The protocol's hot paths record into pre-resolved instrument pointers —
+// no name lookups per event — and a Registry owns the instruments and
+// renders deterministic JSON/CSV snapshots.  Everything is keyed on
+// simulated time: the histograms bucket picosecond latencies, and the
+// time-series sampler weights values by the sim-time they were held, which
+// is the only averaging that makes sense under a discrete-event clock
+// (a value held for 1 ms must count 10^6 times more than one held 1 ns).
+//
+// Determinism matters more than fidelity here: identical seeded runs must
+// produce bit-identical snapshots, so sample retention uses a fixed
+// capacity with deterministic stride doubling, never wall-clock or
+// reservoir randomness.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sim_clock.hpp"
+#include "common/units.hpp"
+
+namespace exs::metrics {
+
+/// Monotonically increasing event count (messages, bytes, switches).
+class Counter {
+ public:
+  void Increment() { ++value_; }
+  void Add(std::uint64_t n) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value (phase number, queue depth).
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Log2-bucketed histogram for latencies and sizes.  Bucket 0 holds the
+/// value 0; bucket b >= 1 holds values in [2^(b-1), 2^b).  64 buckets
+/// cover the full uint64 range, so Record never clips.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  void Record(std::uint64_t v);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double Mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Value below which `p` percent of recordings fall, interpolated
+  /// linearly inside the containing bucket.  p in [0, 100].
+  double Percentile(double p) const;
+
+  const std::array<std::uint64_t, kBuckets>& buckets() const {
+    return buckets_;
+  }
+  static std::size_t BucketIndex(std::uint64_t v);
+  /// Smallest value the bucket counts.
+  static std::uint64_t BucketLowerBound(std::size_t bucket);
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// Piecewise-constant value tracked against the simulated clock: Record()
+/// states "the value is v from sim-time t onward".  The integral of the
+/// step function gives exact time-weighted averages regardless of how many
+/// samples are retained for plotting.
+class TimeWeightedSeries {
+ public:
+  struct Sample {
+    SimTime time = 0;
+    double value = 0.0;
+  };
+
+  /// Retained-sample capacity; when reached, every other sample is dropped
+  /// and the minimum retention stride doubles (deterministic decimation).
+  static constexpr std::size_t kMaxSamples = 2048;
+
+  void Record(SimTime now, double value);
+
+  /// Time-weighted mean over [first Record, now].  Zero before any Record.
+  double Average(SimTime now) const;
+  double last() const { return last_value_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  std::uint64_t count() const { return count_; }
+  SimTime start_time() const { return start_; }
+
+  const std::vector<Sample>& samples() const { return samples_; }
+
+ private:
+  bool started_ = false;
+  SimTime start_ = 0;
+  SimTime last_time_ = 0;
+  double last_value_ = 0.0;
+  double integral_ = 0.0;  ///< of value dt since start_
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::uint64_t count_ = 0;
+  std::vector<Sample> samples_;
+  SimDuration sample_stride_ = 0;
+};
+
+/// Named instrument store.  Get* creates on first use and returns the same
+/// instrument afterwards; snapshots iterate in name order, so output is
+/// stable across runs.
+class Registry {
+ public:
+  Counter& GetCounter(const std::string& name, const std::string& unit = "");
+  Gauge& GetGauge(const std::string& name, const std::string& unit = "");
+  Histogram& GetHistogram(const std::string& name,
+                          const std::string& unit = "");
+  TimeWeightedSeries& GetSeries(const std::string& name,
+                                const std::string& unit = "");
+
+  template <typename T>
+  struct Named {
+    std::string unit;
+    std::unique_ptr<T> instrument;
+  };
+
+  const std::map<std::string, Named<Counter>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Named<Gauge>>& gauges() const { return gauges_; }
+  const std::map<std::string, Named<Histogram>>& histograms() const {
+    return histograms_;
+  }
+  const std::map<std::string, Named<TimeWeightedSeries>>& series() const {
+    return series_;
+  }
+
+  /// JSON object {"counters":{...},"gauges":{...},"histograms":{...},
+  /// "series":{...}}.  `now` closes the open interval of every series.
+  std::string ToJson(SimTime now) const;
+
+  /// Flat rows "name,kind,unit,field,value" (one row per scalar).
+  std::string ToCsv(SimTime now) const;
+
+ private:
+  std::map<std::string, Named<Counter>> counters_;
+  std::map<std::string, Named<Gauge>> gauges_;
+  std::map<std::string, Named<Histogram>> histograms_;
+  std::map<std::string, Named<TimeWeightedSeries>> series_;
+};
+
+/// Deterministic JSON number rendering shared by the exporters: integral
+/// values print without a fraction, everything else with enough digits to
+/// round-trip.
+std::string FormatJsonNumber(double v);
+void AppendJsonString(std::string* out, const std::string& s);
+
+}  // namespace exs::metrics

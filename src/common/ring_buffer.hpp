@@ -12,12 +12,26 @@
 #include <cassert>
 #include <cstdint>
 
+#include "common/metrics.hpp"
+#include "common/sim_clock.hpp"
+
 namespace exs {
 
 class RingCursor {
  public:
   RingCursor() = default;
   explicit RingCursor(std::uint64_t capacity) : capacity_(capacity) {}
+
+  /// Record the occupancy (used bytes) into `series` at every cursor
+  /// movement, timestamped by `clock`.  Pass nullptrs to detach.  The
+  /// current occupancy is sampled immediately so the series starts at the
+  /// attach instant, not at the first transfer.
+  void SetOccupancyProbe(metrics::TimeWeightedSeries* series,
+                         const SimClock* clock) {
+    probe_ = series;
+    clock_ = clock;
+    Sample();
+  }
 
   std::uint64_t capacity() const { return capacity_; }
   std::uint64_t used() const { return used_; }
@@ -48,6 +62,7 @@ class RingCursor {
     assert(n <= ContiguousWritable());
     write_ = Advance(write_, n);
     used_ += n;
+    Sample();
   }
 
   /// Advance the read cursor.  `n` must not exceed ContiguousReadable().
@@ -55,6 +70,7 @@ class RingCursor {
     assert(n <= ContiguousReadable());
     read_ = Advance(read_, n);
     used_ -= n;
+    Sample();
   }
 
   /// Return free space to the pool without moving the read cursor — used by
@@ -63,6 +79,7 @@ class RingCursor {
     assert(n <= used_);
     read_ = Advance(read_, n);
     used_ -= n;
+    Sample();
   }
 
  private:
@@ -71,10 +88,18 @@ class RingCursor {
     return cursor >= capacity_ ? cursor - capacity_ : cursor;
   }
 
+  void Sample() {
+    if (probe_ != nullptr) {
+      probe_->Record(clock_->Now(), static_cast<double>(used_));
+    }
+  }
+
   std::uint64_t capacity_ = 0;
   std::uint64_t write_ = 0;
   std::uint64_t read_ = 0;
   std::uint64_t used_ = 0;
+  metrics::TimeWeightedSeries* probe_ = nullptr;
+  const SimClock* clock_ = nullptr;
 };
 
 }  // namespace exs

@@ -1,0 +1,19 @@
+// Read-only access to a simulated clock.
+//
+// The discrete-event scheduler owns simulated time, but common-layer
+// components — metrics samplers, log timestamping, the ring-buffer
+// occupancy probe — must not depend on simnet.  They take a SimClock
+// instead; simnet::EventScheduler implements it.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace exs {
+
+class SimClock {
+ public:
+  virtual ~SimClock() = default;
+  virtual SimTime Now() const = 0;
+};
+
+}  // namespace exs

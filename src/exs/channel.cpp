@@ -32,6 +32,8 @@ void ControlChannel::Connect(ControlChannel& a, ControlChannel& b) {
   for (std::uint32_t slot = 0; slot < b.credits_; ++slot) b.PostSlotRecv(slot);
   a.remote_credits_ = b.credits_;
   b.remote_credits_ = a.credits_;
+  a.SampleCredits();
+  b.SampleCredits();
 }
 
 void ControlChannel::PostSlotRecv(std::uint32_t slot) {
@@ -44,9 +46,24 @@ void ControlChannel::PostSlotRecv(std::uint32_t slot) {
   qp_->PostRecv(wr);
 }
 
+void ControlChannel::SetInstruments(metrics::TimeWeightedSeries* credits,
+                                    metrics::Counter* credit_messages) {
+  credit_series_ = credits;
+  credit_message_counter_ = credit_messages;
+  SampleCredits();
+}
+
+void ControlChannel::SampleCredits() {
+  if (credit_series_ != nullptr) {
+    credit_series_->Record(device_->scheduler().Now(),
+                           static_cast<double>(remote_credits_));
+  }
+}
+
 void ControlChannel::ConsumeCredit() {
   EXS_CHECK_MSG(remote_credits_ > 0, "send attempted with no credits");
   --remote_credits_;
+  SampleCredits();
 }
 
 std::uint32_t ControlChannel::TakeCreditReturn() {
@@ -147,6 +164,7 @@ void ControlChannel::OnRecvCompletion(const verbs::WorkCompletion& wc) {
 
   bool credits_grew = msg.credit_return > 0;
   remote_credits_ += msg.credit_return;
+  if (credits_grew) SampleCredits();
 
   if (static_cast<wire::ControlType>(msg.type) != wire::ControlType::kCredit &&
       callbacks_.on_control) {
@@ -166,6 +184,9 @@ void ControlChannel::MaybeSendStandaloneCredit() {
     wire::ControlMessage msg;
     msg.type = static_cast<std::uint8_t>(wire::ControlType::kCredit);
     ++credit_messages_sent_;
+    if (credit_message_counter_ != nullptr) {
+      credit_message_counter_->Increment();
+    }
     SendControl(msg);
   }
 }

@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "exs/wire.hpp"
 #include "verbs/device.hpp"
 #include "verbs/queue_pair.hpp"
@@ -48,6 +49,12 @@ class ControlChannel {
   static void Connect(ControlChannel& a, ControlChannel& b);
 
   void set_callbacks(Callbacks callbacks) { callbacks_ = std::move(callbacks); }
+
+  /// Attach observability instruments: `credits` samples the send-credit
+  /// balance whenever it changes; `credit_messages` counts standalone
+  /// CREDIT messages.  Either may be null.
+  void SetInstruments(metrics::TimeWeightedSeries* credits,
+                      metrics::Counter* credit_messages);
 
   /// Can a normal message (control or data) be sent right now?  One credit
   /// is reserved for CREDIT messages.
@@ -83,6 +90,7 @@ class ControlChannel {
   void ReturnConsumedSlot();
   void MaybeSendStandaloneCredit();
   std::uint32_t TakeCreditReturn();
+  void SampleCredits();
 
   verbs::Device* device_;
   std::uint32_t credits_;
@@ -96,6 +104,8 @@ class ControlChannel {
   std::uint32_t remote_credits_ = 0;  ///< peer receives we may consume
   std::uint32_t owed_credits_ = 0;    ///< reposted receives not yet reported
   std::uint64_t credit_messages_sent_ = 0;
+  metrics::TimeWeightedSeries* credit_series_ = nullptr;
+  metrics::Counter* credit_message_counter_ = nullptr;
 
   /// Work-request id marking internal control sends on the send CQ.
   static constexpr std::uint64_t kControlWrId = ~std::uint64_t{0};

@@ -1,0 +1,58 @@
+// Pre-resolved protocol instruments — the socket's single source of truth
+// for every counter the paper reports (Table III, the transfer-ratio
+// figures) plus the time-resolved signals its evaluation reasons about:
+// ADVERT round trips, phase dwell, intermediate-buffer pressure, credit
+// and in-flight WR depth, and copy-out cost.
+//
+// The hot paths (stream_tx/stream_rx/seqpacket/rendezvous/channel) poke
+// these pointers directly; Socket::stats() folds the registry back into
+// the legacy StreamStats snapshot, so there is exactly one place a number
+// can come from.  Metric names, units, and the paper artefact each one
+// explains are catalogued in docs/OBSERVABILITY.md.
+#pragma once
+
+#include "common/metrics.hpp"
+
+namespace exs {
+
+struct SocketInstruments {
+  // Sender half (this socket's outgoing stream).
+  metrics::Counter* sends_completed = nullptr;
+  metrics::Counter* bytes_sent = nullptr;
+  metrics::Counter* direct_transfers = nullptr;
+  metrics::Counter* indirect_transfers = nullptr;
+  metrics::Counter* direct_bytes = nullptr;
+  metrics::Counter* indirect_bytes = nullptr;
+  metrics::Counter* mode_switches = nullptr;
+  metrics::Counter* adverts_received = nullptr;
+  metrics::Counter* adverts_discarded = nullptr;
+  metrics::Gauge* tx_phase = nullptr;
+  metrics::Histogram* tx_phase_dwell_direct = nullptr;    ///< ps per phase
+  metrics::Histogram* tx_phase_dwell_indirect = nullptr;  ///< ps per phase
+  metrics::TimeWeightedSeries* tx_inflight_wwis = nullptr;
+  metrics::TimeWeightedSeries* tx_remote_ring_used = nullptr;  ///< b_s view
+
+  // Receiver half (this socket's incoming stream).
+  metrics::Counter* recvs_completed = nullptr;
+  metrics::Counter* bytes_received = nullptr;
+  metrics::Counter* adverts_sent = nullptr;
+  metrics::Counter* acks_sent = nullptr;
+  metrics::Counter* direct_bytes_received = nullptr;
+  metrics::Counter* indirect_bytes_received = nullptr;
+  metrics::Counter* bytes_copied_out = nullptr;
+  metrics::Counter* copy_busy_time = nullptr;  ///< ps the CPU spent copying
+  metrics::Histogram* advert_rtt = nullptr;    ///< ADVERT -> first direct byte
+  metrics::Gauge* rx_phase = nullptr;
+  metrics::Histogram* rx_phase_dwell_direct = nullptr;
+  metrics::Histogram* rx_phase_dwell_indirect = nullptr;
+  metrics::TimeWeightedSeries* rx_ring_occupancy = nullptr;  ///< b_r
+
+  // Control channel (shared by both halves).
+  metrics::TimeWeightedSeries* send_credits = nullptr;
+  metrics::Counter* credit_messages_sent = nullptr;
+
+  /// Create (or re-resolve) every instrument in `registry`.
+  static SocketInstruments Create(metrics::Registry& registry);
+};
+
+}  // namespace exs

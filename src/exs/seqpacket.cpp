@@ -21,7 +21,7 @@ void SeqPacketTx::Submit(std::uint64_t id, const void* buf, std::uint64_t len,
 
 void SeqPacketTx::OnAdvert(const wire::ControlMessage& msg) {
   adverts_.push_back(Advert{msg.addr, msg.rkey, msg.len});
-  ++ctx_.stats->adverts_received;
+  ctx_.metrics->adverts_received->Increment();
   Pump();
 }
 
@@ -42,8 +42,8 @@ void SeqPacketTx::Pump() {
 
     std::uint64_t bytes = s.len < a.len ? s.len : a.len;
     bool truncated = s.len > a.len;
-    ++ctx_.stats->direct_transfers;
-    ctx_.stats->direct_bytes += bytes;
+    ctx_.metrics->direct_transfers->Increment();
+    ctx_.metrics->direct_bytes->Add(bytes);
     awaiting_ack_.push_back(Sent{s.id, bytes, truncated});
     ctx_.channel->PostDataWwi(s.id, s.base, s.lkey, bytes, a.addr, a.rkey,
                               /*indirect=*/false);
@@ -64,8 +64,8 @@ void SeqPacketTx::OnWwiComplete(std::uint64_t wr_id) {
   Sent sent = awaiting_ack_.front();
   EXS_CHECK_MSG(sent.id == wr_id, "SEQPACKET completions arrive in order");
   awaiting_ack_.pop_front();
-  ++ctx_.stats->sends_completed;
-  ctx_.stats->bytes_sent += sent.bytes;
+  ctx_.metrics->sends_completed->Increment();
+  ctx_.metrics->bytes_sent->Add(sent.bytes);
   ctx_.events->Push(
       Event{EventType::kSendComplete, sent.id, sent.bytes, sent.truncated});
 }
@@ -78,7 +78,7 @@ void SeqPacketRx::OnShutdown() {
   while (!pending_.empty()) {
     PendingRecv rec = pending_.front();
     pending_.pop_front();
-    ++ctx_.stats->recvs_completed;
+    ctx_.metrics->recvs_completed->Increment();
     ctx_.events->Push(Event{EventType::kRecvComplete, rec.id, 0, false});
   }
   ctx_.events->Push(Event{EventType::kPeerClosed, 0, 0, false});
@@ -88,7 +88,7 @@ void SeqPacketRx::Submit(std::uint64_t id, void* buf, std::uint64_t len,
                          std::uint32_t rkey) {
   EXS_CHECK_MSG(len > 0, "zero-length receive is not meaningful");
   if (peer_closed_) {
-    ++ctx_.stats->recvs_completed;
+    ctx_.metrics->recvs_completed->Increment();
     ctx_.events->Push(Event{EventType::kRecvComplete, id, 0, false});
     return;
   }
@@ -112,7 +112,7 @@ void SeqPacketRx::AdvertisePending() {
     msg.len = rec.len;
     ctx_.channel->SendControl(msg);
     rec.adverted = true;
-    ++ctx_.stats->adverts_sent;
+    ctx_.metrics->adverts_sent->Increment();
   }
 }
 
@@ -122,9 +122,9 @@ void SeqPacketRx::OnData(bool indirect, std::uint64_t len) {
   PendingRecv rec = pending_.front();
   EXS_CHECK_MSG(rec.adverted, "message arrived for un-advertised receive");
   pending_.pop_front();
-  ++ctx_.stats->recvs_completed;
-  ctx_.stats->bytes_received += len;
-  ctx_.stats->direct_bytes_received += len;
+  ctx_.metrics->recvs_completed->Increment();
+  ctx_.metrics->bytes_received->Add(len);
+  ctx_.metrics->direct_bytes_received->Add(len);
   ctx_.events->Push(Event{EventType::kRecvComplete, rec.id, len, false});
 }
 

@@ -14,11 +14,15 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "common/logging.hpp"
+#include "common/metrics.hpp"
 #include "exs/connection.hpp"
 #include "exs/socket.hpp"
+#include "exs/timeline.hpp"
 #include "simnet/fabric.hpp"
 #include "verbs/device.hpp"
 
@@ -32,7 +36,15 @@ class Simulation {
                       bool carry_payload = true)
       : fabric_(std::move(profile), seed),
         device0_(fabric_, 0, carry_payload),
-        device1_(fabric_, 1, carry_payload) {}
+        device1_(fabric_, 1, carry_payload) {
+    // Stamp EXS_LOG lines with the simulated time while this simulation is
+    // live (most recent simulation wins if several coexist).
+    SetLogClock(&fabric_.scheduler());
+  }
+
+  ~Simulation() {
+    if (GetLogClock() == &fabric_.scheduler()) SetLogClock(nullptr);
+  }
 
   /// Create a connected socket pair: first on node 0 ("client"), second on
   /// node 1 ("server").
@@ -79,6 +91,41 @@ class Simulation {
   void RunFor(SimDuration d) { fabric_.scheduler().RunFor(d); }
   bool RunUntil(const std::function<bool()>& done) {
     return fabric_.scheduler().RunUntilPredicate(done);
+  }
+
+  /// Metrics snapshot of every CreateConnectedPair socket:
+  /// {"sim_time_ps":N,"sockets":[{"name":...,"metrics":{...}}]}.  An array
+  /// keeps duplicate socket names unambiguous.
+  std::string MetricsJson() {
+    const SimTime now = Now();
+    std::string json = "{\"sim_time_ps\":" + std::to_string(now);
+    json += ",\"sockets\":[";
+    for (std::size_t i = 0; i < sockets_.size(); ++i) {
+      if (i != 0) json += ",";
+      json += "{\"name\":";
+      metrics::AppendJsonString(&json, sockets_[i]->name());
+      json += ",\"metrics\":";
+      json += sockets_[i]->metrics_registry().ToJson(now);
+      json += "}";
+    }
+    json += "]}";
+    return json;
+  }
+
+  /// Chrome trace-event timeline of every CreateConnectedPair socket (see
+  /// exs/timeline.hpp).  Sockets must have tracing enabled to contribute
+  /// spans and instants; metric series contribute counter tracks always.
+  std::string TimelineJson() {
+    std::vector<TimelineSource> sources;
+    for (const auto& socket : sockets_) {
+      TimelineSource src;
+      src.process = socket->name();
+      src.tx = &socket->tx_trace();
+      src.rx = &socket->rx_trace();
+      src.registry = &socket->metrics_registry();
+      sources.push_back(std::move(src));
+    }
+    return ExportChromeTrace(sources);
   }
 
  private:

@@ -20,7 +20,9 @@ Socket::Socket(verbs::Device& device, SocketType type, StreamOptions options,
       type_(type),
       options_(options),
       name_(std::move(name)) {
+  inst_ = SocketInstruments::Create(registry_);
   channel_ = std::make_unique<ControlChannel>(device, options_.credits);
+  channel_->SetInstruments(inst_.send_credits, inst_.credit_messages_sent);
   events_ = std::make_unique<EventQueue>(device.node().cpu(),
                                          device.profile().per_event_cpu);
   if (type_ == SocketType::kStream &&
@@ -44,7 +46,7 @@ StreamContext Socket::MakeContext(TraceLog* trace) {
   ctx.scheduler = &device_->scheduler();
   ctx.cpu = &device_->node().cpu();
   ctx.events = events_.get();
-  ctx.stats = &stats_;
+  ctx.metrics = &inst_;
   ctx.options = options_;
   ctx.memcpy_bandwidth = device_->profile().memcpy_bandwidth;
   ctx.carry_payload = device_->carry_payload();
@@ -209,6 +211,30 @@ bool Socket::CloseRequested() const {
   if (tx_) return tx_->ShutdownRequested();
   if (rendezvous_tx_) return rendezvous_tx_->ShutdownRequested();
   return packet_tx_->ShutdownRequested();
+}
+
+StreamStats Socket::stats() const {
+  StreamStats s;
+  s.direct_transfers = inst_.direct_transfers->value();
+  s.indirect_transfers = inst_.indirect_transfers->value();
+  s.direct_bytes = inst_.direct_bytes->value();
+  s.indirect_bytes = inst_.indirect_bytes->value();
+  s.mode_switches = inst_.mode_switches->value();
+  s.adverts_received = inst_.adverts_received->value();
+  s.adverts_discarded = inst_.adverts_discarded->value();
+  s.sender_phase = static_cast<std::uint64_t>(inst_.tx_phase->value());
+  s.adverts_sent = inst_.adverts_sent->value();
+  s.acks_sent = inst_.acks_sent->value();
+  s.credit_messages_sent = inst_.credit_messages_sent->value();
+  s.bytes_copied_out = inst_.bytes_copied_out->value();
+  s.direct_bytes_received = inst_.direct_bytes_received->value();
+  s.indirect_bytes_received = inst_.indirect_bytes_received->value();
+  s.receiver_phase = static_cast<std::uint64_t>(inst_.rx_phase->value());
+  s.sends_completed = inst_.sends_completed->value();
+  s.recvs_completed = inst_.recvs_completed->value();
+  s.bytes_sent = inst_.bytes_sent->value();
+  s.bytes_received = inst_.bytes_received->value();
+  return s;
 }
 
 bool Socket::Quiescent() const {

@@ -14,8 +14,10 @@
 #include <memory>
 #include <string>
 
+#include "common/metrics.hpp"
 #include "exs/channel.hpp"
 #include "exs/event_queue.hpp"
+#include "exs/instruments.hpp"
 #include "exs/rendezvous.hpp"
 #include "exs/seqpacket.hpp"
 #include "exs/stream.hpp"
@@ -59,7 +61,12 @@ class Socket {
   bool CloseRequested() const;
 
   EventQueue& events() { return *events_; }
-  const StreamStats& stats() const { return stats_; }
+  /// Legacy aggregate view, rebuilt on demand from the metrics registry —
+  /// the registry's named instruments are the single source of truth.
+  StreamStats stats() const;
+  /// Every named counter/gauge/histogram/series this socket maintains.
+  /// Names and units are catalogued in docs/OBSERVABILITY.md.
+  const metrics::Registry& metrics_registry() const { return registry_; }
   SocketType type() const { return type_; }
   const StreamOptions& options() const { return options_; }
   const std::string& name() const { return name_; }
@@ -73,8 +80,11 @@ class Socket {
   /// Record protocol traces for this socket (off by default).  The
   /// outgoing stream's sender events and the incoming stream's receiver
   /// events are kept separately so the lemma validators in exs/trace.hpp
-  /// can run on each.
-  void EnableTracing() {
+  /// can run on each.  `capacity` bounds each log (0 = unbounded); see
+  /// TraceLog::SetCapacity for the drop semantics.
+  void EnableTracing(std::size_t capacity = 0) {
+    tx_trace_.SetCapacity(capacity);
+    rx_trace_.SetCapacity(capacity);
     tx_trace_.Enable();
     rx_trace_.Enable();
   }
@@ -113,7 +123,8 @@ class Socket {
   SocketType type_;
   StreamOptions options_;
   std::string name_;
-  StreamStats stats_;
+  metrics::Registry registry_;
+  SocketInstruments inst_;
   std::unique_ptr<ControlChannel> channel_;
   std::unique_ptr<EventQueue> events_;
   std::unique_ptr<StreamTx> tx_;

@@ -28,6 +28,7 @@
 #include "common/units.hpp"
 #include "exs/channel.hpp"
 #include "exs/event_queue.hpp"
+#include "exs/instruments.hpp"
 #include "exs/trace.hpp"
 #include "exs/types.hpp"
 #include "exs/wire.hpp"
@@ -40,7 +41,7 @@ struct StreamContext {
   simnet::EventScheduler* scheduler = nullptr;
   simnet::Cpu* cpu = nullptr;
   EventQueue* events = nullptr;
-  StreamStats* stats = nullptr;
+  SocketInstruments* metrics = nullptr;
   TraceLog* trace = nullptr;
   StreamOptions options;
   Bandwidth memcpy_bandwidth;
@@ -115,6 +116,11 @@ class StreamTx {
   void PostDirect(PendingSend& s, Advert& advert, std::uint64_t len);
   void PostIndirect(PendingSend& s, std::uint64_t len);
   void NoteTransfer(bool indirect);
+  /// Advance P_s, recording how long we dwelt in the phase being left and
+  /// tracing the change (phase dwell histograms are keyed by the *old*
+  /// phase's parity).
+  void AdvancePhaseTo(std::uint64_t phase);
+  void NoteWwisInFlight(std::int64_t delta);
   void Trace(TraceEventType type, std::uint64_t len = 0,
              std::uint64_t msg_seq = 0, std::uint64_t msg_phase = 0) {
     if (ctx_.trace != nullptr && ctx_.trace->enabled()) {
@@ -131,6 +137,8 @@ class StreamTx {
   StreamContext ctx_;
   std::uint64_t phase_ = 0;  ///< P_s
   std::uint64_t seq_ = 0;    ///< S_s
+  SimTime phase_start_ = 0;  ///< when P_s last changed (dwell accounting)
+  std::uint64_t wwis_in_flight_ = 0;  ///< posted, not yet locally complete
   RingCursor remote_ring_;   ///< sender's view of the remote buffer (b_s)
   std::uint64_t remote_ring_addr_ = 0;
   std::uint32_t remote_ring_rkey_ = 0;
@@ -189,6 +197,8 @@ class StreamRx {
     bool waitall = false;
     bool adverted = false;
     std::uint64_t advert_phase = 0;
+    SimTime advert_time = 0;   ///< when this receive's ADVERT went out
+    bool rtt_pending = false;  ///< awaiting the first direct byte back
   };
 
   /// Fig. 3: advertise pending receives in order, gated on an empty
@@ -202,6 +212,9 @@ class StreamRx {
   /// After the peer's SHUTDOWN, once every buffered byte has been copied
   /// out: complete the remaining receives and raise kPeerClosed.
   void MaybeFinishEof();
+  /// Advance P_r, recording the dwell time of the phase being left (see
+  /// StreamTx::AdvancePhaseTo).
+  void AdvancePhaseTo(std::uint64_t phase);
   void Trace(TraceEventType type, std::uint64_t len = 0,
              std::uint64_t msg_seq = 0, std::uint64_t msg_phase = 0) {
     if (ctx_.trace != nullptr && ctx_.trace->enabled()) {
@@ -214,6 +227,7 @@ class StreamRx {
   std::uint64_t phase_ = 0;    ///< P_r
   std::uint64_t seq_ = 0;      ///< S_r
   std::uint64_t seq_est_ = 0;  ///< S'_r (next-expected used in ADVERTs)
+  SimTime phase_start_ = 0;    ///< when P_r last changed (dwell accounting)
   std::vector<std::uint8_t> ring_mem_;
   verbs::MemoryRegionPtr ring_mr_;
   RingCursor ring_;            ///< b_r plus cursors

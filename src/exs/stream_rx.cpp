@@ -17,10 +17,29 @@ StreamRx::StreamRx(StreamContext ctx)
                 "intermediate buffer must have nonzero capacity");
   ring_mr_ = ctx_.channel->device().RegisterMemory(ring_mem_.data(),
                                                    ring_mem_.size());
+  if (ctx_.metrics != nullptr) {
+    ring_.SetOccupancyProbe(ctx_.metrics->rx_ring_occupancy, ctx_.scheduler);
+  }
 }
 
 std::uint64_t StreamRx::ring_addr() const {
   return reinterpret_cast<std::uint64_t>(ring_mem_.data());
+}
+
+void StreamRx::AdvancePhaseTo(std::uint64_t phase) {
+  const SimTime now = ctx_.scheduler->Now();
+  const SimDuration dwell = now - phase_start_;
+  if (PhaseIsDirect(phase_)) {
+    ctx_.metrics->rx_phase_dwell_direct->Record(
+        static_cast<std::uint64_t>(dwell));
+  } else {
+    ctx_.metrics->rx_phase_dwell_indirect->Record(
+        static_cast<std::uint64_t>(dwell));
+  }
+  phase_ = phase;
+  phase_start_ = now;
+  ctx_.metrics->rx_phase->Set(static_cast<double>(phase_));
+  Trace(TraceEventType::kReceiverPhaseChanged);
 }
 
 void StreamRx::Submit(std::uint64_t id, void* buf, std::uint64_t len,
@@ -29,7 +48,7 @@ void StreamRx::Submit(std::uint64_t id, void* buf, std::uint64_t len,
   if (eof_delivered_) {
     // End-of-stream already reached: classic sockets semantics, the
     // receive completes immediately with zero bytes.
-    ++ctx_.stats->recvs_completed;
+    ctx_.metrics->recvs_completed->Increment();
     ctx_.events->Push(Event{EventType::kRecvComplete, id, 0, false});
     return;
   }
@@ -82,9 +101,7 @@ void StreamRx::TryAdvertise() {
       EXS_CHECK_MSG(first_unadverted == 0 ? seq_est_ == seq_ : true,
                     "resynchronisation invariant: S'_r == S_r at the first "
                     "ADVERT of a new phase");
-      phase_ = NextPhase(phase_);
-      ctx_.stats->receiver_phase = phase_;
-      Trace(TraceEventType::kReceiverPhaseChanged);
+      AdvancePhaseTo(NextPhase(phase_));
     }
 
     PendingRecv& r = pending_[first_unadverted];
@@ -98,10 +115,12 @@ void StreamRx::TryAdvertise() {
     msg.set_phase(phase_);
     msg.waitall = r.waitall ? 1 : 0;
     ctx_.channel->SendControl(msg);
-    ++ctx_.stats->adverts_sent;
+    ctx_.metrics->adverts_sent->Increment();
 
     r.adverted = true;
     r.advert_phase = phase_;
+    r.advert_time = ctx_.scheduler->Now();
+    r.rtt_pending = true;
     // Advance the next-expected estimate (Fig. 3 lines 10-14): by the full
     // remaining length under MSG_WAITALL, else by the minimum bytes that
     // can complete the receive (one).
@@ -121,13 +140,21 @@ void StreamRx::OnData(bool indirect, std::uint64_t len) {
     EXS_CHECK_MSG(ring_.used() == 0 && !copy_in_progress_,
                   "direct transfer while the intermediate buffer is in use");
     EXS_CHECK_MSG(r.filled + len <= r.len, "direct transfer overfills");
+    if (r.rtt_pending) {
+      // ADVERT round trip: from the ADVERT leaving to the first byte it
+      // solicited landing in user memory (the latency the paper's direct
+      // path trades against the indirect path's copy).
+      ctx_.metrics->advert_rtt->Record(
+          static_cast<std::uint64_t>(ctx_.scheduler->Now() - r.advert_time));
+      r.rtt_pending = false;
+    }
     r.filled += len;
     seq_ += len;
     // Fig. 4 lines 3-5: a non-WAITALL ADVERT estimated one byte; the
     // receive completes with this transfer, so correct the estimate with
     // the actual length.  A WAITALL estimate was already exact.
     if (!r.waitall) seq_est_ += len - 1;
-    ctx_.stats->direct_bytes_received += len;
+    ctx_.metrics->direct_bytes_received->Add(len);
     Trace(TraceEventType::kDirectArrived, len);
     if (!r.waitall || r.filled == r.len) CompleteFront();
     TryAdvertise();
@@ -137,16 +164,14 @@ void StreamRx::OnData(bool indirect, std::uint64_t len) {
   // Indirect arrival (Fig. 4 lines 7-11): data is already in the ring at
   // our fill cursor; account for it and move to an indirect phase.
   if (PhaseIsDirect(phase_)) {
-    phase_ = NextPhase(phase_);
-    ctx_.stats->receiver_phase = phase_;
-    Trace(TraceEventType::kReceiverPhaseChanged);
+    AdvancePhaseTo(NextPhase(phase_));
   }
   Trace(TraceEventType::kIndirectArrived, len);
   EXS_CHECK_MSG(len <= ring_.ContiguousWritable(),
                 "indirect transfer overruns the intermediate buffer — the "
                 "sender's b_s view must prevent this");
   ring_.CommitWrite(len);
-  ctx_.stats->indirect_bytes_received += len;
+  ctx_.metrics->indirect_bytes_received->Add(len);
   DrainRing();
 }
 
@@ -169,6 +194,7 @@ void StreamRx::DrainRing() {
   // "higher CPU usage at the receiver" the paper trades for latency.
   copy_in_progress_ = true;
   SimDuration cost = ctx_.memcpy_bandwidth.TransmissionTime(n);
+  ctx_.metrics->copy_busy_time->Add(static_cast<std::uint64_t>(cost));
   ctx_.cpu->Submit(cost, [this, n] {
     copy_in_progress_ = false;
     EXS_CHECK(!pending_.empty());
@@ -191,7 +217,7 @@ void StreamRx::DrainRing() {
       seq_est_ += n - 1;
     }
     pending_ack_bytes_ += n;
-    ctx_.stats->bytes_copied_out += n;
+    ctx_.metrics->bytes_copied_out->Add(n);
     Trace(TraceEventType::kCopyOut, n);
     // A plain receive completes with whatever one pass delivered; a
     // MSG_WAITALL receive keeps waiting until full.
@@ -204,8 +230,8 @@ void StreamRx::DrainRing() {
 void StreamRx::CompleteFront() {
   PendingRecv r = pending_.front();
   pending_.pop_front();
-  ++ctx_.stats->recvs_completed;
-  ctx_.stats->bytes_received += r.filled;
+  ctx_.metrics->recvs_completed->Increment();
+  ctx_.metrics->bytes_received->Add(r.filled);
   ctx_.events->Push(Event{EventType::kRecvComplete, r.id, r.filled, false});
 }
 
@@ -229,7 +255,7 @@ void StreamRx::MaybeSendAck() {
   ctx_.channel->SendControl(msg);
   Trace(TraceEventType::kAckSent, pending_ack_bytes_);
   pending_ack_bytes_ = 0;
-  ++ctx_.stats->acks_sent;
+  ctx_.metrics->acks_sent->Increment();
 }
 
 void StreamRx::OnShutdown() {
@@ -249,8 +275,8 @@ void StreamRx::MaybeFinishEof() {
   while (!pending_.empty()) {
     PendingRecv r = pending_.front();
     pending_.pop_front();
-    ++ctx_.stats->recvs_completed;
-    ctx_.stats->bytes_received += r.filled;
+    ctx_.metrics->recvs_completed->Increment();
+    ctx_.metrics->bytes_received->Add(r.filled);
     ctx_.events->Push(Event{EventType::kRecvComplete, r.id, r.filled,
                             false});
   }

@@ -11,6 +11,11 @@ void StreamTx::SetRemoteRing(std::uint64_t addr, std::uint32_t rkey,
   remote_ring_addr_ = addr;
   remote_ring_rkey_ = rkey;
   remote_ring_ = RingCursor(capacity);
+  // Re-attach the occupancy probe: assignment above replaced the cursor.
+  if (ctx_.metrics != nullptr) {
+    remote_ring_.SetOccupancyProbe(ctx_.metrics->tx_remote_ring_used,
+                                   ctx_.scheduler);
+  }
 }
 
 void StreamTx::Submit(std::uint64_t id, const void* buf, std::uint64_t len,
@@ -28,7 +33,7 @@ void StreamTx::Submit(std::uint64_t id, const void* buf, std::uint64_t len,
     // message boundaries, so there is nothing to transfer.
     rec->fully_chunked = true;
     inflight_.erase(id);
-    ++ctx_.stats->sends_completed;
+    ctx_.metrics->sends_completed->Increment();
     ctx_.events->Push(Event{EventType::kSendComplete, id, 0, false});
     return;
   }
@@ -48,7 +53,7 @@ void StreamTx::OnAdvert(const wire::ControlMessage& msg) {
   EXS_CHECK_MSG(PhaseIsDirect(advert.phase),
                 "Lemma 1: every ADVERT carries a direct phase number");
   advert_queue_.push_back(advert);
-  ++ctx_.stats->adverts_received;
+  ctx_.metrics->adverts_received->Increment();
   Trace(TraceEventType::kAdvertReceived, advert.len, advert.seq,
         advert.phase);
   Pump();
@@ -63,6 +68,29 @@ void StreamTx::OnAck(std::uint64_t freed) {
 void StreamTx::RequestShutdown() {
   shutdown_requested_ = true;
   Pump();
+}
+
+void StreamTx::AdvancePhaseTo(std::uint64_t phase) {
+  const SimTime now = ctx_.scheduler->Now();
+  const SimDuration dwell = now - phase_start_;
+  if (PhaseIsDirect(phase_)) {
+    ctx_.metrics->tx_phase_dwell_direct->Record(
+        static_cast<std::uint64_t>(dwell));
+  } else {
+    ctx_.metrics->tx_phase_dwell_indirect->Record(
+        static_cast<std::uint64_t>(dwell));
+  }
+  phase_ = phase;
+  phase_start_ = now;
+  ctx_.metrics->tx_phase->Set(static_cast<double>(phase_));
+  Trace(TraceEventType::kSenderPhaseChanged);
+}
+
+void StreamTx::NoteWwisInFlight(std::int64_t delta) {
+  wwis_in_flight_ = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(wwis_in_flight_) + delta);
+  ctx_.metrics->tx_inflight_wwis->Record(
+      ctx_.scheduler->Now(), static_cast<double>(wwis_in_flight_));
 }
 
 void StreamTx::Pump() {
@@ -81,12 +109,10 @@ void StreamTx::Pump() {
         Trace(TraceEventType::kAdvertDiscarded, advert.len, advert.seq,
               advert.phase);
         if (phase_ < advert.phase) {
-          phase_ = NextPhase(advert.phase);
-          ctx_.stats->sender_phase = phase_;
-          Trace(TraceEventType::kSenderPhaseChanged);
+          AdvancePhaseTo(NextPhase(advert.phase));
         }
         advert_queue_.pop_front();
-        ++ctx_.stats->adverts_discarded;
+        ctx_.metrics->adverts_discarded->Increment();
         continue;
       }
       if (!ctx_.channel->CanSend()) return;  // resumed by credit return
@@ -103,9 +129,7 @@ void StreamTx::Pump() {
         EXS_CHECK_MSG(advert.seq == seq_,
                       "accepted ADVERT must carry the exact next sequence ("
                           << advert.seq << " vs " << seq_ << ")");
-        phase_ = advert.phase;
-        ctx_.stats->sender_phase = phase_;
-        Trace(TraceEventType::kSenderPhaseChanged);
+        AdvancePhaseTo(advert.phase);
       }
       std::uint64_t len = s.len - s.sent;
       std::uint64_t room = advert.len - advert.filled;
@@ -130,9 +154,7 @@ void StreamTx::Pump() {
       if (MaxChunk() < len) len = MaxChunk();
       if (PhaseIsDirect(phase_)) {
         // First indirect transfer of a burst (Fig. 2 lines 18-20).
-        phase_ = NextPhase(phase_);
-        ctx_.stats->sender_phase = phase_;
-        Trace(TraceEventType::kSenderPhaseChanged);
+        AdvancePhaseTo(NextPhase(phase_));
       }
       PostIndirect(s, len);
       seq_ += len;
@@ -149,8 +171,8 @@ void StreamTx::Pump() {
         // All chunks already completed locally (possible with inline-fast
         // paths); report completion now.
         inflight_.erase(rec->id);
-        ++ctx_.stats->sends_completed;
-        ctx_.stats->bytes_sent += rec->len;
+        ctx_.metrics->sends_completed->Increment();
+        ctx_.metrics->bytes_sent->Add(rec->len);
         ctx_.events->Push(
             Event{EventType::kSendComplete, rec->id, rec->len, false});
       }
@@ -170,9 +192,10 @@ void StreamTx::Pump() {
 void StreamTx::PostDirect(PendingSend& s, Advert& advert, std::uint64_t len) {
   Trace(TraceEventType::kDirectPosted, len);
   NoteTransfer(/*indirect=*/false);
-  ++ctx_.stats->direct_transfers;
-  ctx_.stats->direct_bytes += len;
+  ctx_.metrics->direct_transfers->Increment();
+  ctx_.metrics->direct_bytes->Add(len);
   ++s.wwis_outstanding;
+  NoteWwisInFlight(+1);
   ctx_.channel->PostDataWwi(s.id, s.base + s.sent, s.lkey, len,
                             advert.addr + advert.filled, advert.rkey,
                             /*indirect=*/false);
@@ -181,9 +204,10 @@ void StreamTx::PostDirect(PendingSend& s, Advert& advert, std::uint64_t len) {
 void StreamTx::PostIndirect(PendingSend& s, std::uint64_t len) {
   Trace(TraceEventType::kIndirectPosted, len);
   NoteTransfer(/*indirect=*/true);
-  ++ctx_.stats->indirect_transfers;
-  ctx_.stats->indirect_bytes += len;
+  ctx_.metrics->indirect_transfers->Increment();
+  ctx_.metrics->indirect_bytes->Add(len);
   ++s.wwis_outstanding;
+  NoteWwisInFlight(+1);
   std::uint64_t offset = remote_ring_.write_offset();
   remote_ring_.CommitWrite(len);
   ctx_.channel->PostDataWwi(s.id, s.base + s.sent, s.lkey, len,
@@ -193,7 +217,7 @@ void StreamTx::PostIndirect(PendingSend& s, std::uint64_t len) {
 
 void StreamTx::NoteTransfer(bool indirect) {
   if (indirect != last_transfer_indirect_) {
-    ++ctx_.stats->mode_switches;
+    ctx_.metrics->mode_switches->Increment();
     last_transfer_indirect_ = indirect;
   }
 }
@@ -204,11 +228,12 @@ void StreamTx::OnWwiComplete(std::uint64_t wr_id) {
   PendingSend& s = *it->second;
   EXS_CHECK(s.wwis_outstanding > 0);
   --s.wwis_outstanding;
+  NoteWwisInFlight(-1);
   if (s.fully_chunked && s.wwis_outstanding == 0) {
     auto rec = it->second;
     inflight_.erase(it);
-    ++ctx_.stats->sends_completed;
-    ctx_.stats->bytes_sent += rec->len;
+    ctx_.metrics->sends_completed->Increment();
+    ctx_.metrics->bytes_sent->Add(rec->len);
     ctx_.events->Push(
         Event{EventType::kSendComplete, rec->id, rec->len, false});
   }

@@ -1,0 +1,37 @@
+// Chrome trace-event export: renders a connection's TraceLogs and metric
+// time-series as a timeline loadable in Perfetto / chrome://tracing.
+//
+// Each socket becomes a "process" (pid) with two threads: tid 0 is the
+// sender half (outgoing stream), tid 1 the receiver half.  Phase intervals
+// are reconstructed from the *PhaseChanged trace events and rendered as
+// named duration spans ("B"/"E"), every other trace event becomes a
+// thread-scoped instant ("i") carrying its sequence/phase/length args, and
+// registry time-series (buffer occupancy, credits, in-flight WRs) become
+// counter tracks ("C").  Timestamps are the simulation's picoseconds
+// converted to the format's microseconds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "exs/trace.hpp"
+
+namespace exs {
+
+/// One socket's worth of timeline input.  Any pointer may be null; null
+/// logs/registries simply contribute no events.
+struct TimelineSource {
+  std::string process;  ///< track-group name (socket name)
+  const TraceLog* tx = nullptr;
+  const TraceLog* rx = nullptr;
+  const metrics::Registry* registry = nullptr;
+};
+
+/// Serialize the sources as a Chrome trace-event JSON object
+/// (`{"traceEvents":[...],"displayTimeUnit":"ms"}`).  Events are sorted by
+/// timestamp, so viewers that require monotonic input accept the file
+/// as-is.  Deterministic: depends only on the inputs.
+std::string ExportChromeTrace(const std::vector<TimelineSource>& sources);
+
+}  // namespace exs

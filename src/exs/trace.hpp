@@ -69,18 +69,36 @@ class TraceLog {
   void Enable() { enabled_ = true; }
   bool enabled() const { return enabled_; }
 
+  /// Bound the log to `capacity` events (0 = unbounded, the default).
+  /// Once full, further events are counted in dropped() and discarded, so
+  /// the retained prefix stays contiguous — the lemma validators remain
+  /// sound on a truncated log, they just see a shorter run.
+  void SetCapacity(std::size_t capacity) { capacity_ = capacity; }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t dropped() const { return dropped_; }
+
   void Record(const TraceEvent& event) {
-    if (enabled_) events_.push_back(event);
+    if (!enabled_) return;
+    if (capacity_ != 0 && events_.size() >= capacity_) {
+      ++dropped_;
+      return;
+    }
+    events_.push_back(event);
   }
 
   const std::vector<TraceEvent>& events() const { return events_; }
-  void Clear() { events_.clear(); }
+  void Clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
 
   /// Human-readable dump (debugging aid and example output).
   std::string Format() const;
 
  private:
   bool enabled_ = false;
+  std::size_t capacity_ = 0;
+  std::uint64_t dropped_ = 0;
   std::vector<TraceEvent> events_;
 };
 

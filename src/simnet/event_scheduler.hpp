@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/sim_clock.hpp"
 #include "common/units.hpp"
 
 namespace exs::simnet {
@@ -50,9 +51,9 @@ class EventHandle {
   std::weak_ptr<Record> record_;
 };
 
-class EventScheduler {
+class EventScheduler : public SimClock {
  public:
-  SimTime Now() const { return now_; }
+  SimTime Now() const override { return now_; }
 
   EventHandle ScheduleAt(SimTime when, std::function<void()> fn) {
     EXS_CHECK_MSG(when >= now_, "cannot schedule into the past");

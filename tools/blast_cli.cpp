@@ -43,7 +43,12 @@ using namespace exs::blast;  // NOLINT
       "  --seed N         base seed (1)\n"
       "  --delay MS       extra one-way delay, any profile (0)\n"
       "  --verify         carry and verify real payload bytes\n"
-      "  --csv            machine-readable one-line output\n",
+      "  --csv            machine-readable one-line output\n"
+      "  --quick          small smoke run (150 messages)\n"
+      "  --metrics-json FILE   write a metrics snapshot of the first run\n"
+      "                        (JSON; '-' for stdout)\n"
+      "  --timeline-json FILE  write a Chrome trace-event timeline of the\n"
+      "                        first run, loadable in Perfetto ('-' stdout)\n",
       argv0);
   std::exit(2);
 }
@@ -84,7 +89,16 @@ int main(int argc, char** argv) {
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    // Accept both "--flag value" and "--flag=value".
+    std::string inline_value;
+    bool has_inline_value = false;
+    if (std::size_t eq = arg.find('='); eq != std::string::npos) {
+      inline_value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_inline_value = true;
+    }
     auto value = [&]() -> std::string {
+      if (has_inline_value) return inline_value;
       if (i + 1 >= argc) Usage(argv[0]);
       return argv[++i];
     };
@@ -134,6 +148,12 @@ int main(int argc, char** argv) {
       config.verify_data = true;
     } else if (arg == "--csv") {
       csv = true;
+    } else if (arg == "--quick") {
+      config.message_count = 150;
+    } else if (arg == "--metrics-json") {
+      config.metrics_json_path = value();
+    } else if (arg == "--timeline-json") {
+      config.timeline_json_path = value();
     } else {
       Usage(argv[0]);
     }
