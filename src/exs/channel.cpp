@@ -141,6 +141,33 @@ void ControlChannel::OnSendCompletion(const verbs::WorkCompletion& wc) {
 }
 
 void ControlChannel::OnRecvCompletion(const verbs::WorkCompletion& wc) {
+  // The deferred-queue check keeps arrival order: once anything is held,
+  // everything behind it queues too, even after the hold window expires.
+  if (device_->scheduler().Now() < hold_until_ || !deferred_.empty()) {
+    deferred_.push_back(wc);
+    return;
+  }
+  ProcessRecvCompletion(wc);
+}
+
+void ControlChannel::HoldIncoming(SimDuration hold) {
+  EXS_CHECK(hold >= 0);
+  SimTime until = device_->scheduler().Now() + hold;
+  if (until <= hold_until_) return;  // already covered by a longer hold
+  hold_until_ = until;
+  device_->scheduler().ScheduleAt(until, [this]() { DrainDeferred(); });
+}
+
+void ControlChannel::DrainDeferred() {
+  if (device_->scheduler().Now() < hold_until_) return;  // superseded
+  while (!deferred_.empty()) {
+    verbs::WorkCompletion wc = deferred_.front();
+    deferred_.pop_front();
+    ProcessRecvCompletion(wc);
+  }
+}
+
+void ControlChannel::ProcessRecvCompletion(const verbs::WorkCompletion& wc) {
   EXS_CHECK_MSG(wc.status == verbs::WcStatus::kSuccess,
                 "receive failed: " << verbs::ToString(wc.status));
   // Recycle the consumed slot right away so the pool never shrinks.

@@ -12,18 +12,20 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
 
 #include "common/metrics.hpp"
 #include "exs/wire.hpp"
+#include "simnet/faults.hpp"
 #include "verbs/device.hpp"
 #include "verbs/queue_pair.hpp"
 
 namespace exs {
 
-class ControlChannel {
+class ControlChannel : public simnet::IncomingHoldTarget {
  public:
   struct Callbacks {
     /// An ADVERT or ACK arrived (CREDIT messages are absorbed internally).
@@ -76,6 +78,19 @@ class ControlChannel {
                 std::uint64_t len, std::uint64_t remote_addr,
                 std::uint32_t rkey);
 
+  /// Fault injection (simnet/faults.hpp): freeze incoming completion
+  /// dispatch for `hold`, then release the backlog strictly in arrival
+  /// order.  Models delayed control/ADVERT delivery while honouring RC
+  /// in-order semantics: everything behind a held message waits too.
+  /// Deferring the whole dispatch (including the slot repost) is safe —
+  /// an unprocessed slot's receive is not reposted, so its slab bytes
+  /// stay intact, and the credit scheme throttles the peer before the
+  /// pool could be oversubscribed.
+  void HoldIncoming(SimDuration hold) override;
+
+  /// Completions currently frozen by HoldIncoming.
+  std::size_t HeldCompletions() const { return deferred_.size(); }
+
   verbs::Device& device() { return *device_; }
   std::uint32_t remote_credits() const { return remote_credits_; }
   std::uint32_t credit_pool_size() const { return credits_; }
@@ -85,6 +100,8 @@ class ControlChannel {
  private:
   void OnSendCompletion(const verbs::WorkCompletion& wc);
   void OnRecvCompletion(const verbs::WorkCompletion& wc);
+  void ProcessRecvCompletion(const verbs::WorkCompletion& wc);
+  void DrainDeferred();
   void PostSlotRecv(std::uint32_t slot);
   void ConsumeCredit();
   void ReturnConsumedSlot();
@@ -100,6 +117,9 @@ class ControlChannel {
   std::vector<std::uint8_t> slab_;
   verbs::MemoryRegionPtr slab_mr_;
   Callbacks callbacks_;
+
+  SimTime hold_until_ = 0;  ///< incoming dispatch frozen before this time
+  std::deque<verbs::WorkCompletion> deferred_;  ///< held, in arrival order
 
   std::uint32_t remote_credits_ = 0;  ///< peer receives we may consume
   std::uint32_t owed_credits_ = 0;    ///< reposted receives not yet reported

@@ -1,0 +1,443 @@
+#include "exs/invariant_checker.hpp"
+
+#include <sstream>
+
+#include "exs/socket.hpp"
+
+namespace exs {
+
+std::string InvariantReport::Summary() const {
+  std::ostringstream oss;
+  if (violations.empty()) {
+    oss << "invariants hold (" << events_checked << " events checked)";
+    return oss.str();
+  }
+  oss << violations.size() << " invariant violation(s) over "
+      << events_checked << " events:";
+  for (const auto& v : violations) oss << "\n  " << v;
+  return oss.str();
+}
+
+void InvariantReport::Merge(const InvariantReport& other) {
+  violations.insert(violations.end(), other.violations.begin(),
+                    other.violations.end());
+  events_checked += other.events_checked;
+  dropped_events += other.dropped_events;
+}
+
+namespace {
+
+void Violation(InvariantReport& report, const TraceEvent& ev,
+               const std::string& what) {
+  std::ostringstream oss;
+  oss << "t=" << ToMicroseconds(ev.time) << "us " << ToString(ev.type) << ": "
+      << what;
+  report.violations.push_back(oss.str());
+}
+
+/// Truncation / not-enabled gate shared by every entry point.  Returns
+/// false when the log cannot be meaningfully checked at all.
+bool AdmitLog(const TraceLog& log, const InvariantCheckOptions& opts,
+              const char* label, InvariantReport& report) {
+  if (!log.enabled()) {
+    report.violations.push_back(std::string(label) +
+                                ": tracing was not enabled — nothing to "
+                                "check (call Socket::EnableTracing)");
+    return false;
+  }
+  report.events_checked += log.events().size();
+  report.dropped_events += log.dropped();
+  if (log.dropped() > 0 && !opts.allow_truncated) {
+    std::ostringstream oss;
+    oss << label << ": trace truncated (" << log.dropped()
+        << " events dropped): widen the TraceLog capacity "
+           "(Socket::EnableTracing / TraceLog::SetCapacity) — a partial "
+           "trace cannot prove the safety theorem";
+    report.violations.push_back(oss.str());
+  }
+  return true;
+}
+
+void MergeLemmas(InvariantReport& report, const TraceCheckResult& lemmas) {
+  report.violations.insert(report.violations.end(),
+                           lemmas.violations.begin(),
+                           lemmas.violations.end());
+}
+
+/// Checker-specific sender rules beyond the PR-1 lemma validators:
+/// ADVERT-freshness at acceptance and posted-byte continuity.
+InvariantReport StreamSenderExtras(const std::vector<TraceEvent>& events) {
+  InvariantReport report;
+  std::uint64_t cum = 0;  // bytes posted so far (direct + indirect)
+  for (const auto& ev : events) {
+    switch (ev.type) {
+      case TraceEventType::kAdvertAccepted:
+        // Freshness (Fig. 8): an accepted ADVERT never carries a phase
+        // below the sender's.  The direct-phase equality and the
+        // indirect-phase exact-sequence facts are Lemma 4 / Theorem 1 in
+        // the base validators; this catches the plain stale case those
+        // formulations assume away.
+        if (ev.msg_phase < ev.phase) {
+          Violation(report, ev,
+                    "stale ADVERT accepted: message phase " +
+                        std::to_string(ev.msg_phase) +
+                        " below sender phase " + std::to_string(ev.phase));
+        }
+        break;
+      case TraceEventType::kDirectPosted:
+      case TraceEventType::kIndirectPosted:
+        // Posting events record S_s *before* it advances, so a gap-free
+        // byte stream shows ev.seq == cumulative posted bytes.
+        if (ev.len == 0) {
+          Violation(report, ev, "zero-length transfer posted");
+        }
+        if (ev.seq != cum) {
+          Violation(report, ev,
+                    "posted byte sequence not contiguous: event at seq " +
+                        std::to_string(ev.seq) + ", expected " +
+                        std::to_string(cum));
+        }
+        cum += ev.len;
+        break;
+      default:
+        break;
+    }
+  }
+  return report;
+}
+
+/// Checker-specific receiver rules: consumed-byte continuity and the
+/// replayed intermediate-buffer occupancy with the safety-theorem
+/// emptiness conditions.
+InvariantReport StreamReceiverExtras(const std::vector<TraceEvent>& events,
+                                     const InvariantCheckOptions& opts) {
+  InvariantReport report;
+  std::uint64_t cum = 0;        // bytes landed in user memory so far
+  std::int64_t occupancy = 0;   // replayed intermediate-buffer bytes
+  for (const auto& ev : events) {
+    switch (ev.type) {
+      case TraceEventType::kDirectArrived:
+      case TraceEventType::kCopyOut:
+        // Arrival/copy events record S_r *after* it advances, so a
+        // gap-free stream shows ev.seq == cumulative + this event.
+        if (ev.len == 0) {
+          Violation(report, ev, "zero-length arrival or copy");
+        }
+        if (ev.seq != cum + ev.len) {
+          Violation(report, ev,
+                    "received byte sequence not contiguous: event ends at "
+                    "seq " +
+                        std::to_string(ev.seq) + ", expected " +
+                        std::to_string(cum + ev.len));
+        }
+        cum = ev.seq;
+        break;
+      default:
+        break;
+    }
+
+    switch (ev.type) {
+      case TraceEventType::kIndirectArrived:
+        occupancy += static_cast<std::int64_t>(ev.len);
+        if (opts.rx_ring_capacity != 0 &&
+            occupancy >
+                static_cast<std::int64_t>(opts.rx_ring_capacity)) {
+          Violation(report, ev,
+                    "intermediate buffer overflow: occupancy " +
+                        std::to_string(occupancy) + " exceeds capacity " +
+                        std::to_string(opts.rx_ring_capacity));
+        }
+        break;
+      case TraceEventType::kCopyOut:
+        occupancy -= static_cast<std::int64_t>(ev.len);
+        if (occupancy < 0) {
+          Violation(report, ev,
+                    "copy-out of more bytes than the buffer holds "
+                    "(occupancy " +
+                        std::to_string(occupancy) + ")");
+        }
+        break;
+      case TraceEventType::kAdvertSent:
+        // Fig. 3 gate, observable form: no ADVERT leaves while buffered
+        // bytes remain.
+        if (occupancy != 0) {
+          Violation(report, ev,
+                    "ADVERT sent while the intermediate buffer holds " +
+                        std::to_string(occupancy) +
+                        " byte(s) — Fig. 3 gate violated");
+        }
+        break;
+      case TraceEventType::kDirectArrived:
+        // Theorem 1, observable form: a direct transfer lands only when
+        // nothing is buffered ahead of it.
+        if (occupancy != 0) {
+          Violation(report, ev,
+                    "direct transfer arrived while the intermediate buffer "
+                    "holds " +
+                        std::to_string(occupancy) +
+                        " byte(s) — safety theorem violated");
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// SOCK_SEQPACKET rules (§II-C): no phases, no indirect path, and ADVERT
+// counters must arrive gap-free in order (RC is reliable and in-order).
+// ---------------------------------------------------------------------------
+
+bool IsReceiverSideType(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kAdvertSent:
+    case TraceEventType::kDirectArrived:
+    case TraceEventType::kIndirectArrived:
+    case TraceEventType::kCopyOut:
+    case TraceEventType::kAckSent:
+    case TraceEventType::kReceiverPhaseChanged:
+      return true;
+    default:
+      return false;
+  }
+}
+
+InvariantReport SeqPacketCommon(const std::vector<TraceEvent>& events,
+                                bool receiver_side) {
+  InvariantReport report;
+  std::uint64_t cum = 0;
+  std::uint64_t last_advert_counter = 0;
+  for (const auto& ev : events) {
+    if (ev.phase != 0) {
+      Violation(report, ev, "SEQPACKET event carries a nonzero phase");
+    }
+    if (IsReceiverSideType(ev.type) != receiver_side) {
+      Violation(report, ev, "event from the wrong connection half");
+    }
+    switch (ev.type) {
+      case TraceEventType::kIndirectArrived:
+      case TraceEventType::kIndirectPosted:
+      case TraceEventType::kCopyOut:
+        Violation(report, ev,
+                  "stream-only event in a SEQPACKET trace — message mode "
+                  "has no indirect path");
+        break;
+      case TraceEventType::kAdvertSent:
+      case TraceEventType::kAdvertReceived:
+        // Counters start at 1 and advance by exactly one: RC delivery is
+        // reliable and in-order, so any gap or repeat is a protocol bug.
+        if (ev.msg_seq != last_advert_counter + 1) {
+          Violation(report, ev,
+                    "ADVERT counter gap: got " + std::to_string(ev.msg_seq) +
+                        ", expected " +
+                        std::to_string(last_advert_counter + 1) +
+                        " — lost, duplicated, or reordered ADVERT");
+        }
+        last_advert_counter = ev.msg_seq;
+        break;
+      case TraceEventType::kDirectPosted:
+        if (ev.seq != cum) {
+          Violation(report, ev,
+                    "posted byte sequence not contiguous: event at seq " +
+                        std::to_string(ev.seq) + ", expected " +
+                        std::to_string(cum));
+        }
+        cum += ev.len;
+        break;
+      case TraceEventType::kDirectArrived:
+        if (ev.seq != cum + ev.len) {
+          Violation(report, ev,
+                    "received byte sequence not contiguous: event ends at "
+                    "seq " +
+                        std::to_string(ev.seq) + ", expected " +
+                        std::to_string(cum + ev.len));
+        }
+        cum = ev.seq;
+        break;
+      default:
+        break;
+    }
+  }
+  return report;
+}
+
+struct KindTotals {
+  std::uint64_t direct_bytes = 0;
+  std::uint64_t direct_count = 0;
+  std::uint64_t indirect_bytes = 0;
+  std::uint64_t adverts = 0;
+};
+
+KindTotals Tally(const std::vector<TraceEvent>& events) {
+  KindTotals t;
+  for (const auto& ev : events) {
+    switch (ev.type) {
+      case TraceEventType::kDirectPosted:
+      case TraceEventType::kDirectArrived:
+        t.direct_bytes += ev.len;
+        ++t.direct_count;
+        break;
+      case TraceEventType::kIndirectPosted:
+      case TraceEventType::kIndirectArrived:
+        t.indirect_bytes += ev.len;
+        break;
+      case TraceEventType::kAdvertSent:
+      case TraceEventType::kAdvertReceived:
+        ++t.adverts;
+        break;
+      default:
+        break;
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+InvariantReport CheckStreamSenderTrace(const TraceLog& log,
+                                       const InvariantCheckOptions& opts) {
+  InvariantReport report;
+  if (!AdmitLog(log, opts, "sender", report)) return report;
+  MergeLemmas(report, ValidateSenderTrace(log.events()));
+  report.Merge(StreamSenderExtras(log.events()));
+  return report;
+}
+
+InvariantReport CheckStreamReceiverTrace(const TraceLog& log,
+                                         const InvariantCheckOptions& opts) {
+  InvariantReport report;
+  if (!AdmitLog(log, opts, "receiver", report)) return report;
+  MergeLemmas(report, ValidateReceiverTrace(log.events()));
+  report.Merge(StreamReceiverExtras(log.events(), opts));
+  return report;
+}
+
+InvariantReport CheckStreamPair(const TraceLog& sender_log,
+                                const TraceLog& receiver_log,
+                                const InvariantCheckOptions& opts) {
+  InvariantReport report;
+  bool sender_ok = AdmitLog(sender_log, opts, "sender", report);
+  bool receiver_ok = AdmitLog(receiver_log, opts, "receiver", report);
+  if (!sender_ok || !receiver_ok) return report;
+
+  // The pair validator runs both per-side lemma sets plus conservation.
+  MergeLemmas(report, ValidateConnectionTraces(sender_log.events(),
+                                               receiver_log.events()));
+  report.Merge(StreamSenderExtras(sender_log.events()));
+  report.Merge(StreamReceiverExtras(receiver_log.events(), opts));
+  return report;
+}
+
+InvariantReport CheckSeqPacketSenderTrace(const TraceLog& log,
+                                          const InvariantCheckOptions& opts) {
+  InvariantReport report;
+  if (!AdmitLog(log, opts, "sender", report)) return report;
+  report.Merge(SeqPacketCommon(log.events(), /*receiver_side=*/false));
+  return report;
+}
+
+InvariantReport CheckSeqPacketReceiverTrace(
+    const TraceLog& log, const InvariantCheckOptions& opts) {
+  InvariantReport report;
+  if (!AdmitLog(log, opts, "receiver", report)) return report;
+  report.Merge(SeqPacketCommon(log.events(), /*receiver_side=*/true));
+  return report;
+}
+
+InvariantReport CheckSeqPacketPair(const TraceLog& sender_log,
+                                   const TraceLog& receiver_log,
+                                   const InvariantCheckOptions& opts) {
+  InvariantReport report;
+  bool sender_ok = AdmitLog(sender_log, opts, "sender", report);
+  bool receiver_ok = AdmitLog(receiver_log, opts, "receiver", report);
+  if (!sender_ok || !receiver_ok) return report;
+  report.Merge(SeqPacketCommon(sender_log.events(), /*receiver_side=*/false));
+  report.Merge(
+      SeqPacketCommon(receiver_log.events(), /*receiver_side=*/true));
+
+  // Conservation across the wire: every posted message arrived, whole.
+  KindTotals tx = Tally(sender_log.events());
+  KindTotals rx = Tally(receiver_log.events());
+  if (tx.direct_count != rx.direct_count) {
+    report.violations.push_back(
+        "SEQPACKET message conservation failed: posted " +
+        std::to_string(tx.direct_count) + " message(s), delivered " +
+        std::to_string(rx.direct_count));
+  }
+  if (tx.direct_bytes != rx.direct_bytes) {
+    report.violations.push_back(
+        "SEQPACKET byte conservation failed: posted " +
+        std::to_string(tx.direct_bytes) + " byte(s), delivered " +
+        std::to_string(rx.direct_bytes));
+  }
+  if (tx.adverts > rx.adverts) {
+    report.violations.push_back(
+        "SEQPACKET ADVERT conservation failed: sender consumed " +
+        std::to_string(tx.adverts) + " ADVERT(s), receiver sent only " +
+        std::to_string(rx.adverts));
+  }
+  return report;
+}
+
+InvariantReport CheckConnection(Socket& a, Socket& b) {
+  InvariantReport report;
+  if (a.type() == SocketType::kSeqPacket) {
+    report.Merge(CheckSeqPacketPair(a.tx_trace(), b.rx_trace()));
+    report.Merge(CheckSeqPacketPair(b.tx_trace(), a.rx_trace()));
+    return report;
+  }
+  InvariantCheckOptions a_to_b;
+  if (b.stream_rx() != nullptr) {
+    a_to_b.rx_ring_capacity = b.stream_rx()->ring_capacity();
+  }
+  InvariantCheckOptions b_to_a;
+  if (a.stream_rx() != nullptr) {
+    b_to_a.rx_ring_capacity = a.stream_rx()->ring_capacity();
+  }
+  report.Merge(CheckStreamPair(a.tx_trace(), b.rx_trace(), a_to_b));
+  report.Merge(CheckStreamPair(b.tx_trace(), a.rx_trace(), b_to_a));
+  return report;
+}
+
+std::uint64_t TraceFingerprint(const TraceLog& log) {
+  // FNV-1a over every recorded field, in order.  Traces carry no memory
+  // addresses, so the hash is stable across processes and ASLR.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(log.events().size());
+  mix(log.dropped());
+  for (const auto& ev : log.events()) {
+    mix(static_cast<std::uint64_t>(ev.time));
+    mix(static_cast<std::uint64_t>(ev.type));
+    mix(ev.seq);
+    mix(ev.phase);
+    mix(ev.len);
+    mix(ev.msg_seq);
+    mix(ev.msg_phase);
+  }
+  return h;
+}
+
+std::uint64_t ConnectionFingerprint(const Socket& a, const Socket& b) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(TraceFingerprint(a.tx_trace()));
+  mix(TraceFingerprint(a.rx_trace()));
+  mix(TraceFingerprint(b.tx_trace()));
+  mix(TraceFingerprint(b.rx_trace()));
+  return h;
+}
+
+}  // namespace exs

@@ -1,0 +1,102 @@
+// Trace-replay invariant checker: the paper's safety theorem, validated
+// against what actually happened on every run.
+//
+// The PR-1 lemma validators (exs/trace.hpp) check the statements of §IV-A
+// event by event.  This layer builds on them with the *stateful* facts the
+// safety proof rests on — reconstructed by replaying the TraceLog:
+//
+//   truncation    — a TraceLog that dropped events is refused outright
+//                   (a partial trace can hide exactly the violation being
+//                   hunted), with a diagnostic naming the remedy;
+//   staleness     — an accepted ADVERT never carries a phase below the
+//                   sender's (no stale-sequence acceptance, Fig. 8);
+//   continuity    — posted/arrived/copied byte sequences advance by
+//                   exactly the event's length, gap-free and overlap-free;
+//   occupancy     — the intermediate buffer, replayed from indirect
+//                   arrivals and copy-outs, never exceeds its capacity
+//                   nor goes negative, and is *empty* at every ADVERT
+//                   send and direct arrival — the observable form of
+//                   "a direct transfer always lands at the head of the
+//                   receive queue" (Theorem 1).
+//
+// CheckConnection() dispatches on socket type: SOCK_SEQPACKET traces are
+// checked against the simpler §II-C rules (no phases, no indirect path,
+// ordered loss-free ADVERT counters).
+//
+// TraceFingerprint() hashes every recorded field of a trace; the torture
+// harness compares fingerprints across replays to prove byte-for-byte
+// determinism.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exs/trace.hpp"
+#include "exs/types.hpp"
+
+namespace exs {
+
+class Socket;
+
+struct InvariantCheckOptions {
+  /// Capacity of the receiver's intermediate ring, for the occupancy
+  /// bound.  0 disables the upper-bound check (occupancy is still
+  /// replayed for the emptiness rules).
+  std::uint64_t rx_ring_capacity = 0;
+  /// Accept a truncated trace and check the retained prefix instead of
+  /// reporting the truncation as a violation.  Off by default: silent
+  /// partial validation is how real bugs slip through.
+  bool allow_truncated = false;
+};
+
+/// Outcome of replaying one or more traces through the checker.
+struct InvariantReport {
+  std::vector<std::string> violations;
+  std::uint64_t events_checked = 0;
+  std::uint64_t dropped_events = 0;
+
+  bool ok() const { return violations.empty(); }
+  std::string Summary() const;
+  void Merge(const InvariantReport& other);
+};
+
+/// Check the sender half of a stream connection (a socket's tx_trace).
+InvariantReport CheckStreamSenderTrace(const TraceLog& log,
+                                       const InvariantCheckOptions& opts = {});
+
+/// Check the receiver half of a stream connection (a socket's rx_trace).
+InvariantReport CheckStreamReceiverTrace(
+    const TraceLog& log, const InvariantCheckOptions& opts = {});
+
+/// Check one stream direction end to end: the sender trace of one socket
+/// against the receiver trace of its peer.
+InvariantReport CheckStreamPair(const TraceLog& sender_log,
+                                const TraceLog& receiver_log,
+                                const InvariantCheckOptions& opts = {});
+
+/// SOCK_SEQPACKET counterparts (§II-C rules).
+InvariantReport CheckSeqPacketSenderTrace(
+    const TraceLog& log, const InvariantCheckOptions& opts = {});
+InvariantReport CheckSeqPacketReceiverTrace(
+    const TraceLog& log, const InvariantCheckOptions& opts = {});
+InvariantReport CheckSeqPacketPair(const TraceLog& sender_log,
+                                   const TraceLog& receiver_log,
+                                   const InvariantCheckOptions& opts = {});
+
+/// Check both directions of a connected socket pair.  Requires tracing to
+/// have been enabled on both sockets (reported as a violation otherwise);
+/// ring capacities are taken from the sockets themselves.  Dispatches on
+/// the sockets' type.
+InvariantReport CheckConnection(Socket& a, Socket& b);
+
+/// Order-sensitive FNV-1a hash over every recorded field of the trace.
+/// Two runs with identical protocol behaviour produce identical
+/// fingerprints — the determinism witness used by the replay harness.
+/// (No addresses are traced, so fingerprints are stable across processes.)
+std::uint64_t TraceFingerprint(const TraceLog& log);
+
+/// Combined fingerprint of all four logs of a connected pair.
+std::uint64_t ConnectionFingerprint(const Socket& a, const Socket& b);
+
+}  // namespace exs

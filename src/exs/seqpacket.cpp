@@ -22,6 +22,7 @@ void SeqPacketTx::Submit(std::uint64_t id, const void* buf, std::uint64_t len,
 void SeqPacketTx::OnAdvert(const wire::ControlMessage& msg) {
   adverts_.push_back(Advert{msg.addr, msg.rkey, msg.len});
   ctx_.metrics->adverts_received->Increment();
+  Trace(TraceEventType::kAdvertReceived, msg.len, msg.seq);
   Pump();
 }
 
@@ -44,6 +45,10 @@ void SeqPacketTx::Pump() {
     bool truncated = s.len > a.len;
     ctx_.metrics->direct_transfers->Increment();
     ctx_.metrics->direct_bytes->Add(bytes);
+    // Traced before seq_ advances, like the stream sender: ev.seq is the
+    // cumulative byte count *before* this message.
+    Trace(TraceEventType::kDirectPosted, bytes);
+    seq_ += bytes;
     awaiting_ack_.push_back(Sent{s.id, bytes, truncated});
     ctx_.channel->PostDataWwi(s.id, s.base, s.lkey, bytes, a.addr, a.rkey,
                               /*indirect=*/false);
@@ -110,9 +115,14 @@ void SeqPacketRx::AdvertisePending() {
     msg.addr = reinterpret_cast<std::uint64_t>(rec.base);
     msg.rkey = rec.rkey;
     msg.len = rec.len;
+    // Message mode has no stream sequence; the otherwise-unused seq field
+    // carries a monotone ADVERT counter so the invariant checker can
+    // verify ordered, loss-free ADVERT delivery.
+    msg.seq = ++advert_seq_;
     ctx_.channel->SendControl(msg);
     rec.adverted = true;
     ctx_.metrics->adverts_sent->Increment();
+    Trace(TraceEventType::kAdvertSent, rec.len, advert_seq_);
   }
 }
 
@@ -125,6 +135,10 @@ void SeqPacketRx::OnData(bool indirect, std::uint64_t len) {
   ctx_.metrics->recvs_completed->Increment();
   ctx_.metrics->bytes_received->Add(len);
   ctx_.metrics->direct_bytes_received->Add(len);
+  // Traced after seq_ advances, like the stream receiver: ev.seq is the
+  // cumulative byte count *including* this message.
+  seq_ += len;
+  Trace(TraceEventType::kDirectArrived, len);
   ctx_.events->Push(Event{EventType::kRecvComplete, rec.id, len, false});
 }
 

@@ -53,8 +53,18 @@ class SeqPacketTx {
   };
 
   void Pump();
+  void Trace(TraceEventType type, std::uint64_t len = 0,
+             std::uint64_t msg_seq = 0) {
+    // Message mode has no phases; events carry phase 0 (direct parity)
+    // and the cumulative byte count as the sequence.
+    if (ctx_.trace != nullptr && ctx_.trace->enabled()) {
+      ctx_.trace->Record(
+          TraceEvent{ctx_.scheduler->Now(), type, seq_, 0, len, msg_seq, 0});
+    }
+  }
 
   StreamContext ctx_;
+  std::uint64_t seq_ = 0;  ///< cumulative bytes posted (trace bookkeeping)
   std::deque<PendingSend> sends_;
   std::deque<Advert> adverts_;
   std::deque<Sent> awaiting_ack_;  ///< posted WWIs, completion pending
@@ -86,8 +96,17 @@ class SeqPacketRx {
   };
 
   void AdvertisePending();
+  void Trace(TraceEventType type, std::uint64_t len = 0,
+             std::uint64_t msg_seq = 0) {
+    if (ctx_.trace != nullptr && ctx_.trace->enabled()) {
+      ctx_.trace->Record(
+          TraceEvent{ctx_.scheduler->Now(), type, seq_, 0, len, msg_seq, 0});
+    }
+  }
 
   StreamContext ctx_;
+  std::uint64_t seq_ = 0;        ///< cumulative bytes received
+  std::uint64_t advert_seq_ = 0; ///< monotone ADVERT counter, sent on the wire
   std::deque<PendingRecv> pending_;
   bool peer_closed_ = false;
 };

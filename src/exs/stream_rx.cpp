@@ -80,8 +80,12 @@ void StreamRx::TryAdvertise() {
     if (first_unadverted == pending_.size()) return;  // nothing to advertise
 
     // Fig. 3 line 1, the gate: no ADVERT while buffered bytes remain
-    // (b_r > 0) ...
-    if (ring_.used() > 0 || copy_in_progress_) return;
+    // (b_r > 0) ...  The sabotage hook drops the gate so the trace records
+    // the violation for the invariant checker to catch.
+    if (!ctx_.options.sabotage.advertise_without_gate &&
+        (ring_.used() > 0 || copy_in_progress_)) {
+      return;
+    }
 
     // ... or while any earlier receive still holds an ADVERT from a prior
     // phase (k_a > 0).  Earlier receives with *no* ADVERT (k_b) cannot
@@ -98,9 +102,13 @@ void StreamRx::TryAdvertise() {
       // Resuming direct service after an indirect phase (Fig. 3 lines 5-7).
       // At this point the buffer is empty and every prior receive was
       // satisfied, so seq_est_ has been corrected to equal seq_ exactly.
-      EXS_CHECK_MSG(first_unadverted == 0 ? seq_est_ == seq_ : true,
-                    "resynchronisation invariant: S'_r == S_r at the first "
-                    "ADVERT of a new phase");
+      // (Skipped under sabotage: with the gate dropped the buffer need not
+      // be empty, and the point is to emit the bad ADVERT into the trace.)
+      if (!ctx_.options.sabotage.advertise_without_gate) {
+        EXS_CHECK_MSG(first_unadverted == 0 ? seq_est_ == seq_ : true,
+                      "resynchronisation invariant: S'_r == S_r at the first "
+                      "ADVERT of a new phase");
+      }
       AdvancePhaseTo(NextPhase(phase_));
     }
 

@@ -101,6 +101,7 @@ void StreamTx::Pump() {
     if (!advert_queue_.empty()) {
       Advert& advert = advert_queue_.front();
       if (PhaseIsIndirect(phase_) &&
+          !ctx_.options.sabotage.accept_stale_adverts &&
           (advert.phase < phase_ || advert.seq < seq_)) {
         // Stale ADVERT (Fig. 2 lines 3-7).  If it carries a *higher* phase
         // its whole sequence is based on estimates we have outrun; jump our
@@ -125,10 +126,14 @@ void StreamTx::Pump() {
       if (PhaseIsIndirect(phase_)) {
         // Accepting an ADVERT ends the indirect phase (Fig. 2 lines 9-11).
         // The receiver resynchronised before sending it, so its sequence
-        // number is exact (Theorem 1).
-        EXS_CHECK_MSG(advert.seq == seq_,
-                      "accepted ADVERT must carry the exact next sequence ("
-                          << advert.seq << " vs " << seq_ << ")");
+        // number is exact (Theorem 1).  The sabotage hook disables the
+        // check so the trace records the stale acceptance for the
+        // invariant checker to catch.
+        if (!ctx_.options.sabotage.accept_stale_adverts) {
+          EXS_CHECK_MSG(advert.seq == seq_,
+                        "accepted ADVERT must carry the exact next sequence ("
+                            << advert.seq << " vs " << seq_ << ")");
+        }
         AdvancePhaseTo(advert.phase);
       }
       std::uint64_t len = s.len - s.sent;

@@ -62,6 +62,19 @@ struct StreamOptions {
   /// explicit RegisterMemory() call.
   bool auto_register_memory = true;
 
+  /// Test-only sabotage hooks proving the invariant checker can catch real
+  /// protocol bugs (tests/invariant_checker_test.cpp, exs_torture
+  /// --sabotage).  Each disables one safety rule the paper's theorem rests
+  /// on; production code never sets them.
+  struct Sabotage {
+    /// Sender skips the Fig. 2/8 staleness filter and acceptance check: a
+    /// prior-phase or behind-sequence ADVERT is consumed as if fresh.
+    bool accept_stale_adverts = false;
+    /// Receiver skips the Fig. 3 gate and advertises while the
+    /// intermediate buffer still holds bytes.
+    bool advertise_without_gate = false;
+  } sabotage;
+
   std::uint64_t ResolvedAckThreshold() const {
     return ack_threshold_bytes != 0 ? ack_threshold_bytes
                                     : intermediate_buffer_bytes / 8;

@@ -37,6 +37,33 @@ class Cpu {
     rng_.Seed(seed);
   }
 
+  /// Fault injection (simnet/faults.hpp): scale every task's cost by
+  /// `factor` while a slow-host window is open — a throttled or contended
+  /// core, which above all slows the receiver's copy-out path.  Multiplied
+  /// so overlapping windows compose; DivideCostFactor closes one window.
+  void MultiplyCostFactor(double factor) {
+    EXS_CHECK(factor > 0.0);
+    cost_factor_ *= factor;
+  }
+  void DivideCostFactor(double factor) {
+    EXS_CHECK(factor > 0.0);
+    cost_factor_ /= factor;
+  }
+  double cost_factor() const { return cost_factor_; }
+
+  /// Fault injection: occupy the CPU for `stall` doing nothing — an OS
+  /// preemption.  FIFO like any task, so already-queued work runs first
+  /// and everything behind the stall (copies, completion handling, ACKs)
+  /// slips by its length.  Bypasses the jitter RNG so arming a stall does
+  /// not perturb the jitter sequence of real tasks.
+  void InjectStall(SimDuration stall) {
+    EXS_CHECK(stall >= 0);
+    ++stalls_injected_;
+    tasks_.push_back(Task{stall, nullptr});
+    if (!running_) StartNext();
+  }
+  std::uint64_t StallsInjected() const { return stalls_injected_; }
+
   /// Enqueue `work` to run after the CPU has been busy for `cost`.  The
   /// callback executes at the task's completion instant.
   void Submit(SimDuration cost, std::function<void()> work) {
@@ -44,6 +71,10 @@ class Cpu {
     if (jitter_ > 0.0 && cost > 0) {
       double factor = 1.0 + jitter_ * (2.0 * rng_.NextDouble() - 1.0);
       cost = static_cast<SimDuration>(static_cast<double>(cost) * factor);
+    }
+    if (cost_factor_ != 1.0) {
+      cost = static_cast<SimDuration>(static_cast<double>(cost) *
+                                      cost_factor_);
     }
     tasks_.push_back(Task{cost, std::move(work)});
     if (!running_) StartNext();
@@ -89,10 +120,12 @@ class Cpu {
   EventScheduler* scheduler_;
   std::deque<Task> tasks_;
   double jitter_ = 0.0;
+  double cost_factor_ = 1.0;
   Rng rng_;
   bool running_ = false;
   SimDuration busy_ = 0;
   std::uint64_t completed_ = 0;
+  std::uint64_t stalls_injected_ = 0;
 };
 
 }  // namespace exs::simnet

@@ -1,0 +1,159 @@
+#include "simnet/faults.hpp"
+
+#include <sstream>
+
+namespace exs::simnet {
+
+const char* ToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkStall: return "link_stall";
+    case FaultKind::kLinkJitter: return "link_jitter";
+    case FaultKind::kCpuStall: return "cpu_stall";
+    case FaultKind::kSlowCopy: return "slow_copy";
+    case FaultKind::kControlDelay: return "control_delay";
+  }
+  return "unknown";
+}
+
+FaultPlanConfig FaultPlanConfig::ScaledTo(SimDuration horizon) {
+  EXS_CHECK(horizon > 0);
+  FaultPlanConfig cfg;
+  cfg.horizon = horizon;
+  // Bounds chosen so a single fault visibly perturbs the schedule (many
+  // message times long) without dwarfing the run: the largest stall is a
+  // few percent of the horizon.
+  cfg.max_link_stall_delay = horizon / 32;
+  cfg.max_jitter = horizon / 64;
+  cfg.max_cpu_stall = horizon / 32;
+  cfg.max_control_hold = horizon / 32;
+  return cfg;
+}
+
+FaultPlan FaultPlan::Generate(std::uint64_t seed, const FaultPlanConfig& cfg) {
+  EXS_CHECK(cfg.horizon > 0);
+  FaultPlan plan;
+  plan.seed = seed;
+  // Domain-separate the plan RNG from other seed consumers (fabric link
+  // jitter, CPU jitter) that derive from the same sweep seed.
+  Rng rng(SplitMix64(seed ^ 0xfa417ab5eedc0deull).Next());
+  auto window_at = [&]() {
+    return static_cast<SimTime>(
+        rng.NextBelow(static_cast<std::uint64_t>(cfg.horizon)));
+  };
+  auto magnitude_below = [&](SimDuration max) {
+    // At least one picosecond so every generated fault is a real
+    // perturbation; Generate with max==0 simply emits none of that kind.
+    if (max <= 0) return static_cast<SimDuration>(0);
+    return static_cast<SimDuration>(
+        1 + rng.NextBelow(static_cast<std::uint64_t>(max)));
+  };
+
+  for (int i = 0; i < cfg.link_stalls; ++i) {
+    FaultEvent ev;
+    ev.kind = FaultKind::kLinkStall;
+    ev.target = rng.NextBelow(2);
+    ev.at = window_at();
+    ev.magnitude = magnitude_below(cfg.max_link_stall_delay);
+    ev.duration = magnitude_below(cfg.horizon / 8);
+    if (ev.magnitude > 0) plan.events.push_back(ev);
+  }
+  for (int i = 0; i < cfg.link_jitter_bursts; ++i) {
+    FaultEvent ev;
+    ev.kind = FaultKind::kLinkJitter;
+    ev.target = rng.NextBelow(2);
+    ev.at = window_at();
+    ev.magnitude = magnitude_below(cfg.max_jitter);
+    ev.duration = magnitude_below(cfg.horizon / 8);
+    if (ev.magnitude > 0) plan.events.push_back(ev);
+  }
+  for (int i = 0; i < cfg.cpu_stalls; ++i) {
+    FaultEvent ev;
+    ev.kind = FaultKind::kCpuStall;
+    ev.target = rng.NextBelow(2);
+    ev.at = window_at();
+    ev.magnitude = magnitude_below(cfg.max_cpu_stall);
+    if (ev.magnitude > 0) plan.events.push_back(ev);
+  }
+  for (int i = 0; i < cfg.slow_copy_windows; ++i) {
+    FaultEvent ev;
+    ev.kind = FaultKind::kSlowCopy;
+    ev.target = rng.NextBelow(2);
+    ev.at = window_at();
+    ev.duration = magnitude_below(cfg.horizon / 8);
+    ev.factor = 1.0 + rng.NextDouble() * (cfg.max_slow_copy_factor - 1.0);
+    if (ev.duration > 0) plan.events.push_back(ev);
+  }
+  for (int i = 0; i < cfg.control_delays; ++i) {
+    FaultEvent ev;
+    ev.kind = FaultKind::kControlDelay;
+    ev.target = rng.NextBelow(2);
+    ev.at = window_at();
+    ev.magnitude = magnitude_below(cfg.max_control_hold);
+    if (ev.magnitude > 0) plan.events.push_back(ev);
+  }
+  return plan;
+}
+
+std::string FaultPlan::Describe() const {
+  std::ostringstream out;
+  out << "FaultPlan seed=" << seed << " events=" << events.size() << "\n";
+  for (const FaultEvent& ev : events) {
+    out << "  " << ToString(ev.kind) << " target=" << ev.target
+        << " at=" << ev.at << " duration=" << ev.duration
+        << " magnitude=" << ev.magnitude << " factor=" << ev.factor << "\n";
+  }
+  return out.str();
+}
+
+void FaultInjector::Arm(const FaultPlan& plan) {
+  EXS_CHECK_MSG(!armed_once_, "FaultInjector::Arm may be called once");
+  armed_once_ = true;
+  EventScheduler& sched = fabric_->scheduler();
+  for (const FaultEvent& ev : plan.events) {
+    ++armed_;
+    sched.ScheduleAt(ev.at, [this, ev]() { Apply(ev); });
+  }
+}
+
+void FaultInjector::Apply(const FaultEvent& ev) {
+  EventScheduler& sched = fabric_->scheduler();
+  switch (ev.kind) {
+    case FaultKind::kLinkStall: {
+      SimplexChannel& ch = fabric_->channel_from(ev.target);
+      ch.AddFaultDelay(ev.magnitude);
+      sched.ScheduleAfter(ev.duration, [&ch, mag = ev.magnitude]() {
+        ch.AddFaultDelay(-mag);
+      });
+      break;
+    }
+    case FaultKind::kLinkJitter: {
+      SimplexChannel& ch = fabric_->channel_from(ev.target);
+      ch.AddFaultJitter(ev.magnitude, &jitter_rng_);
+      sched.ScheduleAfter(ev.duration, [&ch, mag = ev.magnitude, this]() {
+        ch.AddFaultJitter(-mag, &jitter_rng_);
+      });
+      break;
+    }
+    case FaultKind::kCpuStall: {
+      fabric_->node(ev.target).cpu().InjectStall(ev.magnitude);
+      break;
+    }
+    case FaultKind::kSlowCopy: {
+      Cpu& cpu = fabric_->node(ev.target).cpu();
+      cpu.MultiplyCostFactor(ev.factor);
+      sched.ScheduleAfter(ev.duration, [&cpu, factor = ev.factor]() {
+        cpu.DivideCostFactor(factor);
+      });
+      break;
+    }
+    case FaultKind::kControlDelay: {
+      IncomingHoldTarget* target = control_targets_[ev.target];
+      if (target == nullptr) return;  // endpoint not attached: skip
+      target->HoldIncoming(ev.magnitude);
+      break;
+    }
+  }
+  ++applied_;
+}
+
+}  // namespace exs::simnet

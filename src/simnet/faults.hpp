@@ -1,0 +1,141 @@
+// Deterministic fault injection for the simulated fabric.
+//
+// The protocol's failure modes (Figs. 6 and 8 of the paper) arise under
+// adversarial timing, not benign schedules: an ADVERT that crosses a phase
+// flip, a receiver stalled mid-copy, a jitter spike during dynamic mode
+// switching.  This subsystem perturbs those schedules *reproducibly*: a
+// FaultPlan is generated from a single seed, armed on a Fabric by the
+// FaultInjector, and every perturbation draws from plan-seeded RNG state —
+// so a failing seed replays byte-for-byte.
+//
+// Fault taxonomy (see docs/FAULTS.md):
+//   kLinkStall     — retransmission-delay burst: every message on one
+//                    channel direction is delayed by a fixed amount for
+//                    the window (a flapping link under RC retransmission).
+//   kLinkJitter    — jitter spike: uniform extra delay per message for the
+//                    window.  The channel's monotone delivery clamp keeps
+//                    RC in-order semantics.
+//   kCpuStall      — OS preemption: the node CPU runs a no-op task of the
+//                    given length; everything queued behind it slips.
+//   kSlowCopy      — throttled host window: all CPU task costs (above all
+//                    the receiver's ring copy-out) scale by `factor`.
+//   kControlDelay  — delivery hold: the endpoint's incoming completion
+//                    dispatch (ADVERTs, ACKs, data notifications) is
+//                    frozen for the window and then released strictly in
+//                    arrival order — RC delivers in order, so a delayed
+//                    ADVERT delays everything behind it too.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "simnet/fabric.hpp"
+
+namespace exs::simnet {
+
+enum class FaultKind : std::uint8_t {
+  kLinkStall,
+  kLinkJitter,
+  kCpuStall,
+  kSlowCopy,
+  kControlDelay,
+};
+
+const char* ToString(FaultKind kind);
+
+/// One scheduled perturbation.  `target` is a channel direction for link
+/// faults (traffic transmitted by node `target`) and a node index for CPU
+/// and control-delay faults.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kLinkStall;
+  std::size_t target = 0;
+  SimTime at = 0;             ///< window open (or instant, for kCpuStall)
+  SimDuration duration = 0;   ///< window length; unused by kCpuStall
+  SimDuration magnitude = 0;  ///< delay / jitter bound / stall / hold length
+  double factor = 1.0;        ///< kSlowCopy cost multiplier
+};
+
+/// Intensity knobs for FaultPlan::Generate.  Magnitudes default to zero
+/// and are normally derived from the run's time horizon via ScaledTo(), so
+/// one config works for a sub-millisecond FDR run and a multi-second WAN
+/// run alike.
+struct FaultPlanConfig {
+  SimDuration horizon = 0;  ///< faults land in [0, horizon)
+  int link_stalls = 2;
+  int link_jitter_bursts = 2;
+  int cpu_stalls = 2;
+  int slow_copy_windows = 1;
+  int control_delays = 2;
+  SimDuration max_link_stall_delay = 0;
+  SimDuration max_jitter = 0;
+  SimDuration max_cpu_stall = 0;
+  SimDuration max_control_hold = 0;
+  double max_slow_copy_factor = 8.0;
+
+  /// Derive magnitude bounds as fractions of `horizon` (counts keep their
+  /// defaults unless already customised).
+  static FaultPlanConfig ScaledTo(SimDuration horizon);
+};
+
+/// A seeded, fully deterministic schedule of fault events.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<FaultEvent> events;
+
+  static FaultPlan Generate(std::uint64_t seed, const FaultPlanConfig& cfg);
+
+  /// Human-readable dump, one event per line.
+  std::string Describe() const;
+};
+
+/// Implemented by endpoints (the EXS control channel) that can freeze and
+/// later release — strictly in arrival order — their incoming completion
+/// dispatch.  Lives here so the injector stays EXS-agnostic while the
+/// dependency arrow keeps pointing exs -> simnet.
+class IncomingHoldTarget {
+ public:
+  virtual ~IncomingHoldTarget() = default;
+  /// Defer dispatch of completions arriving from now until now + `hold`;
+  /// release them (and any backlog) in order once the hold expires.
+  virtual void HoldIncoming(SimDuration hold) = 0;
+};
+
+/// Arms a FaultPlan on a fabric: schedules every window open/close on the
+/// fabric's event scheduler and owns the RNG the jitter faults draw from.
+/// Must outlive the simulation run that executes the plan.
+class FaultInjector {
+ public:
+  explicit FaultInjector(Fabric& fabric)
+      : fabric_(&fabric), jitter_rng_(fabric.seed() * 48271 + 11) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Attach the endpoint that receives kControlDelay faults for `node`.
+  /// Plans containing control delays for an unattached node skip them.
+  void AttachControlTarget(std::size_t node, IncomingHoldTarget* target) {
+    EXS_CHECK(node < 2);
+    control_targets_[node] = target;
+  }
+
+  /// Schedule every event of `plan`.  May be called once per injector.
+  void Arm(const FaultPlan& plan);
+
+  std::uint64_t FaultsArmed() const { return armed_; }
+  std::uint64_t FaultsApplied() const { return applied_; }
+
+ private:
+  void Apply(const FaultEvent& ev);
+
+  Fabric* fabric_;
+  Rng jitter_rng_;  ///< shared by all jitter windows; seeded per fabric
+  IncomingHoldTarget* control_targets_[2] = {nullptr, nullptr};
+  std::uint64_t armed_ = 0;
+  std::uint64_t applied_ = 0;
+  bool armed_once_ = false;
+};
+
+}  // namespace exs::simnet

@@ -44,6 +44,24 @@ class SimplexChannel {
 
   const ChannelConfig& config() const { return config_; }
 
+  /// Fault injection (simnet/faults.hpp): an additional per-message delay,
+  /// modelling a link stall/flap as the retransmission-delay burst the
+  /// transport would experience.  Additive so that overlapping fault
+  /// windows compose; the monotone delivery clamp below keeps the RC
+  /// in-order guarantee intact no matter how large the burst.
+  void AddFaultDelay(SimDuration delta) {
+    fault_delay_ += delta;
+    if (fault_delay_ < 0) fault_delay_ = 0;
+  }
+  /// Fault injection: extra uniform jitter in [0, amount] per message,
+  /// sampled from the injector-owned RNG (keeps runs seed-deterministic).
+  void AddFaultJitter(SimDuration delta, Rng* rng) {
+    fault_jitter_ += delta;
+    if (fault_jitter_ < 0) fault_jitter_ = 0;
+    fault_rng_ = rng;
+  }
+  SimDuration fault_delay() const { return fault_delay_; }
+
   /// Begin transmitting `bytes` now (or when the transmitter frees up).
   /// `on_delivered` runs at the instant the last byte arrives at the far
   /// end.  Returns the delivery time.
@@ -57,6 +75,11 @@ class SimplexChannel {
     if (config_.netem.jitter > 0) {
       delay += static_cast<SimDuration>(jitter_rng_.NextBelow(
           static_cast<std::uint64_t>(config_.netem.jitter) + 1));
+    }
+    delay += fault_delay_;
+    if (fault_jitter_ > 0 && fault_rng_ != nullptr) {
+      delay += static_cast<SimDuration>(fault_rng_->NextBelow(
+          static_cast<std::uint64_t>(fault_jitter_) + 1));
     }
     SimTime arrival = tx_end + delay;
     // Reliable in-order transport: never deliver behind an earlier message.
@@ -79,6 +102,9 @@ class SimplexChannel {
   EventScheduler* scheduler_;
   ChannelConfig config_;
   Rng jitter_rng_;
+  SimDuration fault_delay_ = 0;
+  SimDuration fault_jitter_ = 0;
+  Rng* fault_rng_ = nullptr;
   SimTime tx_free_at_ = 0;
   SimTime last_delivery_ = 0;
   std::uint64_t bytes_carried_ = 0;

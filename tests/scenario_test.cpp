@@ -11,6 +11,7 @@
 
 #include "common/pattern.hpp"
 #include "exs/exs.hpp"
+#include "exs/invariant_checker.hpp"
 
 namespace exs {
 namespace {
@@ -19,8 +20,28 @@ using simnet::HardwareProfile;
 
 class ScenarioTest : public ::testing::Test {
  protected:
+  /// Every scenario runs traced, and the trace is replayed through the
+  /// invariant checker when the test ends: the diagrams reconstructed here
+  /// are exactly the interleavings the checker's rules come from.
+  std::pair<Socket*, Socket*> MakePair() {
+    auto pair = sim_.CreateConnectedPair(SocketType::kStream);
+    pair.first->EnableTracing();
+    pair.second->EnableTracing();
+    traced_ = pair;
+    return pair;
+  }
+
+  void TearDown() override {
+    if (traced_.first != nullptr) {
+      InvariantReport report =
+          CheckConnection(*traced_.first, *traced_.second);
+      EXPECT_TRUE(report.ok()) << report.Summary();
+    }
+  }
+
   Simulation sim_{HardwareProfile::FdrInfiniBand(), /*seed=*/3,
                   /*carry_payload=*/true};
+  std::pair<Socket*, Socket*> traced_{nullptr, nullptr};
 };
 
 // Fig. 1: an indirect transfer crosses with multiple ADVERTs flowing the
@@ -28,7 +49,7 @@ class ScenarioTest : public ::testing::Test {
 // a send request they must all be discarded (not matched), and the data is
 // served from the intermediate buffer instead.
 TEST_F(ScenarioTest, Fig1_IndirectTransferCrossesAdverts) {
-  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream);
+  auto [client, server] = MakePair();
   constexpr std::uint64_t kLen = 4 * 1024;
   std::vector<std::uint8_t> out(4 * kLen), in(4 * kLen);
   FillPattern(out.data(), out.size(), 0, 61);
@@ -64,7 +85,7 @@ TEST_F(ScenarioTest, Fig1_IndirectTransferCrossesAdverts) {
 // has been satisfied — otherwise ADVERT sequence numbers would be stale
 // estimates and could be matched incorrectly.
 TEST_F(ScenarioTest, Fig7_AdvertsHeldUntilPriorPhaseSatisfied) {
-  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream);
+  auto [client, server] = MakePair();
   constexpr std::uint64_t kLen = 8 * 1024;
   std::vector<std::uint8_t> out(6 * kLen), in(6 * kLen);
   FillPattern(out.data(), out.size(), 0, 62);
@@ -109,7 +130,7 @@ TEST_F(ScenarioTest, Fig7_AdvertsHeldUntilPriorPhaseSatisfied) {
 // whose estimated sequence number happens to equal S_s would be matched,
 // directing a transfer into the wrong memory.
 TEST_F(ScenarioTest, Fig8_SenderJumpsPhasePastStaleHigherPhaseAdvert) {
-  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream);
+  auto [client, server] = MakePair();
   std::vector<std::uint8_t> out(64 * 1024), in(64 * 1024);
   FillPattern(out.data(), out.size(), 0, 63);
   std::uint64_t sent = 0;
@@ -170,6 +191,8 @@ TEST(ScenarioDeterminism, SameSeedSameOutcome) {
   auto run = [](std::uint64_t seed) {
     Simulation sim(HardwareProfile::FdrInfiniBand(), seed, true);
     auto [client, server] = sim.CreateConnectedPair(SocketType::kStream);
+    client->EnableTracing();
+    server->EnableTracing();
     std::vector<std::uint8_t> out(128 * 1024), in(128 * 1024);
     client->Send(out.data(), 40 * 1024);
     for (int i = 0; i < 8; ++i) {
@@ -184,7 +207,8 @@ TEST(ScenarioDeterminism, SameSeedSameOutcome) {
     return std::make_tuple(client->stats().direct_transfers,
                            client->stats().indirect_transfers,
                            client->stats().mode_switches,
-                           client->stats().adverts_discarded, sim.Now());
+                           client->stats().adverts_discarded, sim.Now(),
+                           ConnectionFingerprint(*client, *server));
   };
   EXPECT_EQ(run(5), run(5));
   EXPECT_EQ(run(6), run(6));

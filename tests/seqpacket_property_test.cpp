@@ -11,6 +11,7 @@
 #include "common/pattern.hpp"
 #include "common/rng.hpp"
 #include "exs/exs.hpp"
+#include "exs/invariant_checker.hpp"
 
 namespace exs {
 namespace {
@@ -24,6 +25,8 @@ TEST_P(SeqPacketPropertyTest, BoundariesSurviveRandomInterleavings) {
   const std::uint64_t seed = GetParam();
   Simulation sim(HardwareProfile::FdrInfiniBand(), seed, true);
   auto [client, server] = sim.CreateConnectedPair(SocketType::kSeqPacket);
+  client->EnableTracing();
+  server->EnableTracing();
 
   Rng rng(seed * 17 + 5);
   constexpr int kMessages = 120;
@@ -104,6 +107,10 @@ TEST_P(SeqPacketPropertyTest, BoundariesSurviveRandomInterleavings) {
   for (int i = 0; i < kMessages; ++i) {
     EXPECT_EQ(truncated_events[i], sizes[i] > kBufSize) << "message " << i;
   }
+  // The §II-C invariants (ordered loss-free ADVERTs, byte/message
+  // conservation) held throughout.
+  InvariantReport invariants = CheckConnection(*client, *server);
+  EXPECT_TRUE(invariants.ok()) << invariants.Summary();
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, SeqPacketPropertyTest,

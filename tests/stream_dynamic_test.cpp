@@ -7,6 +7,7 @@
 
 #include "common/pattern.hpp"
 #include "exs/exs.hpp"
+#include "exs/invariant_checker.hpp"
 
 namespace exs {
 namespace {
@@ -15,12 +16,32 @@ using simnet::HardwareProfile;
 
 class StreamDynamicTest : public ::testing::Test {
  protected:
+  /// All pairs run traced; TearDown replays the traces through the
+  /// invariant checker so every switching scenario in this file also
+  /// proves the safety theorem held.
+  std::pair<Socket*, Socket*> MakePair(const StreamOptions& opts = {}) {
+    auto pair = sim_.CreateConnectedPair(SocketType::kStream, opts);
+    pair.first->EnableTracing();
+    pair.second->EnableTracing();
+    traced_ = pair;
+    return pair;
+  }
+
+  void TearDown() override {
+    if (traced_.first != nullptr) {
+      InvariantReport report =
+          CheckConnection(*traced_.first, *traced_.second);
+      EXPECT_TRUE(report.ok()) << report.Summary();
+    }
+  }
+
   Simulation sim_{HardwareProfile::FdrInfiniBand(), /*seed=*/21,
                   /*carry_payload=*/true};
+  std::pair<Socket*, Socket*> traced_{nullptr, nullptr};
 };
 
 TEST_F(StreamDynamicTest, SwitchesFromIndirectBackToDirect) {
-  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream);
+  auto [client, server] = MakePair();
   std::vector<std::uint8_t> out(32 * 1024), in(32 * 1024);
   FillPattern(out.data(), out.size(), 0, 1);
 
@@ -50,7 +71,7 @@ TEST_F(StreamDynamicTest, SwitchesFromIndirectBackToDirect) {
 }
 
 TEST_F(StreamDynamicTest, StaleAdvertIsDiscarded) {
-  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream);
+  auto [client, server] = MakePair();
   std::vector<std::uint8_t> out(64 * 1024), in(64 * 1024);
   FillPattern(out.data(), out.size(), 0, 2);
 
@@ -77,7 +98,7 @@ TEST_F(StreamDynamicTest, StaleAdvertIsDiscarded) {
 }
 
 TEST_F(StreamDynamicTest, ResynchronisationAfterIndirectBurst) {
-  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream);
+  auto [client, server] = MakePair();
   constexpr std::uint64_t kChunk = 8 * 1024;
   constexpr int kChunks = 16;
   std::vector<std::uint8_t> out(kChunks * kChunk), in(kChunks * kChunk);
@@ -104,7 +125,7 @@ TEST_F(StreamDynamicTest, BufferFullBlocksSenderUntilAck) {
   StreamOptions opts;
   opts.mode = ProtocolMode::kIndirectOnly;
   opts.intermediate_buffer_bytes = 64 * 1024;
-  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream, opts);
+  auto [client, server] = MakePair(opts);
   std::vector<std::uint8_t> out(256 * 1024), in(256 * 1024);
   FillPattern(out.data(), out.size(), 0, 4);
 
@@ -126,7 +147,7 @@ TEST_F(StreamDynamicTest, IndirectDataWrapsAroundRing) {
   StreamOptions opts;
   opts.mode = ProtocolMode::kIndirectOnly;
   opts.intermediate_buffer_bytes = 24 * 1024;  // forces many wraps
-  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream, opts);
+  auto [client, server] = MakePair(opts);
   constexpr std::uint64_t kTotal = 256 * 1024;
   std::vector<std::uint8_t> out(kTotal), in(kTotal);
   FillPattern(out.data(), out.size(), 0, 5);
@@ -141,7 +162,7 @@ TEST_F(StreamDynamicTest, IndirectDataWrapsAroundRing) {
 }
 
 TEST_F(StreamDynamicTest, PhasesAreMonotone) {
-  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream);
+  auto [client, server] = MakePair();
   std::vector<std::uint8_t> out(128 * 1024), in(128 * 1024);
   FillPattern(out.data(), out.size(), 0, 6);
 
@@ -168,7 +189,7 @@ TEST_F(StreamDynamicTest, PhasesAreMonotone) {
 }
 
 TEST_F(StreamDynamicTest, MixedDirectThenIndirectFillOfWaitallRecv) {
-  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream);
+  auto [client, server] = MakePair();
   constexpr std::uint64_t kRecvSize = 64 * 1024;
   std::vector<std::uint8_t> out(kRecvSize), in(kRecvSize);
   FillPattern(out.data(), out.size(), 0, 7);
@@ -192,7 +213,7 @@ TEST_F(StreamDynamicTest, MixedDirectThenIndirectFillOfWaitallRecv) {
 TEST_F(StreamDynamicTest, SmallBufferStillMakesProgressDynamically) {
   StreamOptions opts;
   opts.intermediate_buffer_bytes = 4 * 1024;  // tiny
-  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream, opts);
+  auto [client, server] = MakePair(opts);
   constexpr std::uint64_t kTotal = 512 * 1024;
   std::vector<std::uint8_t> out(kTotal), in(kTotal);
   FillPattern(out.data(), out.size(), 0, 8);
@@ -212,7 +233,7 @@ TEST_F(StreamDynamicTest, SmallBufferStillMakesProgressDynamically) {
 TEST_F(StreamDynamicTest, ChunkCapSplitsTransfers) {
   StreamOptions opts;
   opts.max_wwi_chunk = 4 * 1024;
-  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream, opts);
+  auto [client, server] = MakePair(opts);
   std::vector<std::uint8_t> out(64 * 1024), in(64 * 1024);
   FillPattern(out.data(), out.size(), 0, 9);
 
@@ -226,7 +247,7 @@ TEST_F(StreamDynamicTest, ChunkCapSplitsTransfers) {
 }
 
 TEST_F(StreamDynamicTest, StatsAccountingIsConsistent) {
-  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream);
+  auto [client, server] = MakePair();
   std::vector<std::uint8_t> out(96 * 1024), in(96 * 1024);
   FillPattern(out.data(), out.size(), 0, 10);
 

@@ -19,6 +19,7 @@
 #include "common/pattern.hpp"
 #include "common/rng.hpp"
 #include "exs/exs.hpp"
+#include "exs/invariant_checker.hpp"
 
 namespace exs {
 namespace {
@@ -52,6 +53,8 @@ TEST_P(StreamPropertyTest, RandomizedStreamIntegrity) {
   Simulation sim(HardwareProfile::FdrInfiniBand(), p.seed,
                  /*carry_payload=*/true);
   auto [client, server] = sim.CreateConnectedPair(SocketType::kStream, opts);
+  client->EnableTracing();
+  server->EnableTracing();
 
   Rng rng(p.seed);
   const std::uint64_t max_size = p.small_messages ? 2 * 1024 : 64 * 1024;
@@ -145,6 +148,9 @@ TEST_P(StreamPropertyTest, RandomizedStreamIntegrity) {
             client->stats().direct_bytes);
   EXPECT_EQ(server->stats().indirect_bytes_received,
             client->stats().indirect_bytes);
+  // ...and every invariant of the safety theorem held throughout the run.
+  InvariantReport invariants = CheckConnection(*client, *server);
+  EXPECT_TRUE(invariants.ok()) << invariants.Summary();
 }
 
 std::vector<PropertyParams> MakeParams() {

@@ -1,0 +1,356 @@
+#include "torture.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/pattern.hpp"
+#include "common/rng.hpp"
+#include "exs/exs.hpp"
+#include "exs/invariant_checker.hpp"
+#include "simnet/faults.hpp"
+
+namespace exs::torture {
+
+namespace {
+
+/// Rough upper bound on when protocol activity happens, used to place
+/// fault windows.  Overshoot is harmless (a window opening after the run
+/// quiesces perturbs nothing); undershoot just concentrates faults early.
+SimDuration EstimateHorizon(const simnet::HardwareProfile& p,
+                            std::uint64_t total_bytes) {
+  SimDuration wire = p.link_bandwidth.TransmissionTime(total_bytes);
+  SimDuration rtt = 2 * (p.propagation + p.netem.extra_delay);
+  return wire * 8 + rtt * 16 + Microseconds(500);
+}
+
+struct DriveOutcome {
+  bool aborted = false;  ///< a runtime invariant check threw mid-run
+};
+
+}  // namespace
+
+simnet::HardwareProfile ResolveProfile(const std::string& name) {
+  if (name == "fdr") return simnet::HardwareProfile::FdrInfiniBand();
+  if (name == "iwarp") return simnet::HardwareProfile::Iwarp10G();
+  if (name == "wan") {
+    // The paper's distance experiment: RoCE through 48 ms of emulated RTT.
+    return simnet::HardwareProfile::RoCE10GWithDelay(Milliseconds(24));
+  }
+  EXS_CHECK_MSG(false, "unknown profile '" << name
+                                           << "' (expected fdr|iwarp|wan)");
+  return simnet::HardwareProfile::FdrInfiniBand();  // unreachable
+}
+
+bool ValidMode(const std::string& mode) {
+  return mode == "dynamic" || mode == "direct" || mode == "indirect" ||
+         mode == "seqpacket";
+}
+
+std::string TortureResult::Describe() const {
+  std::ostringstream oss;
+  oss << (ok ? "PASS" : "FAIL") << " fp=0x" << std::hex << fingerprint
+      << std::dec << " events=" << events_checked
+      << " faults=" << faults_applied << "/" << faults_armed;
+  for (const auto& f : failures) oss << "\n    failure: " << f;
+  for (const auto& v : checker_violations) oss << "\n    invariant: " << v;
+  return oss.str();
+}
+
+TortureResult RunTorture(const TortureConfig& cfg) {
+  EXS_CHECK_MSG(ValidMode(cfg.mode), "unknown mode '" << cfg.mode << "'");
+  TortureResult res;
+
+  simnet::HardwareProfile profile = ResolveProfile(cfg.profile);
+  const SimDuration horizon = EstimateHorizon(profile, cfg.total_bytes);
+  const bool seqpacket = cfg.mode == "seqpacket";
+
+  StreamOptions opts;
+  if (cfg.mode == "direct") opts.mode = ProtocolMode::kDirectOnly;
+  if (cfg.mode == "indirect") opts.mode = ProtocolMode::kIndirectOnly;
+  opts.intermediate_buffer_bytes = cfg.buffer_bytes;
+  opts.sabotage.accept_stale_adverts = cfg.sabotage_stale_adverts;
+  opts.sabotage.advertise_without_gate = cfg.sabotage_advert_gate;
+
+  Simulation sim(profile, cfg.seed, /*carry_payload=*/true);
+  auto [client, server] = sim.CreateConnectedPair(
+      seqpacket ? SocketType::kSeqPacket : SocketType::kStream, opts);
+  client->EnableTracing(cfg.trace_capacity);
+  server->EnableTracing(cfg.trace_capacity);
+
+  // Destroyed before `sim` (reverse declaration order): no simulated time
+  // advances after the injector dies, so its scheduled lambdas never run
+  // dangling.
+  simnet::FaultInjector injector(sim.fabric());
+  if (cfg.enable_faults) {
+    injector.AttachControlTarget(0, &client->channel_internal());
+    injector.AttachControlTarget(1, &server->channel_internal());
+    injector.Arm(simnet::FaultPlan::Generate(
+        cfg.seed, simnet::FaultPlanConfig::ScaledTo(horizon)));
+  }
+
+  // Workload RNG, domain-separated from the fault plan and the fabric.
+  Rng rng(SplitMix64(cfg.seed ^ 0x70e7f1c70ffe12edull).Next());
+  const std::uint64_t total = cfg.total_bytes;
+  const std::uint64_t max_message =
+      cfg.max_message < total ? cfg.max_message : total;
+
+  std::vector<std::uint8_t> out(total);
+  FillPattern(out.data(), out.size(), 0, cfg.seed);
+  std::vector<std::uint8_t> in(total, 0);
+
+  // Message sizes for SEQPACKET are fixed up front (message boundaries are
+  // preserved, so the receive side must know how many messages to await).
+  std::vector<std::uint64_t> sizes;
+  if (seqpacket) {
+    std::uint64_t planned = 0;
+    while (planned < total) {
+      std::uint64_t s = rng.NextInRange(1, max_message);
+      if (s > total - planned) s = total - planned;
+      sizes.push_back(s);
+      planned += s;
+    }
+  }
+
+  constexpr std::size_t kScratch = 6;
+  std::vector<std::vector<std::uint8_t>> scratch(
+      kScratch, std::vector<std::uint8_t>(max_message));
+  std::vector<std::size_t> free_scratch;
+  for (std::size_t i = 0; i < kScratch; ++i) free_scratch.push_back(i);
+
+  struct Posted {
+    std::size_t scratch_index;
+    std::uint64_t len;
+  };
+  std::unordered_map<std::uint64_t, Posted> posted;
+
+  std::uint64_t send_off = 0;
+  std::size_t msgs_sent = 0;
+  std::uint64_t recv_done = 0;
+  std::size_t msgs_received = 0;
+  std::uint64_t pending_posted = 0;
+  std::size_t recvs_posted = 0;
+
+  server->events().SetHandler([&](const Event& ev) {
+    if (ev.type != EventType::kRecvComplete) return;
+    auto it = posted.find(ev.id);
+    if (it == posted.end()) {
+      res.failures.push_back("completion for unknown receive id");
+      return;
+    }
+    Posted rec = it->second;
+    posted.erase(it);
+    if (ev.bytes > rec.len || recv_done + ev.bytes > total) {
+      res.failures.push_back("receive completion exceeds posted/total size");
+      return;
+    }
+    std::memcpy(in.data() + recv_done, scratch[rec.scratch_index].data(),
+                ev.bytes);
+    recv_done += ev.bytes;
+    ++msgs_received;
+    pending_posted -= rec.len;
+    free_scratch.push_back(rec.scratch_index);
+  });
+
+  // Drive loop (the stream_property_test pattern): interleave postings
+  // with short runs of simulated time so the relative order of sends,
+  // receives, control traffic — and now faults — varies by seed.
+  DriveOutcome drive;
+  try {
+    std::uint64_t guard = 0;
+    auto done = [&]() {
+      return seqpacket ? msgs_received >= sizes.size() : recv_done >= total;
+    };
+    while (!done()) {
+      if (++guard > 2000000u) {
+        res.failures.push_back(
+            "no progress: stuck at " + std::to_string(recv_done) + "/" +
+            std::to_string(total) + " bytes");
+        break;
+      }
+      bool can_send =
+          seqpacket ? msgs_sent < sizes.size() : send_off < total;
+      bool can_recv =
+          !free_scratch.empty() &&
+          (seqpacket ? recvs_posted < sizes.size()
+                     : recv_done + pending_posted < total);
+
+      if (can_send && (rng.NextBool() || !can_recv)) {
+        if (seqpacket) {
+          client->Send(out.data() + send_off, sizes[msgs_sent]);
+          send_off += sizes[msgs_sent];
+          ++msgs_sent;
+        } else {
+          std::uint64_t s = rng.NextInRange(1, max_message);
+          if (s > total - send_off) s = total - send_off;
+          client->Send(out.data() + send_off, s);
+          send_off += s;
+        }
+      } else if (can_recv) {
+        std::size_t idx = free_scratch.back();
+        free_scratch.pop_back();
+        std::uint64_t r = max_message;
+        bool waitall = false;
+        if (!seqpacket) {
+          std::uint64_t room = total - recv_done - pending_posted;
+          r = rng.NextInRange(1, max_message);
+          if (r > room) r = room;
+          waitall = rng.NextBool(0.4);
+        }
+        std::uint64_t id = server->Recv(scratch[idx].data(), r,
+                                        RecvFlags{.waitall = waitall});
+        posted.emplace(id, Posted{idx, r});
+        pending_posted += r;
+        ++recvs_posted;
+      }
+      sim.RunFor(static_cast<SimDuration>(
+          rng.NextInRange(0, static_cast<std::uint64_t>(Microseconds(30)))));
+      // Occasional full drains let the receiver catch up and empty the
+      // ring, so dynamic runs actually flip between indirect and direct
+      // phases instead of degenerating to pure-indirect.
+      if (!can_send && !can_recv) {
+        sim.Run();
+      } else if (rng.NextBool(0.08)) {
+        sim.Run();
+      }
+    }
+    if (res.failures.empty()) sim.Run();
+  } catch (const InvariantViolation& violation) {
+    // A runtime EXS_CHECK fired mid-run (expected under sabotage).  The
+    // traces recorded up to this point still go through the checker.
+    drive.aborted = true;
+    res.failures.push_back(std::string("runtime invariant violation: ") +
+                           violation.what());
+  }
+
+  if (!drive.aborted && res.failures.empty()) {
+    if (recv_done != total) {
+      res.failures.push_back("short delivery: " + std::to_string(recv_done) +
+                             "/" + std::to_string(total) + " bytes");
+    } else if (std::size_t good = VerifyPattern(in.data(), in.size(), 0,
+                                                cfg.seed);
+               good != in.size()) {
+      res.failures.push_back("payload corrupt at stream offset " +
+                             std::to_string(good));
+    }
+    if (!client->Quiescent() || !server->Quiescent()) {
+      res.failures.push_back("endpoints not quiescent after drain");
+    }
+    if (!seqpacket) {
+      std::uint64_t tx_seq = client->stream_tx()->sequence();
+      std::uint64_t rx_seq = server->stream_rx()->sequence();
+      std::uint64_t rx_est = server->stream_rx()->sequence_estimate();
+      if (tx_seq != total || rx_seq != total || rx_est != total) {
+        res.failures.push_back(
+            "sequence disagreement: S_s=" + std::to_string(tx_seq) +
+            " S_r=" + std::to_string(rx_seq) +
+            " S'_r=" + std::to_string(rx_est) + " expected " +
+            std::to_string(total));
+      }
+    }
+  }
+
+  InvariantReport report = CheckConnection(*client, *server);
+  res.checker_violations = report.violations;
+  res.events_checked = report.events_checked;
+  res.fingerprint = ConnectionFingerprint(*client, *server);
+  res.faults_armed = injector.FaultsArmed();
+  res.faults_applied = injector.FaultsApplied();
+  res.ok = res.failures.empty() && res.checker_violations.empty();
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Replay corpus: one `key=value` line per failing configuration.
+// ---------------------------------------------------------------------------
+
+std::string EncodeCorpusEntry(const TortureConfig& cfg) {
+  std::ostringstream oss;
+  oss << "seed=" << cfg.seed << " profile=" << cfg.profile
+      << " mode=" << cfg.mode << " total=" << cfg.total_bytes
+      << " maxmsg=" << cfg.max_message << " buffer=" << cfg.buffer_bytes
+      << " tracecap=" << cfg.trace_capacity
+      << " faults=" << (cfg.enable_faults ? 1 : 0)
+      << " sab_stale=" << (cfg.sabotage_stale_adverts ? 1 : 0)
+      << " sab_gate=" << (cfg.sabotage_advert_gate ? 1 : 0) << " fp=0x"
+      << std::hex << cfg.expect_fingerprint;
+  return oss.str();
+}
+
+bool DecodeCorpusEntry(const std::string& line, TortureConfig* out) {
+  TortureConfig cfg;
+  bool have_seed = false;
+  std::istringstream iss(line);
+  std::string token;
+  while (iss >> token) {
+    std::size_t eq = token.find('=');
+    if (eq == std::string::npos) return false;
+    std::string key = token.substr(0, eq);
+    std::string value = token.substr(eq + 1);
+    if (value.empty()) return false;
+    try {
+      if (key == "seed") {
+        cfg.seed = std::stoull(value);
+        have_seed = true;
+      } else if (key == "profile") {
+        cfg.profile = value;
+      } else if (key == "mode") {
+        cfg.mode = value;
+      } else if (key == "total") {
+        cfg.total_bytes = std::stoull(value);
+      } else if (key == "maxmsg") {
+        cfg.max_message = std::stoull(value);
+      } else if (key == "buffer") {
+        cfg.buffer_bytes = std::stoull(value);
+      } else if (key == "tracecap") {
+        cfg.trace_capacity = std::stoull(value);
+      } else if (key == "faults") {
+        cfg.enable_faults = value != "0";
+      } else if (key == "sab_stale") {
+        cfg.sabotage_stale_adverts = value != "0";
+      } else if (key == "sab_gate") {
+        cfg.sabotage_advert_gate = value != "0";
+      } else if (key == "fp") {
+        cfg.expect_fingerprint = std::stoull(value, nullptr, 0);
+      } else {
+        return false;  // unknown key: refuse rather than silently drift
+      }
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  if (!have_seed || !ValidMode(cfg.mode)) return false;
+  *out = cfg;
+  return true;
+}
+
+std::vector<TortureConfig> LoadCorpus(const std::string& path) {
+  std::ifstream file(path);
+  EXS_CHECK_MSG(file.good(), "cannot read corpus file " << path);
+  std::vector<TortureConfig> entries;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(file, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    TortureConfig cfg;
+    EXS_CHECK_MSG(DecodeCorpusEntry(line, &cfg),
+                  "malformed corpus entry at " << path << ":" << lineno);
+    entries.push_back(cfg);
+  }
+  return entries;
+}
+
+void AppendCorpusEntry(const std::string& path, const TortureConfig& cfg,
+                       std::uint64_t fingerprint) {
+  std::ofstream file(path, std::ios::app);
+  EXS_CHECK_MSG(file.good(), "cannot append to corpus file " << path);
+  TortureConfig stamped = cfg;
+  stamped.expect_fingerprint = fingerprint;
+  file << EncodeCorpusEntry(stamped) << "\n";
+}
+
+}  // namespace exs::torture
