@@ -41,9 +41,11 @@ Args Args::Parse(int argc, char** argv) {
       args.metrics_json_path = next_value("--metrics-json");
     } else if (arg == "--timeline-json") {
       args.timeline_json_path = next_value("--timeline-json");
+    } else if (arg == "--json") {
+      args.results_json_path = next_value("--json");
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "options: --csv --quick --runs N --messages N "
-                   "--metrics-json FILE --timeline-json FILE\n";
+                   "--metrics-json FILE --timeline-json FILE --json FILE\n";
       std::exit(0);
     } else {
       std::cerr << "unknown option: " << arg << "\n";

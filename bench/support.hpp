@@ -27,6 +27,10 @@ struct Args {
   /// for single-point inspection, see docs/OBSERVABILITY.md.
   std::string metrics_json_path;
   std::string timeline_json_path;
+  /// Machine-readable results file for benches that emit one ("-" =
+  /// stdout); CI archives it as an artifact.  Ignored by benches that
+  /// don't.
+  std::string results_json_path;
 
   static Args Parse(int argc, char** argv);
 };

@@ -23,11 +23,27 @@ SocketInstruments SocketInstruments::Create(metrics::Registry& registry) {
       &registry.GetHistogram("tx.phase_dwell_indirect", "ps");
   inst.tx_inflight_wwis = &registry.GetSeries("tx.inflight_wwis", "wrs");
   inst.tx_remote_ring_used = &registry.GetSeries("tx.remote_ring_used", "bytes");
+  inst.coalesced_sends = &registry.GetCounter("tx.coalesced_sends", "ops");
+  inst.coalesced_bytes = &registry.GetCounter("tx.coalesced_bytes", "bytes");
+  inst.coalesce_flush_maxbytes =
+      &registry.GetCounter("tx.coalesce_flush_maxbytes", "flushes");
+  inst.coalesce_flush_timeout =
+      &registry.GetCounter("tx.coalesce_flush_timeout", "flushes");
+  inst.coalesce_flush_advert =
+      &registry.GetCounter("tx.coalesce_flush_advert", "flushes");
+  inst.coalesce_flush_phase =
+      &registry.GetCounter("tx.coalesce_flush_phase", "flushes");
+  inst.coalesce_flush_close =
+      &registry.GetCounter("tx.coalesce_flush_close", "flushes");
+  inst.coalesce_flush_ordering =
+      &registry.GetCounter("tx.coalesce_flush_ordering", "flushes");
 
   inst.recvs_completed = &registry.GetCounter("rx.recvs_completed", "ops");
   inst.bytes_received = &registry.GetCounter("rx.bytes_received", "bytes");
   inst.adverts_sent = &registry.GetCounter("rx.adverts_sent", "messages");
   inst.acks_sent = &registry.GetCounter("rx.acks_sent", "messages");
+  inst.acks_piggybacked =
+      &registry.GetCounter("rx.acks_piggybacked", "messages");
   inst.direct_bytes_received =
       &registry.GetCounter("rx.direct_bytes_received", "bytes");
   inst.indirect_bytes_received =

@@ -31,12 +31,23 @@ struct SocketInstruments {
   metrics::Histogram* tx_phase_dwell_indirect = nullptr;  ///< ps per phase
   metrics::TimeWeightedSeries* tx_inflight_wwis = nullptr;
   metrics::TimeWeightedSeries* tx_remote_ring_used = nullptr;  ///< b_s view
+  // Coalescing (StreamOptions::coalesce): staged sends/bytes and flushes
+  // broken down by trigger (CoalesceFlushReason).
+  metrics::Counter* coalesced_sends = nullptr;
+  metrics::Counter* coalesced_bytes = nullptr;
+  metrics::Counter* coalesce_flush_maxbytes = nullptr;
+  metrics::Counter* coalesce_flush_timeout = nullptr;
+  metrics::Counter* coalesce_flush_advert = nullptr;
+  metrics::Counter* coalesce_flush_phase = nullptr;
+  metrics::Counter* coalesce_flush_close = nullptr;
+  metrics::Counter* coalesce_flush_ordering = nullptr;
 
   // Receiver half (this socket's incoming stream).
   metrics::Counter* recvs_completed = nullptr;
   metrics::Counter* bytes_received = nullptr;
   metrics::Counter* adverts_sent = nullptr;
   metrics::Counter* acks_sent = nullptr;
+  metrics::Counter* acks_piggybacked = nullptr;  ///< ACKs riding ADVERTs
   metrics::Counter* direct_bytes_received = nullptr;
   metrics::Counter* indirect_bytes_received = nullptr;
   metrics::Counter* bytes_copied_out = nullptr;

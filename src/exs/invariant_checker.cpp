@@ -69,8 +69,41 @@ void MergeLemmas(InvariantReport& report, const TraceCheckResult& lemmas) {
 InvariantReport StreamSenderExtras(const std::vector<TraceEvent>& events) {
   InvariantReport report;
   std::uint64_t cum = 0;  // bytes posted so far (direct + indirect)
+  std::uint64_t staged_bytes = 0;    // staged since the last coalesce flush
+  std::uint64_t staged_members = 0;  // sends staged since the last flush
   for (const auto& ev : events) {
     switch (ev.type) {
+      case TraceEventType::kSendStaged:
+        // Coalescing conservation, first half: every staged byte is
+        // accounted until the flush that emits it.
+        if (ev.len == 0) {
+          Violation(report, ev, "zero-length send staged for coalescing");
+        }
+        staged_bytes += ev.len;
+        ++staged_members;
+        break;
+      case TraceEventType::kCoalesceFlushed:
+        // Second half: a flush emits exactly the bytes (and the member
+        // count) staged since the previous flush — the merged WWI neither
+        // drops nor invents stream bytes.
+        if (ev.len == 0) {
+          Violation(report, ev, "coalesce flush with no staged bytes");
+        }
+        if (ev.len != staged_bytes) {
+          Violation(report, ev,
+                    "coalesce flush length " + std::to_string(ev.len) +
+                        " disagrees with the " + std::to_string(staged_bytes) +
+                        " byte(s) staged since the last flush");
+        }
+        if (ev.msg_seq != staged_members) {
+          Violation(report, ev,
+                    "coalesce flush member count " +
+                        std::to_string(ev.msg_seq) + " disagrees with the " +
+                        std::to_string(staged_members) + " send(s) staged");
+        }
+        staged_bytes = 0;
+        staged_members = 0;
+        break;
       case TraceEventType::kAdvertAccepted:
         // Freshness (Fig. 8): an accepted ADVERT never carries a phase
         // below the sender's.  The direct-phase equality and the
@@ -165,6 +198,16 @@ InvariantReport StreamReceiverExtras(const std::vector<TraceEvent>& events,
                     "ADVERT sent while the intermediate buffer holds " +
                         std::to_string(occupancy) +
                         " byte(s) — Fig. 3 gate violated");
+        }
+        break;
+      case TraceEventType::kAckPiggybacked:
+        // A piggybacked ACK rides an ADVERT, so it inherits the ADVERT's
+        // gate: the buffer must be empty when it leaves.
+        if (occupancy != 0) {
+          Violation(report, ev,
+                    "ACK piggybacked onto an ADVERT while the intermediate "
+                    "buffer holds " +
+                        std::to_string(occupancy) + " byte(s)");
         }
         break;
       case TraceEventType::kDirectArrived:
@@ -327,6 +370,29 @@ InvariantReport CheckStreamPair(const TraceLog& sender_log,
                                                receiver_log.events()));
   report.Merge(StreamSenderExtras(sender_log.events()));
   report.Merge(StreamReceiverExtras(receiver_log.events(), opts));
+
+  // ACK conservation: the sender can never learn of more freed buffer
+  // space than the receiver reported — whether the count travelled as a
+  // standalone ACK or rode an ADVERT.  (Equality need not hold: ACKs may
+  // still be in flight when a trace ends.)
+  std::uint64_t freed_reported = 0;
+  for (const auto& ev : receiver_log.events()) {
+    if (ev.type == TraceEventType::kAckSent ||
+        ev.type == TraceEventType::kAckPiggybacked) {
+      freed_reported += ev.len;
+    }
+  }
+  std::uint64_t freed_learned = 0;
+  for (const auto& ev : sender_log.events()) {
+    if (ev.type == TraceEventType::kAckReceived) freed_learned += ev.len;
+  }
+  if (freed_learned > freed_reported) {
+    report.violations.push_back(
+        "ACK conservation failed: sender released " +
+        std::to_string(freed_learned) +
+        " byte(s) of buffer space but the receiver only reported " +
+        std::to_string(freed_reported));
+  }
   return report;
 }
 

@@ -223,8 +223,17 @@ StreamStats Socket::stats() const {
   s.adverts_received = inst_.adverts_received->value();
   s.adverts_discarded = inst_.adverts_discarded->value();
   s.sender_phase = static_cast<std::uint64_t>(inst_.tx_phase->value());
+  s.coalesced_sends = inst_.coalesced_sends->value();
+  s.coalesced_bytes = inst_.coalesced_bytes->value();
+  s.coalesce_flushes = inst_.coalesce_flush_maxbytes->value() +
+                       inst_.coalesce_flush_timeout->value() +
+                       inst_.coalesce_flush_advert->value() +
+                       inst_.coalesce_flush_phase->value() +
+                       inst_.coalesce_flush_close->value() +
+                       inst_.coalesce_flush_ordering->value();
   s.adverts_sent = inst_.adverts_sent->value();
   s.acks_sent = inst_.acks_sent->value();
+  s.acks_piggybacked = inst_.acks_piggybacked->value();
   s.credit_messages_sent = inst_.credit_messages_sent->value();
   s.bytes_copied_out = inst_.bytes_copied_out->value();
   s.direct_bytes_received = inst_.direct_bytes_received->value();

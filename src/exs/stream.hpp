@@ -26,6 +26,7 @@
 
 #include "common/ring_buffer.hpp"
 #include "common/units.hpp"
+#include "simnet/event_scheduler.hpp"
 #include "exs/channel.hpp"
 #include "exs/event_queue.hpp"
 #include "exs/instruments.hpp"
@@ -73,21 +74,29 @@ class StreamTx {
   void OnCreditAvailable() { Pump(); }
   void OnWwiComplete(std::uint64_t wr_id);
 
-  /// Orderly close of this direction: a SHUTDOWN control message goes out
-  /// after every queued send has been fully transferred; no further sends
-  /// are accepted.
+  /// Orderly close of this direction: staged bytes flush, then a SHUTDOWN
+  /// control message goes out after every queued send has been fully
+  /// transferred; no further sends are accepted.
   void RequestShutdown();
   bool ShutdownRequested() const { return shutdown_requested_; }
 
   // Introspection for tests and invariant checks.
   std::uint64_t phase() const { return phase_; }
   std::uint64_t sequence() const { return seq_; }
-  std::size_t PendingSends() const { return inflight_.size(); }
+  std::size_t PendingSends() const { return inflight_.size() + staged_.size(); }
   std::size_t AdvertQueueDepth() const { return advert_queue_.size(); }
   std::uint64_t RemoteRingFree() const { return remote_ring_.free(); }
-  bool Quiescent() const { return inflight_.empty(); }
+  std::size_t StagedSends() const { return staged_.size(); }
+  std::uint64_t StagedBytes() const { return staged_bytes_; }
+  bool Quiescent() const { return inflight_.empty() && staged_.empty(); }
 
  private:
+  /// One member of a coalesced aggregate: a small send that was merged.
+  struct StagedSend {
+    std::uint64_t id = 0;
+    std::uint64_t len = 0;
+  };
+
   struct PendingSend {
     std::uint64_t id = 0;
     const std::uint8_t* base = nullptr;
@@ -96,6 +105,12 @@ class StreamTx {
     std::uint32_t lkey = 0;
     std::uint32_t wwis_outstanding = 0;
     bool fully_chunked = false;
+    /// Coalesced aggregate only: the merged payload (base points into it)
+    /// and the member sends, completed individually in submission order
+    /// once every chunk of the aggregate has transferred.
+    std::vector<std::uint8_t> owned;
+    verbs::MemoryRegionPtr owned_mr;
+    std::vector<StagedSend> members;
   };
 
   /// A received ADVERT queued at the sender (the paper's q_A).
@@ -116,6 +131,20 @@ class StreamTx {
   void PostDirect(PendingSend& s, Advert& advert, std::uint64_t len);
   void PostIndirect(PendingSend& s, std::uint64_t len);
   void NoteTransfer(bool indirect);
+  /// Coalescing: is this send small enough — and the connection in a state
+  /// where holding it back cannot delay a direct transfer?
+  bool ShouldStage(std::uint64_t len) const;
+  /// Append a small send to the staging buffer (flushing first if it would
+  /// not fit), arming the max_delay timer on the first staged byte.
+  void StageCoalesced(std::uint64_t id, const void* buf, std::uint64_t len);
+  /// Merge every staged send into one aggregate PendingSend at the back of
+  /// the chunk queue.  Only appends — safe to call from inside Pump; all
+  /// other callers run Pump() afterwards.
+  void FlushCoalesced(CoalesceFlushReason reason);
+  /// Report completion: one event per member for a coalesced aggregate (in
+  /// submission order), else a single event.  Takes the record by value —
+  /// it erases the inflight_ entry that may be the last other owner.
+  void CompleteSend(std::shared_ptr<PendingSend> rec);
   /// Advance P_s, recording how long we dwelt in the phase being left and
   /// tracing the change (phase dwell histograms are keyed by the *old*
   /// phase's parity).
@@ -148,6 +177,14 @@ class StreamTx {
   bool last_transfer_indirect_ = false;  ///< connections begin direct
   bool shutdown_requested_ = false;
   bool shutdown_sent_ = false;
+  // Coalescing staging buffer.  Logically ordered *after* chunk_queue_:
+  // a flush appends the merged aggregate at the queue's back, so byte
+  // continuity is preserved by construction.
+  std::vector<std::uint8_t> staging_mem_;
+  verbs::MemoryRegionPtr staging_mr_;
+  std::vector<StagedSend> staged_;
+  std::uint64_t staged_bytes_ = 0;
+  simnet::EventHandle flush_timer_;
 };
 
 // ---------------------------------------------------------------------------
@@ -207,6 +244,11 @@ class StreamRx {
   /// Fig. 5: copy buffered bytes into pending receives FIFO, charging the
   /// node CPU at memcpy bandwidth.
   void DrainRing();
+  /// Coalescing: fold pending ACK free-counts into outgoing ADVERTs?
+  bool PiggybackAcks() const {
+    return ctx_.options.coalesce.enabled &&
+           ctx_.options.coalesce.piggyback_acks;
+  }
   void MaybeSendAck();
   void CompleteFront();
   /// After the peer's SHUTDOWN, once every buffered byte has been copied

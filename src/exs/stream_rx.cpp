@@ -113,7 +113,6 @@ void StreamRx::TryAdvertise() {
     }
 
     PendingRecv& r = pending_[first_unadverted];
-    Trace(TraceEventType::kAdvertSent, r.len - r.filled, seq_est_, phase_);
     wire::ControlMessage msg;
     msg.type = static_cast<std::uint8_t>(wire::ControlType::kAdvert);
     msg.addr = reinterpret_cast<std::uint64_t>(r.base) + r.filled;
@@ -122,6 +121,18 @@ void StreamRx::TryAdvertise() {
     msg.seq = seq_est_;
     msg.set_phase(phase_);
     msg.waitall = r.waitall ? 1 : 0;
+    if (PiggybackAcks() && pending_ack_bytes_ > 0) {
+      // The ADVERT never uses `freed` for itself, so the pending ACK count
+      // rides along and the standalone ACK is saved entirely.  The sender
+      // releases the space before matching the ADVERT, preserving the
+      // order a separate ACK would have imposed.
+      msg.ack_piggyback = 1;
+      msg.freed = pending_ack_bytes_;
+      Trace(TraceEventType::kAckPiggybacked, pending_ack_bytes_);
+      ctx_.metrics->acks_piggybacked->Increment();
+      pending_ack_bytes_ = 0;
+    }
+    Trace(TraceEventType::kAdvertSent, r.len - r.filled, seq_est_, phase_);
     ctx_.channel->SendControl(msg);
     ctx_.metrics->adverts_sent->Increment();
 
@@ -187,6 +198,11 @@ void StreamRx::DrainRing() {
   if (copy_in_progress_) return;
   if (ring_.used() == 0 || pending_.empty()) {
     if (ring_.used() == 0) {
+      if (PiggybackAcks() && !peer_closed_) {
+        // Give an outgoing ADVERT first claim on the pending ACK count; a
+        // standalone ACK below then only covers the no-ADVERT case.
+        TryAdvertise();
+      }
       MaybeSendAck();
       MaybeFinishEof();
     }

@@ -1,5 +1,8 @@
-// Sender half of the dynamic stream protocol — the algorithm of Fig. 2.
+// Sender half of the dynamic stream protocol — the algorithm of Fig. 2,
+// plus the small-transfer coalescing stage (StreamOptions::coalesce).
 #include "exs/stream.hpp"
+
+#include <cstring>
 
 #include "common/check.hpp"
 #include "common/logging.hpp"
@@ -21,28 +24,141 @@ void StreamTx::SetRemoteRing(std::uint64_t addr, std::uint32_t rkey,
 void StreamTx::Submit(std::uint64_t id, const void* buf, std::uint64_t len,
                       std::uint32_t lkey) {
   EXS_CHECK_MSG(!shutdown_requested_, "send after Close()");
+
+  if (len == 0) {
+    // Zero-length sends complete immediately; a byte stream carries no
+    // message boundaries, so there is nothing to transfer.  The trace still
+    // records the submission — an invisible code path would be beyond the
+    // reach of the golden-trace and invariant suites.
+    Trace(TraceEventType::kZeroLengthSend);
+    ctx_.metrics->sends_completed->Increment();
+    ctx_.events->Push(Event{EventType::kSendComplete, id, 0, false});
+    return;
+  }
+
+  if (ShouldStage(len)) {
+    StageCoalesced(id, buf, len);
+    Pump();  // a max-bytes flush may just have queued an aggregate
+    return;
+  }
+  if (!staged_.empty()) {
+    // Staged bytes precede this send in the stream, so they must reach the
+    // chunk queue first.
+    FlushCoalesced(CoalesceFlushReason::kOrdering);
+  }
+
   auto rec = std::make_shared<PendingSend>();
   rec->id = id;
   rec->base = static_cast<const std::uint8_t*>(buf);
   rec->len = len;
   rec->lkey = lkey;
   inflight_.emplace(id, rec);
-
-  if (len == 0) {
-    // Zero-length sends complete immediately; a byte stream carries no
-    // message boundaries, so there is nothing to transfer.
-    rec->fully_chunked = true;
-    inflight_.erase(id);
-    ctx_.metrics->sends_completed->Increment();
-    ctx_.events->Push(Event{EventType::kSendComplete, id, 0, false});
-    return;
-  }
-
   chunk_queue_.push_back(rec);
   Pump();
 }
 
+bool StreamTx::ShouldStage(std::uint64_t len) const {
+  const auto& knobs = ctx_.options.coalesce;
+  if (!knobs.enabled || len > knobs.max_bytes) return false;
+  // Never hold back a send that could go straight into advertised memory:
+  // coalescing targets the small-indirect regime and must not add latency
+  // to the direct path.
+  if (!advert_queue_.empty()) return false;
+  return true;
+}
+
+void StreamTx::StageCoalesced(std::uint64_t id, const void* buf,
+                              std::uint64_t len) {
+  const auto& knobs = ctx_.options.coalesce;
+  if (staged_bytes_ + len > knobs.max_bytes) {
+    // Would overflow the staging buffer: flush what is held, then stage
+    // this send into the fresh buffer (the overflow split).
+    FlushCoalesced(CoalesceFlushReason::kMaxBytes);
+  }
+  if (staging_mem_.empty()) {
+    // Each flush hands the buffer's ownership to its aggregate (the bytes
+    // must stay put until the merged WWI completes), so staging restarts
+    // with a fresh registered region.
+    staging_mem_.resize(knobs.max_bytes);
+    staging_mr_ = ctx_.channel->device().RegisterMemory(staging_mem_.data(),
+                                                        staging_mem_.size());
+  }
+  if (ctx_.carry_payload) {
+    std::memcpy(staging_mem_.data() + staged_bytes_, buf, len);
+  }
+  staged_.push_back(StagedSend{id, len});
+  staged_bytes_ += len;
+  ctx_.metrics->coalesced_sends->Increment();
+  ctx_.metrics->coalesced_bytes->Add(len);
+  Trace(TraceEventType::kSendStaged, len);
+  if (staged_.size() == 1) {
+    flush_timer_ = ctx_.scheduler->ScheduleAfter(knobs.max_delay, [this] {
+      if (staged_.empty()) return;  // a flush beat the timer
+      FlushCoalesced(CoalesceFlushReason::kTimeout);
+      Pump();
+    });
+  }
+  if (staged_bytes_ == knobs.max_bytes) {
+    // Exactly full: nothing further can merge, flush now (the caller's
+    // Pump() posts it).
+    FlushCoalesced(CoalesceFlushReason::kMaxBytes);
+  }
+}
+
+void StreamTx::FlushCoalesced(CoalesceFlushReason reason) {
+  if (staged_.empty()) return;
+  flush_timer_.Cancel();
+  auto rec = std::make_shared<PendingSend>();
+  rec->id = staged_.front().id;  // WWI wr_ids resolve to the aggregate
+  rec->owned = std::move(staging_mem_);
+  rec->owned_mr = std::move(staging_mr_);
+  rec->base = rec->owned.data();
+  rec->len = staged_bytes_;
+  rec->lkey = rec->owned_mr->lkey();
+  rec->members = std::move(staged_);
+  staging_mem_.clear();
+  staging_mr_.reset();
+  staged_.clear();
+  staged_bytes_ = 0;
+  Trace(TraceEventType::kCoalesceFlushed, rec->len, rec->members.size(),
+        static_cast<std::uint64_t>(reason));
+  switch (reason) {
+    case CoalesceFlushReason::kMaxBytes:
+      ctx_.metrics->coalesce_flush_maxbytes->Increment();
+      break;
+    case CoalesceFlushReason::kTimeout:
+      ctx_.metrics->coalesce_flush_timeout->Increment();
+      break;
+    case CoalesceFlushReason::kAdvert:
+      ctx_.metrics->coalesce_flush_advert->Increment();
+      break;
+    case CoalesceFlushReason::kPhaseChange:
+      ctx_.metrics->coalesce_flush_phase->Increment();
+      break;
+    case CoalesceFlushReason::kClose:
+      ctx_.metrics->coalesce_flush_close->Increment();
+      break;
+    case CoalesceFlushReason::kOrdering:
+      ctx_.metrics->coalesce_flush_ordering->Increment();
+      break;
+  }
+  inflight_.emplace(rec->id, rec);
+  chunk_queue_.push_back(std::move(rec));
+}
+
 void StreamTx::OnAdvert(const wire::ControlMessage& msg) {
+  if (msg.ack_piggyback != 0) {
+    // The ADVERT doubles as an ACK (Coalesce::piggyback_acks): release the
+    // freed buffer space first, exactly as the standalone ACK it replaces
+    // would have been processed first (it would have been sent earlier).
+    remote_ring_.ReleaseFree(msg.freed);
+    Trace(TraceEventType::kAckReceived, msg.freed);
+  }
+  if (!staged_.empty()) {
+    // Direct service may resume: merged bytes can ride the new ADVERT
+    // instead of waiting out the delay budget.
+    FlushCoalesced(CoalesceFlushReason::kAdvert);
+  }
   Advert advert;
   advert.addr = msg.addr;
   advert.rkey = msg.rkey;
@@ -67,10 +183,21 @@ void StreamTx::OnAck(std::uint64_t freed) {
 
 void StreamTx::RequestShutdown() {
   shutdown_requested_ = true;
+  if (!staged_.empty()) {
+    // The SHUTDOWN must trail every staged byte on the wire.
+    FlushCoalesced(CoalesceFlushReason::kClose);
+  }
   Pump();
 }
 
 void StreamTx::AdvancePhaseTo(std::uint64_t phase) {
+  if (!staged_.empty()) {
+    // A phase switch with bytes still staged: flush so the merged WWI
+    // joins this burst rather than waiting out the delay budget.  The
+    // flush only appends behind the queued send driving the switch, so
+    // byte order is preserved.
+    FlushCoalesced(CoalesceFlushReason::kPhaseChange);
+  }
   const SimTime now = ctx_.scheduler->Now();
   const SimDuration dwell = now - phase_start_;
   if (PhaseIsDirect(phase_)) {
@@ -175,18 +302,16 @@ void StreamTx::Pump() {
       if (rec->wwis_outstanding == 0) {
         // All chunks already completed locally (possible with inline-fast
         // paths); report completion now.
-        inflight_.erase(rec->id);
-        ctx_.metrics->sends_completed->Increment();
-        ctx_.metrics->bytes_sent->Add(rec->len);
-        ctx_.events->Push(
-            Event{EventType::kSendComplete, rec->id, rec->len, false});
+        CompleteSend(std::move(rec));
       }
     }
   }
 
   // Orderly close: the SHUTDOWN goes out only once every queued send has
-  // been fully chunked, so it trails all stream data on the wire.
-  if (shutdown_requested_ && !shutdown_sent_ && ctx_.channel->CanSend()) {
+  // been fully chunked (staged bytes flush in RequestShutdown), so it
+  // trails all stream data on the wire.
+  if (shutdown_requested_ && !shutdown_sent_ && staged_.empty() &&
+      ctx_.channel->CanSend()) {
     wire::ControlMessage msg;
     msg.type = static_cast<std::uint8_t>(wire::ControlType::kShutdown);
     ctx_.channel->SendControl(msg);
@@ -235,12 +360,26 @@ void StreamTx::OnWwiComplete(std::uint64_t wr_id) {
   --s.wwis_outstanding;
   NoteWwisInFlight(-1);
   if (s.fully_chunked && s.wwis_outstanding == 0) {
-    auto rec = it->second;
-    inflight_.erase(it);
+    CompleteSend(it->second);
+  }
+}
+
+void StreamTx::CompleteSend(std::shared_ptr<PendingSend> rec) {
+  inflight_.erase(rec->id);
+  if (rec->members.empty()) {
     ctx_.metrics->sends_completed->Increment();
     ctx_.metrics->bytes_sent->Add(rec->len);
     ctx_.events->Push(
         Event{EventType::kSendComplete, rec->id, rec->len, false});
+    return;
+  }
+  // Coalesced aggregate: fan completion out to every member, in the order
+  // the application submitted them — callers cannot tell their sends were
+  // merged on the wire.
+  for (const StagedSend& m : rec->members) {
+    ctx_.metrics->sends_completed->Increment();
+    ctx_.metrics->bytes_sent->Add(m.len);
+    ctx_.events->Push(Event{EventType::kSendComplete, m.id, m.len, false});
   }
 }
 

@@ -21,6 +21,22 @@ const char* ToString(TraceEventType type) {
     case TraceEventType::kCopyOut: return "copy-out";
     case TraceEventType::kAckSent: return "ack-sent";
     case TraceEventType::kReceiverPhaseChanged: return "receiver-phase";
+    case TraceEventType::kSendStaged: return "send-staged";
+    case TraceEventType::kCoalesceFlushed: return "coalesce-flushed";
+    case TraceEventType::kAckPiggybacked: return "ack-piggybacked";
+    case TraceEventType::kZeroLengthSend: return "zero-length-send";
+  }
+  return "?";
+}
+
+const char* ToString(CoalesceFlushReason reason) {
+  switch (reason) {
+    case CoalesceFlushReason::kMaxBytes: return "max-bytes";
+    case CoalesceFlushReason::kTimeout: return "timeout";
+    case CoalesceFlushReason::kAdvert: return "advert";
+    case CoalesceFlushReason::kPhaseChange: return "phase-change";
+    case CoalesceFlushReason::kClose: return "close";
+    case CoalesceFlushReason::kOrdering: return "ordering";
   }
   return "?";
 }

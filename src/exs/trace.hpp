@@ -44,9 +44,31 @@ enum class TraceEventType : std::uint8_t {
   kCopyOut,
   kAckSent,
   kReceiverPhaseChanged,
+  // Coalescing (appended so earlier numeric values — and with them any
+  // recorded golden fingerprints — stay stable).
+  kSendStaged,       ///< sender: a small send entered the staging buffer
+  kCoalesceFlushed,  ///< sender: staged bytes merged into one queued WWI
+                     ///< (len = merged bytes, msg_seq = member count,
+                     ///<  msg_phase = CoalesceFlushReason)
+  kAckPiggybacked,   ///< receiver: ACK count folded into an ADVERT
+  kZeroLengthSend,   ///< sender: zero-length Submit (completes instantly)
 };
 
 const char* ToString(TraceEventType type);
+
+/// Why a coalescing staging buffer was flushed; recorded in the msg_phase
+/// field of kCoalesceFlushed events and counted per reason in the metrics
+/// registry (tx.coalesce_flush_*).
+enum class CoalesceFlushReason : std::uint8_t {
+  kMaxBytes,     ///< staging buffer filled (or a stage would overflow it)
+  kTimeout,      ///< Coalesce::max_delay expired
+  kAdvert,       ///< an ADVERT arrived — merged bytes may now go direct
+  kPhaseChange,  ///< the sender phase advanced with bytes still staged
+  kClose,        ///< Close(): the SHUTDOWN must trail all staged data
+  kOrdering,     ///< a non-eligible send arrived; staged bytes go first
+};
+
+const char* ToString(CoalesceFlushReason reason);
 
 struct TraceEvent {
   SimTime time = 0;

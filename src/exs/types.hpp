@@ -62,6 +62,22 @@ struct StreamOptions {
   /// explicit RegisterMemory() call.
   bool auto_register_memory = true;
 
+  /// Small-transfer coalescing (off by default).  When enabled, the sender
+  /// stages consecutive small sends that would otherwise each pay a full
+  /// WWI posting, and emits them as one merged WWI; the receiver
+  /// piggybacks pending ACK free-counts onto outgoing ADVERTs so the
+  /// steady-state indirect loop costs one control message instead of two.
+  /// Per-send completion events and exact byte continuity are preserved.
+  struct Coalesce {
+    bool enabled = false;
+    /// Staging capacity; only sends of at most this size are staged.
+    std::uint64_t max_bytes = 4 * kKiB;
+    /// Longest a staged byte may wait before the buffer is flushed.
+    SimDuration max_delay = Microseconds(5);
+    /// Fold pending ACK free-counts into outgoing ADVERTs.
+    bool piggyback_acks = true;
+  } coalesce;
+
   /// Test-only sabotage hooks proving the invariant checker can catch real
   /// protocol bugs (tests/invariant_checker_test.cpp, exs_torture
   /// --sabotage).  Each disables one safety rule the paper's theorem rests
@@ -124,10 +140,18 @@ struct StreamStats {
   std::uint64_t adverts_received = 0;
   std::uint64_t adverts_discarded = 0;
   std::uint64_t sender_phase = 0;
+  /// Coalescing: sends that passed through the staging buffer, the bytes
+  /// they carried, and how many merged WWIs flushed them out.
+  std::uint64_t coalesced_sends = 0;
+  std::uint64_t coalesced_bytes = 0;
+  std::uint64_t coalesce_flushes = 0;
 
   // Receiver half (this socket's incoming stream).
   std::uint64_t adverts_sent = 0;
   std::uint64_t acks_sent = 0;
+  /// ACK free-counts that rode an outgoing ADVERT instead of their own
+  /// control message (StreamOptions::Coalesce::piggyback_acks).
+  std::uint64_t acks_piggybacked = 0;
   std::uint64_t credit_messages_sent = 0;
   std::uint64_t bytes_copied_out = 0;  ///< drained from intermediate buffer
   std::uint64_t direct_bytes_received = 0;

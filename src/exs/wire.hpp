@@ -32,7 +32,8 @@ enum class ControlType : std::uint8_t {
 struct ControlMessage {
   std::uint8_t type = 0;
   std::uint8_t waitall = 0;       // ADVERT: MSG_WAITALL was set
-  std::uint16_t reserved = 0;
+  std::uint8_t ack_piggyback = 0; // ADVERT: `freed` carries an ACK count
+  std::uint8_t reserved = 0;
   std::uint32_t credit_return = 0;
 
   // ADVERT fields (Fig. 3): where to write, how much fits, and the
@@ -45,7 +46,10 @@ struct ControlMessage {
   std::uint64_t len = 0;
 
   // ACK field (Fig. 5): bytes drained from the intermediate buffer since
-  // the previous ACK.
+  // the previous ACK.  An ADVERT never uses this field for itself, so with
+  // `ack_piggyback` set it doubles as a piggybacked ACK count — the
+  // steady-state indirect loop then resynchronises with one control
+  // message instead of an ACK + ADVERT pair.
   std::uint64_t freed = 0;
 
   std::uint64_t phase() const {

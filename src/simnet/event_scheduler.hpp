@@ -95,8 +95,11 @@ class EventScheduler : public SimClock {
   /// Run events with time <= deadline; afterwards Now() == deadline unless
   /// the queue drained earlier.
   void RunUntil(SimTime deadline) {
-    while (!queue_.empty()) {
-      if (NextEventTime() > deadline) break;
+    for (;;) {
+      // Prune cancelled records first: a queue holding nothing else must
+      // read as empty, not trip the non-empty check below.
+      while (!queue_.empty() && queue_.top()->cancelled) queue_.pop();
+      if (queue_.empty() || NextEventTime() > deadline) break;
       Step();
     }
     if (now_ < deadline) now_ = deadline;

@@ -112,5 +112,59 @@ TEST_F(StreamEdgeTest, PlainRecvNeverAdvertisesAfterBufferedFill) {
   EXPECT_EQ(VerifyPattern(in.data(), out.size(), 0, 3), out.size());
 }
 
+// A zero-length send is a no-op on the wire but not to the caller: it
+// completes immediately with zero bytes, leaves a trace event, and does
+// not disturb the surrounding stream.
+TEST_F(StreamEdgeTest, ZeroLengthSendCompletesImmediately) {
+  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream);
+  client->EnableTracing();
+  server->EnableTracing();
+  std::vector<std::uint8_t> out(1024), in(1024);
+  FillPattern(out.data(), out.size(), 0, 4);
+
+  std::vector<Event> completions;
+  client->events().SetHandler(
+      [&](const Event& ev) { completions.push_back(ev); });
+
+  std::uint64_t id0 = client->Send(out.data(), 512);
+  std::uint64_t id1 = client->Send(out.data(), 0);  // between real sends
+  std::uint64_t id2 = client->Send(out.data() + 512, 512);
+
+  server->Recv(in.data(), in.size(), RecvFlags{.waitall = true});
+  sim_.Run();
+  // The empty send completed without a wire crossing, so its event beat
+  // both real sends despite being submitted between them.
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_EQ(completions[0].id, id1);
+  EXPECT_EQ(completions[0].type, EventType::kSendComplete);
+  EXPECT_EQ(completions[0].bytes, 0u);
+  EXPECT_EQ(completions[1].id, id0);
+  EXPECT_EQ(completions[2].id, id2);
+  EXPECT_EQ(client->stats().sends_completed, 3u);
+  EXPECT_EQ(client->stats().bytes_sent, 1024u);
+  EXPECT_EQ(VerifyPattern(in.data(), in.size(), 0, 4), in.size());
+
+  std::uint64_t traced = 0;
+  for (const auto& ev : client->tx_trace().events()) {
+    if (ev.type == TraceEventType::kZeroLengthSend) ++traced;
+  }
+  EXPECT_EQ(traced, 1u);
+  auto lemmas = ValidateConnectionTraces(client->tx_trace().events(),
+                                         server->rx_trace().events());
+  EXPECT_TRUE(lemmas.ok()) << lemmas.Summary();
+}
+
+// Submitting after Close() is a caller bug and is rejected loudly — for
+// every payload size, including zero.
+TEST_F(StreamEdgeTest, SendAfterCloseThrows) {
+  auto [client, server] = sim_.CreateConnectedPair(SocketType::kStream);
+  std::vector<std::uint8_t> out(64);
+  client->Close();
+  EXPECT_THROW(client->Send(out.data(), out.size()), InvariantViolation);
+  EXPECT_THROW(client->Send(out.data(), 0), InvariantViolation);
+  sim_.Run();
+  EXPECT_TRUE(client->Quiescent());
+}
+
 }  // namespace
 }  // namespace exs

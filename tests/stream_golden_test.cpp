@@ -1,0 +1,224 @@
+// Golden-trace regression suite: a fixed corpus of trace fingerprints for
+// deterministic workloads, coalescing off and on.  The simulator is
+// bit-reproducible (ps-resolution clock, tie-broken scheduler, seeded
+// RNG), so the FNV-1a hash over every recorded trace field
+// (TraceFingerprint) is a total summary of one run's protocol behaviour:
+// any change to message ordering, chunking, phase transitions, or
+// coalescing decisions moves the fingerprint.
+//
+// Each config also runs twice in-process and must fingerprint identically
+// — the determinism witness that makes the corpus meaningful.
+//
+// When a protocol change is *intentional*, regenerate the corpus with
+//
+//   EXS_UPDATE_GOLDEN=1 ./exs_test --gtest_filter='StreamGolden*'
+//
+// and review the rewritten tests/data/stream_golden.txt in the diff: one
+// line per config, so the blast radius of a change is visible at a glance.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/pattern.hpp"
+#include "common/rng.hpp"
+#include "exs/exs.hpp"
+#include "exs/invariant_checker.hpp"
+
+namespace exs {
+namespace {
+
+using simnet::HardwareProfile;
+
+constexpr const char* kCorpusPath = EXS_TEST_DATA_DIR "/stream_golden.txt";
+
+struct GoldenConfig {
+  const char* name;
+  std::uint64_t seed;
+  bool coalesce;
+};
+
+constexpr GoldenConfig kConfigs[] = {
+    {"fdr_dynamic_seed1_plain", 1, false},
+    {"fdr_dynamic_seed2_plain", 2, false},
+    {"fdr_dynamic_seed3_plain", 3, false},
+    {"fdr_dynamic_seed1_coalesce", 1, true},
+    {"fdr_dynamic_seed2_coalesce", 2, true},
+    {"fdr_dynamic_seed3_coalesce", 3, true},
+};
+
+// A compact randomized small-message workload (the coalescing target
+// regime), checked for integrity before its fingerprint is taken — a
+// corpus entry for a corrupted run would be worse than none.
+std::uint64_t RunGoldenWorkload(const GoldenConfig& cfg) {
+  StreamOptions opts;
+  opts.intermediate_buffer_bytes = 64 * kKiB;
+  opts.coalesce.enabled = cfg.coalesce;
+
+  Simulation sim(HardwareProfile::FdrInfiniBand(), cfg.seed,
+                 /*carry_payload=*/true);
+  auto [client, server] = sim.CreateConnectedPair(SocketType::kStream, opts);
+  client->EnableTracing();
+  server->EnableTracing();
+
+  Rng rng(cfg.seed);
+  constexpr std::uint64_t kMaxSize = 2 * 1024;
+  constexpr std::uint64_t kTotal = 48 * 1024;
+
+  std::vector<std::uint8_t> out(kTotal);
+  FillPattern(out.data(), out.size(), 0, cfg.seed);
+  std::vector<std::uint8_t> in(kTotal, 0);
+
+  constexpr std::size_t kScratch = 4;
+  std::vector<std::vector<std::uint8_t>> scratch(
+      kScratch, std::vector<std::uint8_t>(kMaxSize));
+  std::vector<std::size_t> free_scratch;
+  for (std::size_t i = 0; i < kScratch; ++i) free_scratch.push_back(i);
+
+  struct Posted {
+    std::size_t scratch_index;
+    std::uint64_t len;
+  };
+  std::map<std::uint64_t, Posted> posted;
+
+  std::uint64_t send_off = 0;
+  std::uint64_t recv_done = 0;
+  std::uint64_t pending_posted = 0;
+
+  server->events().SetHandler([&](const Event& ev) {
+    ASSERT_EQ(ev.type, EventType::kRecvComplete);
+    auto it = posted.find(ev.id);
+    ASSERT_NE(it, posted.end());
+    Posted rec = it->second;
+    posted.erase(it);
+    std::memcpy(in.data() + recv_done, scratch[rec.scratch_index].data(),
+                ev.bytes);
+    recv_done += ev.bytes;
+    pending_posted -= rec.len;
+    free_scratch.push_back(rec.scratch_index);
+  });
+
+  std::uint64_t guard = 0;
+  while (recv_done < kTotal) {
+    if (++guard >= 100000u) {
+      ADD_FAILURE() << cfg.name << ": protocol stuck at " << recv_done << "/"
+                    << kTotal;
+      return 0;
+    }
+    bool can_send = send_off < kTotal;
+    bool can_recv =
+        !free_scratch.empty() && recv_done + pending_posted < kTotal;
+    if (can_send && (rng.NextBool() || !can_recv)) {
+      std::uint64_t s = rng.NextInRange(1, kMaxSize);
+      s = std::min(s, kTotal - send_off);
+      client->Send(out.data() + send_off, s);
+      send_off += s;
+    } else if (can_recv) {
+      std::uint64_t r = rng.NextInRange(1, kMaxSize);
+      r = std::min(r, kTotal - recv_done - pending_posted);
+      bool waitall = rng.NextBool(0.4);
+      std::size_t idx = free_scratch.back();
+      free_scratch.pop_back();
+      std::uint64_t id =
+          server->Recv(scratch[idx].data(), r, RecvFlags{.waitall = waitall});
+      posted.emplace(id, Posted{idx, r});
+      pending_posted += r;
+    }
+    sim.RunFor(static_cast<SimDuration>(
+        rng.NextInRange(0, static_cast<std::uint64_t>(Microseconds(30)))));
+    if (!can_send && !can_recv) sim.Run();
+  }
+  sim.Run();
+
+  EXPECT_EQ(VerifyPattern(in.data(), in.size(), 0, cfg.seed), in.size())
+      << cfg.name;
+  EXPECT_TRUE(client->Quiescent()) << cfg.name;
+  if (cfg.coalesce) {
+    EXPECT_GT(client->stats().coalesced_sends, 0u) << cfg.name;
+  }
+  InvariantReport report = CheckConnection(*client, *server);
+  EXPECT_TRUE(report.ok()) << cfg.name << ": " << report.Summary();
+  return ConnectionFingerprint(*client, *server);
+}
+
+std::string Hex(std::uint64_t v) {
+  std::ostringstream oss;
+  oss << "0x" << std::hex << v;
+  return oss.str();
+}
+
+std::map<std::string, std::string> LoadCorpus() {
+  std::map<std::string, std::string> corpus;
+  std::ifstream file(kCorpusPath);
+  std::string name, fp;
+  while (file >> name >> fp) {
+    if (!name.empty() && name[0] == '#') {
+      std::string rest;
+      std::getline(file, rest);  // skip the remainder of a comment line
+      continue;
+    }
+    corpus[name] = fp;
+  }
+  return corpus;
+}
+
+TEST(StreamGoldenTest, FingerprintsMatchCorpus) {
+  const bool update = std::getenv("EXS_UPDATE_GOLDEN") != nullptr;
+
+  std::map<std::string, std::string> actual;
+  for (const GoldenConfig& cfg : kConfigs) {
+    std::uint64_t first = RunGoldenWorkload(cfg);
+    std::uint64_t second = RunGoldenWorkload(cfg);
+    // Determinism witness: without run-to-run reproducibility the corpus
+    // would pin noise, not behaviour.
+    ASSERT_EQ(first, second)
+        << cfg.name << ": two identical runs fingerprinted differently — "
+        << "the simulator has a nondeterminism bug; fix that before "
+        << "trusting any golden value";
+    actual[cfg.name] = Hex(first);
+  }
+
+  if (update) {
+    std::ofstream file(kCorpusPath, std::ios::trunc);
+    ASSERT_TRUE(file.good()) << "cannot write " << kCorpusPath;
+    file << "# Golden trace fingerprints (stream_golden_test.cpp).\n"
+         << "# Regenerate: EXS_UPDATE_GOLDEN=1 ./exs_test "
+         << "--gtest_filter='StreamGolden*'\n";
+    for (const auto& [name, fp] : actual) file << name << " " << fp << "\n";
+    GTEST_SKIP() << "corpus regenerated at " << kCorpusPath
+                 << " — review the diff and rerun without EXS_UPDATE_GOLDEN";
+  }
+
+  std::map<std::string, std::string> expected = LoadCorpus();
+  ASSERT_FALSE(expected.empty())
+      << "missing or empty corpus " << kCorpusPath
+      << " — generate it with EXS_UPDATE_GOLDEN=1";
+  // One assertion per config with a diff-friendly message; stale corpus
+  // entries (configs that no longer exist) are flagged too.
+  for (const auto& [name, fp] : actual) {
+    auto it = expected.find(name);
+    if (it == expected.end()) {
+      ADD_FAILURE() << "config " << name << " has no corpus entry (got " << fp
+                    << ") — regenerate with EXS_UPDATE_GOLDEN=1";
+      continue;
+    }
+    EXPECT_EQ(it->second, fp)
+        << "golden fingerprint mismatch for " << name << "\n  expected: "
+        << it->second << "\n  actual:   " << fp
+        << "\nThe protocol's observable behaviour changed. If intentional, "
+        << "regenerate with EXS_UPDATE_GOLDEN=1 and review the corpus diff.";
+  }
+  for (const auto& [name, fp] : expected) {
+    EXPECT_TRUE(actual.count(name))
+        << "stale corpus entry " << name << " (" << fp
+        << ") — regenerate with EXS_UPDATE_GOLDEN=1";
+  }
+}
+
+}  // namespace
+}  // namespace exs

@@ -31,6 +31,7 @@ struct PropertyParams {
   ProtocolMode mode;
   std::uint64_t buffer_bytes;
   bool small_messages;
+  bool coalesce = false;
 };
 
 std::string ParamName(const ::testing::TestParamInfo<PropertyParams>& info) {
@@ -39,7 +40,8 @@ std::string ParamName(const ::testing::TestParamInfo<PropertyParams>& info) {
   std::replace(mode.begin(), mode.end(), '-', '_');
   return "seed" + std::to_string(p.seed) + "_" + mode + "_buf" +
          std::to_string(p.buffer_bytes / 1024) + "k" +
-         (p.small_messages ? "_small" : "_large");
+         (p.small_messages ? "_small" : "_large") +
+         (p.coalesce ? "_coal" : "");
 }
 
 class StreamPropertyTest : public ::testing::TestWithParam<PropertyParams> {};
@@ -49,6 +51,7 @@ TEST_P(StreamPropertyTest, RandomizedStreamIntegrity) {
   StreamOptions opts;
   opts.mode = p.mode;
   opts.intermediate_buffer_bytes = p.buffer_bytes;
+  opts.coalesce.enabled = p.coalesce;
 
   Simulation sim(HardwareProfile::FdrInfiniBand(), p.seed,
                  /*carry_payload=*/true);
@@ -151,6 +154,12 @@ TEST_P(StreamPropertyTest, RandomizedStreamIntegrity) {
   // ...and every invariant of the safety theorem held throughout the run.
   InvariantReport invariants = CheckConnection(*client, *server);
   EXPECT_TRUE(invariants.ok()) << invariants.Summary();
+  // Coalescing sweeps must actually exercise the staging path: small
+  // messages with sparse ADVERTs are its target regime.
+  if (p.coalesce && p.small_messages) {
+    EXPECT_GT(client->stats().coalesced_sends, 0u);
+    EXPECT_GT(client->stats().coalesce_flushes, 0u);
+  }
 }
 
 std::vector<PropertyParams> MakeParams() {
@@ -168,6 +177,18 @@ std::vector<PropertyParams> MakeParams() {
   // Pathologically small buffer: maximal wrap and backpressure pressure.
   for (std::uint64_t seed : {31ull, 32ull}) {
     params.push_back({seed, ProtocolMode::kDynamic, 1024, true});
+  }
+  // Coalescing on: the staging buffer and ACK piggyback must preserve
+  // every property above, in their target regime (small messages) and
+  // under wrap pressure and large transfers alike.
+  for (std::uint64_t seed : {41ull, 42ull, 43ull, 44ull}) {
+    params.push_back({seed, ProtocolMode::kDynamic, 8 * 1024, true, true});
+  }
+  for (std::uint64_t seed : {51ull, 52ull}) {
+    params.push_back({seed, ProtocolMode::kDynamic, 64 * 1024, false, true});
+  }
+  for (std::uint64_t seed : {61ull, 62ull}) {
+    params.push_back({seed, ProtocolMode::kDynamic, 1024, true, true});
   }
   return params;
 }

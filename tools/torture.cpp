@@ -47,7 +47,7 @@ simnet::HardwareProfile ResolveProfile(const std::string& name) {
 
 bool ValidMode(const std::string& mode) {
   return mode == "dynamic" || mode == "direct" || mode == "indirect" ||
-         mode == "seqpacket";
+         mode == "coalesce" || mode == "seqpacket";
 }
 
 std::string TortureResult::Describe() const {
@@ -71,6 +71,10 @@ TortureResult RunTorture(const TortureConfig& cfg) {
   StreamOptions opts;
   if (cfg.mode == "direct") opts.mode = ProtocolMode::kDirectOnly;
   if (cfg.mode == "indirect") opts.mode = ProtocolMode::kIndirectOnly;
+  // "coalesce" is the dynamic algorithm with the small-transfer staging
+  // buffer and ACK piggyback armed — the corpus round-trips it through the
+  // existing mode key.
+  if (cfg.mode == "coalesce") opts.coalesce.enabled = true;
   opts.intermediate_buffer_bytes = cfg.buffer_bytes;
   opts.sabotage.accept_stale_adverts = cfg.sabotage_stale_adverts;
   opts.sabotage.advertise_without_gate = cfg.sabotage_advert_gate;

@@ -28,8 +28,10 @@ struct TortureConfig {
   /// Hardware profile: "fdr", "iwarp", or "wan" (RoCE through 24 ms of
   /// emulated one-way delay, the paper's distance experiment).
   std::string profile = "fdr";
-  /// Protocol mode: "dynamic", "direct", "indirect" (stream socket), or
-  /// "seqpacket" (message socket).
+  /// Protocol mode: "dynamic", "direct", "indirect", "coalesce" (the
+  /// dynamic algorithm with StreamOptions::coalesce armed — staging buffer
+  /// plus ACK piggyback) for stream sockets, or "seqpacket" (message
+  /// socket).
   std::string mode = "dynamic";
   std::uint64_t total_bytes = 192 * 1024;
   std::uint64_t max_message = 24 * 1024;

@@ -30,8 +30,8 @@ using exs::torture::TortureResult;
       "  --seeds A..B     inclusive seed range (1..20)\n"
       "  --seed N         single seed (same as --seeds N..N)\n"
       "  --profiles CSV   subset of fdr,iwarp,wan (all)\n"
-      "  --modes CSV      subset of dynamic,direct,indirect,seqpacket\n"
-      "                   (dynamic,direct,indirect)\n"
+      "  --modes CSV      subset of dynamic,direct,indirect,coalesce,\n"
+      "                   seqpacket (dynamic,direct,indirect,coalesce)\n"
       "  --total BYTES    stream bytes per run (192K; K/M suffixes ok)\n"
       "  --max-message BYTES   largest send/recv posting (24K)\n"
       "  --buffer BYTES   intermediate buffer capacity (64K)\n"
@@ -102,7 +102,8 @@ bool ParseSeedRange(const std::string& s, std::uint64_t* lo,
 int main(int argc, char** argv) {
   std::uint64_t seed_lo = 1, seed_hi = 20;
   std::vector<std::string> profiles = {"fdr", "iwarp", "wan"};
-  std::vector<std::string> modes = {"dynamic", "direct", "indirect"};
+  std::vector<std::string> modes = {"dynamic", "direct", "indirect",
+                                    "coalesce"};
   TortureConfig base;
   std::string corpus_path;
   std::string replay_path;
