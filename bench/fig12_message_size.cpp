@@ -8,7 +8,9 @@
 // above every transfer is direct, because a message's transmission delay
 // exceeds the ADVERT round trip and the receiver always resupplies
 // ADVERTs in time.
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "support.hpp"
 
@@ -25,11 +27,19 @@ std::string SizeName(std::uint64_t s) {
   return std::to_string(s) + " B";
 }
 
-void Run(const Args& args) {
+struct Point {
+  std::uint64_t size = 0;
+  double mbps = 0.0;
+  double direct_ratio = 0.0;
+  double mode_switches = 0.0;
+};
+
+std::vector<Point> Run(const Args& args) {
   PrintBanner(std::cout, "Fig 12",
               "dynamic protocol vs message size (recvs=4, sends=2)", args);
   Table table({"message size", "throughput Mb/s", "direct:total ratio",
                "mode switches"});
+  std::vector<Point> points;
   for (std::uint64_t size : kSizes) {
     blast::BlastConfig c = FdrBaseConfig(args);
     c.outstanding_recvs = 4;
@@ -49,8 +59,37 @@ void Run(const Args& args) {
     table.AddRow({SizeName(size), FormatMetric(s.throughput_mbps, 0),
                   FormatMetric(s.direct_ratio, 2),
                   FormatMetric(s.mode_switches, 1)});
+    points.push_back(Point{size, s.throughput_mbps.mean, s.direct_ratio.mean,
+                           s.mode_switches.mean});
   }
   table.Print(std::cout, args.csv);
+  return points;
+}
+
+void WriteJson(const Args& args, const std::vector<Point>& points) {
+  if (args.results_json_path.empty()) return;
+  std::ostringstream json;
+  json << "{\"bench\":\"fig12\",\"runs\":" << args.runs
+       << ",\"messages\":" << args.messages << ",\"points\":[";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    if (i) json << ",";
+    json << "{\"size\":" << p.size << ",\"mbps\":" << p.mbps
+         << ",\"direct_ratio\":" << p.direct_ratio
+         << ",\"mode_switches\":" << p.mode_switches << "}";
+  }
+  json << "]}";
+  if (args.results_json_path == "-") {
+    std::cout << json.str() << "\n";
+    return;
+  }
+  std::ofstream file(args.results_json_path, std::ios::trunc);
+  if (!file.good()) {
+    std::cerr << "cannot write " << args.results_json_path << "\n";
+    std::exit(2);
+  }
+  file << json.str() << "\n";
+  std::cout << "results written to " << args.results_json_path << "\n";
 }
 
 }  // namespace
@@ -59,6 +98,6 @@ void Run(const Args& args) {
 int main(int argc, char** argv) {
   using namespace exs::bench;
   Args args = Args::Parse(argc, argv);
-  Run(args);
+  WriteJson(args, Run(args));
   return 0;
 }

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Run the headline stream benchmarks and merge their JSON results into one
+# machine-readable file at the repo root (BENCH_streams.json), which CI
+# archives as an artifact and gates on (see .github/workflows/ci.yml).
+#
+#   bench/run_all.sh [--quick] [--build-dir DIR] [--out FILE]
+#
+# Extra arguments after `--` are passed through to every bench
+# (e.g. `bench/run_all.sh -- --runs 5 --messages 300`).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build"
+out_file="${repo_root}/BENCH_streams.json"
+bench_args=()
+passthrough=()
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick) bench_args+=(--quick); shift ;;
+    --build-dir) build_dir="$2"; shift 2 ;;
+    --out) out_file="$2"; shift 2 ;;
+    --) shift; passthrough=("$@"); break ;;
+    *) echo "unknown option: $1" >&2; exit 2 ;;
+  esac
+done
+
+benches=(fig09_throughput_outstanding fig12_message_size ext_coalescing
+         ext_striping)
+
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "${tmp_dir}"' EXIT
+
+json_files=()
+for bench in "${benches[@]}"; do
+  bin="${build_dir}/bench/${bench}"
+  if [[ ! -x "${bin}" ]]; then
+    echo "missing bench binary: ${bin} (build the 'bench' targets first)" >&2
+    exit 1
+  fi
+  json="${tmp_dir}/${bench}.json"
+  echo "== ${bench} =="
+  "${bin}" "${bench_args[@]}" "${passthrough[@]}" --json "${json}"
+  json_files+=("${json}")
+done
+
+# Merge: one top-level object keyed by bench name.  Each bench emitted a
+# single-line JSON object with a "bench" discriminator; stitching them
+# preserves every byte of the per-bench payloads.
+{
+  printf '{"suite":"exs-stream-benches","benches":['
+  first=1
+  for json in "${json_files[@]}"; do
+    [[ ${first} -eq 1 ]] || printf ','
+    first=0
+    tr -d '\n' < "${json}"
+  done
+  printf ']}\n'
+} > "${out_file}"
+
+echo "merged results written to ${out_file}"

@@ -25,6 +25,8 @@ void ControlChannel::Connect(ControlChannel& a, ControlChannel& b) {
   b.qp_ = std::make_unique<verbs::QueuePair>(*b.device_, *b.send_cq_,
                                              *b.recv_cq_);
   verbs::QueuePair::ConnectPair(*a.qp_, *b.qp_);
+  a.qp_->SetInstruments(a.qp_inst_);
+  b.qp_->SetInstruments(b.qp_inst_);
   // Pre-post the full pool on both sides before any traffic (§II-B: "each
   // side will post n RECV transactions at startup, prior to connection
   // establishment") and grant the matching credits to the peer.
@@ -60,6 +62,21 @@ void ControlChannel::SampleCredits() {
   }
 }
 
+void ControlChannel::SetQpInstruments(const verbs::QueuePairInstruments& inst,
+                                      metrics::TimeWeightedSeries* inflight) {
+  qp_inst_ = inst;
+  inflight_wr_series_ = inflight;
+  if (qp_ != nullptr) qp_->SetInstruments(qp_inst_);
+  SampleInflightWrs();
+}
+
+void ControlChannel::SampleInflightWrs() {
+  if (inflight_wr_series_ != nullptr) {
+    inflight_wr_series_->Record(device_->scheduler().Now(),
+                                static_cast<double>(outstanding_wrs_));
+  }
+}
+
 void ControlChannel::ConsumeCredit() {
   EXS_CHECK_MSG(remote_credits_ > 0, "send attempted with no credits");
   --remote_credits_;
@@ -87,13 +104,16 @@ void ControlChannel::SendControl(wire::ControlMessage msg) {
   wr.inline_data = true;
   wr.sge.addr = reinterpret_cast<std::uint64_t>(buf);
   wr.sge.length = wire::kControlSlotBytes;
+  ++outstanding_wrs_;
+  SampleInflightWrs();
   qp_->PostSend(wr);
 }
 
 void ControlChannel::PostDataWwi(std::uint64_t wr_id, const void* src,
                                  std::uint32_t lkey, std::uint64_t len,
                                  std::uint64_t remote_addr, std::uint32_t rkey,
-                                 bool indirect) {
+                                 bool indirect, bool has_stripe_seq,
+                                 std::uint64_t stripe_seq) {
   EXS_CHECK(wr_id != kControlWrId);
   ConsumeCredit();
 
@@ -107,6 +127,10 @@ void ControlChannel::PostDataWwi(std::uint64_t wr_id, const void* src,
   wr.rkey = rkey;
   wr.has_imm = true;
   wr.imm = wire::EncodeDataImm(indirect, len);
+  wr.has_stripe_seq = has_stripe_seq;
+  wr.stripe_seq = stripe_seq;
+  ++outstanding_wrs_;
+  SampleInflightWrs();
   qp_->PostSend(wr);
 }
 
@@ -123,6 +147,8 @@ void ControlChannel::PostRead(std::uint64_t wr_id, void* dst,
   wr.sge.lkey = lkey;
   wr.remote_addr = remote_addr;
   wr.rkey = rkey;
+  ++outstanding_wrs_;
+  SampleInflightWrs();
   qp_->PostSend(wr);
 }
 
@@ -130,6 +156,9 @@ void ControlChannel::OnSendCompletion(const verbs::WorkCompletion& wc) {
   EXS_CHECK_MSG(wc.status == verbs::WcStatus::kSuccess,
                 "send failed: " << verbs::ToString(wc.status)
                                 << " — the credit scheme should prevent this");
+  EXS_CHECK(outstanding_wrs_ > 0);
+  --outstanding_wrs_;
+  SampleInflightWrs();
   if (wc.wr_id == kControlWrId) return;
   if (wc.opcode == verbs::WcOpcode::kRdmaRead) {
     if (callbacks_.on_read_done) {
@@ -178,7 +207,8 @@ void ControlChannel::ProcessRecvCompletion(const verbs::WorkCompletion& wc) {
   if (wc.opcode == verbs::WcOpcode::kRecvRdmaWithImm) {
     EXS_CHECK(wc.has_imm);
     if (callbacks_.on_data) {
-      callbacks_.on_data(wire::ImmIsIndirect(wc.imm), wire::ImmLength(wc.imm));
+      callbacks_.on_data(wire::ImmIsIndirect(wc.imm), wire::ImmLength(wc.imm),
+                         wc.has_stripe_seq, wc.stripe_seq);
     }
     MaybeSendStandaloneCredit();
     return;

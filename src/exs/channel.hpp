@@ -30,8 +30,13 @@ class ControlChannel : public simnet::IncomingHoldTarget {
   struct Callbacks {
     /// An ADVERT or ACK arrived (CREDIT messages are absorbed internally).
     std::function<void(const wire::ControlMessage&)> on_control;
-    /// A data WWI arrived: kind and chunk length decoded from the imm.
-    std::function<void(bool indirect, std::uint64_t len)> on_data;
+    /// A data WWI arrived: kind and chunk length decoded from the imm,
+    /// plus the stripe sequence number when the sender striped the stream
+    /// across multiple rails (has_stripe_seq == false on classic
+    /// single-rail connections).
+    std::function<void(bool indirect, std::uint64_t len, bool has_stripe_seq,
+                       std::uint64_t stripe_seq)>
+        on_data;
     /// A locally posted data WWI completed (transport-acknowledged).
     std::function<void(std::uint64_t wr_id)> on_data_sent;
     /// A locally posted RDMA READ completed (data landed here).
@@ -58,6 +63,13 @@ class ControlChannel : public simnet::IncomingHoldTarget {
   void SetInstruments(metrics::TimeWeightedSeries* credits,
                       metrics::Counter* credit_messages);
 
+  /// Attach per-queue-pair instruments ("rail<i>.*" in the registry) plus
+  /// a series sampling this channel's outstanding send-queue work
+  /// requests.  Must be called before Connect so the queue pair is born
+  /// instrumented; all pointers may be null.
+  void SetQpInstruments(const verbs::QueuePairInstruments& inst,
+                        metrics::TimeWeightedSeries* inflight_wrs);
+
   /// Can a normal message (control or data) be sent right now?  One credit
   /// is reserved for CREDIT messages.
   bool CanSend() const { return remote_credits_ >= 2; }
@@ -68,9 +80,12 @@ class ControlChannel : public simnet::IncomingHoldTarget {
 
   /// Post a data chunk as RDMA WRITE WITH IMM into peer memory.  Caller
   /// must have checked CanSend().  `wr_id` is returned via on_data_sent.
+  /// When `has_stripe_seq`, the chunk carries `stripe_seq` in an extended
+  /// wire header (multi-rail striping) at kStripeHeaderBytes extra cost.
   void PostDataWwi(std::uint64_t wr_id, const void* src, std::uint32_t lkey,
                    std::uint64_t len, std::uint64_t remote_addr,
-                   std::uint32_t rkey, bool indirect);
+                   std::uint32_t rkey, bool indirect,
+                   bool has_stripe_seq = false, std::uint64_t stripe_seq = 0);
 
   /// Pull `len` bytes from peer memory with RDMA READ (rendezvous mode).
   /// READs consume no receive at the target, hence no credit.
@@ -108,6 +123,7 @@ class ControlChannel : public simnet::IncomingHoldTarget {
   void MaybeSendStandaloneCredit();
   std::uint32_t TakeCreditReturn();
   void SampleCredits();
+  void SampleInflightWrs();
 
   verbs::Device* device_;
   std::uint32_t credits_;
@@ -126,6 +142,9 @@ class ControlChannel : public simnet::IncomingHoldTarget {
   std::uint64_t credit_messages_sent_ = 0;
   metrics::TimeWeightedSeries* credit_series_ = nullptr;
   metrics::Counter* credit_message_counter_ = nullptr;
+  verbs::QueuePairInstruments qp_inst_;
+  metrics::TimeWeightedSeries* inflight_wr_series_ = nullptr;
+  std::uint64_t outstanding_wrs_ = 0;  ///< posted sends awaiting completion
 
   /// Work-request id marking internal control sends on the send CQ.
   static constexpr std::uint64_t kControlWrId = ~std::uint64_t{0};

@@ -95,8 +95,7 @@ void ConnectionService::HandleReq(std::size_t at_node,
   auto pending_it = pending_.find(msg.id);
   EXS_CHECK_MSG(pending_it != pending_.end(),
                 "REQ for an unknown pending connection");
-  ControlChannel::Connect(pending_it->second.socket->channel_internal(),
-                          socket->channel_internal());
+  Socket::ConnectTransport(*pending_it->second.socket, *socket);
 
   HandshakeMessage rep;
   rep.kind = HandshakeMessage::Kind::kRep;
@@ -107,9 +106,10 @@ void ConnectionService::HandleReq(std::size_t at_node,
   ServerPending sp;
   sp.id = msg.id;
   sp.socket = std::move(socket);
-  sp.socket->CompleteEstablishment(
-      Socket::RingCredentials{msg.ring.addr, msg.ring.rkey,
-                              msg.ring.capacity});
+  // Pass the REQ's credentials through whole: they carry the client's
+  // provisioned rail count, which both sides must see to agree on the
+  // effective striping width.
+  sp.socket->CompleteEstablishment(msg.ring);
   sp.listener = listener;
   server_pending_.emplace(msg.id, std::move(sp));
 

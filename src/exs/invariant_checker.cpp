@@ -65,10 +65,13 @@ void MergeLemmas(InvariantReport& report, const TraceCheckResult& lemmas) {
 }
 
 /// Checker-specific sender rules beyond the PR-1 lemma validators:
-/// ADVERT-freshness at acceptance and posted-byte continuity.
-InvariantReport StreamSenderExtras(const std::vector<TraceEvent>& events) {
+/// ADVERT-freshness at acceptance and posted-byte continuity, plus the
+/// striping numbering rules when the connection ran multi-rail.
+InvariantReport StreamSenderExtras(const std::vector<TraceEvent>& events,
+                                   const InvariantCheckOptions& opts) {
   InvariantReport report;
   std::uint64_t cum = 0;  // bytes posted so far (direct + indirect)
+  std::uint64_t next_stripe = 0;  // expected next delivery sequence
   std::uint64_t staged_bytes = 0;    // staged since the last coalesce flush
   std::uint64_t staged_members = 0;  // sends staged since the last flush
   for (const auto& ev : events) {
@@ -131,6 +134,23 @@ InvariantReport StreamSenderExtras(const std::vector<TraceEvent>& events) {
                         std::to_string(cum));
         }
         cum += ev.len;
+        if (opts.rails > 1) {
+          // Striping: delivery sequence numbers are handed out densely in
+          // posting order, and every chunk names a real rail.
+          if (ev.msg_seq != next_stripe) {
+            Violation(report, ev,
+                      "stripe sequence gap at posting: got " +
+                          std::to_string(ev.msg_seq) + ", expected " +
+                          std::to_string(next_stripe));
+          }
+          next_stripe = ev.msg_seq + 1;
+          if (ev.msg_phase >= opts.rails) {
+            Violation(report, ev,
+                      "chunk posted on rail " + std::to_string(ev.msg_phase) +
+                          " of a " + std::to_string(opts.rails) +
+                          "-rail connection");
+          }
+        }
         break;
       default:
         break;
@@ -141,13 +161,32 @@ InvariantReport StreamSenderExtras(const std::vector<TraceEvent>& events) {
 
 /// Checker-specific receiver rules: consumed-byte continuity and the
 /// replayed intermediate-buffer occupancy with the safety-theorem
-/// emptiness conditions.
+/// emptiness conditions.  On striped connections, additionally: arrivals
+/// are *processed* in exact stripe order — the reassembly guarantee that
+/// makes the rest of the receiver rules oblivious to rail choice.
 InvariantReport StreamReceiverExtras(const std::vector<TraceEvent>& events,
                                      const InvariantCheckOptions& opts) {
   InvariantReport report;
   std::uint64_t cum = 0;        // bytes landed in user memory so far
   std::int64_t occupancy = 0;   // replayed intermediate-buffer bytes
+  std::uint64_t next_stripe = 0;  // expected next processed stripe seq
   for (const auto& ev : events) {
+    if (opts.rails > 1 && (ev.type == TraceEventType::kDirectArrived ||
+                           ev.type == TraceEventType::kIndirectArrived)) {
+      if (ev.msg_seq != next_stripe) {
+        Violation(report, ev,
+                  "stripe reassembly out of order: processed stripe " +
+                      std::to_string(ev.msg_seq) + ", expected " +
+                      std::to_string(next_stripe));
+      }
+      next_stripe = ev.msg_seq + 1;
+      if (ev.msg_phase >= opts.rails) {
+        Violation(report, ev,
+                  "chunk arrived on rail " + std::to_string(ev.msg_phase) +
+                      " of a " + std::to_string(opts.rails) +
+                      "-rail connection");
+      }
+    }
     switch (ev.type) {
       case TraceEventType::kDirectArrived:
       case TraceEventType::kCopyOut:
@@ -344,7 +383,7 @@ InvariantReport CheckStreamSenderTrace(const TraceLog& log,
   InvariantReport report;
   if (!AdmitLog(log, opts, "sender", report)) return report;
   MergeLemmas(report, ValidateSenderTrace(log.events()));
-  report.Merge(StreamSenderExtras(log.events()));
+  report.Merge(StreamSenderExtras(log.events(), opts));
   return report;
 }
 
@@ -368,8 +407,66 @@ InvariantReport CheckStreamPair(const TraceLog& sender_log,
   // The pair validator runs both per-side lemma sets plus conservation.
   MergeLemmas(report, ValidateConnectionTraces(sender_log.events(),
                                                receiver_log.events()));
-  report.Merge(StreamSenderExtras(sender_log.events()));
+  report.Merge(StreamSenderExtras(sender_log.events(), opts));
   report.Merge(StreamReceiverExtras(receiver_log.events(), opts));
+
+  if (opts.rails > 1) {
+    // Per-rail conservation: the chunks that arrived on a rail are exactly
+    // a prefix of the chunks posted on it, in order, with matching length
+    // and kind.  (A prefix, not equality: chunks may still be in flight
+    // when a trace ends.)
+    struct RailChunk {
+      std::uint64_t stripe;
+      std::uint64_t len;
+      bool indirect;
+    };
+    std::vector<std::vector<RailChunk>> posted(opts.rails);
+    std::vector<std::vector<RailChunk>> arrived(opts.rails);
+    for (const auto& ev : sender_log.events()) {
+      if ((ev.type == TraceEventType::kDirectPosted ||
+           ev.type == TraceEventType::kIndirectPosted) &&
+          ev.msg_phase < opts.rails) {
+        posted[ev.msg_phase].push_back(
+            {ev.msg_seq, ev.len,
+             ev.type == TraceEventType::kIndirectPosted});
+      }
+    }
+    for (const auto& ev : receiver_log.events()) {
+      if ((ev.type == TraceEventType::kDirectArrived ||
+           ev.type == TraceEventType::kIndirectArrived) &&
+          ev.msg_phase < opts.rails) {
+        arrived[ev.msg_phase].push_back(
+            {ev.msg_seq, ev.len,
+             ev.type == TraceEventType::kIndirectArrived});
+      }
+    }
+    for (std::uint32_t rail = 0; rail < opts.rails; ++rail) {
+      if (arrived[rail].size() > posted[rail].size()) {
+        report.violations.push_back(
+            "rail " + std::to_string(rail) + " delivered " +
+            std::to_string(arrived[rail].size()) +
+            " chunk(s) but only " + std::to_string(posted[rail].size()) +
+            " were posted on it");
+        continue;
+      }
+      for (std::size_t i = 0; i < arrived[rail].size(); ++i) {
+        const RailChunk& p = posted[rail][i];
+        const RailChunk& r = arrived[rail][i];
+        if (p.stripe != r.stripe || p.len != r.len ||
+            p.indirect != r.indirect) {
+          report.violations.push_back(
+              "rail " + std::to_string(rail) + " chunk " +
+              std::to_string(i) + " mismatch: posted (stripe " +
+              std::to_string(p.stripe) + ", " + std::to_string(p.len) +
+              " bytes, " + (p.indirect ? "indirect" : "direct") +
+              "), arrived (stripe " + std::to_string(r.stripe) + ", " +
+              std::to_string(r.len) + " bytes, " +
+              (r.indirect ? "indirect" : "direct") + ")");
+          break;
+        }
+      }
+    }
+  }
 
   // ACK conservation: the sender can never learn of more freed buffer
   // space than the receiver reported — whether the count travelled as a
@@ -458,10 +555,12 @@ InvariantReport CheckConnection(Socket& a, Socket& b) {
   if (b.stream_rx() != nullptr) {
     a_to_b.rx_ring_capacity = b.stream_rx()->ring_capacity();
   }
+  a_to_b.rails = static_cast<std::uint32_t>(a.effective_rails());
   InvariantCheckOptions b_to_a;
   if (a.stream_rx() != nullptr) {
     b_to_a.rx_ring_capacity = a.stream_rx()->ring_capacity();
   }
+  b_to_a.rails = static_cast<std::uint32_t>(b.effective_rails());
   report.Merge(CheckStreamPair(a.tx_trace(), b.rx_trace(), a_to_b));
   report.Merge(CheckStreamPair(b.tx_trace(), a.rx_trace(), b_to_a));
   return report;

@@ -48,6 +48,13 @@ struct InvariantCheckOptions {
   /// reporting the truncation as a violation.  Off by default: silent
   /// partial validation is how real bugs slip through.
   bool allow_truncated = false;
+  /// Rails the connection striped across (StreamOptions::rails after
+  /// negotiation).  Above 1 the posted/arrived events carry
+  /// (stripe_seq, rail) in their msg_seq/msg_phase fields and three extra
+  /// rule sets activate: sender stripe numbering is dense, receiver
+  /// processing follows the stripe order exactly, and each rail's arrival
+  /// list is a prefix of what was posted on it.
+  std::uint32_t rails = 1;
 };
 
 /// Outcome of replaying one or more traces through the checker.

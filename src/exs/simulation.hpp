@@ -50,11 +50,19 @@ class Simulation {
   /// node 1 ("server").
   std::pair<Socket*, Socket*> CreateConnectedPair(
       SocketType type, StreamOptions options = StreamOptions{}) {
+    return CreateConnectedPair(type, options, options);
+  }
+
+  /// Asymmetric-options variant (e.g. striping negotiation: the two sides
+  /// may provision different rail counts and settle on the minimum).
+  std::pair<Socket*, Socket*> CreateConnectedPair(
+      SocketType type, StreamOptions client_options,
+      StreamOptions server_options) {
     sockets_.push_back(
-        std::make_unique<Socket>(device0_, type, options, "client"));
+        std::make_unique<Socket>(device0_, type, client_options, "client"));
     Socket* a = sockets_.back().get();
     sockets_.push_back(
-        std::make_unique<Socket>(device1_, type, options, "server"));
+        std::make_unique<Socket>(device1_, type, server_options, "server"));
     Socket* b = sockets_.back().get();
     Socket::ConnectPair(*a, *b);
     return {a, b};

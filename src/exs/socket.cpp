@@ -1,5 +1,8 @@
 #include "exs/socket.hpp"
 
+#include <algorithm>
+#include <string>
+
 #include "common/check.hpp"
 
 namespace exs {
@@ -14,15 +17,45 @@ const char* ToString(ProtocolMode mode) {
   return "?";
 }
 
+const char* ToString(RailScheduler scheduler) {
+  switch (scheduler) {
+    case RailScheduler::kRoundRobin: return "round-robin";
+    case RailScheduler::kShortestOutstanding: return "shortest-outstanding";
+  }
+  return "?";
+}
+
+namespace {
+/// An implementation guard, not a protocol limit: catches garbage rail
+/// counts before they allocate hundreds of queue pairs.
+constexpr std::uint32_t kMaxRails = 16;
+}  // namespace
+
 Socket::Socket(verbs::Device& device, SocketType type, StreamOptions options,
                std::string name)
     : device_(&device),
       type_(type),
       options_(options),
       name_(std::move(name)) {
+  EXS_CHECK_MSG(options_.rails >= 1 && options_.rails <= kMaxRails,
+                "rails must be in [1, " << kMaxRails << "]");
+  // Striping only applies to the dynamic/forced stream protocol: a
+  // SEQPACKET message or a rendezvous READ never splits into chunks, so
+  // there is nothing to stripe.  Clamp before the contexts are built so
+  // every component sees the effective option.
+  if (type_ != SocketType::kStream ||
+      options_.mode == ProtocolMode::kReadRendezvous) {
+    options_.rails = 1;
+  }
   inst_ = SocketInstruments::Create(registry_);
   channel_ = std::make_unique<ControlChannel>(device, options_.credits);
   channel_->SetInstruments(inst_.send_credits, inst_.credit_messages_sent);
+  InstrumentRail(0, *channel_);
+  for (std::uint32_t rail = 1; rail < options_.rails; ++rail) {
+    data_rails_.push_back(
+        std::make_unique<ControlChannel>(device, options_.credits));
+    InstrumentRail(rail, *data_rails_.back());
+  }
   events_ = std::make_unique<EventQueue>(device.node().cpu(),
                                          device.profile().per_event_cpu);
   if (type_ == SocketType::kStream &&
@@ -37,6 +70,30 @@ Socket::Socket(verbs::Device& device, SocketType type, StreamOptions options,
     packet_rx_ = std::make_unique<SeqPacketRx>(MakeContext(&rx_trace_));
   }
   WireCallbacks();
+  for (std::size_t rail = 1; rail < ProvisionedRails(); ++rail) {
+    WireRailCallbacks(rail);
+  }
+}
+
+void Socket::InstrumentRail(std::size_t rail, ControlChannel& channel) {
+  // Per-queue-pair telemetry (satellite of the striping work): the verbs
+  // QueuePairStats counters become named registry instruments so per-rail
+  // activity shows up in the metrics JSON and — via the inflight_wrs
+  // series — as counter tracks in the Perfetto timeline export.
+  std::string prefix = "rail" + std::to_string(rail) + ".";
+  verbs::QueuePairInstruments qp;
+  qp.sends_posted = &registry_.GetCounter(prefix + "sends_posted", "wrs");
+  qp.recvs_posted = &registry_.GetCounter(prefix + "recvs_posted", "wrs");
+  qp.payload_bytes_sent =
+      &registry_.GetCounter(prefix + "payload_bytes_sent", "bytes");
+  qp.wire_bytes_sent =
+      &registry_.GetCounter(prefix + "wire_bytes_sent", "bytes");
+  qp.messages_delivered =
+      &registry_.GetCounter(prefix + "messages_delivered", "messages");
+  qp.completion_latency =
+      &registry_.GetHistogram(prefix + "completion_latency", "ps");
+  channel.SetQpInstruments(
+      qp, &registry_.GetSeries(prefix + "inflight_wrs", "wrs"));
 }
 
 StreamContext Socket::MakeContext(TraceLog* trace) {
@@ -89,12 +146,14 @@ void Socket::WireCallbacks() {
         break;
     }
   };
-  cb.on_data = [this](bool indirect, std::uint64_t len) {
+  cb.on_data = [this](bool indirect, std::uint64_t len, bool has_stripe_seq,
+                      std::uint64_t stripe_seq) {
     if (rx_) {
-      rx_->OnData(indirect, len);
+      rx_->OnData(indirect, len, has_stripe_seq, stripe_seq, /*rail=*/0);
     } else {
       EXS_CHECK_MSG(packet_rx_ != nullptr,
                     "data WWI on a rendezvous connection");
+      EXS_CHECK_MSG(!has_stripe_seq, "stripe seq on a SEQPACKET connection");
       packet_rx_->OnData(indirect, len);
     }
   };
@@ -121,24 +180,75 @@ void Socket::WireCallbacks() {
   channel_->set_callbacks(std::move(cb));
 }
 
+void Socket::WireRailCallbacks(std::size_t rail) {
+  // Data rails carry WWI chunks and the CREDIT messages the channel
+  // absorbs internally; ADVERT/ACK/SHUTDOWN stay on rail 0 where their
+  // ordering relative to single-rail traffic is defined.
+  ControlChannel::Callbacks cb;
+  cb.on_control = [](const wire::ControlMessage&) {
+    EXS_CHECK_MSG(false, "control message on a data rail");
+  };
+  cb.on_data = [this, rail](bool indirect, std::uint64_t len,
+                            bool has_stripe_seq, std::uint64_t stripe_seq) {
+    EXS_CHECK_MSG(rx_ != nullptr, "data rail on a non-stream socket");
+    rx_->OnData(indirect, len, has_stripe_seq, stripe_seq, rail);
+  };
+  cb.on_data_sent = [this, rail](std::uint64_t wr_id) {
+    tx_->OnWwiComplete(wr_id, rail);
+  };
+  cb.on_credit_available = [this] {
+    // A rail credit unblocks the sender's rail pick; the receiver's
+    // control traffic never waits on data-rail credits.
+    if (tx_) tx_->OnCreditAvailable();
+  };
+  data_rails_[rail - 1]->set_callbacks(std::move(cb));
+}
+
 Socket::RingCredentials Socket::LocalRingCredentials() const {
-  if (rx_ == nullptr) return RingCredentials{};
-  return RingCredentials{rx_->ring_addr(), rx_->ring_rkey(),
-                         rx_->ring_capacity()};
+  RingCredentials creds;
+  creds.rails = static_cast<std::uint32_t>(ProvisionedRails());
+  if (rx_ == nullptr) return creds;
+  creds.addr = rx_->ring_addr();
+  creds.rkey = rx_->ring_rkey();
+  creds.capacity = rx_->ring_capacity();
+  return creds;
 }
 
 void Socket::CompleteEstablishment(const RingCredentials& peer_ring) {
   EXS_CHECK_MSG(!connected_, "socket already connected");
   if (tx_) {
     tx_->SetRemoteRing(peer_ring.addr, peer_ring.rkey, peer_ring.capacity);
+    // Striping negotiation: both sides stripe across the minimum of the
+    // two provisioned counts (a rails=1 peer — or one predating the field,
+    // whose credentials decode as rails=0 — pins the connection to the
+    // classic single-rail protocol).
+    std::size_t peer_rails = peer_ring.rails == 0 ? 1 : peer_ring.rails;
+    effective_rails_ = std::min(ProvisionedRails(), peer_rails);
+    if (effective_rails_ > 1) {
+      std::vector<ControlChannel*> rails;
+      rails.push_back(channel_.get());
+      for (std::size_t r = 1; r < effective_rails_; ++r) {
+        rails.push_back(data_rails_[r - 1].get());
+      }
+      tx_->SetDataRails(std::move(rails));
+      rx_->SetStriping(static_cast<std::uint32_t>(effective_rails_));
+    }
   }
   connected_ = true;
+}
+
+void Socket::ConnectTransport(Socket& a, Socket& b) {
+  ControlChannel::Connect(*a.channel_, *b.channel_);
+  std::size_t rails = std::min(a.ProvisionedRails(), b.ProvisionedRails());
+  for (std::size_t r = 1; r < rails; ++r) {
+    ControlChannel::Connect(*a.data_rails_[r - 1], *b.data_rails_[r - 1]);
+  }
 }
 
 void Socket::ConnectPair(Socket& a, Socket& b) {
   EXS_CHECK_MSG(a.type_ == b.type_, "socket types must match");
   EXS_CHECK_MSG(!a.connected_ && !b.connected_, "socket already connected");
-  ControlChannel::Connect(*a.channel_, *b.channel_);
+  ConnectTransport(a, b);
   // Exchange intermediate-buffer credentials, as the real library does in
   // the connection handshake's private data.
   a.CompleteEstablishment(b.LocalRingCredentials());

@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/metrics.hpp"
 #include "exs/channel.hpp"
@@ -38,6 +39,12 @@ class Socket {
   /// Establish the connection between two sockets of the same type on
   /// opposite nodes (stands in for exs_connect()/exs_accept()).
   static void ConnectPair(Socket& a, Socket& b);
+
+  /// Wire the transport between two sockets: the control channel plus the
+  /// extra data rails both sides provisioned (the minimum of the two
+  /// counts).  Shared by ConnectPair and the ConnectionService handshake;
+  /// the rail count each side committed to rides in RingCredentials.
+  static void ConnectTransport(Socket& a, Socket& b);
 
   /// Explicitly register I/O memory (exs_mregister()).  Buffers passed to
   /// Send()/Recv() must be covered by a registration; with
@@ -99,11 +106,14 @@ class Socket {
   // (exs/connection.hpp); not part of the application API.
 
   /// Intermediate-buffer credentials this socket's incoming stream
-  /// advertises to its peer (zeros for SOCK_SEQPACKET).
+  /// advertises to its peer (zeros for SOCK_SEQPACKET), plus the number of
+  /// data rails this side provisioned — the striping negotiation settles
+  /// on the minimum of both sides' counts.
   struct RingCredentials {
     std::uint64_t addr = 0;
     std::uint32_t rkey = 0;
     std::uint64_t capacity = 0;
+    std::uint32_t rails = 1;
   };
   RingCredentials LocalRingCredentials() const;
 
@@ -113,11 +123,24 @@ class Socket {
 
   ControlChannel& channel_internal() { return *channel_; }
 
+  /// Rails this socket built at construction (1 + extra data channels).
+  std::size_t ProvisionedRails() const { return 1 + data_rails_.size(); }
+  /// Rails the connection actually stripes across after negotiation; 1
+  /// until CompleteEstablishment, and forever on classic connections.
+  std::size_t effective_rails() const { return effective_rails_; }
+  const ControlChannel& data_rail(std::size_t i) const {
+    return *data_rails_[i];
+  }
+
  private:
   const verbs::MemoryRegion* FindOrRegister(const void* addr,
                                             std::uint64_t len);
   StreamContext MakeContext(TraceLog* trace);
   void WireCallbacks();
+  void WireRailCallbacks(std::size_t rail);
+  /// Register "rail<i>.*" instruments and attach them to the channel
+  /// carrying that rail (rail 0 is the control channel itself).
+  void InstrumentRail(std::size_t rail, ControlChannel& channel);
 
   verbs::Device* device_;
   SocketType type_;
@@ -126,6 +149,9 @@ class Socket {
   metrics::Registry registry_;
   SocketInstruments inst_;
   std::unique_ptr<ControlChannel> channel_;
+  /// Extra data-only rails 1..N-1 (empty on classic single-rail sockets).
+  std::vector<std::unique_ptr<ControlChannel>> data_rails_;
+  std::size_t effective_rails_ = 1;
   std::unique_ptr<EventQueue> events_;
   std::unique_ptr<StreamTx> tx_;
   std::unique_ptr<StreamRx> rx_;

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -63,6 +64,12 @@ class StreamTx {
   void SetRemoteRing(std::uint64_t addr, std::uint32_t rkey,
                      std::uint64_t capacity);
 
+  /// Attach the connection's data rails (index 0 is the control channel
+  /// itself).  Called at establishment when the negotiated rail count
+  /// exceeds one; a classic single-rail connection never calls this and
+  /// posts everything on the control channel, exactly as before.
+  void SetDataRails(std::vector<ControlChannel*> rails);
+
   /// Queue a send request.  `lkey` names the registered region covering
   /// [buf, buf+len).  Completion is reported on the event queue once every
   /// chunk has been transferred and locally completed.
@@ -72,7 +79,8 @@ class StreamTx {
   void OnAdvert(const wire::ControlMessage& msg);
   void OnAck(std::uint64_t freed);
   void OnCreditAvailable() { Pump(); }
-  void OnWwiComplete(std::uint64_t wr_id);
+  /// A data WWI completed locally on `rail` (0 = the control channel).
+  void OnWwiComplete(std::uint64_t wr_id, std::size_t rail = 0);
 
   /// Orderly close of this direction: staged bytes flush, then a SHUTDOWN
   /// control message goes out after every queued send has been fully
@@ -89,6 +97,11 @@ class StreamTx {
   std::size_t StagedSends() const { return staged_.size(); }
   std::uint64_t StagedBytes() const { return staged_bytes_; }
   bool Quiescent() const { return inflight_.empty() && staged_.empty(); }
+  std::size_t RailCount() const { return rails_.empty() ? 1 : rails_.size(); }
+  std::uint64_t NextStripeSeq() const { return stripe_seq_; }
+  std::uint64_t RailOutstandingBytes(std::size_t rail) const {
+    return rail_outstanding_[rail];
+  }
 
  private:
   /// One member of a coalesced aggregate: a small send that was merged.
@@ -128,9 +141,23 @@ class StreamTx {
   /// space and a credit are available; otherwise wait for the event that
   /// unblocks us (ADVERT, ACK, or credit return).
   void Pump();
-  void PostDirect(PendingSend& s, Advert& advert, std::uint64_t len);
-  void PostIndirect(PendingSend& s, std::uint64_t len);
+  void PostDirect(PendingSend& s, Advert& advert, std::uint64_t len,
+                  std::size_t rail);
+  void PostIndirect(PendingSend& s, std::uint64_t len, std::size_t rail);
   void NoteTransfer(bool indirect);
+  bool Striping() const { return rails_.size() > 1; }
+  ControlChannel* Rail(std::size_t rail) {
+    return rails_.empty() ? ctx_.channel : rails_[rail];
+  }
+  /// Rail the next chunk rides, per options.rail_scheduler, considering
+  /// only rails with a send credit; kNoRail when every rail is blocked
+  /// (the post is retried from on_credit_available).  With one rail this
+  /// degenerates to the classic CanSend() gate.
+  static constexpr std::size_t kNoRail = ~std::size_t{0};
+  std::size_t PickRail() const;
+  /// Per-rail outstanding-byte accounting at post time; also advances the
+  /// stripe sequence and the round-robin cursor.
+  void NoteStripePosted(std::size_t rail, std::uint64_t len);
   /// Coalescing: is this send small enough — and the connection in a state
   /// where holding it back cannot delay a direct transfer?
   bool ShouldStage(std::uint64_t len) const;
@@ -177,6 +204,15 @@ class StreamTx {
   bool last_transfer_indirect_ = false;  ///< connections begin direct
   bool shutdown_requested_ = false;
   bool shutdown_sent_ = false;
+  // Multi-rail striping state (empty rails_ = classic single-rail mode).
+  // Completions on one rail return in post order (RC FIFO per QP), so a
+  // per-rail deque of posted chunk lengths is enough to account
+  // outstanding bytes for the shortest-outstanding scheduler.
+  std::vector<ControlChannel*> rails_;
+  std::uint64_t stripe_seq_ = 0;        ///< next delivery sequence number
+  std::size_t next_rail_ = 0;           ///< round-robin cursor
+  std::vector<std::uint64_t> rail_outstanding_ = {0};  ///< bytes in flight
+  std::vector<std::deque<std::uint64_t>> rail_fifo_;   ///< chunk lens, FIFO
   // Coalescing staging buffer.  Logically ordered *after* chunk_queue_:
   // a flush appends the merged aggregate at the queue's back, so byte
   // continuity is preserved by construction.
@@ -204,8 +240,17 @@ class StreamRx {
   void Submit(std::uint64_t id, void* buf, std::uint64_t len,
               std::uint32_t rkey, bool waitall);
 
-  /// A data WWI arrived (dispatched from the control channel).
-  void OnData(bool indirect, std::uint64_t len);
+  /// Striping was negotiated: expect every arrival to carry a stripe
+  /// sequence number and reassemble in that order.  Called once at
+  /// establishment, before any data moves.
+  void SetStriping(std::uint32_t rails);
+
+  /// A data WWI arrived (dispatched from the rail it rode; `rail` is only
+  /// descriptive — payload placement happened at the verbs layer).  On a
+  /// striped connection the chunk joins the reorder buffer and chunks are
+  /// processed strictly in stripe-sequence order.
+  void OnData(bool indirect, std::uint64_t len, bool has_stripe_seq = false,
+              std::uint64_t stripe_seq = 0, std::size_t rail = 0);
   void OnCreditAvailable();
 
   /// The peer closed its sending direction.  In-order delivery puts the
@@ -222,7 +267,11 @@ class StreamRx {
   std::uint64_t sequence_estimate() const { return seq_est_; }  ///< S'_r
   std::uint64_t RingBytes() const { return ring_.used(); }
   std::size_t PendingRecvs() const { return pending_.size(); }
-  bool Quiescent() const { return pending_.empty() && ring_.Empty(); }
+  bool Quiescent() const {
+    return pending_.empty() && ring_.Empty() && stripe_reorder_.empty();
+  }
+  std::size_t StripeReorderDepth() const { return stripe_reorder_.size(); }
+  std::uint64_t NextStripeSeq() const { return next_stripe_seq_; }
 
  private:
   struct PendingRecv {
@@ -238,6 +287,19 @@ class StreamRx {
     bool rtt_pending = false;  ///< awaiting the first direct byte back
   };
 
+  /// A chunk notification parked until its stripe predecessors arrive.
+  /// The payload already sits in its final location (rail choice never
+  /// moves a byte); only the protocol bookkeeping waits.
+  struct StripedChunk {
+    bool indirect = false;
+    std::uint64_t len = 0;
+    std::size_t rail = 0;
+  };
+
+  /// The classic arrival handling of Fig. 4, factored out of OnData so
+  /// striped chunks can be run through it in stripe-sequence order.
+  void ProcessData(bool indirect, std::uint64_t len, bool striped,
+                   std::uint64_t stripe_seq, std::size_t rail);
   /// Fig. 3: advertise pending receives in order, gated on an empty
   /// intermediate buffer and no outstanding receives from a prior phase.
   void TryAdvertise();
@@ -278,6 +340,10 @@ class StreamRx {
   bool copy_in_progress_ = false;
   bool peer_closed_ = false;
   bool eof_delivered_ = false;
+  // Multi-rail reassembly (rails_ == 1 bypasses all of it).
+  std::uint32_t rails_ = 1;
+  std::uint64_t next_stripe_seq_ = 0;  ///< next delivery sequence expected
+  std::map<std::uint64_t, StripedChunk> stripe_reorder_;
 };
 
 }  // namespace exs

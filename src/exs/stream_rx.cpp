@@ -147,7 +147,45 @@ void StreamRx::TryAdvertise() {
   }
 }
 
-void StreamRx::OnData(bool indirect, std::uint64_t len) {
+void StreamRx::SetStriping(std::uint32_t rails) {
+  EXS_CHECK_MSG(rails > 1, "striping needs at least two rails");
+  EXS_CHECK_MSG(seq_ == 0 && next_stripe_seq_ == 0,
+                "striping must be enabled before any data moves");
+  rails_ = rails;
+}
+
+void StreamRx::OnData(bool indirect, std::uint64_t len, bool has_stripe_seq,
+                      std::uint64_t stripe_seq, std::size_t rail) {
+  if (rails_ <= 1) {
+    EXS_CHECK_MSG(!has_stripe_seq,
+                  "stripe sequence on a single-rail connection");
+    ProcessData(indirect, len, /*striped=*/false, 0, 0);
+    return;
+  }
+  // Striped connection: park the notification until every predecessor in
+  // the delivery sequence has been processed, then drain the contiguous
+  // prefix.  The payload is already in place (the sender computed the
+  // destination address at post time, independent of the rail), so the
+  // wait re-orders bookkeeping only — exs_recv() completion order and the
+  // phase machinery see exactly the sender's submission order.
+  EXS_CHECK_MSG(has_stripe_seq, "striped connection requires a stripe seq");
+  EXS_CHECK_MSG(stripe_seq >= next_stripe_seq_, "stripe sequence regressed");
+  bool inserted =
+      stripe_reorder_.emplace(stripe_seq, StripedChunk{indirect, len, rail})
+          .second;
+  EXS_CHECK_MSG(inserted, "duplicate stripe sequence " << stripe_seq);
+  while (!stripe_reorder_.empty() &&
+         stripe_reorder_.begin()->first == next_stripe_seq_) {
+    StripedChunk chunk = stripe_reorder_.begin()->second;
+    stripe_reorder_.erase(stripe_reorder_.begin());
+    ++next_stripe_seq_;
+    ProcessData(chunk.indirect, chunk.len, /*striped=*/true,
+                next_stripe_seq_ - 1, chunk.rail);
+  }
+}
+
+void StreamRx::ProcessData(bool indirect, std::uint64_t len, bool striped,
+                           std::uint64_t stripe_seq, std::size_t rail) {
   if (!indirect) {
     // Direct arrival (Fig. 4 lines 1-6).  By Theorem 1 it belongs to the
     // receive at the head of the queue; these checks *are* the safety
@@ -174,7 +212,11 @@ void StreamRx::OnData(bool indirect, std::uint64_t len) {
     // the actual length.  A WAITALL estimate was already exact.
     if (!r.waitall) seq_est_ += len - 1;
     ctx_.metrics->direct_bytes_received->Add(len);
-    Trace(TraceEventType::kDirectArrived, len);
+    // Striped arrivals log (stripe_seq, rail) in the trace's spare fields
+    // for the invariant checker's reassembly audit (kept zero single-rail
+    // so golden fingerprints are unchanged).
+    Trace(TraceEventType::kDirectArrived, len, striped ? stripe_seq : 0,
+          striped ? rail : 0);
     if (!r.waitall || r.filled == r.len) CompleteFront();
     TryAdvertise();
     return;
@@ -185,7 +227,8 @@ void StreamRx::OnData(bool indirect, std::uint64_t len) {
   if (PhaseIsDirect(phase_)) {
     AdvancePhaseTo(NextPhase(phase_));
   }
-  Trace(TraceEventType::kIndirectArrived, len);
+  Trace(TraceEventType::kIndirectArrived, len, striped ? stripe_seq : 0,
+        striped ? rail : 0);
   EXS_CHECK_MSG(len <= ring_.ContiguousWritable(),
                 "indirect transfer overruns the intermediate buffer — the "
                 "sender's b_s view must prevent this");
@@ -293,6 +336,10 @@ void StreamRx::OnShutdown() {
 void StreamRx::MaybeFinishEof() {
   if (!peer_closed_ || eof_delivered_) return;
   if (ring_.used() > 0 || copy_in_progress_) return;  // still draining
+  // Striping: chunks parked in the reorder buffer are delivered data the
+  // stream has not yet accounted; EOF waits for them (the sender's gate —
+  // SHUTDOWN only after all local WWI completions — makes this transient).
+  if (!stripe_reorder_.empty()) return;
   eof_delivered_ = true;
   // Outstanding receives complete with whatever they hold — including
   // MSG_WAITALL ones, which can never fill now (partial data at EOF).

@@ -21,6 +21,47 @@ void StreamTx::SetRemoteRing(std::uint64_t addr, std::uint32_t rkey,
   }
 }
 
+void StreamTx::SetDataRails(std::vector<ControlChannel*> rails) {
+  EXS_CHECK_MSG(!rails.empty() && rails[0] == ctx_.channel,
+                "rail 0 must be the control channel");
+  EXS_CHECK_MSG(inflight_.empty() && stripe_seq_ == 0,
+                "rails must be attached before any data moves");
+  rails_ = std::move(rails);
+  rail_outstanding_.assign(rails_.size(), 0);
+  rail_fifo_.assign(rails_.size(), {});
+}
+
+std::size_t StreamTx::PickRail() const {
+  if (rails_.empty()) return ctx_.channel->CanSend() ? 0 : kNoRail;
+  if (ctx_.options.rail_scheduler == RailScheduler::kRoundRobin) {
+    // First sendable rail at or after the cursor, wrapping once.
+    for (std::size_t i = 0; i < rails_.size(); ++i) {
+      std::size_t rail = (next_rail_ + i) % rails_.size();
+      if (rails_[rail]->CanSend()) return rail;
+    }
+    return kNoRail;
+  }
+  // Shortest-outstanding-bytes: adapts to rail asymmetry (a rail stuck
+  // behind a long chunk or short on credits accumulates bytes and is
+  // avoided); ties break to the lowest index for determinism.
+  std::size_t best = kNoRail;
+  for (std::size_t rail = 0; rail < rails_.size(); ++rail) {
+    if (!rails_[rail]->CanSend()) continue;
+    if (best == kNoRail || rail_outstanding_[rail] < rail_outstanding_[best]) {
+      best = rail;
+    }
+  }
+  return best;
+}
+
+void StreamTx::NoteStripePosted(std::size_t rail, std::uint64_t len) {
+  if (!Striping()) return;
+  ++stripe_seq_;
+  rail_outstanding_[rail] += len;
+  rail_fifo_[rail].push_back(len);
+  next_rail_ = rail + 1 == rails_.size() ? 0 : rail + 1;
+}
+
 void StreamTx::Submit(std::uint64_t id, const void* buf, std::uint64_t len,
                       std::uint32_t lkey) {
   EXS_CHECK_MSG(!shutdown_requested_, "send after Close()");
@@ -243,7 +284,8 @@ void StreamTx::Pump() {
         ctx_.metrics->adverts_discarded->Increment();
         continue;
       }
-      if (!ctx_.channel->CanSend()) return;  // resumed by credit return
+      std::size_t rail = PickRail();
+      if (rail == kNoRail) return;  // resumed by credit return on any rail
       if (advert.filled == 0) {
         // First chunk into this ADVERT: record the match with the sender
         // state *before* any phase advance (the validators rely on it).
@@ -267,7 +309,7 @@ void StreamTx::Pump() {
       std::uint64_t room = advert.len - advert.filled;
       if (room < len) len = room;
       if (MaxChunk() < len) len = MaxChunk();
-      PostDirect(s, advert, len);
+      PostDirect(s, advert, len, rail);
       seq_ += len;
       s.sent += len;
       advert.filled += len;
@@ -279,7 +321,8 @@ void StreamTx::Pump() {
       }
     } else if (ctx_.options.mode != ProtocolMode::kDirectOnly &&
                remote_ring_.free() > 0) {
-      if (!ctx_.channel->CanSend()) return;
+      std::size_t rail = PickRail();
+      if (rail == kNoRail) return;
       std::uint64_t len = s.len - s.sent;
       std::uint64_t room = remote_ring_.ContiguousWritable();
       if (room < len) len = room;
@@ -288,7 +331,7 @@ void StreamTx::Pump() {
         // First indirect transfer of a burst (Fig. 2 lines 18-20).
         AdvancePhaseTo(NextPhase(phase_));
       }
-      PostIndirect(s, len);
+      PostIndirect(s, len, rail);
       seq_ += len;
       s.sent += len;
     } else {
@@ -309,9 +352,14 @@ void StreamTx::Pump() {
 
   // Orderly close: the SHUTDOWN goes out only once every queued send has
   // been fully chunked (staged bytes flush in RequestShutdown), so it
-  // trails all stream data on the wire.
+  // trails all stream data on the wire.  Under striping the wire-order
+  // argument breaks down — the SHUTDOWN rides rail 0 and could overtake
+  // data still flying on other rails — so it additionally waits for every
+  // data WWI to complete locally (a local completion proves delivery, and
+  // a SHUTDOWN sent afterwards cannot arrive before a chunk already
+  // delivered).
   if (shutdown_requested_ && !shutdown_sent_ && staged_.empty() &&
-      ctx_.channel->CanSend()) {
+      (!Striping() || wwis_in_flight_ == 0) && ctx_.channel->CanSend()) {
     wire::ControlMessage msg;
     msg.type = static_cast<std::uint8_t>(wire::ControlType::kShutdown);
     ctx_.channel->SendControl(msg);
@@ -319,20 +367,28 @@ void StreamTx::Pump() {
   }
 }
 
-void StreamTx::PostDirect(PendingSend& s, Advert& advert, std::uint64_t len) {
-  Trace(TraceEventType::kDirectPosted, len);
+void StreamTx::PostDirect(PendingSend& s, Advert& advert, std::uint64_t len,
+                          std::size_t rail) {
+  // Striped posts log (stripe_seq, rail) in the trace's spare fields so
+  // the invariant checker can audit reassembly; single-rail posts keep the
+  // classic zeros and an unchanged golden fingerprint.
+  Trace(TraceEventType::kDirectPosted, len, Striping() ? stripe_seq_ : 0,
+        Striping() ? rail : 0);
   NoteTransfer(/*indirect=*/false);
   ctx_.metrics->direct_transfers->Increment();
   ctx_.metrics->direct_bytes->Add(len);
   ++s.wwis_outstanding;
   NoteWwisInFlight(+1);
-  ctx_.channel->PostDataWwi(s.id, s.base + s.sent, s.lkey, len,
-                            advert.addr + advert.filled, advert.rkey,
-                            /*indirect=*/false);
+  Rail(rail)->PostDataWwi(s.id, s.base + s.sent, s.lkey, len,
+                          advert.addr + advert.filled, advert.rkey,
+                          /*indirect=*/false, Striping(), stripe_seq_);
+  NoteStripePosted(rail, len);
 }
 
-void StreamTx::PostIndirect(PendingSend& s, std::uint64_t len) {
-  Trace(TraceEventType::kIndirectPosted, len);
+void StreamTx::PostIndirect(PendingSend& s, std::uint64_t len,
+                            std::size_t rail) {
+  Trace(TraceEventType::kIndirectPosted, len, Striping() ? stripe_seq_ : 0,
+        Striping() ? rail : 0);
   NoteTransfer(/*indirect=*/true);
   ctx_.metrics->indirect_transfers->Increment();
   ctx_.metrics->indirect_bytes->Add(len);
@@ -340,9 +396,10 @@ void StreamTx::PostIndirect(PendingSend& s, std::uint64_t len) {
   NoteWwisInFlight(+1);
   std::uint64_t offset = remote_ring_.write_offset();
   remote_ring_.CommitWrite(len);
-  ctx_.channel->PostDataWwi(s.id, s.base + s.sent, s.lkey, len,
-                            remote_ring_addr_ + offset, remote_ring_rkey_,
-                            /*indirect=*/true);
+  Rail(rail)->PostDataWwi(s.id, s.base + s.sent, s.lkey, len,
+                          remote_ring_addr_ + offset, remote_ring_rkey_,
+                          /*indirect=*/true, Striping(), stripe_seq_);
+  NoteStripePosted(rail, len);
 }
 
 void StreamTx::NoteTransfer(bool indirect) {
@@ -352,15 +409,28 @@ void StreamTx::NoteTransfer(bool indirect) {
   }
 }
 
-void StreamTx::OnWwiComplete(std::uint64_t wr_id) {
+void StreamTx::OnWwiComplete(std::uint64_t wr_id, std::size_t rail) {
   auto it = inflight_.find(wr_id);
   EXS_CHECK_MSG(it != inflight_.end(), "completion for unknown send");
   PendingSend& s = *it->second;
   EXS_CHECK(s.wwis_outstanding > 0);
   --s.wwis_outstanding;
   NoteWwisInFlight(-1);
+  if (Striping()) {
+    // Per-QP completions return in post order, so the head of the rail's
+    // FIFO is exactly the chunk that completed.
+    EXS_CHECK(!rail_fifo_[rail].empty());
+    std::uint64_t len = rail_fifo_[rail].front();
+    rail_fifo_[rail].pop_front();
+    EXS_CHECK(rail_outstanding_[rail] >= len);
+    rail_outstanding_[rail] -= len;
+  }
   if (s.fully_chunked && s.wwis_outstanding == 0) {
     CompleteSend(it->second);
+  }
+  if (Striping() && shutdown_requested_ && !shutdown_sent_ &&
+      wwis_in_flight_ == 0) {
+    Pump();  // the striped SHUTDOWN waits for the last local completion
   }
 }
 

@@ -39,6 +39,15 @@ enum class ProtocolMode {
 
 const char* ToString(ProtocolMode mode);
 
+/// How the sender spreads chunks across the data rails when
+/// StreamOptions::rails > 1.
+enum class RailScheduler : std::uint8_t {
+  kRoundRobin,           ///< cycle through sendable rails in index order
+  kShortestOutstanding,  ///< rail with the fewest un-completed bytes
+};
+
+const char* ToString(RailScheduler scheduler);
+
 struct StreamOptions {
   ProtocolMode mode = ProtocolMode::kDynamic;
 
@@ -57,6 +66,20 @@ struct StreamOptions {
   /// Upper bound on a single WWI chunk; 0 means unbounded.  Useful in
   /// tests to force sends to split.
   std::uint64_t max_wwi_chunk = 0;
+
+  /// Data queue pairs ("rails") the connection stripes its chunk stream
+  /// across.  1 (the default) is the classic single-QP protocol and is
+  /// wire-byte-identical to it.  With N > 1, rail 0 carries control plus
+  /// data and rails 1..N-1 carry data only; every chunk additionally
+  /// carries a per-stream delivery sequence number so the receiver
+  /// reassembles the exact submission order regardless of which rail each
+  /// chunk rode (docs/PROTOCOL.md §10).  The effective count is the
+  /// minimum of both endpoints' settings.  Ignored (clamped to 1) for
+  /// SOCK_SEQPACKET and read-rendezvous sockets.
+  std::uint32_t rails = 1;
+
+  /// Rail choice policy when rails > 1.
+  RailScheduler rail_scheduler = RailScheduler::kShortestOutstanding;
 
   /// Register send/receive buffers on first use instead of requiring an
   /// explicit RegisterMemory() call.

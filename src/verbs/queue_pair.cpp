@@ -70,6 +70,7 @@ void QueuePair::PostSend(const SendWorkRequest& wr) {
   auto pkt = std::make_shared<Packet>();
   pkt->wr = wr;
   pkt->payload_len = wr.sge.length;
+  pkt->post_time = device_->scheduler().Now();
 
   if (wr.opcode == Opcode::kRdmaRead) {
     // The SGE names *local* memory the response lands in.
@@ -99,24 +100,32 @@ void QueuePair::PostSend(const SendWorkRequest& wr) {
 
   ++stats_.sends_posted;
   stats_.payload_bytes_sent += pkt->payload_len;
+  if (inst_.sends_posted) inst_.sends_posted->Increment();
+  if (inst_.payload_bytes_sent) inst_.payload_bytes_sent->Add(pkt->payload_len);
 
   if (wr.opcode == Opcode::kRdmaWriteWithImm &&
       device_->profile().emulate_wwi_with_send) {
     // Legacy iWARP has no WRITE WITH IMM: ship the data as a plain RDMA
     // WRITE and the notification as a trailing zero-payload SEND (§II-B).
-    // The pair costs two work requests and two wire messages.
+    // The pair costs two work requests and two wire messages.  The stripe
+    // sequence (when present) travels on the notification half — it is
+    // what consumes the receive and raises the upper layer's event.
     pkt->wr.opcode = Opcode::kRdmaWrite;
     pkt->wr.has_imm = false;
+    pkt->wr.has_stripe_seq = false;
+    pkt->wr.stripe_seq = 0;
     pkt->suppress_success_completion = true;
     ScheduleTransmit(pkt);
 
     auto notify = std::make_shared<Packet>();
-    notify->wr = wr;  // keeps the WWI opcode, imm and wr_id
+    notify->wr = wr;  // keeps the WWI opcode, imm, stripe seq and wr_id
     notify->wr.sge = Sge{};
     notify->payload_len = 0;
     notify->wwi_notify = true;
     notify->notify_len = wr.sge.length;
+    notify->post_time = pkt->post_time;
     ++stats_.sends_posted;
+    if (inst_.sends_posted) inst_.sends_posted->Increment();
     ScheduleTransmit(notify);
     return;
   }
@@ -136,8 +145,10 @@ void QueuePair::ScheduleTransmit(const PacketPtr& pkt) {
 
 void QueuePair::Transmit(const PacketPtr& pkt) {
   std::uint64_t wire_bytes =
-      pkt->payload_len + kWireHeaderBytes + (pkt->wr.has_imm ? 4 : 0);
+      pkt->payload_len + kWireHeaderBytes + (pkt->wr.has_imm ? 4 : 0) +
+      (pkt->wr.has_stripe_seq ? kStripeHeaderBytes : 0);
   stats_.wire_bytes_sent += wire_bytes;
+  if (inst_.wire_bytes_sent) inst_.wire_bytes_sent->Add(wire_bytes);
   QueuePair* peer = peer_;
   tx_channel_->Transmit(wire_bytes, [this, peer, pkt] {
     WcStatus status = peer->Deliver(pkt, *this);
@@ -160,12 +171,17 @@ void QueuePair::CompleteSend(const PacketPtr& pkt, WcStatus status,
     wc.status = status;
     wc.byte_len = static_cast<std::uint32_t>(pkt->payload_len);
     wc.qp = this;
+    if (inst_.completion_latency) {
+      inst_.completion_latency->Record(device_->scheduler().Now() -
+                                       pkt->post_time);
+    }
     send_cq_->Push(wc);
   });
 }
 
 WcStatus QueuePair::Deliver(const PacketPtr& pkt, QueuePair& sender) {
   ++stats_.messages_delivered;
+  if (inst_.messages_delivered) inst_.messages_delivered->Increment();
   const SendWorkRequest& wr = pkt->wr;
 
   if (pkt->wwi_notify) {
@@ -184,6 +200,8 @@ WcStatus QueuePair::Deliver(const PacketPtr& pkt, QueuePair& sender) {
     wc.status = WcStatus::kSuccess;
     wc.has_imm = wr.has_imm;
     wc.imm = wr.imm;
+    wc.has_stripe_seq = wr.has_stripe_seq;
+    wc.stripe_seq = wr.stripe_seq;
     wc.byte_len = static_cast<std::uint32_t>(pkt->notify_len);
     PushRecvCompletionLater(wc);
     return WcStatus::kSuccess;
@@ -224,6 +242,8 @@ WcStatus QueuePair::Deliver(const PacketPtr& pkt, QueuePair& sender) {
   wc.qp = this;
   wc.has_imm = wr.has_imm;
   wc.imm = wr.imm;
+  wc.has_stripe_seq = wr.has_stripe_seq;
+  wc.stripe_seq = wr.stripe_seq;
   wc.byte_len = static_cast<std::uint32_t>(pkt->payload_len);
 
   if (wr.opcode == Opcode::kSend) {
@@ -259,6 +279,7 @@ WcStatus QueuePair::DeliverRead(const PacketPtr& pkt, QueuePair& sender) {
   }
   std::uint64_t wire_bytes = pkt->payload_len + kWireHeaderBytes;
   stats_.wire_bytes_sent += wire_bytes;
+  if (inst_.wire_bytes_sent) inst_.wire_bytes_sent->Add(wire_bytes);
   QueuePair* requester = &sender;
   tx_channel_->Transmit(wire_bytes, [requester, response] {
     if (requester->device_->carry_payload() && response->payload_len > 0) {
@@ -284,6 +305,7 @@ void QueuePair::PostRecv(const RecvWorkRequest& wr) {
                   "receive buffer not covered by registered memory (lkey)");
   }
   ++stats_.recvs_posted;
+  if (inst_.recvs_posted) inst_.recvs_posted->Increment();
   recv_queue_.push_back(wr);
 }
 

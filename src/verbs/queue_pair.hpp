@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/units.hpp"
 #include "verbs/device.hpp"
 #include "verbs/types.hpp"
@@ -30,6 +31,20 @@ struct QueuePairStats {
   std::uint64_t rnr_errors = 0;
   std::uint64_t remote_access_errors = 0;
   std::uint64_t length_errors = 0;
+};
+
+/// Pre-resolved registry instruments a queue pair records into alongside
+/// its local stats struct.  All pointers optional; the upper layer (the
+/// EXS control channel) resolves them against the socket's metrics
+/// registry so per-rail QP activity shows up in snapshots and the
+/// Perfetto timeline instead of living in a detached struct.
+struct QueuePairInstruments {
+  metrics::Counter* sends_posted = nullptr;
+  metrics::Counter* recvs_posted = nullptr;
+  metrics::Counter* payload_bytes_sent = nullptr;
+  metrics::Counter* wire_bytes_sent = nullptr;
+  metrics::Counter* messages_delivered = nullptr;
+  metrics::Histogram* completion_latency = nullptr;  ///< ps, post -> send WC
 };
 
 class QueuePair {
@@ -59,6 +74,9 @@ class QueuePair {
   Device& device() { return *device_; }
   const QueuePairStats& stats() const { return stats_; }
 
+  /// Mirror future stat updates into registry instruments (all optional).
+  void SetInstruments(const QueuePairInstruments& inst) { inst_ = inst; }
+
  private:
   struct Packet {
     SendWorkRequest wr;
@@ -71,6 +89,7 @@ class QueuePair {
     bool wwi_notify = false;
     bool suppress_success_completion = false;
     std::uint64_t notify_len = 0;
+    SimTime post_time = 0;  ///< for the completion-latency histogram
   };
   using PacketPtr = std::shared_ptr<Packet>;
 
@@ -96,6 +115,7 @@ class QueuePair {
   SimTime hca_busy_until_ = 0;
   std::deque<RecvWorkRequest> recv_queue_;
   QueuePairStats stats_;
+  QueuePairInstruments inst_;
 };
 
 }  // namespace exs::verbs

@@ -18,6 +18,11 @@ class QueuePair;
 /// (roughly LRH + BTH + ICRC/VCRC for InfiniBand).
 inline constexpr std::uint64_t kWireHeaderBytes = 30;
 
+/// Extra header bytes charged when a message carries a stripe sequence
+/// number (an extended header word, like the 8-byte ExtH InfiniBand uses
+/// for optional transport extensions).
+inline constexpr std::uint64_t kStripeHeaderBytes = 8;
+
 enum class Opcode : std::uint8_t {
   kSend,              ///< channel semantics; consumes a receive at the peer
   kRdmaWrite,         ///< memory semantics; peer passive
@@ -66,6 +71,12 @@ struct SendWorkRequest {
   bool has_imm = false;
   std::uint32_t imm = 0;
 
+  /// Optional per-stream delivery sequence number carried in an extended
+  /// wire header (multi-rail striping); surfaced verbatim in the
+  /// receive-side completion.  Costs kStripeHeaderBytes on the wire.
+  bool has_stripe_seq = false;
+  std::uint64_t stripe_seq = 0;
+
   /// RDMA opcodes address peer memory through these.
   std::uint64_t remote_addr = 0;
   std::uint32_t rkey = 0;
@@ -84,6 +95,9 @@ struct WorkCompletion {
   std::uint32_t byte_len = 0;
   bool has_imm = false;
   std::uint32_t imm = 0;
+  /// Stripe sequence number from the extended header, if present.
+  bool has_stripe_seq = false;
+  std::uint64_t stripe_seq = 0;
   QueuePair* qp = nullptr;
 };
 

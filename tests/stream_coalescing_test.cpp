@@ -355,5 +355,137 @@ TEST_F(StreamCoalescingTest, AckPiggybacksOntoAdvert) {
   EXPECT_TRUE(report.ok()) << report.Summary();
 }
 
+// A coalesced aggregate larger than max_wwi_chunk must re-chunk through
+// the normal Pump() split on the indirect path: the 4096-byte merged WWI
+// leaves as ceil(4096/1000) = 5 chunks, byte-continuous, and still fans
+// out one completion per member send in submission order.
+TEST_F(StreamCoalescingTest, AggregateAboveMaxChunkRechunksIndirect) {
+  StreamOptions opts = CoalesceOn();
+  opts.coalesce.max_bytes = 4096;
+  opts.max_wwi_chunk = 1000;  // deliberately not a divisor of max_bytes
+  auto [client, server] =
+      sim_.CreateConnectedPair(SocketType::kStream, opts);
+  client->EnableTracing();
+  server->EnableTracing();
+
+  std::vector<Event> completions;
+  client->events().SetHandler(
+      [&](const Event& ev) { completions.push_back(ev); });
+
+  constexpr std::uint64_t kSends = 16, kEach = 256;  // exactly max_bytes
+  std::vector<std::uint8_t> out(kSends * kEach), in(kSends * kEach);
+  FillPattern(out.data(), out.size(), 0, 21);
+  std::vector<std::uint64_t> ids;
+  for (std::uint64_t i = 0; i < kSends; ++i) {
+    ids.push_back(client->Send(out.data() + i * kEach, kEach));
+  }
+  sim_.RunFor(Milliseconds(1));
+
+  // One exact-fill flush, five WWIs on the wire for it.
+  EXPECT_EQ(client->stats().coalesce_flushes, 1u);
+  EXPECT_EQ(client->stats().indirect_transfers, 5u);
+  ASSERT_EQ(completions.size(), kSends);
+  for (std::uint64_t i = 0; i < kSends; ++i) {
+    EXPECT_EQ(completions[i].id, ids[i]);
+    EXPECT_EQ(completions[i].bytes, kEach);
+  }
+
+  // Chunk lengths on the wire: continuity is the checker's job; the split
+  // sizes pin the MaxChunk clamp.
+  std::vector<std::uint64_t> posted;
+  for (const auto& ev : client->tx_trace().events()) {
+    if (ev.type == TraceEventType::kIndirectPosted) posted.push_back(ev.len);
+  }
+  ASSERT_EQ(posted.size(), 5u);
+  EXPECT_EQ(posted[0], 1000u);
+  EXPECT_EQ(posted[3], 1000u);
+  EXPECT_EQ(posted[4], 96u);
+
+  server->Recv(in.data(), in.size(), RecvFlags{.waitall = true});
+  sim_.Run();
+  EXPECT_EQ(VerifyPattern(in.data(), in.size(), 0, 21), in.size());
+  auto report = CheckConnection(*client, *server);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+// The same oversized aggregate flushed *by an arriving ADVERT* re-chunks
+// onto the direct path: staged bytes merge, the ADVERT flush queues the
+// aggregate, and it lands in advertised memory as multiple WWIs.
+TEST_F(StreamCoalescingTest, AggregateAboveMaxChunkRechunksDirect) {
+  StreamOptions opts = CoalesceOn();
+  opts.coalesce.max_bytes = 4096;
+  opts.coalesce.max_delay = Microseconds(100);  // outlive the handshake
+  opts.max_wwi_chunk = 1000;
+  auto [client, server] =
+      sim_.CreateConnectedPair(SocketType::kStream, opts);
+  client->EnableTracing();
+  server->EnableTracing();
+
+  constexpr std::uint64_t kSends = 6, kEach = 512;  // 3072 < max_bytes
+  std::vector<std::uint8_t> out(kSends * kEach), in(kSends * kEach);
+  FillPattern(out.data(), out.size(), 0, 22);
+  for (std::uint64_t i = 0; i < kSends; ++i) {
+    client->Send(out.data() + i * kEach, kEach);
+  }
+  EXPECT_EQ(client->stream_tx()->StagedBytes(), kSends * kEach);
+
+  // The WAITALL receive's ADVERT reaches the sender well inside the delay
+  // budget and flushes the staged aggregate straight into direct service.
+  server->Recv(in.data(), in.size(), RecvFlags{.waitall = true});
+  sim_.Run();
+
+  StreamStats stats = client->stats();
+  EXPECT_EQ(stats.coalesce_flushes, 1u);
+  EXPECT_EQ(CountFlushes(client->tx_trace(), CoalesceFlushReason::kAdvert),
+            1u);
+  EXPECT_EQ(stats.indirect_transfers, 0u);
+  EXPECT_EQ(stats.direct_transfers, 4u);  // 1000+1000+1000+72
+  EXPECT_EQ(stats.sends_completed, kSends);
+  EXPECT_EQ(VerifyPattern(in.data(), in.size(), 0, 22), in.size());
+  auto report = CheckConnection(*client, *server);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+// Coalescing composes with striping: the re-chunked aggregate's WWIs
+// spread across rails and reassemble by stripe sequence.
+TEST_F(StreamCoalescingTest, AggregateRechunksAcrossRails) {
+  StreamOptions opts = CoalesceOn();
+  opts.coalesce.max_bytes = 4096;
+  opts.max_wwi_chunk = 1000;
+  opts.rails = 2;
+  auto [client, server] =
+      sim_.CreateConnectedPair(SocketType::kStream, opts);
+  client->EnableTracing();
+  server->EnableTracing();
+
+  std::vector<std::uint8_t> out(4096), in(4096);
+  FillPattern(out.data(), out.size(), 0, 23);
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    client->Send(out.data() + i * 256, 256);
+  }
+  server->Recv(in.data(), in.size(), RecvFlags{.waitall = true});
+  sim_.Run();
+
+  EXPECT_EQ(client->stats().coalesce_flushes, 1u);
+  EXPECT_EQ(client->stats().sends_completed, 16u);
+  std::size_t rails_used = 0;
+  bool seen[2] = {false, false};
+  for (const auto& ev : client->tx_trace().events()) {
+    if (ev.type != TraceEventType::kIndirectPosted &&
+        ev.type != TraceEventType::kDirectPosted) {
+      continue;
+    }
+    ASSERT_LT(ev.msg_phase, 2u);
+    if (!seen[ev.msg_phase]) {
+      seen[ev.msg_phase] = true;
+      ++rails_used;
+    }
+  }
+  EXPECT_EQ(rails_used, 2u);
+  EXPECT_EQ(VerifyPattern(in.data(), in.size(), 0, 23), in.size());
+  auto report = CheckConnection(*client, *server);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
 }  // namespace
 }  // namespace exs

@@ -47,7 +47,7 @@ simnet::HardwareProfile ResolveProfile(const std::string& name) {
 
 bool ValidMode(const std::string& mode) {
   return mode == "dynamic" || mode == "direct" || mode == "indirect" ||
-         mode == "coalesce" || mode == "seqpacket";
+         mode == "coalesce" || mode == "stripe" || mode == "seqpacket";
 }
 
 std::string TortureResult::Describe() const {
@@ -75,6 +75,28 @@ TortureResult RunTorture(const TortureConfig& cfg) {
   // buffer and ACK piggyback armed — the corpus round-trips it through the
   // existing mode key.
   if (cfg.mode == "coalesce") opts.coalesce.enabled = true;
+  if (cfg.mode == "stripe") {
+    // Multi-rail striping.  The seed picks the point in the
+    // {2,4 rails} × {dynamic,indirect} × {rr,adaptive} cube (domain-
+    // separated from both the fault plan and the workload RNG); explicit
+    // cfg.rails / cfg.sched pin their axes so a corpus line replays the
+    // exact configuration.
+    std::uint64_t bits = SplitMix64(cfg.seed ^ 0x57a1be5c0de4a115ull).Next();
+    std::uint32_t rails = cfg.rails != 0 ? cfg.rails
+                                         : ((bits & 1) != 0 ? 2u : 4u);
+    std::string sched =
+        !cfg.sched.empty() ? cfg.sched
+                           : ((bits & 2) != 0 ? "rr" : "adaptive");
+    EXS_CHECK_MSG(sched == "rr" || sched == "adaptive",
+                  "unknown rail scheduler '" << sched << "'");
+    opts.rails = rails;
+    opts.rail_scheduler = sched == "rr" ? RailScheduler::kRoundRobin
+                                        : RailScheduler::kShortestOutstanding;
+    if ((bits & 4) != 0) opts.mode = ProtocolMode::kIndirectOnly;
+    // Striped chunks should actually spread: bound the chunk size so even
+    // a single large send becomes several WWIs.
+    opts.max_wwi_chunk = 16 * 1024;
+  }
   opts.intermediate_buffer_bytes = cfg.buffer_bytes;
   opts.sabotage.accept_stale_adverts = cfg.sabotage_stale_adverts;
   opts.sabotage.advertise_without_gate = cfg.sabotage_advert_gate;
@@ -279,8 +301,12 @@ std::string EncodeCorpusEntry(const TortureConfig& cfg) {
       << " tracecap=" << cfg.trace_capacity
       << " faults=" << (cfg.enable_faults ? 1 : 0)
       << " sab_stale=" << (cfg.sabotage_stale_adverts ? 1 : 0)
-      << " sab_gate=" << (cfg.sabotage_advert_gate ? 1 : 0) << " fp=0x"
-      << std::hex << cfg.expect_fingerprint;
+      << " sab_gate=" << (cfg.sabotage_advert_gate ? 1 : 0);
+  // Striping keys appear only when pinned, so pre-striping corpus files
+  // round-trip byte-identically.
+  if (cfg.rails != 0) oss << " rails=" << cfg.rails;
+  if (!cfg.sched.empty()) oss << " sched=" << cfg.sched;
+  oss << " fp=0x" << std::hex << cfg.expect_fingerprint;
   return oss.str();
 }
 
@@ -317,6 +343,11 @@ bool DecodeCorpusEntry(const std::string& line, TortureConfig* out) {
         cfg.sabotage_stale_adverts = value != "0";
       } else if (key == "sab_gate") {
         cfg.sabotage_advert_gate = value != "0";
+      } else if (key == "rails") {
+        cfg.rails = static_cast<std::uint32_t>(std::stoul(value));
+      } else if (key == "sched") {
+        if (value != "rr" && value != "adaptive") return false;
+        cfg.sched = value;
       } else if (key == "fp") {
         cfg.expect_fingerprint = std::stoull(value, nullptr, 0);
       } else {

@@ -30,9 +30,15 @@ struct TortureConfig {
   std::string profile = "fdr";
   /// Protocol mode: "dynamic", "direct", "indirect", "coalesce" (the
   /// dynamic algorithm with StreamOptions::coalesce armed — staging buffer
-  /// plus ACK piggyback) for stream sockets, or "seqpacket" (message
-  /// socket).
+  /// plus ACK piggyback), "stripe" (multi-rail striping: the seed derives
+  /// rails ∈ {2,4}, an inner mode of dynamic or indirect, and the rail
+  /// scheduler, unless `rails`/`sched` pin them below) for stream
+  /// sockets, or "seqpacket" (message socket).
   std::string mode = "dynamic";
+  /// "stripe" mode only: rail count (0 = derive {2,4} from the seed).
+  std::uint32_t rails = 0;
+  /// "stripe" mode only: "rr" | "adaptive" ("" = derive from the seed).
+  std::string sched;
   std::uint64_t total_bytes = 192 * 1024;
   std::uint64_t max_message = 24 * 1024;
   std::uint64_t buffer_bytes = 64 * 1024;

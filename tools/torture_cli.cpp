@@ -31,7 +31,12 @@ using exs::torture::TortureResult;
       "  --seed N         single seed (same as --seeds N..N)\n"
       "  --profiles CSV   subset of fdr,iwarp,wan (all)\n"
       "  --modes CSV      subset of dynamic,direct,indirect,coalesce,\n"
-      "                   seqpacket (dynamic,direct,indirect,coalesce)\n"
+      "                   stripe,seqpacket\n"
+      "                   (dynamic,direct,indirect,coalesce,stripe)\n"
+      "  --rails N        stripe mode: pin the rail count (0 = derive\n"
+      "                   2 or 4 from the seed)\n"
+      "  --sched S        stripe mode: pin the rail scheduler, rr or\n"
+      "                   adaptive (default: derive from the seed)\n"
       "  --total BYTES    stream bytes per run (192K; K/M suffixes ok)\n"
       "  --max-message BYTES   largest send/recv posting (24K)\n"
       "  --buffer BYTES   intermediate buffer capacity (64K)\n"
@@ -103,7 +108,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed_lo = 1, seed_hi = 20;
   std::vector<std::string> profiles = {"fdr", "iwarp", "wan"};
   std::vector<std::string> modes = {"dynamic", "direct", "indirect",
-                                    "coalesce"};
+                                    "coalesce", "stripe"};
   TortureConfig base;
   std::string corpus_path;
   std::string replay_path;
@@ -128,6 +133,11 @@ int main(int argc, char** argv) {
       base.max_message = ParseSize(next());
     } else if (arg == "--buffer") {
       base.buffer_bytes = ParseSize(next());
+    } else if (arg == "--rails") {
+      base.rails = static_cast<std::uint32_t>(ParseSize(next()));
+    } else if (arg == "--sched") {
+      base.sched = next();
+      if (base.sched != "rr" && base.sched != "adaptive") Usage(argv[0]);
     } else if (arg == "--trace-capacity") {
       base.trace_capacity = static_cast<std::size_t>(ParseSize(next()));
     } else if (arg == "--no-faults") {
