@@ -26,7 +26,7 @@ while [[ $# -gt 0 ]]; do
 done
 
 benches=(fig09_throughput_outstanding fig12_message_size ext_coalescing
-         ext_striping)
+         ext_striping ext_manystream)
 
 tmp_dir="$(mktemp -d)"
 trap 'rm -rf "${tmp_dir}"' EXIT

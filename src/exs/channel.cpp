@@ -2,21 +2,40 @@
 
 #include "common/check.hpp"
 #include "common/logging.hpp"
+#include "verbs/srq.hpp"
 
 namespace exs {
 
-ControlChannel::ControlChannel(verbs::Device& device, std::uint32_t credits)
+ControlChannel::ControlChannel(verbs::Device& device, std::uint32_t credits,
+                               ControlSlotSource* shared_slots)
     : device_(&device),
       credits_(credits),
+      shared_slots_(shared_slots),
       send_cq_(device.CreateCompletionQueue()),
       recv_cq_(device.CreateCompletionQueue()),
-      slab_(static_cast<std::size_t>(credits) * wire::kControlSlotBytes) {
+      slab_(shared_slots == nullptr
+                ? static_cast<std::size_t>(credits) * wire::kControlSlotBytes
+                : 0) {
   EXS_CHECK_MSG(credits >= 4, "credit pool too small to make progress");
-  slab_mr_ = device.RegisterMemory(slab_.data(), slab_.size());
+  if (shared_slots_ == nullptr) {
+    slab_mr_ = device.RegisterMemory(slab_.data(), slab_.size());
+  } else {
+    slots_liveness_ = shared_slots_->LivenessToken();
+  }
   send_cq_->SetHandler(
       [this](const verbs::WorkCompletion& wc) { OnSendCompletion(wc); });
   recv_cq_->SetHandler(
       [this](const verbs::WorkCompletion& wc) { OnRecvCompletion(wc); });
+}
+
+ControlChannel::~ControlChannel() {
+  // Refund the slot reservation — unless the pool itself is already gone
+  // (accepted sockets are owned by the ConnectionService and routinely
+  // outlive the acceptor that admitted them).
+  if (shared_slots_ != nullptr && slots_reserved_ &&
+      !slots_liveness_.expired()) {
+    shared_slots_->UnreserveSlots(credits_);
+  }
 }
 
 void ControlChannel::Connect(ControlChannel& a, ControlChannel& b) {
@@ -29,13 +48,29 @@ void ControlChannel::Connect(ControlChannel& a, ControlChannel& b) {
   b.qp_->SetInstruments(b.qp_inst_);
   // Pre-post the full pool on both sides before any traffic (§II-B: "each
   // side will post n RECV transactions at startup, prior to connection
-  // establishment") and grant the matching credits to the peer.
-  for (std::uint32_t slot = 0; slot < a.credits_; ++slot) a.PostSlotRecv(slot);
-  for (std::uint32_t slot = 0; slot < b.credits_; ++slot) b.PostSlotRecv(slot);
+  // establishment") and grant the matching credits to the peer.  An
+  // SRQ-mode side posts nothing of its own — its grant is covered by a
+  // reservation against the shared pool, whose receives were posted when
+  // the pool was built (the acceptor's admission control guarantees the
+  // reservation fits, so the check here cannot fire on an accepted path).
+  a.AttachReceivePool();
+  b.AttachReceivePool();
   a.remote_credits_ = b.credits_;
   b.remote_credits_ = a.credits_;
   a.SampleCredits();
   b.SampleCredits();
+}
+
+void ControlChannel::AttachReceivePool() {
+  if (shared_slots_ != nullptr) {
+    qp_->SetSharedReceiveQueue(&shared_slots_->srq());
+    EXS_CHECK_MSG(shared_slots_->ReserveSlots(credits_),
+                  "shared control-slot pool cannot cover the credit grant; "
+                  "admission control should have refused this connection");
+    slots_reserved_ = true;
+    return;
+  }
+  for (std::uint32_t slot = 0; slot < credits_; ++slot) PostSlotRecv(slot);
 }
 
 void ControlChannel::PostSlotRecv(std::uint32_t slot) {
@@ -199,9 +234,16 @@ void ControlChannel::DrainDeferred() {
 void ControlChannel::ProcessRecvCompletion(const verbs::WorkCompletion& wc) {
   EXS_CHECK_MSG(wc.status == verbs::WcStatus::kSuccess,
                 "receive failed: " << verbs::ToString(wc.status));
-  // Recycle the consumed slot right away so the pool never shrinks.
+  // Recycle the consumed slot right away so the pool never shrinks.  In
+  // shared-slot mode the recycled receive goes back to the SRQ tail; its
+  // slab bytes stay intact until some future arrival consumes that slot
+  // again, which is strictly after the Parse below.
   auto slot = static_cast<std::uint32_t>(wc.wr_id);
-  PostSlotRecv(slot);
+  if (shared_slots_ != nullptr) {
+    shared_slots_->RepostSlot(wc.wr_id);
+  } else {
+    PostSlotRecv(slot);
+  }
   ++owed_credits_;
 
   if (wc.opcode == verbs::WcOpcode::kRecvRdmaWithImm) {
@@ -216,7 +258,10 @@ void ControlChannel::ProcessRecvCompletion(const verbs::WorkCompletion& wc) {
 
   EXS_CHECK(wc.opcode == verbs::WcOpcode::kRecv);
   const std::uint8_t* slot_mem =
-      slab_.data() + static_cast<std::size_t>(slot) * wire::kControlSlotBytes;
+      shared_slots_ != nullptr
+          ? shared_slots_->SlotMem(wc.wr_id)
+          : slab_.data() +
+                static_cast<std::size_t>(slot) * wire::kControlSlotBytes;
   wire::ControlMessage msg = wire::Parse(slot_mem, wc.byte_len);
 
   bool credits_grew = msg.credit_return > 0;

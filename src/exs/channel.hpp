@@ -25,6 +25,38 @@
 
 namespace exs {
 
+/// Source of shared control-receive slots for channels whose queue pair
+/// draws from a verbs SharedReceiveQueue instead of a private pool.
+/// Implemented by the engine's ControlSlotPool; the interface lives here so
+/// exs core never includes engine headers.  Slot identity is the receive's
+/// wr_id — a global index into the pool's slab, valid across every channel
+/// attached to the same source.
+class ControlSlotSource {
+ public:
+  virtual ~ControlSlotSource() = default;
+  virtual verbs::SharedReceiveQueue& srq() = 0;
+  /// Account `n` pool slots to a new channel.  False when the pool cannot
+  /// cover them — the acceptor's admission control refuses the connection
+  /// instead of risking RNR on an established one.
+  virtual bool ReserveSlots(std::uint32_t n) = 0;
+  virtual void UnreserveSlots(std::uint32_t n) = 0;
+  /// Memory backing a consumed slot.
+  virtual const std::uint8_t* SlotMem(std::uint64_t slot) const = 0;
+  /// Recycle a consumed slot's receive back into the shared pool.
+  virtual void RepostSlot(std::uint64_t slot) = 0;
+
+  /// Expires when this source is destroyed.  A socket may legitimately
+  /// outlive the pool it drew from (the ConnectionService owns accepted
+  /// sockets, and typically outlives the acceptor); teardown paths that
+  /// would call back into the source — the channel's destructor refunding
+  /// its slot reservation — must check this first, making the refund a
+  /// no-op once there is no pool left to refund.
+  std::weak_ptr<void> LivenessToken() const { return liveness_; }
+
+ private:
+  std::shared_ptr<void> liveness_ = std::make_shared<char>(0);
+};
+
 class ControlChannel : public simnet::IncomingHoldTarget {
  public:
   struct Callbacks {
@@ -46,7 +78,14 @@ class ControlChannel : public simnet::IncomingHoldTarget {
     std::function<void()> on_credit_available;
   };
 
-  ControlChannel(verbs::Device& device, std::uint32_t credits);
+  /// `shared_slots` switches the receive side to SRQ mode: no private
+  /// slab is allocated; Connect attaches the queue pair to the source's
+  /// shared receive queue and reserves `credits` pool slots (the per-peer
+  /// credit grant the reservation must cover).  Null keeps the classic
+  /// private pool.
+  ControlChannel(verbs::Device& device, std::uint32_t credits,
+                 ControlSlotSource* shared_slots = nullptr);
+  ~ControlChannel() override;
 
   ControlChannel(const ControlChannel&) = delete;
   ControlChannel& operator=(const ControlChannel&) = delete;
@@ -107,6 +146,7 @@ class ControlChannel : public simnet::IncomingHoldTarget {
   std::size_t HeldCompletions() const { return deferred_.size(); }
 
   verbs::Device& device() { return *device_; }
+  bool UsesSharedSlots() const { return shared_slots_ != nullptr; }
   std::uint32_t remote_credits() const { return remote_credits_; }
   std::uint32_t credit_pool_size() const { return credits_; }
   const verbs::QueuePairStats& qp_stats() const { return qp_->stats(); }
@@ -117,6 +157,7 @@ class ControlChannel : public simnet::IncomingHoldTarget {
   void OnRecvCompletion(const verbs::WorkCompletion& wc);
   void ProcessRecvCompletion(const verbs::WorkCompletion& wc);
   void DrainDeferred();
+  void AttachReceivePool();
   void PostSlotRecv(std::uint32_t slot);
   void ConsumeCredit();
   void ReturnConsumedSlot();
@@ -127,10 +168,13 @@ class ControlChannel : public simnet::IncomingHoldTarget {
 
   verbs::Device* device_;
   std::uint32_t credits_;
+  ControlSlotSource* shared_slots_;  ///< null = classic private pool
+  std::weak_ptr<void> slots_liveness_;  ///< guards the dtor's refund
+  bool slots_reserved_ = false;
   std::unique_ptr<verbs::CompletionQueue> send_cq_;
   std::unique_ptr<verbs::CompletionQueue> recv_cq_;
   std::unique_ptr<verbs::QueuePair> qp_;
-  std::vector<std::uint8_t> slab_;
+  std::vector<std::uint8_t> slab_;  ///< empty in shared-slot mode
   verbs::MemoryRegionPtr slab_mr_;
   Callbacks callbacks_;
 

@@ -84,9 +84,28 @@ void ConnectionService::HandleReq(std::size_t at_node,
   }
   Listener* listener = it->second.get();
 
-  auto socket = std::make_unique<Socket>(
-      device(at_node), msg.type, listener->options_,
-      "passive-" + std::to_string(msg.id));
+  std::unique_ptr<Socket> socket;
+  std::string name = "passive-" + std::to_string(msg.id);
+  if (listener->gate_) {
+    socket = listener->gate_(device(at_node), msg.type, listener->options_,
+                             name);
+    if (socket == nullptr) {
+      // Admission control refused: same REJECT the client would see for a
+      // dead port, sent before any transport state was committed.
+      ++listener->refused_count_;
+      EXS_DEBUG("admission control refused connection " << msg.id
+                                                        << " on node "
+                                                        << at_node);
+      HandshakeMessage reject;
+      reject.kind = HandshakeMessage::Kind::kReject;
+      reject.id = msg.id;
+      Transmit(at_node, reject);
+      return;
+    }
+  } else {
+    socket = std::make_unique<Socket>(device(at_node), msg.type,
+                                      listener->options_, name);
+  }
 
   // Wire the endpoints now: queue pairs connected, receive pools posted —
   // the state both sides prepare before the handshake concludes.  The

@@ -43,15 +43,27 @@ class ConnectionService;
 class Listener {
  public:
   using AcceptHandler = std::function<void(Socket*)>;
+  /// Constructs the passive socket for an incoming REQ — or returns null
+  /// to refuse it (the client sees a REJECT).  This is where the engine's
+  /// admission control hooks in: under memory pressure it declines the
+  /// connection *before* any resources are committed, instead of letting
+  /// an accepted socket starve the shared pools.
+  using AcceptGate = std::function<std::unique_ptr<Socket>(
+      verbs::Device& device, SocketType type, const StreamOptions& options,
+      const std::string& name)>;
 
   void SetAcceptHandler(AcceptHandler handler) {
     handler_ = std::move(handler);
     DrainBacklog();
   }
 
+  /// Install an admission gate; null restores the default construction.
+  void SetAcceptGate(AcceptGate gate) { gate_ = std::move(gate); }
+
   std::uint16_t port() const { return port_; }
   std::size_t node_index() const { return node_index_; }
   std::size_t AcceptedCount() const { return accepted_count_; }
+  std::size_t RefusedCount() const { return refused_count_; }
 
  private:
   friend class ConnectionService;
@@ -81,8 +93,10 @@ class Listener {
   SocketType type_;
   StreamOptions options_;
   AcceptHandler handler_;
+  AcceptGate gate_;
   std::deque<Socket*> backlog_;
   std::size_t accepted_count_ = 0;
+  std::size_t refused_count_ = 0;
 };
 
 class ConnectionService {

@@ -1,0 +1,63 @@
+#include "exs/engine/acceptor.hpp"
+
+#include "common/check.hpp"
+#include "common/logging.hpp"
+
+namespace exs::engine {
+
+Acceptor::Acceptor(verbs::Device& device, ProgressEngine& engine,
+                   AcceptorOptions options, metrics::Registry* registry)
+    : device_(&device),
+      engine_(&engine),
+      pool_(device, options.pool, registry),
+      slots_(device, options.control_slots, registry) {
+  if (registry != nullptr) {
+    refusals_counter_ =
+        &registry->GetCounter("pool.admission_refusals", "connections");
+  }
+}
+
+std::unique_ptr<Socket> Acceptor::Admit(verbs::Device& device,
+                                        SocketType type,
+                                        const StreamOptions& options,
+                                        const std::string& name) {
+  // Admission control: every resource the socket will draw from the shared
+  // pools must be available *now* — an accept must never be able to starve
+  // an established connection.
+  if (!pool_.AdmissionOpen() || !slots_.CanReserve(options.credits)) {
+    ++admission_refusals_;
+    if (refusals_counter_ != nullptr) refusals_counter_->Increment();
+    return nullptr;
+  }
+  RingLease lease = pool_.Acquire();
+  EXS_CHECK_MSG(lease.valid(), "AdmissionOpen pool failed to lease");
+  SocketWiring wiring;
+  wiring.ring_lease = std::move(lease);
+  wiring.shared_slots = &slots_;
+  return std::make_unique<Socket>(device, type, options, name,
+                                  std::move(wiring));
+}
+
+Listener* Acceptor::Listen(ConnectionService& connections, std::uint16_t port,
+                           StreamOptions options,
+                           ProgressEngine::EventHandler handler,
+                           AcceptCallback on_accept) {
+  EXS_CHECK_MSG(options.rails == 1,
+                "engine-managed sockets are single-rail (shared SRQ pool)");
+  Listener* listener = connections.Listen(device_->node_index(), port,
+                                          SocketType::kStream, options);
+  listener->SetAcceptGate([this](verbs::Device& dev, SocketType type,
+                                 const StreamOptions& opts,
+                                 const std::string& name) {
+    return Admit(dev, type, opts, name);
+  });
+  listener->SetAcceptHandler(
+      [this, handler = std::move(handler),
+       on_accept = std::move(on_accept)](Socket* socket) {
+        engine_->Register(socket, handler);
+        if (on_accept) on_accept(*socket);
+      });
+  return listener;
+}
+
+}  // namespace exs::engine

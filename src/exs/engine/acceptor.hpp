@@ -1,0 +1,66 @@
+// The exs_listen/exs_accept-style server front end.
+//
+// Ties the engine's shared resources together: a listener whose accept
+// gate performs admission control against the BufferPool (ring leases) and
+// ControlSlotPool (SRQ credit reservations), constructing every accepted
+// socket with SocketWiring that draws from both, and an accept handler
+// that registers the new socket with the ProgressEngine.  A connection
+// arriving under memory pressure is REJECTed during the handshake — the
+// client sees a failed connect, never a stalled established stream.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/metrics.hpp"
+#include "exs/connection.hpp"
+#include "exs/engine/buffer_pool.hpp"
+#include "exs/engine/progress_engine.hpp"
+#include "exs/engine/srq_pool.hpp"
+#include "verbs/device.hpp"
+
+namespace exs::engine {
+
+struct AcceptorOptions {
+  BufferPoolOptions pool;          ///< shared indirect-ring slab
+  std::uint32_t control_slots = 0; ///< SRQ pool size (receives)
+};
+
+class Acceptor {
+ public:
+  /// Invoked for every accepted socket, after engine registration; install
+  /// receives / handlers here.
+  using AcceptCallback = std::function<void(Socket&)>;
+
+  Acceptor(verbs::Device& device, ProgressEngine& engine,
+           AcceptorOptions options, metrics::Registry* registry = nullptr);
+
+  Acceptor(const Acceptor&) = delete;
+  Acceptor& operator=(const Acceptor&) = delete;
+
+  /// Bind at (device's node, port) and start admitting connections.
+  /// `handler` dispatches each accepted socket's events from the engine's
+  /// tick loop; `on_accept` (optional) runs once per accepted socket.
+  Listener* Listen(ConnectionService& connections, std::uint16_t port,
+                   StreamOptions options, ProgressEngine::EventHandler handler,
+                   AcceptCallback on_accept = nullptr);
+
+  BufferPool& pool() { return pool_; }
+  ControlSlotPool& control_slots() { return slots_; }
+  std::uint64_t AdmissionRefusals() const { return admission_refusals_; }
+
+ private:
+  std::unique_ptr<Socket> Admit(verbs::Device& device, SocketType type,
+                                const StreamOptions& options,
+                                const std::string& name);
+
+  verbs::Device* device_;
+  ProgressEngine* engine_;
+  BufferPool pool_;
+  ControlSlotPool slots_;
+  std::uint64_t admission_refusals_ = 0;
+  metrics::Counter* refusals_counter_ = nullptr;
+};
+
+}  // namespace exs::engine

@@ -1,0 +1,137 @@
+#include "exs/engine/progress_engine.hpp"
+
+#include "common/check.hpp"
+
+namespace exs::engine {
+
+ProgressEngine::ProgressEngine(simnet::Cpu& cpu,
+                               ProgressEngineOptions options,
+                               metrics::Registry* registry)
+    : cpu_(&cpu), options_(options) {
+  EXS_CHECK_MSG(options_.max_events_per_tick > 0, "tick budget must be > 0");
+  EXS_CHECK_MSG(options_.quantum > 0, "DRR quantum must be > 0");
+  if (registry != nullptr) {
+    ticks_counter_ = &registry->GetCounter("engine.ticks", "ticks");
+    events_counter_ =
+        &registry->GetCounter("engine.events_dispatched", "events");
+    ready_series_ = &registry->GetSeries("engine.ready_depth", "sockets");
+    registered_series_ =
+        &registry->GetSeries("engine.sockets_registered", "sockets");
+  }
+}
+
+void ProgressEngine::Register(Socket* socket, EventHandler handler) {
+  EXS_CHECK_MSG(socket != nullptr, "Register(nullptr)");
+  EXS_CHECK_MSG(entries_.find(socket) == entries_.end(),
+                "socket already registered with the engine");
+  auto entry = std::make_unique<Entry>();
+  entry->socket = socket;
+  entry->handler = std::move(handler);
+  entries_.emplace(socket, std::move(entry));
+  if (registered_series_ != nullptr) {
+    registered_series_->Record(cpu_->scheduler().Now(),
+                               static_cast<double>(entries_.size()));
+  }
+  // Fires immediately if events are already queued, and thereafter on each
+  // empty→non-empty edge.
+  socket->events().SetReadinessWatcher(
+      [this, socket] { NoteReadable(socket); });
+}
+
+void ProgressEngine::Unregister(Socket* socket) {
+  auto it = entries_.find(socket);
+  if (it == entries_.end()) return;
+  socket->events().SetReadinessWatcher(nullptr);
+  entries_.erase(it);  // a stale ready_ entry is skipped by the lookup
+  if (registered_series_ != nullptr) {
+    registered_series_->Record(cpu_->scheduler().Now(),
+                               static_cast<double>(entries_.size()));
+  }
+}
+
+void ProgressEngine::NoteReadable(Socket* socket) {
+  auto it = entries_.find(socket);
+  if (it == entries_.end()) return;
+  Entry& entry = *it->second;
+  if (!entry.in_ready) {
+    entry.in_ready = true;
+    ready_.push_back(socket);
+    if (ready_series_ != nullptr) {
+      ready_series_->Record(cpu_->scheduler().Now(),
+                            static_cast<double>(ready_.size()));
+    }
+  }
+  ScheduleTick();
+}
+
+void ProgressEngine::ScheduleTick() {
+  if (tick_scheduled_ || ready_.empty()) return;
+  tick_scheduled_ = true;
+  // The work dispatched by the previous tick is what delays this one:
+  // application event handling serialises on the node CPU.
+  SimDuration cost =
+      options_.tick_overhead +
+      static_cast<SimDuration>(last_tick_events_) * options_.per_event_cpu;
+  cpu_->Submit(cost, [this] {
+    tick_scheduled_ = false;
+    Tick();
+  });
+}
+
+std::size_t ProgressEngine::Serve(Entry& entry, std::size_t budget) {
+  entry.deficit += options_.quantum;
+  std::size_t dispatched = 0;
+  Event ev;
+  while (entry.deficit > 0 && dispatched < budget &&
+         entry.socket->events().Poll(&ev)) {
+    --entry.deficit;
+    ++dispatched;
+    if (entry.handler) entry.handler(*entry.socket, ev);
+    if (ev.type == EventType::kPeerClosed) {
+      // Reclaim-on-idle: the incoming stream is done; hand a pool-leased
+      // ring back the moment it can never be written again.
+      entry.socket->TryReleaseRxRing();
+    }
+  }
+  return dispatched;
+}
+
+void ProgressEngine::Tick() {
+  ++ticks_;
+  if (ticks_counter_ != nullptr) ticks_counter_->Increment();
+  std::size_t budget = options_.max_events_per_tick;
+  // Each pass serves the head socket one quantum and rotates it to the
+  // tail while it still has events — classic DRR over the ready-list.
+  // Terminates: every iteration either dispatches at least one event
+  // (budget shrinks) or drops a drained/unregistered head (list shrinks).
+  while (budget > 0 && !ready_.empty()) {
+    Socket* socket = ready_.front();
+    ready_.pop_front();
+    auto it = entries_.find(socket);
+    if (it == entries_.end()) continue;  // unregistered while ready
+    Entry& entry = *it->second;
+    std::size_t dispatched = Serve(entry, budget);
+    budget -= dispatched;
+    events_dispatched_ += dispatched;
+    if (events_counter_ != nullptr) {
+      events_counter_->Add(dispatched);
+    }
+    if (entry.socket->events().Depth() > 0) {
+      entry.deficit = entry.deficit > options_.quantum ? options_.quantum
+                                                       : entry.deficit;
+      ready_.push_back(socket);  // still ready: back of the line
+    } else {
+      entry.in_ready = false;
+      entry.deficit = 0;
+      entry.socket->events().RearmWatcher();
+    }
+  }
+  if (ready_series_ != nullptr) {
+    ready_series_->Record(cpu_->scheduler().Now(),
+                          static_cast<double>(ready_.size()));
+  }
+  last_tick_events_ = options_.max_events_per_tick - budget;
+  ScheduleTick();  // no-op when the ready-list drained
+}
+
+}  // namespace exs::engine

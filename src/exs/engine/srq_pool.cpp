@@ -1,0 +1,65 @@
+#include "exs/engine/srq_pool.hpp"
+
+#include "common/check.hpp"
+
+namespace exs::engine {
+
+ControlSlotPool::ControlSlotPool(verbs::Device& device,
+                                 std::uint32_t total_slots,
+                                 metrics::Registry* registry)
+    : device_(&device),
+      total_slots_(total_slots),
+      slab_(static_cast<std::size_t>(total_slots) * wire::kControlSlotBytes),
+      srq_(device) {
+  EXS_CHECK_MSG(total_slots > 0, "control slot pool must have slots");
+  mr_ = device.RegisterMemory(slab_.data(), slab_.size());
+  // Post the whole pool before any connection exists (§II-B startup rule,
+  // applied once for the server instead of once per connection).
+  for (std::uint64_t slot = 0; slot < total_slots_; ++slot) PostSlot(slot);
+  if (registry != nullptr) {
+    reserved_series_ = &registry->GetSeries("pool.slots_reserved", "slots");
+  }
+  Sample();
+}
+
+void ControlSlotPool::PostSlot(std::uint64_t slot) {
+  verbs::RecvWorkRequest wr;
+  wr.wr_id = slot;
+  wr.sge.addr = reinterpret_cast<std::uint64_t>(
+      slab_.data() + static_cast<std::size_t>(slot) * wire::kControlSlotBytes);
+  wr.sge.length = wire::kControlSlotBytes;
+  wr.sge.lkey = mr_->lkey();
+  srq_.PostRecv(wr);
+}
+
+void ControlSlotPool::Sample() {
+  if (reserved_series_ != nullptr) {
+    reserved_series_->Record(device_->scheduler().Now(),
+                             static_cast<double>(reserved_));
+  }
+}
+
+bool ControlSlotPool::ReserveSlots(std::uint32_t n) {
+  if (!CanReserve(n)) return false;
+  reserved_ += n;
+  Sample();
+  return true;
+}
+
+void ControlSlotPool::UnreserveSlots(std::uint32_t n) {
+  EXS_CHECK_MSG(reserved_ >= n, "unreserving more slots than reserved");
+  reserved_ -= n;
+  Sample();
+}
+
+const std::uint8_t* ControlSlotPool::SlotMem(std::uint64_t slot) const {
+  EXS_CHECK_MSG(slot < total_slots_, "slot index outside the pool");
+  return slab_.data() + static_cast<std::size_t>(slot) * wire::kControlSlotBytes;
+}
+
+void ControlSlotPool::RepostSlot(std::uint64_t slot) {
+  EXS_CHECK_MSG(slot < total_slots_, "slot index outside the pool");
+  PostSlot(slot);
+}
+
+}  // namespace exs::engine

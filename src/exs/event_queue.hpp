@@ -10,6 +10,11 @@
 //     timing model;
 //   * polling mode — tests and simple examples poll Poll() directly with
 //     no modelled cost.
+//
+// A third consumer sits on top of polling mode: the engine's epoll-like
+// readiness API.  A readiness watcher fires exactly on the empty→non-empty
+// edge (never while events remain queued), which is what lets the progress
+// engine keep one ready-list instead of scanning every socket per tick.
 #pragma once
 
 #include <deque>
@@ -47,29 +52,76 @@ class EventQueue {
     return true;
   }
 
+  /// Edge-triggered readiness for polling consumers: fires once when the
+  /// queue goes empty→non-empty, then re-arms only after the consumer has
+  /// drained it (Poll() returning false).  Installing a watcher on a
+  /// non-empty queue fires immediately.  Mutually exclusive with handler
+  /// mode — a handler never leaves events queued, so there is no edge.
+  void SetReadinessWatcher(std::function<void()> watcher) {
+    watcher_ = std::move(watcher);
+    watcher_armed_ = true;
+    if (watcher_ && !queue_.empty() && !closed_) FireWatcher();
+  }
+
+  /// Discard pending events and reject future pushes.  A closed queue
+  /// never signals readiness again; Poll() returns false forever.  Used
+  /// when a socket is torn down while events are still queued — the
+  /// progress engine must not dispatch into a dead socket.
+  void Close() {
+    closed_ = true;
+    dropped_on_close_ += queue_.size();
+    queue_.clear();
+    watcher_ = nullptr;
+  }
+
+  bool Closed() const { return closed_; }
   std::size_t Depth() const { return queue_.size(); }
   std::uint64_t TotalEvents() const { return total_; }
+  std::uint64_t DroppedOnClose() const { return dropped_on_close_; }
 
   /// Internal: called by the socket machinery when a request completes.
   void Push(const Event& ev) {
+    if (closed_) {
+      ++dropped_on_close_;
+      return;
+    }
     ++total_;
     if (handler_) {
       Dispatch(ev);
-    } else {
-      queue_.push_back(ev);
+      return;
     }
+    bool was_empty = queue_.empty();
+    queue_.push_back(ev);
+    if (was_empty && watcher_ && watcher_armed_) FireWatcher();
+  }
+
+  /// Internal: the progress engine calls this after draining the queue so
+  /// the next Push fires the watcher again.
+  void RearmWatcher() {
+    if (!closed_) watcher_armed_ = true;
   }
 
  private:
   void Dispatch(const Event& ev) {
-    cpu_->Submit(per_event_cpu_, [this, ev] { handler_(ev); });
+    cpu_->Submit(per_event_cpu_, [this, ev] {
+      if (!closed_) handler_(ev);
+    });
+  }
+
+  void FireWatcher() {
+    watcher_armed_ = false;  // one edge per drain cycle
+    watcher_();
   }
 
   simnet::Cpu* cpu_;
   SimDuration per_event_cpu_;
   std::function<void(const Event&)> handler_;
+  std::function<void()> watcher_;
+  bool watcher_armed_ = true;
+  bool closed_ = false;
   std::deque<Event> queue_;
   std::uint64_t total_ = 0;
+  std::uint64_t dropped_on_close_ = 0;
 };
 
 }  // namespace exs

@@ -1,5 +1,6 @@
 #include "exs/invariant_checker.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "exs/socket.hpp"
@@ -563,6 +564,103 @@ InvariantReport CheckConnection(Socket& a, Socket& b) {
   b_to_a.rails = static_cast<std::uint32_t>(b.effective_rails());
   report.Merge(CheckStreamPair(a.tx_trace(), b.rx_trace(), a_to_b));
   report.Merge(CheckStreamPair(b.tx_trace(), a.rx_trace(), b_to_a));
+  return report;
+}
+
+InvariantReport CheckPoolConservation(
+    const std::vector<const TraceLog*>& receiver_logs,
+    const PoolCheckOptions& opts) {
+  InvariantReport report;
+  InvariantCheckOptions admit;
+  admit.allow_truncated = opts.allow_truncated;
+
+  // Ring deltas from every log, tagged for the cross-stream merge below.
+  struct Delta {
+    decltype(TraceEvent::time) time;
+    std::int64_t bytes;  // +arrival / -copy-out
+    const TraceEvent* ev;
+  };
+  std::vector<Delta> deltas;
+
+  for (std::size_t i = 0; i < receiver_logs.size(); ++i) {
+    const TraceLog* log = receiver_logs[i];
+    std::string label = "pool receiver[" + std::to_string(i) + "]";
+    if (log == nullptr) {
+      report.violations.push_back(label + ": null trace log");
+      continue;
+    }
+    if (!AdmitLog(*log, admit, label.c_str(), report)) continue;
+    // Per-stream replay: conservation (never negative) and the lease
+    // bound (a stream can never occupy more slab than it leased).
+    std::int64_t occupancy = 0;
+    bool over_lease = false;
+    for (const auto& ev : log->events()) {
+      switch (ev.type) {
+        case TraceEventType::kIndirectArrived:
+          occupancy += static_cast<std::int64_t>(ev.len);
+          deltas.push_back({ev.time, static_cast<std::int64_t>(ev.len), &ev});
+          if (opts.lease_bytes > 0 &&
+              occupancy > static_cast<std::int64_t>(opts.lease_bytes)) {
+            if (!over_lease) {
+              Violation(report, ev,
+                        label + ": ring occupancy " +
+                            std::to_string(occupancy) +
+                            " exceeds its lease of " +
+                            std::to_string(opts.lease_bytes) + " byte(s)");
+            }
+            over_lease = true;
+          }
+          break;
+        case TraceEventType::kCopyOut:
+          occupancy -= static_cast<std::int64_t>(ev.len);
+          deltas.push_back({ev.time, -static_cast<std::int64_t>(ev.len), &ev});
+          if (occupancy < 0) {
+            Violation(report, ev,
+                      label + ": copied out " + std::to_string(ev.len) +
+                          " byte(s) more than ever arrived (occupancy " +
+                          std::to_string(occupancy) + ")");
+          }
+          if (opts.lease_bytes > 0 &&
+              occupancy <= static_cast<std::int64_t>(opts.lease_bytes)) {
+            over_lease = false;
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  // Aggregate replay: merge every stream's deltas by time, draining
+  // before filling at equal timestamps (the conservative tie-break — at
+  // one instant the slab held at most the post-drain sum, so this order
+  // cannot manufacture a false overshoot).  The summed occupancy staying
+  // under the slab size is the O(pool) memory claim itself.
+  if (opts.pool_capacity_bytes > 0) {
+    std::stable_sort(deltas.begin(), deltas.end(),
+                     [](const Delta& a, const Delta& b) {
+                       if (a.time != b.time) return a.time < b.time;
+                       return a.bytes < b.bytes;
+                     });
+    std::int64_t total = 0;
+    bool over_pool = false;
+    for (const auto& d : deltas) {
+      total += d.bytes;
+      if (total > static_cast<std::int64_t>(opts.pool_capacity_bytes)) {
+        if (!over_pool) {
+          Violation(report, *d.ev,
+                    "aggregate pool occupancy " + std::to_string(total) +
+                        " exceeds the shared slab of " +
+                        std::to_string(opts.pool_capacity_bytes) +
+                        " byte(s) across " +
+                        std::to_string(receiver_logs.size()) + " stream(s)");
+        }
+        over_pool = true;
+      } else {
+        over_pool = false;
+      }
+    }
+  }
   return report;
 }
 

@@ -91,6 +91,31 @@ InvariantReport CheckSeqPacketPair(const TraceLog& sender_log,
                                    const TraceLog& receiver_log,
                                    const InvariantCheckOptions& opts = {});
 
+/// Options for the engine's shared-pool conservation check.
+struct PoolCheckOptions {
+  /// Total bytes in the shared indirect slab all leases were carved from.
+  /// 0 disables the aggregate bound (per-stream rules still apply).
+  std::uint64_t pool_capacity_bytes = 0;
+  /// Bytes of each per-stream ring lease.  0 disables the per-stream
+  /// occupancy bound (conservation and non-negativity still apply).
+  std::uint64_t lease_bytes = 0;
+  /// Accept truncated traces (see InvariantCheckOptions::allow_truncated).
+  bool allow_truncated = false;
+};
+
+/// Engine pool conservation: replay the receiver traces of every socket
+/// leasing from one shared BufferPool and check that
+///   (a) each stream's ring occupancy (indirect arrivals minus copy-outs)
+///       never goes negative and never exceeds its lease, and
+///   (b) the summed occupancy across all streams never exceeds the pool —
+///       receiver memory really is O(pool), not O(streams).
+/// Cross-log events are merged by timestamp with drains credited before
+/// fills at equal times (the conservative order: it cannot manufacture a
+/// false overshoot).
+InvariantReport CheckPoolConservation(
+    const std::vector<const TraceLog*>& receiver_logs,
+    const PoolCheckOptions& opts = {});
+
 /// Check both directions of a connected socket pair.  Requires tracing to
 /// have been enabled on both sockets (reported as a violation otherwise);
 /// ring capacities are taken from the sockets themselves.  Dispatches on

@@ -32,11 +32,12 @@ constexpr std::uint32_t kMaxRails = 16;
 }  // namespace
 
 Socket::Socket(verbs::Device& device, SocketType type, StreamOptions options,
-               std::string name)
+               std::string name, SocketWiring wiring)
     : device_(&device),
       type_(type),
       options_(options),
-      name_(std::move(name)) {
+      name_(std::move(name)),
+      wiring_(std::move(wiring)) {
   EXS_CHECK_MSG(options_.rails >= 1 && options_.rails <= kMaxRails,
                 "rails must be in [1, " << kMaxRails << "]");
   // Striping only applies to the dynamic/forced stream protocol: a
@@ -47,8 +48,11 @@ Socket::Socket(verbs::Device& device, SocketType type, StreamOptions options,
       options_.mode == ProtocolMode::kReadRendezvous) {
     options_.rails = 1;
   }
+  EXS_CHECK_MSG(wiring_.shared_slots == nullptr || options_.rails == 1,
+                "shared control slots require a single-rail socket");
   inst_ = SocketInstruments::Create(registry_);
-  channel_ = std::make_unique<ControlChannel>(device, options_.credits);
+  channel_ = std::make_unique<ControlChannel>(device, options_.credits,
+                                              wiring_.shared_slots);
   channel_->SetInstruments(inst_.send_credits, inst_.credit_messages_sent);
   InstrumentRail(0, *channel_);
   for (std::uint32_t rail = 1; rail < options_.rails; ++rail) {
@@ -64,7 +68,10 @@ Socket::Socket(verbs::Device& device, SocketType type, StreamOptions options,
     rendezvous_rx_ = std::make_unique<RendezvousRx>(MakeContext(&rx_trace_));
   } else if (type_ == SocketType::kStream) {
     tx_ = std::make_unique<StreamTx>(MakeContext(&tx_trace_));
-    rx_ = std::make_unique<StreamRx>(MakeContext(&rx_trace_));
+    StreamContext rx_ctx = MakeContext(&rx_trace_);
+    // Only the receiver half owns the leased ring (and its release).
+    rx_ctx.ring_lease = std::move(wiring_.ring_lease);
+    rx_ = std::make_unique<StreamRx>(std::move(rx_ctx));
   } else {
     packet_tx_ = std::make_unique<SeqPacketTx>(MakeContext(&tx_trace_));
     packet_rx_ = std::make_unique<SeqPacketRx>(MakeContext(&rx_trace_));

@@ -28,10 +28,22 @@
 
 namespace exs {
 
+/// Optional shared-resource plumbing for engine-managed sockets.  A plain
+/// (default-constructed) wiring reproduces the classic socket exactly: a
+/// private receiver ring and a private control-slot slab per channel.
+struct SocketWiring {
+  /// Receiver ring carved from a shared BufferPool (see StreamContext).
+  RingLease ring_lease;
+  /// Control receive slots drawn from a shared SRQ-backed pool instead of
+  /// a per-channel slab.  Requires rails == 1 (engine sockets never
+  /// stripe; the shared pool reserves per-connection, not per-rail).
+  ControlSlotSource* shared_slots = nullptr;
+};
+
 class Socket {
  public:
   Socket(verbs::Device& device, SocketType type, StreamOptions options,
-         std::string name);
+         std::string name, SocketWiring wiring = {});
 
   Socket(const Socket&) = delete;
   Socket& operator=(const Socket&) = delete;
@@ -83,6 +95,11 @@ class Socket {
   /// Protocol-state introspection (tests, invariant checks, examples).
   StreamTx* stream_tx() { return tx_.get(); }
   StreamRx* stream_rx() { return rx_.get(); }
+
+  /// Engine reaping: hand a pool-leased receiver ring back once the
+  /// incoming stream has hit EOF and drained (no-op on classic sockets
+  /// and while the ring is still live).
+  bool TryReleaseRxRing() { return rx_ ? rx_->TryReleaseRing() : false; }
 
   /// Record protocol traces for this socket (off by default).  The
   /// outgoing stream's sender events and the incoming stream's receiver
@@ -146,6 +163,7 @@ class Socket {
   SocketType type_;
   StreamOptions options_;
   std::string name_;
+  SocketWiring wiring_;
   metrics::Registry registry_;
   SocketInstruments inst_;
   std::unique_ptr<ControlChannel> channel_;

@@ -37,6 +37,21 @@
 
 namespace exs {
 
+/// Externally provided backing for the receiver's hidden circular buffer.
+/// Engine-managed sockets draw their ring from a shared BufferPool slab
+/// (one registration covers the whole pool) instead of allocating
+/// per-stream memory; `release` hands the carve back to the pool and is
+/// called at most once, after the stream has delivered EOF and drained the
+/// ring.  A default-constructed lease means "allocate privately" — the
+/// classic path, byte-for-byte unchanged.
+struct RingLease {
+  std::uint8_t* mem = nullptr;
+  std::uint64_t bytes = 0;
+  verbs::MemoryRegionPtr mr;  ///< pool-wide registration covering `mem`
+  std::function<void()> release;
+  bool valid() const { return mem != nullptr && bytes > 0; }
+};
+
 /// Shared wiring handed to both halves by the socket.
 struct StreamContext {
   ControlChannel* channel = nullptr;
@@ -49,6 +64,9 @@ struct StreamContext {
   Bandwidth memcpy_bandwidth;
   bool carry_payload = true;
   std::string debug_name;
+  /// When valid, the receiver ring lives here instead of a private
+  /// allocation (its size overrides options.intermediate_buffer_bytes).
+  RingLease ring_lease;
 };
 
 // ---------------------------------------------------------------------------
@@ -101,6 +119,19 @@ class StreamTx {
   std::uint64_t NextStripeSeq() const { return stripe_seq_; }
   std::uint64_t RailOutstandingBytes(std::size_t rail) const {
     return rail_outstanding_[rail];
+  }
+
+  /// One WWI's worth of a pending send: what remains of the message,
+  /// clipped to the destination room (ADVERT remainder or contiguous ring
+  /// space) and the negotiated chunk cap.  Shared by the direct and
+  /// indirect paths so the §II-C chunking rule has exactly one home.
+  static std::uint64_t NextChunkLen(std::uint64_t remaining,
+                                    std::uint64_t room,
+                                    std::uint64_t max_chunk) {
+    std::uint64_t len = remaining;
+    if (room < len) len = room;
+    if (max_chunk < len) len = max_chunk;
+    return len;
   }
 
  private:
@@ -189,7 +220,6 @@ class StreamTx {
     return cap == 0 ? wire::kMaxWwiChunk
                     : (cap < wire::kMaxWwiChunk ? cap : wire::kMaxWwiChunk);
   }
-
   StreamContext ctx_;
   std::uint64_t phase_ = 0;  ///< P_s
   std::uint64_t seq_ = 0;    ///< S_s
@@ -260,6 +290,14 @@ class StreamRx {
   /// complete immediately with zero bytes.
   void OnShutdown();
   bool PeerClosed() const { return peer_closed_; }
+
+  /// Hand a leased ring back to its pool once it can never be written
+  /// again: EOF delivered and every buffered byte copied out.  Called
+  /// automatically at EOF; the engine may also call it when reaping.
+  /// Returns true when the lease was released (now or earlier); false
+  /// while the ring is still live or when there is no lease.
+  bool TryReleaseRing();
+  bool RingReleased() const { return ring_released_; }
 
   // Introspection for tests and invariant checks.
   std::uint64_t phase() const { return phase_; }
@@ -332,8 +370,10 @@ class StreamRx {
   std::uint64_t seq_ = 0;      ///< S_r
   std::uint64_t seq_est_ = 0;  ///< S'_r (next-expected used in ADVERTs)
   SimTime phase_start_ = 0;    ///< when P_r last changed (dwell accounting)
-  std::vector<std::uint8_t> ring_mem_;
+  std::vector<std::uint8_t> ring_mem_;  ///< empty when leased from a pool
+  std::uint8_t* ring_base_ = nullptr;   ///< private or leased backing
   verbs::MemoryRegionPtr ring_mr_;
+  bool ring_released_ = false;
   RingCursor ring_;            ///< b_r plus cursors
   std::deque<PendingRecv> pending_;
   std::uint64_t pending_ack_bytes_ = 0;

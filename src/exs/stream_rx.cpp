@@ -11,19 +11,31 @@ namespace exs {
 
 StreamRx::StreamRx(StreamContext ctx)
     : ctx_(std::move(ctx)),
-      ring_mem_(ctx_.options.intermediate_buffer_bytes),
-      ring_(ctx_.options.intermediate_buffer_bytes) {
-  EXS_CHECK_MSG(ctx_.options.intermediate_buffer_bytes > 0,
-                "intermediate buffer must have nonzero capacity");
-  ring_mr_ = ctx_.channel->device().RegisterMemory(ring_mem_.data(),
-                                                   ring_mem_.size());
+      ring_mem_(ctx_.ring_lease.valid()
+                    ? 0
+                    : ctx_.options.intermediate_buffer_bytes),
+      ring_(ctx_.ring_lease.valid() ? ctx_.ring_lease.bytes
+                                    : ctx_.options.intermediate_buffer_bytes) {
+  if (ctx_.ring_lease.valid()) {
+    // Pool-leased ring: the backing carve and its (pool-wide) registration
+    // come from the engine's BufferPool; nothing to allocate here.
+    ring_base_ = ctx_.ring_lease.mem;
+    ring_mr_ = ctx_.ring_lease.mr;
+    EXS_CHECK_MSG(ring_mr_ != nullptr, "ring lease carries no registration");
+  } else {
+    EXS_CHECK_MSG(ctx_.options.intermediate_buffer_bytes > 0,
+                  "intermediate buffer must have nonzero capacity");
+    ring_base_ = ring_mem_.data();
+    ring_mr_ = ctx_.channel->device().RegisterMemory(ring_mem_.data(),
+                                                     ring_mem_.size());
+  }
   if (ctx_.metrics != nullptr) {
     ring_.SetOccupancyProbe(ctx_.metrics->rx_ring_occupancy, ctx_.scheduler);
   }
 }
 
 std::uint64_t StreamRx::ring_addr() const {
-  return reinterpret_cast<std::uint64_t>(ring_mem_.data());
+  return reinterpret_cast<std::uint64_t>(ring_base_);
 }
 
 void StreamRx::AdvancePhaseTo(std::uint64_t phase) {
@@ -268,7 +280,7 @@ void StreamRx::DrainRing() {
     PendingRecv& front = pending_.front();
     if (ctx_.carry_payload) {
       std::memcpy(front.base + front.filled,
-                  ring_mem_.data() + ring_.read_offset(), n);
+                  ring_base_ + ring_.read_offset(), n);
     }
     ring_.CommitRead(n);
     front.filled += n;
@@ -352,6 +364,18 @@ void StreamRx::MaybeFinishEof() {
                             false});
   }
   ctx_.events->Push(Event{EventType::kPeerClosed, 0, 0, false});
+  TryReleaseRing();
+}
+
+bool StreamRx::TryReleaseRing() {
+  if (ring_released_) return true;
+  if (!ctx_.ring_lease.release) return false;  // private ring: nothing to do
+  if (!eof_delivered_ || ring_.used() > 0 || copy_in_progress_) return false;
+  ring_released_ = true;
+  auto release = std::move(ctx_.ring_lease.release);
+  ctx_.ring_lease.release = nullptr;
+  release();
+  return true;
 }
 
 void StreamRx::OnCreditAvailable() {

@@ -305,10 +305,8 @@ void StreamTx::Pump() {
         }
         AdvancePhaseTo(advert.phase);
       }
-      std::uint64_t len = s.len - s.sent;
-      std::uint64_t room = advert.len - advert.filled;
-      if (room < len) len = room;
-      if (MaxChunk() < len) len = MaxChunk();
+      std::uint64_t len =
+          NextChunkLen(s.len - s.sent, advert.len - advert.filled, MaxChunk());
       PostDirect(s, advert, len, rail);
       seq_ += len;
       s.sent += len;
@@ -323,10 +321,8 @@ void StreamTx::Pump() {
                remote_ring_.free() > 0) {
       std::size_t rail = PickRail();
       if (rail == kNoRail) return;
-      std::uint64_t len = s.len - s.sent;
-      std::uint64_t room = remote_ring_.ContiguousWritable();
-      if (room < len) len = room;
-      if (MaxChunk() < len) len = MaxChunk();
+      std::uint64_t len = NextChunkLen(
+          s.len - s.sent, remote_ring_.ContiguousWritable(), MaxChunk());
       if (PhaseIsDirect(phase_)) {
         // First indirect transfer of a burst (Fig. 2 lines 18-20).
         AdvancePhaseTo(NextPhase(phase_));

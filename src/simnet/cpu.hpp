@@ -93,6 +93,8 @@ class Cpu {
 
   bool Idle() const { return !running_ && tasks_.empty(); }
 
+  EventScheduler& scheduler() { return *scheduler_; }
+
  private:
   struct Task {
     SimDuration cost;

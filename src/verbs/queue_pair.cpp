@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/logging.hpp"
+#include "verbs/srq.hpp"
 
 namespace exs::verbs {
 
@@ -187,12 +188,11 @@ WcStatus QueuePair::Deliver(const PacketPtr& pkt, QueuePair& sender) {
   if (pkt->wwi_notify) {
     // Trailing notification of an emulated WWI: the data already landed
     // via the preceding RDMA WRITE (in-order delivery guarantees it).
-    if (recv_queue_.empty()) {
+    RecvWorkRequest recv;
+    if (!TakeRecv(&recv)) {
       ++stats_.rnr_errors;
       return WcStatus::kRnrError;
     }
-    RecvWorkRequest recv = recv_queue_.front();
-    recv_queue_.pop_front();
     WorkCompletion wc;
     wc.wr_id = recv.wr_id;
     wc.qp = this;
@@ -229,13 +229,12 @@ WcStatus QueuePair::Deliver(const PacketPtr& pkt, QueuePair& sender) {
     // WWI falls through to consume a receive and notify.
   }
 
-  if (recv_queue_.empty()) {
+  RecvWorkRequest recv;
+  if (!TakeRecv(&recv)) {
     ++stats_.rnr_errors;
     EXS_WARN("message arrived with no posted receive (RNR)");
     return WcStatus::kRnrError;
   }
-  RecvWorkRequest recv = recv_queue_.front();
-  recv_queue_.pop_front();
 
   WorkCompletion wc;
   wc.wr_id = recv.wr_id;
@@ -297,8 +296,35 @@ void QueuePair::PushRecvCompletionLater(const WorkCompletion& wc) {
       [this, wc] { recv_cq_->Push(wc); });
 }
 
+bool QueuePair::TakeRecv(RecvWorkRequest* out) {
+  if (srq_ != nullptr) {
+    if (!srq_->Pop(out)) return false;
+    ++stats_.srq_recvs_consumed;
+    return true;
+  }
+  if (recv_queue_.empty()) return false;
+  *out = recv_queue_.front();
+  recv_queue_.pop_front();
+  return true;
+}
+
+void QueuePair::SetSharedReceiveQueue(SharedReceiveQueue* srq) {
+  EXS_CHECK_MSG(srq != nullptr, "SetSharedReceiveQueue(nullptr)");
+  EXS_CHECK_MSG(&srq->device() == device_,
+                "SRQ and queue pair must live on the same device");
+  EXS_CHECK_MSG(recv_queue_.empty(),
+                "cannot attach an SRQ to a QP with private receives posted");
+  srq_ = srq;
+}
+
+std::size_t QueuePair::PostedRecvCount() const {
+  return srq_ != nullptr ? srq_->PostedRecvCount() : recv_queue_.size();
+}
+
 void QueuePair::PostRecv(const RecvWorkRequest& wr) {
   EXS_CHECK_MSG(connected(), "PostRecv on unconnected queue pair");
+  EXS_CHECK_MSG(srq_ == nullptr,
+                "PostRecv on an SRQ-attached queue pair; post to the SRQ");
   if (wr.sge.length > 0) {
     const MemoryRegion* mr = device_->FindByLkey(wr.sge.lkey);
     EXS_CHECK_MSG(mr != nullptr && mr->Covers(wr.sge.addr, wr.sge.length),

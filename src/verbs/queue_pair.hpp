@@ -22,6 +22,8 @@
 
 namespace exs::verbs {
 
+class SharedReceiveQueue;
+
 struct QueuePairStats {
   std::uint64_t sends_posted = 0;
   std::uint64_t recvs_posted = 0;
@@ -31,6 +33,10 @@ struct QueuePairStats {
   std::uint64_t rnr_errors = 0;
   std::uint64_t remote_access_errors = 0;
   std::uint64_t length_errors = 0;
+  /// Receives this QP drew from an attached shared receive queue.  The
+  /// per-QP split of a shared pool is the fairness signal: one connection
+  /// monopolising the SRQ shows up here, not only in its victims' RNRs.
+  std::uint64_t srq_recvs_consumed = 0;
 };
 
 /// Pre-resolved registry instruments a queue pair records into alongside
@@ -67,10 +73,18 @@ class QueuePair {
   void PostSend(const SendWorkRequest& wr);
 
   /// Post a receive buffer.  Zero-length receives are permitted (they can
-  /// still be consumed by WWI notifications).
+  /// still be consumed by WWI notifications).  Disallowed once an SRQ is
+  /// attached — shared-pool QPs have no private receive queue.
   void PostRecv(const RecvWorkRequest& wr);
 
-  std::size_t PostedRecvCount() const { return recv_queue_.size(); }
+  /// Attach this QP to a shared receive queue on the same device.  From
+  /// then on arriving messages consume pool receives FIFO instead of a
+  /// private queue.  Must happen before any receive is consumed; the
+  /// private queue must be empty.
+  void SetSharedReceiveQueue(SharedReceiveQueue* srq);
+  SharedReceiveQueue* shared_receive_queue() { return srq_; }
+
+  std::size_t PostedRecvCount() const;
   Device& device() { return *device_; }
   const QueuePairStats& stats() const { return stats_; }
 
@@ -103,6 +117,9 @@ class QueuePair {
   WcStatus DeliverRead(const PacketPtr& pkt, QueuePair& sender);
   /// Raise a receive-side completion after the HCA delivery overhead.
   void PushRecvCompletionLater(const WorkCompletion& wc);
+  /// Consume the next receive — from the SRQ when attached, else the
+  /// private queue.  False means receiver-not-ready.
+  bool TakeRecv(RecvWorkRequest* out);
 
   static WcOpcode SendWcOpcode(Opcode op);
   SimDuration AckReturnDelay() const;
@@ -113,6 +130,7 @@ class QueuePair {
   QueuePair* peer_ = nullptr;
   simnet::SimplexChannel* tx_channel_ = nullptr;
   SimTime hca_busy_until_ = 0;
+  SharedReceiveQueue* srq_ = nullptr;
   std::deque<RecvWorkRequest> recv_queue_;
   QueuePairStats stats_;
   QueuePairInstruments inst_;

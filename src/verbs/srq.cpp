@@ -1,0 +1,30 @@
+#include "verbs/srq.hpp"
+
+#include "common/check.hpp"
+#include "verbs/device.hpp"
+
+namespace exs::verbs {
+
+void SharedReceiveQueue::PostRecv(const RecvWorkRequest& wr) {
+  if (wr.sge.length > 0) {
+    const MemoryRegion* mr = device_->FindByLkey(wr.sge.lkey);
+    EXS_CHECK_MSG(mr != nullptr && mr->Covers(wr.sge.addr, wr.sge.length),
+                  "SRQ receive buffer not covered by registered memory "
+                  "(lkey)");
+  }
+  ++total_posted_;
+  queue_.push_back(wr);
+}
+
+bool SharedReceiveQueue::Pop(RecvWorkRequest* out) {
+  if (queue_.empty()) {
+    ++empty_pops_;
+    return false;
+  }
+  *out = queue_.front();
+  queue_.pop_front();
+  ++total_consumed_;
+  return true;
+}
+
+}  // namespace exs::verbs

@@ -63,6 +63,76 @@ TEST(EventQueue, PollModeCostsNothing) {
   EXPECT_EQ(h.cpu.BusyTime(), 0);
 }
 
+TEST(EventQueue, ReadinessWatcherFiresOnlyOnEmptyToNonEmptyEdge) {
+  Harness h;
+  int fires = 0;
+  h.eq.SetReadinessWatcher([&] { ++fires; });
+  EXPECT_EQ(fires, 0);  // empty at install: nothing to signal
+  h.eq.Push(MakeEvent(1, 0));
+  EXPECT_EQ(fires, 1);  // the edge
+  h.eq.Push(MakeEvent(2, 0));
+  h.eq.Push(MakeEvent(3, 0));
+  EXPECT_EQ(fires, 1);  // level stays high, no further edges
+
+  Event ev;
+  while (h.eq.Poll(&ev)) {
+  }
+  h.eq.Push(MakeEvent(4, 0));
+  EXPECT_EQ(fires, 1);  // drained but not re-armed: still one edge
+  h.eq.Poll(&ev);
+  h.eq.RearmWatcher();
+  h.eq.Push(MakeEvent(5, 0));
+  EXPECT_EQ(fires, 2);  // re-armed: the next edge fires
+}
+
+TEST(EventQueue, WatcherInstalledOnBacklogFiresImmediately) {
+  Harness h;
+  h.eq.Push(MakeEvent(1, 0));
+  int fires = 0;
+  h.eq.SetReadinessWatcher([&] { ++fires; });
+  EXPECT_EQ(fires, 1);
+  Event ev;
+  ASSERT_TRUE(h.eq.Poll(&ev));  // events stayed queued for polling
+  EXPECT_EQ(ev.id, 1u);
+}
+
+TEST(EventQueue, CloseDiscardsPendingAndRejectsFuturePushes) {
+  Harness h;
+  int fires = 0;
+  h.eq.SetReadinessWatcher([&] { ++fires; });
+  h.eq.Push(MakeEvent(1, 0));
+  h.eq.Push(MakeEvent(2, 0));
+  EXPECT_EQ(fires, 1);
+
+  h.eq.Close();
+  EXPECT_TRUE(h.eq.Closed());
+  EXPECT_EQ(h.eq.Depth(), 0u);
+  EXPECT_EQ(h.eq.DroppedOnClose(), 2u);
+
+  h.eq.Push(MakeEvent(3, 0));  // rejected, counted, never signalled
+  EXPECT_EQ(h.eq.Depth(), 0u);
+  EXPECT_EQ(h.eq.DroppedOnClose(), 3u);
+  EXPECT_EQ(fires, 1);
+  Event ev;
+  EXPECT_FALSE(h.eq.Poll(&ev));
+  h.eq.RearmWatcher();  // no-op on a closed queue
+  h.eq.Push(MakeEvent(4, 0));
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(EventQueue, CloseCancelsPendingHandlerDispatch) {
+  // A handler dispatch is charged to the CPU and runs later; closing the
+  // queue in between must prevent the callback from firing into a socket
+  // that is being torn down.
+  Harness h;
+  int handled = 0;
+  h.eq.SetHandler([&](const Event&) { ++handled; });
+  h.eq.Push(MakeEvent(1, 0));  // dispatch queued on the node CPU
+  h.eq.Close();
+  h.sched.Run();
+  EXPECT_EQ(handled, 0);
+}
+
 TEST(EventQueue, HandlerMayPushMoreEvents) {
   Harness h;
   std::vector<std::uint64_t> seen;

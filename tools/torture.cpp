@@ -9,6 +9,8 @@
 #include "common/check.hpp"
 #include "common/pattern.hpp"
 #include "common/rng.hpp"
+#include "exs/engine/acceptor.hpp"
+#include "exs/engine/progress_engine.hpp"
 #include "exs/exs.hpp"
 #include "exs/invariant_checker.hpp"
 #include "simnet/faults.hpp"
@@ -47,7 +49,8 @@ simnet::HardwareProfile ResolveProfile(const std::string& name) {
 
 bool ValidMode(const std::string& mode) {
   return mode == "dynamic" || mode == "direct" || mode == "indirect" ||
-         mode == "coalesce" || mode == "stripe" || mode == "seqpacket";
+         mode == "coalesce" || mode == "stripe" || mode == "seqpacket" ||
+         mode == "many";
 }
 
 std::string TortureResult::Describe() const {
@@ -60,8 +63,241 @@ std::string TortureResult::Describe() const {
   return oss.str();
 }
 
+namespace {
+
+/// "many" mode: N clients through the server engine (acceptor + shared
+/// buffer pool + SRQ slot pool + progress engine) instead of one
+/// ConnectPair.  The per-pair invariant checks run on every stream, and
+/// CheckPoolConservation replays all receiver traces against the shared
+/// slab — the O(pool) memory claim, validated under a seeded interleave.
+TortureResult RunManyTorture(const TortureConfig& cfg) {
+  TortureResult res;
+  simnet::HardwareProfile profile = ResolveProfile(cfg.profile);
+
+  // Seed-derived configuration (domain-separated like "stripe"): the
+  // stream count and whether the inner mode forces every byte through the
+  // leased rings (indirect) or lets ADVERTs bypass them (dynamic).
+  std::uint64_t bits = SplitMix64(cfg.seed ^ 0x9a11e57e4e61e4ull).Next();
+  const std::uint32_t streams =
+      cfg.streams != 0 ? cfg.streams
+                       : (bits % 3 == 0 ? 4u : bits % 3 == 1 ? 8u : 16u);
+  EXS_CHECK_MSG(streams > 0, "many mode needs at least one stream");
+
+  StreamOptions opts;
+  opts.credits = 8;
+  opts.intermediate_buffer_bytes = cfg.buffer_bytes;  // the lease size
+  if ((bits & 8) != 0) opts.mode = ProtocolMode::kIndirectOnly;
+  opts.sabotage.accept_stale_adverts = cfg.sabotage_stale_adverts;
+  opts.sabotage.advertise_without_gate = cfg.sabotage_advert_gate;
+
+  std::uint64_t per_stream = cfg.total_bytes / streams;
+  if (per_stream < 4096) per_stream = 4096;
+  const std::uint64_t max_message =
+      cfg.max_message < per_stream ? cfg.max_message : per_stream;
+  const SimDuration horizon =
+      EstimateHorizon(profile, per_stream * streams);
+
+  Simulation sim(profile, cfg.seed, /*carry_payload=*/true);
+  engine::ProgressEngine engine(sim.fabric().node(1).cpu(),
+                                engine::ProgressEngineOptions{});
+  engine::AcceptorOptions aopts;
+  // Slab sized for exactly `streams` leases; watermarks at 1.0 so the
+  // torture run admits every planned stream (the hysteresis band is
+  // exercised by the unit tests and the manystream bench).
+  aopts.pool = {.pool_bytes = streams * cfg.buffer_bytes,
+                .lease_bytes = cfg.buffer_bytes,
+                .high_watermark = 1.0,
+                .low_watermark = 1.0};
+  aopts.control_slots = streams * opts.credits;
+  engine::Acceptor acceptor(sim.device(1), engine, aopts);
+
+  struct Rx {
+    Socket* socket = nullptr;
+    std::vector<std::uint8_t> data;
+    std::uint64_t received = 0;
+    bool eof = false;
+  };
+  std::vector<std::unique_ptr<Rx>> rxs;
+  std::unordered_map<Socket*, Rx*> rx_by_socket;
+  std::uint64_t total_received = 0;
+
+  // Destroyed before `sim` (reverse declaration order), same rule as the
+  // single-pair driver.
+  simnet::FaultInjector injector(sim.fabric());
+
+  acceptor.Listen(
+      sim.connections(), 4000, opts,
+      [&](Socket& s, const Event& ev) {
+        auto it = rx_by_socket.find(&s);
+        if (it == rx_by_socket.end()) return;
+        if (ev.type == EventType::kRecvComplete) {
+          it->second->received += ev.bytes;
+          total_received += ev.bytes;
+        }
+        if (ev.type == EventType::kPeerClosed) it->second->eof = true;
+      },
+      [&](Socket& s) {
+        auto rx = std::make_unique<Rx>();
+        rx->socket = &s;
+        rx->data.resize(per_stream);
+        s.EnableTracing(cfg.trace_capacity);
+        s.Recv(rx->data.data(), per_stream, RecvFlags{.waitall = true});
+        if (rxs.empty()) {
+          // Control-delay faults hold one channel per node; aim them at
+          // the first stream on each side.
+          injector.AttachControlTarget(1, &s.channel_internal());
+        }
+        rx_by_socket.emplace(&s, rx.get());
+        rxs.push_back(std::move(rx));
+      });
+
+  if (cfg.enable_faults) {
+    injector.Arm(simnet::FaultPlan::Generate(
+        cfg.seed, simnet::FaultPlanConfig::ScaledTo(horizon)));
+  }
+
+  std::vector<Socket*> clients;
+  int rejected = 0;
+  for (std::uint32_t i = 0; i < streams; ++i) {
+    Socket* pending = sim.Connect(0, 4000, SocketType::kStream, opts,
+                                  [&](Socket* s) {
+                                    if (s == nullptr) ++rejected;
+                                  });
+    pending->EnableTracing(cfg.trace_capacity);
+    clients.push_back(pending);
+    if (i == 0) {
+      injector.AttachControlTarget(0, &pending->channel_internal());
+    }
+  }
+  sim.Run();
+  if (rejected != 0) {
+    res.failures.push_back("engine refused " + std::to_string(rejected) +
+                           " of " + std::to_string(streams) +
+                           " planned streams");
+  }
+  if (rxs.size() != streams) {
+    res.failures.push_back("accepted " + std::to_string(rxs.size()) +
+                           " streams, expected " + std::to_string(streams));
+  }
+
+  // Seeded interleave: every iteration pushes one chunk on a random
+  // still-sending stream, then lets a random slice of time pass.
+  Rng rng(SplitMix64(cfg.seed ^ 0x70e7f1c70ffe12edull).Next());
+  std::vector<std::vector<std::uint8_t>> payloads(clients.size());
+  std::vector<std::uint64_t> sent(clients.size(), 0);
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    payloads[i].resize(per_stream);
+    FillPattern(payloads[i].data(), per_stream, 0, cfg.seed * 131 + i);
+  }
+
+  const std::uint64_t total = per_stream * rxs.size();
+  try {
+    std::uint64_t guard = 0;
+    while (res.failures.empty() && total_received < total) {
+      if (++guard > 2000000u) {
+        res.failures.push_back(
+            "no progress: stuck at " + std::to_string(total_received) + "/" +
+            std::to_string(total) + " bytes");
+        break;
+      }
+      std::vector<std::size_t> sendable;
+      for (std::size_t i = 0; i < clients.size(); ++i) {
+        if (sent[i] < per_stream) sendable.push_back(i);
+      }
+      if (!sendable.empty()) {
+        std::size_t i = sendable[static_cast<std::size_t>(
+            rng.NextInRange(0, sendable.size() - 1))];
+        std::uint64_t s = rng.NextInRange(1, max_message);
+        if (s > per_stream - sent[i]) s = per_stream - sent[i];
+        clients[i]->Send(payloads[i].data() + sent[i], s);
+        sent[i] += s;
+        sim.RunFor(static_cast<SimDuration>(rng.NextInRange(
+            0, static_cast<std::uint64_t>(Microseconds(30)))));
+        if (rng.NextBool(0.08)) sim.Run();
+      } else {
+        sim.Run();  // everything posted: drain to completion
+      }
+    }
+    if (res.failures.empty()) {
+      sim.Run();
+      for (Socket* c : clients) c->Close();
+      sim.Run();
+    }
+  } catch (const InvariantViolation& violation) {
+    res.failures.push_back(std::string("runtime invariant violation: ") +
+                           violation.what());
+  }
+
+  if (res.failures.empty()) {
+    for (std::size_t i = 0; i < rxs.size(); ++i) {
+      const Rx& rx = *rxs[i];
+      if (rx.received != per_stream) {
+        res.failures.push_back("stream " + std::to_string(i) +
+                               " short delivery: " +
+                               std::to_string(rx.received) + "/" +
+                               std::to_string(per_stream) + " bytes");
+      } else if (std::size_t good = VerifyPattern(rx.data.data(), per_stream,
+                                                  0, cfg.seed * 131 + i);
+                 good != per_stream) {
+        // Accepts complete in connect order over the in-order handshake
+        // wire, so stream i's sink must hold client i's pattern.
+        res.failures.push_back("stream " + std::to_string(i) +
+                               " payload corrupt at offset " +
+                               std::to_string(good));
+      }
+      if (!rx.eof) {
+        res.failures.push_back("stream " + std::to_string(i) +
+                               " never observed peer close");
+      }
+      if (!rx.socket->Quiescent() || !clients[i]->Quiescent()) {
+        res.failures.push_back("stream " + std::to_string(i) +
+                               " endpoints not quiescent after drain");
+      }
+    }
+    // Reclaim-on-idle: every lease must be back in the pool after EOF.
+    if (acceptor.pool().LeasesActive() != 0) {
+      res.failures.push_back(
+          std::to_string(acceptor.pool().LeasesActive()) +
+          " ring leases still held after every stream closed");
+    }
+  }
+
+  // Per-pair protocol invariants plus the cross-stream pool conservation
+  // replay.  The fingerprint chains all pairs in acceptance order.
+  std::uint64_t fp = 0xcbf29ce484222325ull;
+  auto mix = [&fp](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      fp ^= (v >> (8 * i)) & 0xff;
+      fp *= 0x100000001b3ull;
+    }
+  };
+  InvariantReport report;
+  std::vector<const TraceLog*> rx_logs;
+  for (std::size_t i = 0; i < rxs.size() && i < clients.size(); ++i) {
+    report.Merge(CheckConnection(*clients[i], *rxs[i]->socket));
+    rx_logs.push_back(&rxs[i]->socket->rx_trace());
+    mix(ConnectionFingerprint(*clients[i], *rxs[i]->socket));
+  }
+  PoolCheckOptions pool_opts;
+  pool_opts.pool_capacity_bytes = aopts.pool.pool_bytes;
+  pool_opts.lease_bytes = aopts.pool.lease_bytes;
+  pool_opts.allow_truncated = cfg.trace_capacity != 0;
+  report.Merge(CheckPoolConservation(rx_logs, pool_opts));
+
+  res.checker_violations = report.violations;
+  res.events_checked = report.events_checked;
+  res.fingerprint = fp;
+  res.faults_armed = injector.FaultsArmed();
+  res.faults_applied = injector.FaultsApplied();
+  res.ok = res.failures.empty() && res.checker_violations.empty();
+  return res;
+}
+
+}  // namespace
+
 TortureResult RunTorture(const TortureConfig& cfg) {
   EXS_CHECK_MSG(ValidMode(cfg.mode), "unknown mode '" << cfg.mode << "'");
+  if (cfg.mode == "many") return RunManyTorture(cfg);
   TortureResult res;
 
   simnet::HardwareProfile profile = ResolveProfile(cfg.profile);
@@ -302,10 +538,11 @@ std::string EncodeCorpusEntry(const TortureConfig& cfg) {
       << " faults=" << (cfg.enable_faults ? 1 : 0)
       << " sab_stale=" << (cfg.sabotage_stale_adverts ? 1 : 0)
       << " sab_gate=" << (cfg.sabotage_advert_gate ? 1 : 0);
-  // Striping keys appear only when pinned, so pre-striping corpus files
+  // Mode-specific keys appear only when pinned, so older corpus files
   // round-trip byte-identically.
   if (cfg.rails != 0) oss << " rails=" << cfg.rails;
   if (!cfg.sched.empty()) oss << " sched=" << cfg.sched;
+  if (cfg.streams != 0) oss << " streams=" << cfg.streams;
   oss << " fp=0x" << std::hex << cfg.expect_fingerprint;
   return oss.str();
 }
@@ -348,6 +585,8 @@ bool DecodeCorpusEntry(const std::string& line, TortureConfig* out) {
       } else if (key == "sched") {
         if (value != "rr" && value != "adaptive") return false;
         cfg.sched = value;
+      } else if (key == "streams") {
+        cfg.streams = static_cast<std::uint32_t>(std::stoul(value));
       } else if (key == "fp") {
         cfg.expect_fingerprint = std::stoull(value, nullptr, 0);
       } else {

@@ -33,12 +33,18 @@ struct TortureConfig {
   /// plus ACK piggyback), "stripe" (multi-rail striping: the seed derives
   /// rails ∈ {2,4}, an inner mode of dynamic or indirect, and the rail
   /// scheduler, unless `rails`/`sched` pin them below) for stream
-  /// sockets, or "seqpacket" (message socket).
+  /// sockets, "seqpacket" (message socket), or "many" (the server engine:
+  /// N clients connect through the acceptor into one shared buffer pool /
+  /// SRQ slot pool and the progress engine drives every accepted socket;
+  /// the seed derives N from {4,8,16} unless `streams` pins it, and the
+  /// checker additionally replays pool conservation across all streams).
   std::string mode = "dynamic";
   /// "stripe" mode only: rail count (0 = derive {2,4} from the seed).
   std::uint32_t rails = 0;
   /// "stripe" mode only: "rr" | "adaptive" ("" = derive from the seed).
   std::string sched;
+  /// "many" mode only: concurrent stream count (0 = derive from the seed).
+  std::uint32_t streams = 0;
   std::uint64_t total_bytes = 192 * 1024;
   std::uint64_t max_message = 24 * 1024;
   std::uint64_t buffer_bytes = 64 * 1024;

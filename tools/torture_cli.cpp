@@ -31,12 +31,14 @@ using exs::torture::TortureResult;
       "  --seed N         single seed (same as --seeds N..N)\n"
       "  --profiles CSV   subset of fdr,iwarp,wan (all)\n"
       "  --modes CSV      subset of dynamic,direct,indirect,coalesce,\n"
-      "                   stripe,seqpacket\n"
+      "                   stripe,seqpacket,many\n"
       "                   (dynamic,direct,indirect,coalesce,stripe)\n"
       "  --rails N        stripe mode: pin the rail count (0 = derive\n"
       "                   2 or 4 from the seed)\n"
       "  --sched S        stripe mode: pin the rail scheduler, rr or\n"
       "                   adaptive (default: derive from the seed)\n"
+      "  --streams N      many mode: pin the concurrent stream count\n"
+      "                   (0 = derive 4, 8 or 16 from the seed)\n"
       "  --total BYTES    stream bytes per run (192K; K/M suffixes ok)\n"
       "  --max-message BYTES   largest send/recv posting (24K)\n"
       "  --buffer BYTES   intermediate buffer capacity (64K)\n"
@@ -138,6 +140,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--sched") {
       base.sched = next();
       if (base.sched != "rr" && base.sched != "adaptive") Usage(argv[0]);
+    } else if (arg == "--streams") {
+      base.streams = static_cast<std::uint32_t>(ParseSize(next()));
     } else if (arg == "--trace-capacity") {
       base.trace_capacity = static_cast<std::size_t>(ParseSize(next()));
     } else if (arg == "--no-faults") {
