@@ -82,9 +82,13 @@ class ControlChannel : public simnet::IncomingHoldTarget {
   /// slab is allocated; Connect attaches the queue pair to the source's
   /// shared receive queue and reserves `credits` pool slots (the per-peer
   /// credit grant the reservation must cover).  Null keeps the classic
-  /// private pool.
+  /// private pool.  `slots_pre_reserved` means the admission point
+  /// already made that reservation (atomically with its admission check)
+  /// and this channel adopts it: Connect reserves nothing, the destructor
+  /// still refunds.
   ControlChannel(verbs::Device& device, std::uint32_t credits,
-                 ControlSlotSource* shared_slots = nullptr);
+                 ControlSlotSource* shared_slots = nullptr,
+                 bool slots_pre_reserved = false);
   ~ControlChannel() override;
 
   ControlChannel(const ControlChannel&) = delete;

@@ -22,18 +22,27 @@ std::unique_ptr<Socket> Acceptor::Admit(verbs::Device& device,
                                         const StreamOptions& options,
                                         const std::string& name) {
   // Admission control: every resource the socket will draw from the shared
-  // pools must be available *now* — an accept must never be able to starve
-  // an established connection.
-  if (!pool_.AdmissionOpen() || !slots_.CanReserve(options.credits)) {
+  // pools is *committed* here, atomically with the check — an accept must
+  // never be able to starve an established connection, and no later wiring
+  // step (however deferred) can turn an admission refusal into a crash.
+  if (!pool_.AdmissionOpen() || !slots_.ReserveSlots(options.credits)) {
     ++admission_refusals_;
     if (refusals_counter_ != nullptr) refusals_counter_->Increment();
     return nullptr;
   }
   RingLease lease = pool_.Acquire();
-  EXS_CHECK_MSG(lease.valid(), "AdmissionOpen pool failed to lease");
+  if (!lease.valid()) {  // unreachable after AdmissionOpen; refund anyway
+    slots_.UnreserveSlots(options.credits);
+    ++admission_refusals_;
+    if (refusals_counter_ != nullptr) refusals_counter_->Increment();
+    return nullptr;
+  }
   SocketWiring wiring;
   wiring.ring_lease = std::move(lease);
   wiring.shared_slots = &slots_;
+  // The socket's channel adopts the reservation made above and refunds it
+  // at teardown.
+  wiring.slots_reserved = true;
   return std::make_unique<Socket>(device, type, options, name,
                                   std::move(wiring));
 }

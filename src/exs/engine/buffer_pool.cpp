@@ -58,12 +58,16 @@ RingLease BufferPool::Acquire() {
   if (fill >= options_.high_watermark) admission_closed_ = true;
   Sample();
 
-  RingLease lease;
-  lease.mem = slab_.data() + index * options_.lease_bytes;
-  lease.bytes = options_.lease_bytes;
-  lease.mr = mr_;
-  lease.release = [this, index] { Release(index); };
-  return lease;
+  // The release closure carries the pool's liveness guard (the same
+  // pattern as ControlSlotSource::LivenessToken): an accepted socket
+  // routinely outlives the acceptor that owns this pool, and its EOF or
+  // teardown path must not call back into a destroyed pool.
+  return RingLease(
+      slab_.data() + index * options_.lease_bytes, options_.lease_bytes, mr_,
+      [this, index, alive = std::weak_ptr<void>(liveness_)] {
+        if (alive.expired()) return;  // pool died first: nothing to return
+        Release(index);
+      });
 }
 
 void BufferPool::Release(std::size_t index) {

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/metrics.hpp"
@@ -44,8 +45,13 @@ class BufferPool {
   BufferPool& operator=(const BufferPool&) = delete;
 
   /// Borrow one ring carve; invalid lease when the pool is exhausted.
-  /// The lease's release closure must not outlive this pool.
+  /// The lease may outlive the pool: its release closure carries the
+  /// pool's liveness token and degrades to a no-op once the pool is gone.
   RingLease Acquire();
+
+  /// Expires when this pool is destroyed (see ControlSlotSource's
+  /// identically named token for the lifetime rule it encodes).
+  std::weak_ptr<void> LivenessToken() const { return liveness_; }
 
   /// Would the acceptor admit a new stream right now?  False while the
   /// watermark hysteresis holds admission closed or no carve is free.
@@ -75,6 +81,7 @@ class BufferPool {
   std::uint64_t leases_granted_ = 0;
   std::uint64_t leases_reclaimed_ = 0;
   bool admission_closed_ = false;  ///< watermark hysteresis state
+  std::shared_ptr<void> liveness_ = std::make_shared<char>(0);
 
   metrics::TimeWeightedSeries* bytes_leased_series_ = nullptr;
   metrics::TimeWeightedSeries* leases_active_series_ = nullptr;

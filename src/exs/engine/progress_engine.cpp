@@ -42,6 +42,15 @@ void ProgressEngine::Unregister(Socket* socket) {
   auto it = entries_.find(socket);
   if (it == entries_.end()) return;
   socket->events().SetReadinessWatcher(nullptr);
+  if (it->second.get() == serving_) {
+    // Called from inside this socket's own event handler (kPeerClosed
+    // teardown is the natural case).  The dispatch loop still holds a
+    // reference to the entry, so detach it from the map but keep it alive
+    // as a zombie until the loop unwinds; the dead flag stops dispatch
+    // before the next event.
+    it->second->dead = true;
+    zombie_ = std::move(it->second);
+  }
   entries_.erase(it);  // a stale ready_ entry is skipped by the lookup
   if (registered_series_ != nullptr) {
     registered_series_->Record(cpu_->scheduler().Now(),
@@ -87,6 +96,10 @@ std::size_t ProgressEngine::Serve(Entry& entry, std::size_t budget) {
     --entry.deficit;
     ++dispatched;
     if (entry.handler) entry.handler(*entry.socket, ev);
+    // The handler may have Unregister()ed this very socket; the entry is
+    // then a detached zombie and neither it nor its socket (which the
+    // caller may be tearing down) can be touched again.
+    if (entry.dead) break;
     if (ev.type == EventType::kPeerClosed) {
       // Reclaim-on-idle: the incoming stream is done; hand a pool-leased
       // ring back the moment it can never be written again.
@@ -110,11 +123,20 @@ void ProgressEngine::Tick() {
     auto it = entries_.find(socket);
     if (it == entries_.end()) continue;  // unregistered while ready
     Entry& entry = *it->second;
+    serving_ = &entry;
     std::size_t dispatched = Serve(entry, budget);
+    serving_ = nullptr;
     budget -= dispatched;
     events_dispatched_ += dispatched;
     if (events_counter_ != nullptr) {
       events_counter_->Add(dispatched);
+    }
+    if (entry.dead) {
+      // Unregistered from inside its own handler: drop the detached entry
+      // now that nothing references it.  Its remaining events stay queued
+      // for direct polling, exactly as a between-dispatch Unregister.
+      zombie_.reset();
+      continue;
     }
     if (entry.socket->events().Depth() > 0) {
       entry.deficit = entry.deficit > options_.quantum ? options_.quantum

@@ -60,6 +60,9 @@ class ProgressEngine {
 
   /// Stop watching `socket` (idempotent).  Pending events stay in its
   /// queue for direct polling; the engine just no longer dispatches them.
+  /// Safe to call from inside an event handler — including on the socket
+  /// currently being served: dispatch for that socket stops before the
+  /// next event, and no further event of the current batch is delivered.
   void Unregister(Socket* socket);
 
   std::size_t RegisteredCount() const { return entries_.size(); }
@@ -73,6 +76,10 @@ class ProgressEngine {
     EventHandler handler;
     std::size_t deficit = 0;
     bool in_ready = false;
+    /// Unregistered from inside its own event handler while the dispatch
+    /// loop still holds a reference: the entry is detached from entries_
+    /// and parked in zombie_ until the loop lets go of it.
+    bool dead = false;
   };
 
   void NoteReadable(Socket* socket);
@@ -84,6 +91,8 @@ class ProgressEngine {
   simnet::Cpu* cpu_;
   ProgressEngineOptions options_;
   std::unordered_map<Socket*, std::unique_ptr<Entry>> entries_;
+  Entry* serving_ = nullptr;         ///< entry whose handler is running
+  std::unique_ptr<Entry> zombie_;    ///< serving_ unregistered mid-dispatch
   std::deque<Socket*> ready_;
   bool tick_scheduled_ = false;
   std::size_t last_tick_events_ = 0;  ///< charged to the next tick's cost

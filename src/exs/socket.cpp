@@ -52,7 +52,8 @@ Socket::Socket(verbs::Device& device, SocketType type, StreamOptions options,
                 "shared control slots require a single-rail socket");
   inst_ = SocketInstruments::Create(registry_);
   channel_ = std::make_unique<ControlChannel>(device, options_.credits,
-                                              wiring_.shared_slots);
+                                              wiring_.shared_slots,
+                                              wiring_.slots_reserved);
   channel_->SetInstruments(inst_.send_credits, inst_.credit_messages_sent);
   InstrumentRail(0, *channel_);
   for (std::uint32_t rail = 1; rail < options_.rails; ++rail) {

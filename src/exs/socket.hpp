@@ -38,6 +38,11 @@ struct SocketWiring {
   /// a per-channel slab.  Requires rails == 1 (engine sockets never
   /// stripe; the shared pool reserves per-connection, not per-rail).
   ControlSlotSource* shared_slots = nullptr;
+  /// The admission point already reserved `credits` slots against
+  /// `shared_slots` (check and commitment are atomic there); the channel
+  /// adopts that reservation — refunding it at teardown — instead of
+  /// reserving again at Connect time.
+  bool slots_reserved = false;
 };
 
 class Socket {

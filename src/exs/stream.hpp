@@ -40,16 +40,63 @@ namespace exs {
 /// Externally provided backing for the receiver's hidden circular buffer.
 /// Engine-managed sockets draw their ring from a shared BufferPool slab
 /// (one registration covers the whole pool) instead of allocating
-/// per-stream memory; `release` hands the carve back to the pool and is
-/// called at most once, after the stream has delivered EOF and drained the
-/// ring.  A default-constructed lease means "allocate privately" — the
-/// classic path, byte-for-byte unchanged.
-struct RingLease {
-  std::uint8_t* mem = nullptr;
-  std::uint64_t bytes = 0;
-  verbs::MemoryRegionPtr mr;  ///< pool-wide registration covering `mem`
-  std::function<void()> release;
-  bool valid() const { return mem != nullptr && bytes > 0; }
+/// per-stream memory; Release() hands the carve back to the pool.  A
+/// default-constructed lease means "allocate privately" — the classic
+/// path, byte-for-byte unchanged.
+///
+/// Move-only RAII: the destructor releases an unreleased lease, so a
+/// socket torn down before EOF+drain (aborted connection, server churn)
+/// can never strand its carve and shrink the pool.  The release closure
+/// carries the pool's liveness guard, making Release() a no-op once the
+/// pool itself is gone (accepted sockets routinely outlive the acceptor).
+class RingLease {
+ public:
+  RingLease() = default;
+  RingLease(std::uint8_t* mem, std::uint64_t bytes, verbs::MemoryRegionPtr mr,
+            std::function<void()> release)
+      : mem_(mem), bytes_(bytes), mr_(std::move(mr)),
+        release_(std::move(release)) {}
+  RingLease(const RingLease&) = delete;
+  RingLease& operator=(const RingLease&) = delete;
+  RingLease(RingLease&& other) noexcept { *this = std::move(other); }
+  RingLease& operator=(RingLease&& other) noexcept {
+    if (this != &other) {
+      Release();
+      mem_ = other.mem_;
+      bytes_ = other.bytes_;
+      mr_ = std::move(other.mr_);
+      release_ = std::move(other.release_);
+      other.mem_ = nullptr;
+      other.bytes_ = 0;
+      other.mr_ = nullptr;
+      other.release_ = nullptr;
+    }
+    return *this;
+  }
+  ~RingLease() { Release(); }
+
+  /// Hand the carve back to the pool.  Idempotent, and a guarded no-op
+  /// when there is no lease or the pool has already been destroyed.
+  void Release() {
+    if (!release_) return;
+    auto release = std::move(release_);
+    release_ = nullptr;
+    release();
+  }
+
+  bool valid() const { return mem_ != nullptr && bytes_ > 0; }
+  /// True while the carve is still owed to a pool (false for a private
+  /// ring and after Release()).
+  bool HasRelease() const { return static_cast<bool>(release_); }
+  std::uint8_t* mem() const { return mem_; }
+  std::uint64_t bytes() const { return bytes_; }
+  const verbs::MemoryRegionPtr& mr() const { return mr_; }
+
+ private:
+  std::uint8_t* mem_ = nullptr;
+  std::uint64_t bytes_ = 0;
+  verbs::MemoryRegionPtr mr_;  ///< pool-wide registration covering `mem_`
+  std::function<void()> release_;
 };
 
 /// Shared wiring handed to both halves by the socket.

@@ -14,13 +14,13 @@ StreamRx::StreamRx(StreamContext ctx)
       ring_mem_(ctx_.ring_lease.valid()
                     ? 0
                     : ctx_.options.intermediate_buffer_bytes),
-      ring_(ctx_.ring_lease.valid() ? ctx_.ring_lease.bytes
+      ring_(ctx_.ring_lease.valid() ? ctx_.ring_lease.bytes()
                                     : ctx_.options.intermediate_buffer_bytes) {
   if (ctx_.ring_lease.valid()) {
     // Pool-leased ring: the backing carve and its (pool-wide) registration
     // come from the engine's BufferPool; nothing to allocate here.
-    ring_base_ = ctx_.ring_lease.mem;
-    ring_mr_ = ctx_.ring_lease.mr;
+    ring_base_ = ctx_.ring_lease.mem();
+    ring_mr_ = ctx_.ring_lease.mr();
     EXS_CHECK_MSG(ring_mr_ != nullptr, "ring lease carries no registration");
   } else {
     EXS_CHECK_MSG(ctx_.options.intermediate_buffer_bytes > 0,
@@ -369,12 +369,10 @@ void StreamRx::MaybeFinishEof() {
 
 bool StreamRx::TryReleaseRing() {
   if (ring_released_) return true;
-  if (!ctx_.ring_lease.release) return false;  // private ring: nothing to do
+  if (!ctx_.ring_lease.HasRelease()) return false;  // private ring: no-op
   if (!eof_delivered_ || ring_.used() > 0 || copy_in_progress_) return false;
   ring_released_ = true;
-  auto release = std::move(ctx_.ring_lease.release);
-  ctx_.ring_lease.release = nullptr;
-  release();
+  ctx_.ring_lease.Release();
   return true;
 }
 

@@ -159,14 +159,14 @@ TEST(BufferPoolTest, LeasesAreDisjointCarvesOfOneSlab) {
   for (int i = 0; i < 4; ++i) {
     leases.push_back(pool.Acquire());
     ASSERT_TRUE(leases.back().valid());
-    EXPECT_EQ(leases.back().bytes, 4096u);
+    EXPECT_EQ(leases.back().bytes(), 4096u);
   }
   // All carves come from one registration and never overlap.
   for (std::size_t i = 0; i < leases.size(); ++i) {
-    EXPECT_EQ(leases[i].mr, leases[0].mr);
+    EXPECT_EQ(leases[i].mr(), leases[0].mr());
     for (std::size_t j = i + 1; j < leases.size(); ++j) {
-      bool disjoint = leases[i].mem + 4096 <= leases[j].mem ||
-                      leases[j].mem + 4096 <= leases[i].mem;
+      bool disjoint = leases[i].mem() + 4096 <= leases[j].mem() ||
+                      leases[j].mem() + 4096 <= leases[i].mem();
       EXPECT_TRUE(disjoint) << "leases " << i << " and " << j << " overlap";
     }
   }
@@ -176,12 +176,12 @@ TEST(BufferPoolTest, LeasesAreDisjointCarvesOfOneSlab) {
   // Exhausted: the next acquire fails rather than oversubscribing.
   EXPECT_FALSE(pool.Acquire().valid());
 
-  leases[1].release();
+  leases[1].Release();
   EXPECT_EQ(pool.LeasesActive(), 3u);
   EXPECT_EQ(pool.LeasesReclaimed(), 1u);
   RingLease again = pool.Acquire();
   ASSERT_TRUE(again.valid());
-  EXPECT_EQ(again.mem, leases[1].mem);  // the freed carve is reused
+  EXPECT_EQ(again.mem(), leases[1].mem());  // the freed carve is reused
 }
 
 TEST(BufferPoolTest, WatermarkHysteresisGatesAdmission) {
@@ -197,22 +197,69 @@ TEST(BufferPoolTest, WatermarkHysteresisGatesAdmission) {
   EXPECT_FALSE(pool.AdmissionOpen());  // fill 0.9 closed admission
 
   // Hysteresis: dropping just below high does not reopen...
-  leases.back().release();
+  leases.back().Release();
   leases.pop_back();
   EXPECT_FALSE(pool.AdmissionOpen());  // fill 0.8, still closed
   // ...only crossing back under the low watermark does.
-  leases.back().release();
+  leases.back().Release();
   leases.pop_back();
   EXPECT_TRUE(pool.AdmissionOpen());  // fill 0.7 reopened
   EXPECT_EQ(pool.PeakBytesLeased(), 9u * 1024);
 }
 
-TEST(BufferPoolTest, DoubleReleaseIsCaught) {
+TEST(BufferPoolTest, ReleaseIsIdempotent) {
   PoolHarness h;
   BufferPool pool(h.device, {.pool_bytes = 2 * 1024, .lease_bytes = 1024});
   RingLease lease = pool.Acquire();
-  lease.release();
-  EXPECT_THROW(lease.release(), InvariantViolation);
+  lease.Release();
+  EXPECT_EQ(pool.LeasesReclaimed(), 1u);
+  lease.Release();  // the consumed closure cannot refund a second time
+  EXPECT_EQ(pool.LeasesReclaimed(), 1u);
+  EXPECT_EQ(pool.LeasesActive(), 0u);
+}
+
+TEST(BufferPoolTest, DroppedLeaseReturnsItsCarve) {
+  // RAII: a lease destroyed without ever reaching EOF+drain (aborted
+  // stream, server churn) hands its carve back instead of stranding it.
+  PoolHarness h;
+  BufferPool pool(h.device, {.pool_bytes = 2 * 1024, .lease_bytes = 1024});
+  { RingLease lease = pool.Acquire(); }
+  EXPECT_EQ(pool.LeasesActive(), 0u);
+  EXPECT_EQ(pool.LeasesReclaimed(), 1u);
+}
+
+TEST(BufferPoolTest, SocketTeardownBeforeEofReturnsTheLease) {
+  Simulation sim(HardwareProfile::FdrInfiniBand(), 18, true);
+  BufferPool pool(sim.device(1),
+                  {.pool_bytes = 2 * 16 * 1024, .lease_bytes = 16 * 1024});
+  StreamOptions options;
+  options.credits = 8;
+  {
+    SocketWiring wiring;
+    wiring.ring_lease = pool.Acquire();
+    Socket socket(sim.device(1), SocketType::kStream, options, "aborted",
+                  std::move(wiring));
+    EXPECT_EQ(pool.LeasesActive(), 1u);
+  }
+  // No EOF, no drain, no explicit release: the receiver's lease is RAII,
+  // so the pool cannot monotonically shrink under connection churn.
+  EXPECT_EQ(pool.LeasesActive(), 0u);
+  EXPECT_EQ(pool.LeasesReclaimed(), 1u);
+}
+
+TEST(BufferPoolTest, ReleaseAfterPoolDestructionIsANoOp) {
+  // Accepted sockets routinely outlive the acceptor that owns the pool;
+  // their EOF/teardown release must degrade to a no-op, exactly like the
+  // ControlSlotSource liveness rule for the credit refund.
+  PoolHarness h;
+  RingLease survivor;
+  {
+    BufferPool pool(h.device, {.pool_bytes = 1024, .lease_bytes = 1024});
+    survivor = pool.Acquire();
+    ASSERT_TRUE(survivor.valid());
+  }
+  survivor.Release();  // pool is gone: guarded by the liveness token
+  SUCCEED();           // and the survivor's own destructor is equally safe
 }
 
 // ---------------------------------------------------------------------------
@@ -342,6 +389,47 @@ TEST(ProgressEngineTest, UnregisterLeavesEventsForDirectPolling) {
   h.engine.Unregister(server);              // idempotent
 }
 
+TEST(ProgressEngineTest, UnregisterSelfFromInsideHandlerIsSafe) {
+  // kPeerClosed-style teardown: the handler unregisters the very socket
+  // being served.  Dispatch for that socket must stop before the next
+  // event, with no use of the (now detached) entry afterwards.
+  EngineHarness h;
+  auto [client, server] = h.Pair();
+  (void)client;
+  int dispatched = 0;
+  h.engine.Register(server, [&](Socket& s, const Event&) {
+    ++dispatched;
+    h.engine.Unregister(&s);
+    h.engine.Unregister(&s);  // idempotent even while detached
+  });
+  for (std::uint64_t i = 0; i < 8; ++i) server->events().Push(FakeEvent(i));
+  h.sim.Run();
+  EXPECT_EQ(dispatched, 1);
+  EXPECT_EQ(server->events().Depth(), 7u);  // left for direct polling
+  EXPECT_EQ(h.engine.RegisteredCount(), 0u);
+  EXPECT_EQ(h.engine.ReadyCount(), 0u);
+}
+
+TEST(ProgressEngineTest, ReregisterFromInsideHandlerContinuesDispatch) {
+  // Unregister-then-register within one handler call: the old entry dies
+  // as a zombie, the fresh registration picks the queue back up.
+  EngineHarness h;
+  auto [client, server] = h.Pair();
+  (void)client;
+  int first = 0, second = 0;
+  h.engine.Register(server, [&](Socket& s, const Event&) {
+    ++first;
+    h.engine.Unregister(&s);
+    h.engine.Register(&s, [&](Socket&, const Event&) { ++second; });
+  });
+  for (std::uint64_t i = 0; i < 4; ++i) server->events().Push(FakeEvent(i));
+  h.sim.Run();
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 3);
+  EXPECT_EQ(server->events().Depth(), 0u);
+  EXPECT_EQ(h.engine.RegisteredCount(), 1u);
+}
+
 // ---------------------------------------------------------------------------
 // Acceptor: admission control, shared wiring, reclaim, conservation.
 // ---------------------------------------------------------------------------
@@ -419,7 +507,49 @@ TEST(AcceptorTest, RefusesWhenControlSlotsExhausted) {
   rig.sim.Run();
   EXPECT_EQ(accepted, 1);
   EXPECT_EQ(rejected, 1);
+  // Reservation happens at the admission point itself (atomic with the
+  // check): the one accepted connection holds exactly its 8 slots and the
+  // refused one left no residue.
   EXPECT_EQ(rig.acceptor.control_slots().reserved_slots(), 8u);
+}
+
+TEST(AcceptorTest, UnregisterOnPeerClosedInsideHandlerStillReclaims) {
+  // The reviewer-facing teardown idiom: the event handler unregisters its
+  // socket the moment kPeerClosed arrives.  This must neither crash the
+  // engine's dispatch loop nor leak the ring lease — the stream itself
+  // releases at EOF, independent of the engine's reap.
+  AcceptorOptions opts;
+  opts.pool = {.pool_bytes = 2 * 16 * 1024, .lease_bytes = 16 * 1024};
+  opts.control_slots = 64;
+  ServerRig rig(opts, 19);
+
+  std::vector<std::uint8_t> in(1024);
+  std::uint64_t received = 0;
+  rig.acceptor.Listen(
+      rig.sim.connections(), 4000, SmallStreams(),
+      [&](Socket& s, const Event& ev) {
+        if (ev.type == EventType::kRecvComplete) received += ev.bytes;
+        if (ev.type == EventType::kPeerClosed) rig.engine.Unregister(&s);
+      },
+      [&](Socket& s) {
+        s.Recv(in.data(), in.size(), RecvFlags{.waitall = true});
+      });
+
+  Socket* client = nullptr;
+  rig.sim.Connect(0, 4000, SocketType::kStream, SmallStreams(),
+                  [&](Socket* s) { client = s; });
+  rig.sim.Run();
+  ASSERT_NE(client, nullptr);
+
+  std::vector<std::uint8_t> out(1024, 7);
+  client->Send(out.data(), out.size());
+  client->Close();
+  rig.sim.Run();
+
+  EXPECT_EQ(received, out.size());
+  EXPECT_EQ(rig.engine.RegisteredCount(), 0u);
+  EXPECT_EQ(rig.acceptor.pool().LeasesActive(), 0u);
+  EXPECT_EQ(rig.acceptor.pool().LeasesReclaimed(), 1u);
 }
 
 TEST(AcceptorTest, AcceptedSocketsTransferOverSharedResources) {
