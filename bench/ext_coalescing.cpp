@@ -101,7 +101,8 @@ void WriteJson(const Args& args,
                    profiles) {
   if (args.results_json_path.empty()) return;
   std::ostringstream json;
-  json << "{\"bench\":\"ext_coalescing\",\"runs\":" << args.runs
+  json << "{\"bench\":\"ext_coalescing\",\"schema_version\":"
+       << kBenchJsonSchemaVersion << ",\"runs\":" << args.runs
        << ",\"messages\":" << args.messages << ",\"profiles\":[";
   for (std::size_t i = 0; i < profiles.size(); ++i) {
     if (i) json << ",";

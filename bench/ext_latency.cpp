@@ -7,7 +7,9 @@
 // always has its ADVERT out before the next ping) track each other, while
 // indirect-only pays the receiver-side copy on every hop and falls behind
 // by a growing margin as messages get larger.
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <vector>
 
 #include "support.hpp"
@@ -15,13 +17,17 @@
 namespace exs::bench {
 namespace {
 
-/// One ping-pong session; returns mean RTT in microseconds.
+/// One ping-pong session; returns mean RTT in microseconds.  When
+/// `latency_json` is non-null the run is span-instrumented (which cannot
+/// perturb timing — the collector schedules nothing) and the per-stage
+/// LatencyReport JSON is stored there.
 double MeasureRttUs(ProtocolMode mode, std::uint64_t size, int iterations,
-                    std::uint64_t seed) {
+                    std::uint64_t seed, std::string* latency_json = nullptr) {
   StreamOptions opts;
   opts.mode = mode;
   Simulation sim(simnet::HardwareProfile::FdrInfiniBand(), seed,
                  /*carry_payload=*/false);
+  if (latency_json != nullptr) sim.EnableChunkSpans();
   auto [client, server] = sim.CreateConnectedPair(SocketType::kStream, opts);
 
   std::vector<std::uint8_t> ping(size), pong(size), ping_in(size),
@@ -59,7 +65,38 @@ double MeasureRttUs(ProtocolMode mode, std::uint64_t size, int iterations,
   client->Send(ping.data(), size);
   sim.Run();
 
+  if (latency_json != nullptr) {
+    *latency_json = sim.chunk_spans()->BuildReport().ToJson();
+  }
   return ToMicroseconds(last_recv - first_send) / iterations;
+}
+
+/// --latency-json: one span-instrumented dynamic-mode session at a
+/// representative mid-size point; run_all.sh merges the per-stage
+/// breakdown into BENCH_streams.json.
+void WriteLatencyJson(const Args& args, int iterations) {
+  if (args.latency_json_path.empty()) return;
+  constexpr std::uint64_t kSize = 32 * kKiB;
+  std::string report;
+  MeasureRttUs(ProtocolMode::kDynamic, kSize, iterations, /*seed=*/1000,
+               &report);
+  std::ostringstream json;
+  json << "{\"bench\":\"ext_latency\",\"schema_version\":"
+       << kBenchJsonSchemaVersion
+       << ",\"mode\":\"dynamic\",\"message_bytes\":" << kSize
+       << ",\"iterations\":" << iterations << ",\"latency\":" << report << "}";
+  if (args.latency_json_path == "-") {
+    std::cout << json.str() << "\n";
+    return;
+  }
+  std::ofstream file(args.latency_json_path, std::ios::trunc);
+  if (!file.good()) {
+    std::cerr << "cannot write " << args.latency_json_path << "\n";
+    std::exit(2);
+  }
+  file << json.str() << "\n";
+  std::cout << "latency breakdown written to " << args.latency_json_path
+            << "\n";
 }
 
 void Run(const Args& args) {
@@ -89,6 +126,7 @@ void Run(const Args& args) {
     table.AddRow(std::move(row));
   }
   table.Print(std::cout, args.csv);
+  WriteLatencyJson(args, iterations);
 }
 
 }  // namespace

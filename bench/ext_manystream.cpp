@@ -31,6 +31,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/spans.hpp"
 #include "exs/engine/acceptor.hpp"
 #include "exs/engine/progress_engine.hpp"
 #include "exs/exs.hpp"
@@ -68,8 +69,12 @@ struct Point {
 /// One deterministic run: N clients connect, each streams `per_stream`
 /// bytes to an engine-driven sink, then closes.  `failures` collects any
 /// correctness problem (the bench exits nonzero if it is non-empty).
+/// `span_collector`, when non-null, attaches causal chunk tracing to every
+/// client and accepted socket (--latency-json); the collector schedules no
+/// events, so the measured numbers are unchanged.
 Point RunPoint(std::uint32_t streams, std::uint64_t aggregate_bytes,
-               std::vector<std::string>* failures) {
+               std::vector<std::string>* failures,
+               spans::SpanCollector* span_collector = nullptr) {
   Point pt;
   pt.streams = streams;
   pt.lease_bytes = kSlabBytes / streams;
@@ -141,6 +146,7 @@ Point RunPoint(std::uint32_t streams, std::uint64_t aggregate_bytes,
         auto rx = std::make_unique<Rx>();
         rx->socket = &s;
         if (trace) s.EnableTracing(0);
+        if (span_collector != nullptr) s.EnableChunkSpans(span_collector);
         s.Recv(sink.data(), per_stream, RecvFlags{.waitall = true});
         rx_by_socket.emplace(&s, rx.get());
         rxs.push_back(std::move(rx));
@@ -153,6 +159,9 @@ Point RunPoint(std::uint32_t streams, std::uint64_t aggregate_bytes,
                                   [&](Socket* s) {
                                     if (s == nullptr) ++rejected;
                                   }));
+    if (span_collector != nullptr) {
+      clients.back()->EnableChunkSpans(span_collector);
+    }
   }
   sim.Run();  // all handshakes settle
   if (rejected != 0) {
@@ -238,7 +247,8 @@ void WriteJson(const Args& args, const std::vector<Point>& points,
                std::uint64_t aggregate_bytes) {
   if (args.results_json_path.empty()) return;
   std::ostringstream json;
-  json << "{\"bench\":\"ext_manystream\",\"slab_bytes\":" << kSlabBytes
+  json << "{\"bench\":\"ext_manystream\",\"schema_version\":"
+       << kBenchJsonSchemaVersion << ",\"slab_bytes\":" << kSlabBytes
        << ",\"single_stream_ring_bytes\":" << kSingleStreamRing
        << ",\"aggregate_bytes\":" << aggregate_bytes
        << ",\"credits\":" << kCredits << ",\"profiles\":[";
@@ -316,6 +326,33 @@ int main(int argc, char** argv) {
   table.Print(std::cout, args.csv);
   std::cout << "\n";
   WriteJson(args, points, aggregate_bytes);
+
+  if (!args.latency_json_path.empty()) {
+    // A dedicated span-instrumented run at the largest traced point.  The
+    // collector must be declared before the point's Simulation (sockets
+    // hold a raw pointer into it), which RunPoint's inner scope satisfies.
+    constexpr std::uint32_t kLatencyStreams = kMaxTracedStreams;
+    exs::spans::SpanCollector collector(/*seed=*/1, /*sample_period=*/1);
+    Point p = RunPoint(kLatencyStreams, aggregate_bytes, &failures, &collector);
+    std::ostringstream json;
+    json << "{\"bench\":\"ext_manystream\",\"schema_version\":"
+         << kBenchJsonSchemaVersion << ",\"streams\":" << kLatencyStreams
+         << ",\"per_stream_bytes\":" << p.per_stream_bytes
+         << ",\"sample_period\":" << collector.sample_period()
+         << ",\"latency\":" << collector.BuildReport().ToJson() << "}";
+    if (args.latency_json_path == "-") {
+      std::cout << json.str() << "\n";
+    } else {
+      std::ofstream file(args.latency_json_path, std::ios::trunc);
+      if (!file.good()) {
+        std::cerr << "cannot write " << args.latency_json_path << "\n";
+        return 2;
+      }
+      file << json.str() << "\n";
+      std::cout << "latency breakdown written to " << args.latency_json_path
+                << "\n";
+    }
+  }
 
   for (const std::string& f : failures) std::cerr << "FAIL " << f << "\n";
   return failures.empty() ? 0 : 1;

@@ -87,7 +87,8 @@ void WriteJson(const Args& args,
                    profiles) {
   if (args.results_json_path.empty()) return;
   std::ostringstream json;
-  json << "{\"bench\":\"ext_striping\",\"runs\":" << args.runs
+  json << "{\"bench\":\"ext_striping\",\"schema_version\":"
+       << kBenchJsonSchemaVersion << ",\"runs\":" << args.runs
        << ",\"messages\":" << args.messages << ",\"chunk\":" << kChunk
        << ",\"outstanding\":" << kOutstanding << ",\"profiles\":[";
   for (std::size_t i = 0; i < profiles.size(); ++i) {

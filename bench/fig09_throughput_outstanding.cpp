@@ -66,7 +66,8 @@ void WriteJson(const Args& args,
                    parts) {
   if (args.results_json_path.empty()) return;
   std::ostringstream json;
-  json << "{\"bench\":\"fig09\",\"runs\":" << args.runs
+  json << "{\"bench\":\"fig09\",\"schema_version\":"
+       << kBenchJsonSchemaVersion << ",\"runs\":" << args.runs
        << ",\"messages\":" << args.messages << ",\"parts\":[";
   for (std::size_t i = 0; i < parts.size(); ++i) {
     if (i) json << ",";

@@ -69,7 +69,8 @@ std::vector<Point> Run(const Args& args) {
 void WriteJson(const Args& args, const std::vector<Point>& points) {
   if (args.results_json_path.empty()) return;
   std::ostringstream json;
-  json << "{\"bench\":\"fig12\",\"runs\":" << args.runs
+  json << "{\"bench\":\"fig12\",\"schema_version\":"
+       << kBenchJsonSchemaVersion << ",\"runs\":" << args.runs
        << ",\"messages\":" << args.messages << ",\"points\":[";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const Point& p = points[i];

@@ -25,32 +25,73 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 
+# Top-level merged-file schema.  Distinct from the per-bench
+# schema_version (bench/support.hpp): this one covers the envelope below.
+suite_schema_version=2
+
 benches=(fig09_throughput_outstanding fig12_message_size ext_coalescing
          ext_striping ext_manystream)
+# Benches that also emit a per-stage latency provenance document
+# (--latency-json, see docs/OBSERVABILITY.md "Latency provenance").
+latency_benches=(ext_latency ext_manystream)
 
 tmp_dir="$(mktemp -d)"
 trap 'rm -rf "${tmp_dir}"' EXIT
 
+require_bin() {
+  if [[ ! -x "$1" ]]; then
+    echo "missing bench binary: $1 (build the 'bench' targets first)" >&2
+    exit 1
+  fi
+}
+
 json_files=()
 for bench in "${benches[@]}"; do
   bin="${build_dir}/bench/${bench}"
-  if [[ ! -x "${bin}" ]]; then
-    echo "missing bench binary: ${bin} (build the 'bench' targets first)" >&2
-    exit 1
-  fi
+  require_bin "${bin}"
   json="${tmp_dir}/${bench}.json"
+  extra=()
+  # ext_manystream doubles as a latency bench: collect its span breakdown
+  # in the same invocation rather than running the sweep twice.
+  for lb in "${latency_benches[@]}"; do
+    if [[ "${lb}" == "${bench}" ]]; then
+      extra+=(--latency-json "${tmp_dir}/${bench}.latency.json")
+    fi
+  done
   echo "== ${bench} =="
-  "${bin}" "${bench_args[@]}" "${passthrough[@]}" --json "${json}"
+  "${bin}" "${bench_args[@]}" "${passthrough[@]}" --json "${json}" \
+    "${extra[@]}"
   json_files+=("${json}")
+done
+
+latency_files=()
+for bench in "${latency_benches[@]}"; do
+  latency_json="${tmp_dir}/${bench}.latency.json"
+  if [[ ! -f "${latency_json}" ]]; then
+    bin="${build_dir}/bench/${bench}"
+    require_bin "${bin}"
+    echo "== ${bench} (latency provenance) =="
+    "${bin}" "${bench_args[@]}" "${passthrough[@]}" \
+      --latency-json "${latency_json}"
+  fi
+  latency_files+=("${latency_json}")
 done
 
 # Merge: one top-level object keyed by bench name.  Each bench emitted a
 # single-line JSON object with a "bench" discriminator; stitching them
 # preserves every byte of the per-bench payloads.
 {
-  printf '{"suite":"exs-stream-benches","benches":['
+  printf '{"suite":"exs-stream-benches","schema_version":%s,"benches":[' \
+    "${suite_schema_version}"
   first=1
   for json in "${json_files[@]}"; do
+    [[ ${first} -eq 1 ]] || printf ','
+    first=0
+    tr -d '\n' < "${json}"
+  done
+  printf '],"latency":['
+  first=1
+  for json in "${latency_files[@]}"; do
     [[ ${first} -eq 1 ]] || printf ','
     first=0
     tr -d '\n' < "${json}"

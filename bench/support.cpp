@@ -43,9 +43,12 @@ Args Args::Parse(int argc, char** argv) {
       args.timeline_json_path = next_value("--timeline-json");
     } else if (arg == "--json") {
       args.results_json_path = next_value("--json");
+    } else if (arg == "--latency-json") {
+      args.latency_json_path = next_value("--latency-json");
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "options: --csv --quick --runs N --messages N "
-                   "--metrics-json FILE --timeline-json FILE --json FILE\n";
+                   "--metrics-json FILE --timeline-json FILE --json FILE "
+                   "--latency-json FILE\n";
       std::exit(0);
     } else {
       std::cerr << "unknown option: " << arg << "\n";

@@ -17,6 +17,12 @@
 
 namespace exs::bench {
 
+/// Version of the machine-readable results JSON each bench emits (the
+/// `schema_version` field).  Bump when a field is added, renamed, or its
+/// meaning changes, so CI's regression differ can refuse to compare
+/// baselines written under a different schema.
+inline constexpr int kBenchJsonSchemaVersion = 2;
+
 struct Args {
   bool csv = false;
   int runs = 10;
@@ -31,6 +37,11 @@ struct Args {
   /// stdout); CI archives it as an artifact.  Ignored by benches that
   /// don't.
   std::string results_json_path;
+  /// Per-stage latency provenance (common/spans.hpp) for benches that
+  /// support it ("-" = stdout): a LatencyReport::ToJson() document, merged
+  /// into BENCH_streams.json by bench/run_all.sh.  Ignored by benches that
+  /// don't trace.
+  std::string latency_json_path;
 
   static Args Parse(int argc, char** argv);
 };

@@ -244,8 +244,11 @@ std::string Registry::ToJson(SimTime now) const {
       if (h.buckets()[b] == 0) continue;
       if (!first_bucket) buckets += ",";
       first_bucket = false;
-      buckets += "[" + U64(Histogram::BucketLowerBound(b)) + "," +
-                 U64(h.buckets()[b]) + "]";
+      buckets += "[";
+      buckets += U64(Histogram::BucketLowerBound(b));
+      buckets += ",";
+      buckets += U64(h.buckets()[b]);
+      buckets += "]";
     }
     buckets += "]";
     AppendField(&out, "buckets", buckets, &f);
@@ -273,8 +276,11 @@ std::string Registry::ToJson(SimTime now) const {
     for (const auto& sample : s.samples()) {
       if (!first_sample) samples += ",";
       first_sample = false;
-      samples += "[" + U64(static_cast<std::uint64_t>(sample.time)) + "," +
-                 FormatJsonNumber(sample.value) + "]";
+      samples += "[";
+      samples += U64(static_cast<std::uint64_t>(sample.time));
+      samples += ",";
+      samples += FormatJsonNumber(sample.value);
+      samples += "]";
     }
     samples += "]";
     AppendField(&out, "samples", samples, &f);

@@ -1,0 +1,264 @@
+#include "common/spans.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace exs::spans {
+
+namespace {
+
+/// SplitMix64 finaliser: the sampling decision hash.  Self-contained so
+/// the sampling schedule can never drift with the workload RNG.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+SimDuration Delta(SimTime from, SimTime to) {
+  if (from == kNoTime || to == kNoTime || to < from) return 0;
+  return to - from;
+}
+
+/// Nearest-rank percentile over an ascending-sorted vector.
+SimDuration NearestRank(const std::vector<SimDuration>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  std::size_t rank = static_cast<std::size_t>(
+      p / 100.0 * static_cast<double>(sorted.size()) + 0.999999);
+  if (rank == 0) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
+StageStats Summarise(std::vector<SimDuration>* durations) {
+  StageStats st;
+  if (durations->empty()) return st;
+  std::sort(durations->begin(), durations->end());
+  st.count = durations->size();
+  st.min_ps = durations->front();
+  st.max_ps = durations->back();
+  for (SimDuration d : *durations) {
+    st.sum_ps += static_cast<std::uint64_t>(d);
+  }
+  st.p50_ps = NearestRank(*durations, 50.0);
+  st.p99_ps = NearestRank(*durations, 99.0);
+  st.p999_ps = NearestRank(*durations, 99.9);
+  return st;
+}
+
+std::string FormatUs(SimDuration ps) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f",
+                static_cast<double>(ps) / 1e6);
+  return buf;
+}
+
+void AppendStageJson(std::ostringstream* out, const char* name,
+                     const StageStats& st) {
+  *out << "{\"stage\":\"" << name << "\",\"count\":" << st.count
+       << ",\"sum_ps\":" << st.sum_ps << ",\"min_ps\":" << st.min_ps
+       << ",\"max_ps\":" << st.max_ps << ",\"p50_ps\":" << st.p50_ps
+       << ",\"p99_ps\":" << st.p99_ps << ",\"p999_ps\":" << st.p999_ps
+       << "}";
+}
+
+}  // namespace
+
+const char* StageName(Stage s) {
+  switch (s) {
+    case Stage::kTxStaging: return "tx_staging";
+    case Stage::kTxQueue: return "tx_queue";
+    case Stage::kWire: return "wire";
+    case Stage::kRxReorder: return "rx_reorder";
+    case Stage::kRxRing: return "rx_ring";
+    case Stage::kRxCopy: return "rx_copy";
+    case Stage::kRxDeliver: return "rx_deliver";
+  }
+  return "?";
+}
+
+SimDuration ChunkRecord::StageDuration(Stage s) const {
+  switch (s) {
+    case Stage::kTxStaging: return Delta(t_submit, t_flush);
+    case Stage::kTxQueue: return Delta(t_flush, t_post);
+    case Stage::kWire: return Delta(t_post, t_arrive);
+    case Stage::kRxReorder: return Delta(t_arrive, t_process);
+    case Stage::kRxRing: return Delta(t_process, t_ring_end);
+    case Stage::kRxCopy: return Delta(t_ring_end, t_copied);
+    case Stage::kRxDeliver: return Delta(t_copied, t_deliver);
+  }
+  return 0;
+}
+
+SimDuration ChunkRecord::EndToEnd() const {
+  return Delta(t_submit, t_deliver);
+}
+
+SpanCollector::SpanCollector(std::uint64_t seed, std::uint64_t sample_period)
+    : seed_(seed), sample_period_(sample_period == 0 ? 1 : sample_period) {
+  endpoints_.push_back("?");  // id 0 = unregistered
+}
+
+std::uint64_t SpanCollector::RegisterEndpoint(const std::string& name) {
+  endpoints_.push_back(name);
+  return endpoints_.size() - 1;
+}
+
+const std::string& SpanCollector::EndpointName(std::uint64_t id) const {
+  if (id >= endpoints_.size()) return endpoints_[0];
+  return endpoints_[id];
+}
+
+bool SpanCollector::Sampled(std::uint64_t ordinal) const {
+  if (sample_period_ <= 1) return true;
+  return Mix(seed_ ^ ordinal) % sample_period_ == 0;
+}
+
+std::uint64_t SpanCollector::BeginChunk(std::uint64_t tx_endpoint,
+                                        SimTime submit, SimTime flush,
+                                        SimTime post, std::uint64_t len,
+                                        bool indirect, bool coalesced,
+                                        std::uint32_t rail) {
+  const std::uint64_t ordinal = chunks_seen_++;
+  if (!Sampled(ordinal)) return 0;
+  ChunkRecord rec;
+  rec.id = chunks_.size() + 1;
+  rec.tx_endpoint = tx_endpoint;
+  rec.len = len;
+  rec.tx_rail = rail;
+  rec.indirect = indirect;
+  rec.coalesced = coalesced;
+  rec.t_submit = submit;
+  rec.t_flush = flush == kNoTime ? submit : flush;
+  rec.t_post = post;
+  chunks_.push_back(rec);
+  return rec.id;
+}
+
+ChunkRecord* SpanCollector::Find(std::uint64_t id) {
+  if (id == 0 || id > chunks_.size()) return nullptr;
+  return &chunks_[id - 1];
+}
+
+const ChunkRecord* SpanCollector::Find(std::uint64_t id) const {
+  if (id == 0 || id > chunks_.size()) return nullptr;
+  return &chunks_[id - 1];
+}
+
+void SpanCollector::NoteTxComplete(std::uint64_t id, SimTime now) {
+  if (ChunkRecord* rec = Find(id)) rec->t_tx_complete = now;
+}
+
+void SpanCollector::NoteArrive(std::uint64_t id, SimTime now,
+                               std::uint64_t rx_endpoint,
+                               std::uint32_t rail) {
+  if (ChunkRecord* rec = Find(id)) {
+    rec->t_arrive = now;
+    rec->rx_endpoint = rx_endpoint;
+    rec->rx_rail = rail;
+  }
+}
+
+void SpanCollector::NoteProcess(std::uint64_t id, SimTime now) {
+  if (ChunkRecord* rec = Find(id)) {
+    rec->t_process = now;
+    if (!rec->indirect) {
+      // Direct transfers land in user memory: no ring residence, no copy.
+      rec->t_ring_end = now;
+      rec->t_copied = now;
+    }
+  }
+}
+
+void SpanCollector::NoteRingCopyStart(std::uint64_t id, SimTime now) {
+  if (ChunkRecord* rec = Find(id)) {
+    if (rec->t_ring_end == kNoTime) rec->t_ring_end = now;
+  }
+}
+
+void SpanCollector::NoteCopied(std::uint64_t id, SimTime now) {
+  if (ChunkRecord* rec = Find(id)) rec->t_copied = now;
+}
+
+void SpanCollector::NoteDeliver(std::uint64_t id, SimTime now) {
+  if (ChunkRecord* rec = Find(id)) rec->t_deliver = now;
+}
+
+LatencyReport SpanCollector::BuildReport() const {
+  LatencyReport report;
+  report.chunks_sampled = chunks_.size();
+  std::vector<SimDuration> stage_durations[kStageCount];
+  std::vector<SimDuration> e2e;
+  std::vector<std::vector<SimDuration>> by_rail;
+  for (const ChunkRecord& rec : chunks_) {
+    if (!rec.delivered()) continue;
+    ++report.chunks_delivered;
+    for (std::size_t s = 0; s < kStageCount; ++s) {
+      stage_durations[s].push_back(
+          rec.StageDuration(static_cast<Stage>(s)));
+    }
+    e2e.push_back(rec.EndToEnd());
+    if (by_rail.size() <= rec.rx_rail) by_rail.resize(rec.rx_rail + 1);
+    by_rail[rec.rx_rail].push_back(rec.StageDuration(Stage::kRxReorder));
+  }
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    report.stages[s] = Summarise(&stage_durations[s]);
+  }
+  report.end_to_end = Summarise(&e2e);
+  report.reorder_by_rail.resize(by_rail.size());
+  for (std::size_t r = 0; r < by_rail.size(); ++r) {
+    report.reorder_by_rail[r] = Summarise(&by_rail[r]);
+  }
+  return report;
+}
+
+std::string LatencyReport::ToText() const {
+  std::ostringstream out;
+  out << "chunks delivered: " << chunks_delivered << " (sampled "
+      << chunks_sampled << ")\n";
+  char line[160];
+  std::snprintf(line, sizeof line, "%-12s %8s %12s %12s %12s %12s\n",
+                "stage", "count", "p50 us", "p99 us", "p999 us", "max us");
+  out << line;
+  auto row = [&](const char* name, const StageStats& st) {
+    std::snprintf(line, sizeof line, "%-12s %8llu %12s %12s %12s %12s\n",
+                  name, static_cast<unsigned long long>(st.count),
+                  FormatUs(st.p50_ps).c_str(), FormatUs(st.p99_ps).c_str(),
+                  FormatUs(st.p999_ps).c_str(), FormatUs(st.max_ps).c_str());
+    out << line;
+  };
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    row(StageName(static_cast<Stage>(s)), stages[s]);
+  }
+  row("end_to_end", end_to_end);
+  for (std::size_t r = 0; r < reorder_by_rail.size(); ++r) {
+    if (reorder_by_rail[r].count == 0) continue;
+    std::string name = "hol_rail" + std::to_string(r);
+    row(name.c_str(), reorder_by_rail[r]);
+  }
+  return out.str();
+}
+
+std::string LatencyReport::ToJson() const {
+  std::ostringstream out;
+  out << "{\"chunks_delivered\":" << chunks_delivered
+      << ",\"chunks_sampled\":" << chunks_sampled << ",\"stages\":[";
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    if (s) out << ",";
+    AppendStageJson(&out, StageName(static_cast<Stage>(s)), stages[s]);
+  }
+  out << "],\"end_to_end\":";
+  AppendStageJson(&out, "end_to_end", end_to_end);
+  out << ",\"hol_by_rail\":[";
+  for (std::size_t r = 0; r < reorder_by_rail.size(); ++r) {
+    if (r) out << ",";
+    AppendStageJson(&out, ("rail" + std::to_string(r)).c_str(),
+                    reorder_by_rail[r]);
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace exs::spans

@@ -1,0 +1,170 @@
+// Causal chunk tracing: end-to-end latency provenance for the EXS stack.
+//
+// Every WRITE-WITH-IMM chunk (and every coalesced aggregate) can carry a
+// trace id and accumulate picosecond-stamped stage timestamps as it flows
+// sender → wire → receiver.  The stages form a contiguous partition of
+// [application submit, delivery], so per-chunk stage durations *sum to the
+// end-to-end latency by construction* — the invariant checker re-verifies
+// that conservation from the stored record (CheckSpanConservation), which
+// catches missing or non-monotonic instrumentation rather than arithmetic.
+//
+// Provenance is measured at the delivery boundary (the instant the receive
+// completion is pushed onto the application's event queue), NOT at the
+// sender's work-request completion: Borrill's "completion fallacy" — a send
+// completion only proves the source buffer is reusable, never that the
+// peer received anything — is why `t_tx_complete` is kept as a comparator
+// but excluded from the conservation sum.
+//
+// The collector never schedules simulator events and never charges CPU
+// cost, so attaching it cannot perturb timing: golden-trace fingerprints
+// stay bit-identical whether sampling is on or off.  Cost is bounded by
+// deterministic seed-derived sampling (sample_period = N keeps ~1/N of
+// chunks, chosen by a hash of the seed and the chunk ordinal, so the same
+// seed always samples the same chunks).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace exs::spans {
+
+/// The stage catalogue.  Stages are adjacent timestamp differences in
+/// chunk order; see ChunkRecord for the timestamp each boundary uses.
+enum class Stage : std::uint8_t {
+  kTxStaging = 0,  ///< submit → flush: residence in the coalescing buffer
+  kTxQueue = 1,    ///< flush → post: chunk queue + credit/ADVERT wait + rail queue
+  kWire = 2,       ///< post → arrival: HCA FIFO, serialisation, propagation,
+                   ///< receive-side HCA delivery overhead
+  kRxReorder = 3,  ///< arrival → in-order processing: stripe reorder-buffer
+                   ///< residence (the per-rail HoL-blocking wait; 0 when
+                   ///< single-rail or already in order)
+  kRxRing = 4,     ///< processing → first copy pass: intermediate-ring
+                   ///< residence before the drain reaches it (0 for direct)
+  kRxCopy = 5,     ///< copy pass start → copy complete (0 for direct)
+  kRxDeliver = 6,  ///< copy complete → receive completion pushed to the app
+};
+
+inline constexpr std::size_t kStageCount = 7;
+
+const char* StageName(Stage s);
+
+/// Sentinel for "timestamp not recorded yet".
+inline constexpr SimTime kNoTime = -1;
+
+/// One sampled chunk's full provenance record.
+struct ChunkRecord {
+  std::uint64_t id = 0;           ///< trace id; doubles as the Perfetto flow id
+  std::uint64_t tx_endpoint = 0;  ///< RegisterEndpoint id of the sender
+  std::uint64_t rx_endpoint = 0;  ///< RegisterEndpoint id of the receiver
+  std::uint64_t len = 0;          ///< payload bytes
+  std::uint32_t tx_rail = 0;      ///< rail the chunk was posted on
+  std::uint32_t rx_rail = 0;      ///< rail it arrived on (== tx_rail)
+  bool indirect = false;          ///< landed in the intermediate ring
+  bool coalesced = false;         ///< aggregate of staged small sends
+
+  SimTime t_submit = kNoTime;    ///< application Send() accepted the bytes
+  SimTime t_flush = kNoTime;     ///< left the coalescing stage (== t_submit
+                                 ///< when never staged)
+  SimTime t_post = kNoTime;      ///< WR posted to the verbs layer
+  SimTime t_arrive = kNoTime;    ///< receive completion seen by StreamRx
+  SimTime t_process = kNoTime;   ///< processed in stream order
+  SimTime t_ring_end = kNoTime;  ///< first ring copy pass covering the chunk
+                                 ///< begins (t_process for direct)
+  SimTime t_copied = kNoTime;    ///< last byte memcpy'd out of the ring
+                                 ///< (t_process for direct)
+  SimTime t_deliver = kNoTime;   ///< covering receive completion pushed
+  SimTime t_tx_complete = kNoTime;  ///< sender-side WR completion (the
+                                    ///< "completion fallacy" comparator;
+                                    ///< NOT part of the conservation sum)
+
+  bool delivered() const { return t_deliver != kNoTime; }
+  /// Duration of one stage; 0 if either boundary is unset.
+  SimDuration StageDuration(Stage s) const;
+  /// t_deliver − t_submit (0 if undelivered).
+  SimDuration EndToEnd() const;
+};
+
+/// Exact per-stage distribution summary.  Percentiles are nearest-rank
+/// over the exact sorted durations — no bucketing, so a fixed-seed run
+/// renders bit-identically every time.
+struct StageStats {
+  std::uint64_t count = 0;
+  std::uint64_t sum_ps = 0;
+  SimDuration min_ps = 0;
+  SimDuration max_ps = 0;
+  SimDuration p50_ps = 0;
+  SimDuration p99_ps = 0;
+  SimDuration p999_ps = 0;
+};
+
+/// The derived attribution report over all delivered sampled chunks.
+struct LatencyReport {
+  std::uint64_t chunks_delivered = 0;
+  std::uint64_t chunks_sampled = 0;
+  StageStats stages[kStageCount];
+  StageStats end_to_end;
+  /// Per-rail HoL blocking: the kRxReorder stage grouped by arrival rail.
+  /// Index = rail number (vector sized to the highest rail seen + 1).
+  std::vector<StageStats> reorder_by_rail;
+
+  /// Fixed-width human table (the `tools/latency_report` output).
+  std::string ToText() const;
+  /// Deterministic JSON object (stable key order, integer picoseconds).
+  std::string ToJson() const;
+};
+
+/// The collector.  One per simulation; endpoints (socket halves) register
+/// by name, chunks are created at post time and accumulate timestamps via
+/// the Note* calls.  Every call is O(1) (ids are dense indices); calls
+/// with id 0 (unsampled) are no-ops, so instrumentation sites need no
+/// null/sampling checks of their own.
+class SpanCollector {
+ public:
+  /// `sample_period` keeps roughly 1 in N chunks (1 = every chunk).  The
+  /// choice is a pure function of (seed, chunk ordinal), so reruns of the
+  /// same seed sample the same chunks.
+  explicit SpanCollector(std::uint64_t seed, std::uint64_t sample_period = 1);
+
+  std::uint64_t RegisterEndpoint(const std::string& name);
+  const std::vector<std::string>& endpoints() const { return endpoints_; }
+  const std::string& EndpointName(std::uint64_t id) const;
+
+  /// Sender side, at WR-post time.  Returns the trace id (0 = unsampled).
+  std::uint64_t BeginChunk(std::uint64_t tx_endpoint, SimTime submit,
+                           SimTime flush, SimTime post, std::uint64_t len,
+                           bool indirect, bool coalesced, std::uint32_t rail);
+
+  void NoteTxComplete(std::uint64_t id, SimTime now);
+  void NoteArrive(std::uint64_t id, SimTime now, std::uint64_t rx_endpoint,
+                  std::uint32_t rail);
+  /// Marks in-order processing; for direct chunks this also closes the
+  /// (empty) ring and copy stages.
+  void NoteProcess(std::uint64_t id, SimTime now);
+  void NoteRingCopyStart(std::uint64_t id, SimTime now);
+  void NoteCopied(std::uint64_t id, SimTime now);
+  void NoteDeliver(std::uint64_t id, SimTime now);
+
+  ChunkRecord* Find(std::uint64_t id);
+  const ChunkRecord* Find(std::uint64_t id) const;
+  const std::vector<ChunkRecord>& chunks() const { return chunks_; }
+  std::uint64_t chunks_seen() const { return chunks_seen_; }
+  std::uint64_t seed() const { return seed_; }
+  std::uint64_t sample_period() const { return sample_period_; }
+
+  LatencyReport BuildReport() const;
+
+ private:
+  bool Sampled(std::uint64_t ordinal) const;
+
+  std::uint64_t seed_;
+  std::uint64_t sample_period_;
+  std::uint64_t chunks_seen_ = 0;  ///< sampled or not
+  std::vector<ChunkRecord> chunks_;
+  std::vector<std::string> endpoints_;
+};
+
+}  // namespace exs::spans

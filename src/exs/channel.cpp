@@ -161,7 +161,8 @@ void ControlChannel::PostDataWwi(std::uint64_t wr_id, const void* src,
                                  std::uint32_t lkey, std::uint64_t len,
                                  std::uint64_t remote_addr, std::uint32_t rkey,
                                  bool indirect, bool has_stripe_seq,
-                                 std::uint64_t stripe_seq) {
+                                 std::uint64_t stripe_seq,
+                                 std::uint64_t trace_ctx) {
   EXS_CHECK(wr_id != kControlWrId);
   ConsumeCredit();
 
@@ -177,6 +178,7 @@ void ControlChannel::PostDataWwi(std::uint64_t wr_id, const void* src,
   wr.imm = wire::EncodeDataImm(indirect, len);
   wr.has_stripe_seq = has_stripe_seq;
   wr.stripe_seq = stripe_seq;
+  wr.trace_ctx = trace_ctx;
   ++outstanding_wrs_;
   SampleInflightWrs();
   qp_->PostSend(wr);
@@ -263,7 +265,7 @@ void ControlChannel::ProcessRecvCompletion(const verbs::WorkCompletion& wc) {
     EXS_CHECK(wc.has_imm);
     if (callbacks_.on_data) {
       callbacks_.on_data(wire::ImmIsIndirect(wc.imm), wire::ImmLength(wc.imm),
-                         wc.has_stripe_seq, wc.stripe_seq);
+                         wc.has_stripe_seq, wc.stripe_seq, wc.trace_ctx);
     }
     MaybeSendStandaloneCredit();
     return;

@@ -65,9 +65,10 @@ class ControlChannel : public simnet::IncomingHoldTarget {
     /// A data WWI arrived: kind and chunk length decoded from the imm,
     /// plus the stripe sequence number when the sender striped the stream
     /// across multiple rails (has_stripe_seq == false on classic
-    /// single-rail connections).
+    /// single-rail connections).  `trace_ctx` is the causal-tracing
+    /// correlation id carried as work-request metadata (0 = untraced).
     std::function<void(bool indirect, std::uint64_t len, bool has_stripe_seq,
-                       std::uint64_t stripe_seq)>
+                       std::uint64_t stripe_seq, std::uint64_t trace_ctx)>
         on_data;
     /// A locally posted data WWI completed (transport-acknowledged).
     std::function<void(std::uint64_t wr_id)> on_data_sent;
@@ -125,10 +126,13 @@ class ControlChannel : public simnet::IncomingHoldTarget {
   /// must have checked CanSend().  `wr_id` is returned via on_data_sent.
   /// When `has_stripe_seq`, the chunk carries `stripe_seq` in an extended
   /// wire header (multi-rail striping) at kStripeHeaderBytes extra cost.
+  /// `trace_ctx` rides as zero-cost work-request metadata and surfaces in
+  /// the peer's on_data callback (0 = untraced).
   void PostDataWwi(std::uint64_t wr_id, const void* src, std::uint32_t lkey,
                    std::uint64_t len, std::uint64_t remote_addr,
                    std::uint32_t rkey, bool indirect,
-                   bool has_stripe_seq = false, std::uint64_t stripe_seq = 0);
+                   bool has_stripe_seq = false, std::uint64_t stripe_seq = 0,
+                   std::uint64_t trace_ctx = 0);
 
   /// Pull `len` bytes from peer memory with RDMA READ (rendezvous mode).
   /// READs consume no receive at the target, hence no credit.

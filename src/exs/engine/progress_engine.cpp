@@ -17,6 +17,9 @@ ProgressEngine::ProgressEngine(simnet::Cpu& cpu,
     ready_series_ = &registry->GetSeries("engine.ready_depth", "sockets");
     registered_series_ =
         &registry->GetSeries("engine.sockets_registered", "sockets");
+    tick_duration_hist_ =
+        &registry->GetHistogram("engine.tick_duration", "ps");
+    sched_delay_hist_ = &registry->GetHistogram("engine.sched_delay", "ps");
   }
 }
 
@@ -27,6 +30,10 @@ void ProgressEngine::Register(Socket* socket, EventHandler handler) {
   auto entry = std::make_unique<Entry>();
   entry->socket = socket;
   entry->handler = std::move(handler);
+  // Per-socket DRR-queue delay: lives in the socket's own registry so it
+  // lands in the same snapshot as the socket's rail/stream instruments.
+  entry->sched_delay =
+      &socket->metrics_registry().GetHistogram("engine.sched_delay", "ps");
   entries_.emplace(socket, std::move(entry));
   if (registered_series_ != nullptr) {
     registered_series_->Record(cpu_->scheduler().Now(),
@@ -64,6 +71,7 @@ void ProgressEngine::NoteReadable(Socket* socket) {
   Entry& entry = *it->second;
   if (!entry.in_ready) {
     entry.in_ready = true;
+    entry.ready_since = cpu_->scheduler().Now();
     ready_.push_back(socket);
     if (ready_series_ != nullptr) {
       ready_series_->Record(cpu_->scheduler().Now(),
@@ -81,6 +89,9 @@ void ProgressEngine::ScheduleTick() {
   SimDuration cost =
       options_.tick_overhead +
       static_cast<SimDuration>(last_tick_events_) * options_.per_event_cpu;
+  if (tick_duration_hist_ != nullptr) {
+    tick_duration_hist_->Record(static_cast<std::uint64_t>(cost));
+  }
   cpu_->Submit(cost, [this] {
     tick_scheduled_ = false;
     Tick();
@@ -123,6 +134,12 @@ void ProgressEngine::Tick() {
     auto it = entries_.find(socket);
     if (it == entries_.end()) continue;  // unregistered while ready
     Entry& entry = *it->second;
+    // DRR scheduling delay: how long this socket waited in the ready-list
+    // (or at the tail since its last quantum) before being served.
+    const auto waited = static_cast<std::uint64_t>(
+        cpu_->scheduler().Now() - entry.ready_since);
+    if (sched_delay_hist_ != nullptr) sched_delay_hist_->Record(waited);
+    if (entry.sched_delay != nullptr) entry.sched_delay->Record(waited);
     serving_ = &entry;
     std::size_t dispatched = Serve(entry, budget);
     serving_ = nullptr;
@@ -141,6 +158,7 @@ void ProgressEngine::Tick() {
     if (entry.socket->events().Depth() > 0) {
       entry.deficit = entry.deficit > options_.quantum ? options_.quantum
                                                        : entry.deficit;
+      entry.ready_since = cpu_->scheduler().Now();
       ready_.push_back(socket);  // still ready: back of the line
     } else {
       entry.in_ready = false;

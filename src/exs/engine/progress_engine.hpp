@@ -76,6 +76,12 @@ class ProgressEngine {
     EventHandler handler;
     std::size_t deficit = 0;
     bool in_ready = false;
+    /// When this socket last (re-)entered the ready-list; the gap to the
+    /// serve that follows is its DRR scheduling delay.
+    SimTime ready_since = 0;
+    /// Per-socket "engine.sched_delay" histogram, resolved from the
+    /// socket's own registry at Register time (per-DRR-queue HoL view).
+    metrics::Histogram* sched_delay = nullptr;
     /// Unregistered from inside its own event handler while the dispatch
     /// loop still holds a reference: the entry is detached from entries_
     /// and parked in zombie_ until the loop lets go of it.
@@ -103,6 +109,10 @@ class ProgressEngine {
   metrics::Counter* events_counter_ = nullptr;
   metrics::TimeWeightedSeries* ready_series_ = nullptr;
   metrics::TimeWeightedSeries* registered_series_ = nullptr;
+  /// Modeled CPU cost charged for each tick (overhead + prior work).
+  metrics::Histogram* tick_duration_hist_ = nullptr;
+  /// Ready→served wait across all sockets (per-socket copies in Entry).
+  metrics::Histogram* sched_delay_hist_ = nullptr;
 };
 
 }  // namespace exs::engine

@@ -1,6 +1,7 @@
 #include "exs/invariant_checker.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <sstream>
 
 #include "exs/socket.hpp"
@@ -11,17 +12,20 @@ std::string InvariantReport::Summary() const {
   std::ostringstream oss;
   if (violations.empty()) {
     oss << "invariants hold (" << events_checked << " events checked)";
-    return oss.str();
+  } else {
+    oss << violations.size() << " invariant violation(s) over "
+        << events_checked << " events:";
+    for (const auto& v : violations) oss << "\n  " << v;
   }
-  oss << violations.size() << " invariant violation(s) over "
-      << events_checked << " events:";
-  for (const auto& v : violations) oss << "\n  " << v;
+  for (const auto& w : warnings) oss << "\n  warning: " << w;
   return oss.str();
 }
 
 void InvariantReport::Merge(const InvariantReport& other) {
   violations.insert(violations.end(), other.violations.begin(),
                     other.violations.end());
+  warnings.insert(warnings.end(), other.warnings.begin(),
+                  other.warnings.end());
   events_checked += other.events_checked;
   dropped_events += other.dropped_events;
 }
@@ -55,6 +59,14 @@ bool AdmitLog(const TraceLog& log, const InvariantCheckOptions& opts,
            "(Socket::EnableTracing / TraceLog::SetCapacity) — a partial "
            "trace cannot prove the safety theorem";
     report.violations.push_back(oss.str());
+  } else if (log.dropped() > 0) {
+    // Tolerated truncation must still be *loud*: only the retained prefix
+    // was validated, so a clean report proves less than it appears to.
+    std::ostringstream oss;
+    oss << label << ": trace truncated (" << log.dropped()
+        << " events dropped) — only the retained prefix of "
+        << log.events().size() << " events was checked";
+    report.warnings.push_back(oss.str());
   }
   return true;
 }
@@ -564,6 +576,85 @@ InvariantReport CheckConnection(Socket& a, Socket& b) {
   b_to_a.rails = static_cast<std::uint32_t>(b.effective_rails());
   report.Merge(CheckStreamPair(a.tx_trace(), b.rx_trace(), a_to_b));
   report.Merge(CheckStreamPair(b.tx_trace(), a.rx_trace(), b_to_a));
+  return report;
+}
+
+InvariantReport CheckSpanConservation(const spans::SpanCollector& collector,
+                                      SimDuration slack_ps) {
+  InvariantReport report;
+  // The eight boundary timestamps, in chunk order.  The seven stages are
+  // exactly the adjacent differences, so when every boundary is stamped
+  // and ordered the stage sum telescopes to t_deliver − t_submit; any
+  // residue (beyond the granted slack) convicts the instrumentation.
+  struct Boundary {
+    const char* name;
+    SimTime spans::ChunkRecord::* field;
+  };
+  static constexpr Boundary kBoundaries[] = {
+      {"submit", &spans::ChunkRecord::t_submit},
+      {"flush", &spans::ChunkRecord::t_flush},
+      {"post", &spans::ChunkRecord::t_post},
+      {"arrive", &spans::ChunkRecord::t_arrive},
+      {"process", &spans::ChunkRecord::t_process},
+      {"ring_end", &spans::ChunkRecord::t_ring_end},
+      {"copied", &spans::ChunkRecord::t_copied},
+      {"deliver", &spans::ChunkRecord::t_deliver},
+  };
+  std::uint64_t undelivered = 0;
+  for (const spans::ChunkRecord& c : collector.chunks()) {
+    if (!c.delivered()) {
+      // Legal for chunks still in flight when the run stopped; counted so
+      // a harness that expects full delivery can notice.
+      ++undelivered;
+      continue;
+    }
+    ++report.events_checked;
+    bool complete = true;
+    for (const Boundary& b : kBoundaries) {
+      if (c.*(b.field) == spans::kNoTime) {
+        std::ostringstream oss;
+        oss << "chunk " << c.id << ": delivered but boundary '" << b.name
+            << "' was never stamped";
+        report.violations.push_back(oss.str());
+        complete = false;
+      }
+    }
+    if (!complete) continue;
+    bool ordered = true;
+    for (std::size_t i = 1; i < std::size(kBoundaries); ++i) {
+      SimTime prev = c.*(kBoundaries[i - 1].field);
+      SimTime cur = c.*(kBoundaries[i].field);
+      if (cur < prev) {
+        std::ostringstream oss;
+        oss << "chunk " << c.id << ": boundary '" << kBoundaries[i].name
+            << "' (" << cur << "ps) precedes '" << kBoundaries[i - 1].name
+            << "' (" << prev << "ps)";
+        report.violations.push_back(oss.str());
+        ordered = false;
+      }
+    }
+    if (!ordered) continue;
+    SimDuration sum = 0;
+    for (std::size_t s = 0; s < spans::kStageCount; ++s) {
+      sum += c.StageDuration(static_cast<spans::Stage>(s));
+    }
+    const SimDuration e2e = c.EndToEnd();
+    const SimDuration residue = sum > e2e ? sum - e2e : e2e - sum;
+    if (residue > slack_ps) {
+      std::ostringstream oss;
+      oss << "chunk " << c.id << ": stage sum " << sum
+          << "ps != end-to-end " << e2e << "ps (residue " << residue
+          << "ps exceeds slack " << slack_ps << "ps)";
+      report.violations.push_back(oss.str());
+    }
+  }
+  if (undelivered > 0) {
+    std::ostringstream oss;
+    oss << "span conservation: " << undelivered << " sampled chunk(s) were "
+        << "never delivered — conservation checked on the delivered "
+        << collector.chunks().size() - undelivered << " only";
+    report.warnings.push_back(oss.str());
+  }
   return report;
 }
 

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "common/spans.hpp"
 #include "exs/trace.hpp"
 #include "exs/types.hpp"
 
@@ -60,6 +61,12 @@ struct InvariantCheckOptions {
 /// Outcome of replaying one or more traces through the checker.
 struct InvariantReport {
   std::vector<std::string> violations;
+  /// Non-fatal caveats about the *scope* of the check — most importantly
+  /// "this trace was truncated by its capacity, only the retained prefix
+  /// was validated".  A run with warnings still passes ok(), but silent
+  /// partial validation is exactly how bugs hide, so Summary() surfaces
+  /// them and harnesses are expected to print it.
+  std::vector<std::string> warnings;
   std::uint64_t events_checked = 0;
   std::uint64_t dropped_events = 0;
 
@@ -121,6 +128,17 @@ InvariantReport CheckPoolConservation(
 /// ring capacities are taken from the sockets themselves.  Dispatches on
 /// the sockets' type.
 InvariantReport CheckConnection(Socket& a, Socket& b);
+
+/// Stage-attribution conservation (causal chunk tracing, common/spans.hpp):
+/// every delivered chunk record must carry a complete, monotonically
+/// ordered set of stage timestamps, and the seven stage durations must sum
+/// to the end-to-end latency within `slack_ps` (one engine tick quantum in
+/// engine-driven runs, 0 elsewhere).  The stages partition [submit,
+/// deliver] by construction, so any discrepancy means an instrumentation
+/// site was skipped or stamped out of order — the observability analogue
+/// of the byte-continuity rules above.
+InvariantReport CheckSpanConservation(const spans::SpanCollector& collector,
+                                      SimDuration slack_ps = 0);
 
 /// Order-sensitive FNV-1a hash over every recorded field of the trace.
 /// Two runs with identical protocol behaviour produce identical

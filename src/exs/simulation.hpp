@@ -34,7 +34,8 @@ class Simulation {
   /// correctness checks; benchmarks turn it off — timing is unaffected).
   explicit Simulation(simnet::HardwareProfile profile, std::uint64_t seed = 1,
                       bool carry_payload = true)
-      : fabric_(std::move(profile), seed),
+      : seed_(seed),
+        fabric_(std::move(profile), seed),
         device0_(fabric_, 0, carry_payload),
         device1_(fabric_, 1, carry_payload) {
     // Stamp EXS_LOG lines with the simulated time while this simulation is
@@ -64,9 +65,27 @@ class Simulation {
     sockets_.push_back(
         std::make_unique<Socket>(device1_, type, server_options, "server"));
     Socket* b = sockets_.back().get();
+    if (spans_) {
+      a->EnableChunkSpans(spans_.get());
+      b->EnableChunkSpans(spans_.get());
+    }
     Socket::ConnectPair(*a, *b);
     return {a, b};
   }
+
+  /// Attach causal chunk tracing (common/spans.hpp) to every pair-created
+  /// socket, existing and future.  `sample_period` keeps ~1 in N chunks,
+  /// chosen deterministically from this simulation's seed; the collector
+  /// never schedules events or charges CPU, so enabling it cannot change
+  /// timing (golden fingerprints stay bit-identical).
+  spans::SpanCollector& EnableChunkSpans(std::uint64_t sample_period = 1) {
+    if (!spans_) {
+      spans_ = std::make_unique<spans::SpanCollector>(seed_, sample_period);
+      for (auto& socket : sockets_) socket->EnableChunkSpans(spans_.get());
+    }
+    return *spans_;
+  }
+  const spans::SpanCollector* chunk_spans() const { return spans_.get(); }
 
   /// Realistic connection establishment (listen/connect/accept with a
   /// timed handshake over the wire); see exs/connection.hpp.  The zero-
@@ -131,17 +150,22 @@ class Simulation {
       src.tx = &socket->tx_trace();
       src.rx = &socket->rx_trace();
       src.registry = &socket->metrics_registry();
+      src.spans = spans_.get();
+      src.tx_endpoint = socket->tx_span_endpoint();
+      src.rx_endpoint = socket->rx_span_endpoint();
       sources.push_back(std::move(src));
     }
     return ExportChromeTrace(sources);
   }
 
  private:
+  std::uint64_t seed_;
   simnet::Fabric fabric_;
   verbs::Device device0_;
   verbs::Device device1_;
   std::vector<std::unique_ptr<Socket>> sockets_;
   std::unique_ptr<ConnectionService> connections_;
+  std::unique_ptr<spans::SpanCollector> spans_;
 };
 
 }  // namespace exs

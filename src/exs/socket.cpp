@@ -77,10 +77,22 @@ Socket::Socket(verbs::Device& device, SocketType type, StreamOptions options,
     packet_tx_ = std::make_unique<SeqPacketTx>(MakeContext(&tx_trace_));
     packet_rx_ = std::make_unique<SeqPacketRx>(MakeContext(&rx_trace_));
   }
+  if (rx_) rx_->SetRailHolInstruments(rail_hol_inst_);
   WireCallbacks();
   for (std::size_t rail = 1; rail < ProvisionedRails(); ++rail) {
     WireRailCallbacks(rail);
   }
+}
+
+void Socket::EnableChunkSpans(spans::SpanCollector* collector) {
+  // Stream mode only: SEQPACKET and rendezvous transfers are outside the
+  // chunk provenance model.  Registration order (tx before rx, sockets in
+  // call order) is deterministic, so endpoint ids are stable across runs.
+  if (collector == nullptr || tx_ == nullptr) return;
+  span_tx_endpoint_ = collector->RegisterEndpoint(name_ + ".tx");
+  span_rx_endpoint_ = collector->RegisterEndpoint(name_ + ".rx");
+  tx_->SetSpanCollector(collector, span_tx_endpoint_);
+  rx_->SetSpanCollector(collector, span_rx_endpoint_);
 }
 
 void Socket::InstrumentRail(std::size_t rail, ControlChannel& channel) {
@@ -102,6 +114,10 @@ void Socket::InstrumentRail(std::size_t rail, ControlChannel& channel) {
       &registry_.GetHistogram(prefix + "completion_latency", "ps");
   channel.SetQpInstruments(
       qp, &registry_.GetSeries(prefix + "inflight_wrs", "wrs"));
+  // Head-of-line blocking per rail: time an arriving chunk sat in the
+  // stripe reorder buffer behind an earlier-sequence chunk (always 0 on a
+  // single-rail connection, recorded anyway so counts stay comparable).
+  rail_hol_inst_.push_back(&registry_.GetHistogram(prefix + "hol_wait", "ps"));
 }
 
 StreamContext Socket::MakeContext(TraceLog* trace) {
@@ -155,9 +171,10 @@ void Socket::WireCallbacks() {
     }
   };
   cb.on_data = [this](bool indirect, std::uint64_t len, bool has_stripe_seq,
-                      std::uint64_t stripe_seq) {
+                      std::uint64_t stripe_seq, std::uint64_t trace_ctx) {
     if (rx_) {
-      rx_->OnData(indirect, len, has_stripe_seq, stripe_seq, /*rail=*/0);
+      rx_->OnData(indirect, len, has_stripe_seq, stripe_seq, /*rail=*/0,
+                  trace_ctx);
     } else {
       EXS_CHECK_MSG(packet_rx_ != nullptr,
                     "data WWI on a rendezvous connection");
@@ -197,9 +214,10 @@ void Socket::WireRailCallbacks(std::size_t rail) {
     EXS_CHECK_MSG(false, "control message on a data rail");
   };
   cb.on_data = [this, rail](bool indirect, std::uint64_t len,
-                            bool has_stripe_seq, std::uint64_t stripe_seq) {
+                            bool has_stripe_seq, std::uint64_t stripe_seq,
+                            std::uint64_t trace_ctx) {
     EXS_CHECK_MSG(rx_ != nullptr, "data rail on a non-stream socket");
-    rx_->OnData(indirect, len, has_stripe_seq, stripe_seq, rail);
+    rx_->OnData(indirect, len, has_stripe_seq, stripe_seq, rail, trace_ctx);
   };
   cb.on_data_sent = [this, rail](std::uint64_t wr_id) {
     tx_->OnWwiComplete(wr_id, rail);

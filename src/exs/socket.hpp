@@ -91,6 +91,17 @@ class Socket {
   /// Every named counter/gauge/histogram/series this socket maintains.
   /// Names and units are catalogued in docs/OBSERVABILITY.md.
   const metrics::Registry& metrics_registry() const { return registry_; }
+  metrics::Registry& metrics_registry() { return registry_; }
+
+  /// Attach causal chunk tracing (common/spans.hpp): registers
+  /// "<name>.tx"/"<name>.rx" endpoints and hands the collector to both
+  /// stream halves.  No-op outside stream mode; never perturbs timing.
+  void EnableChunkSpans(spans::SpanCollector* collector);
+  /// Endpoint ids registered by EnableChunkSpans (0 until then); the
+  /// timeline exporter uses them to pick this socket's chunks out of the
+  /// shared collector.
+  std::uint64_t tx_span_endpoint() const { return span_tx_endpoint_; }
+  std::uint64_t rx_span_endpoint() const { return span_rx_endpoint_; }
   SocketType type() const { return type_; }
   const StreamOptions& options() const { return options_; }
   const std::string& name() const { return name_; }
@@ -114,6 +125,12 @@ class Socket {
   void EnableTracing(std::size_t capacity = 0) {
     tx_trace_.SetCapacity(capacity);
     rx_trace_.SetCapacity(capacity);
+    // Surface capacity drops in the metrics snapshot so a truncated trace
+    // is visible without polling dropped() (see docs/OBSERVABILITY.md).
+    tx_trace_.SetDropCounter(
+        &registry_.GetCounter("trace.dropped_tx", "events"));
+    rx_trace_.SetDropCounter(
+        &registry_.GetCounter("trace.dropped_rx", "events"));
     tx_trace_.Enable();
     rx_trace_.Enable();
   }
@@ -171,6 +188,11 @@ class Socket {
   SocketWiring wiring_;
   metrics::Registry registry_;
   SocketInstruments inst_;
+  /// "rail<i>.hol_wait" histograms, index = rail (built by InstrumentRail,
+  /// handed to the receiver half at construction).
+  std::vector<metrics::Histogram*> rail_hol_inst_;
+  std::uint64_t span_tx_endpoint_ = 0;
+  std::uint64_t span_rx_endpoint_ = 0;
   std::unique_ptr<ControlChannel> channel_;
   /// Extra data-only rails 1..N-1 (empty on classic single-rail sockets).
   std::vector<std::unique_ptr<ControlChannel>> data_rails_;

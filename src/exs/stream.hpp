@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/ring_buffer.hpp"
+#include "common/spans.hpp"
 #include "common/units.hpp"
 #include "simnet/event_scheduler.hpp"
 #include "exs/channel.hpp"
@@ -135,6 +136,17 @@ class StreamTx {
   /// posts everything on the control channel, exactly as before.
   void SetDataRails(std::vector<ControlChannel*> rails);
 
+  /// Attach causal chunk tracing (common/spans.hpp).  Every WWI this
+  /// sender posts becomes a (possibly sampled-out) chunk record stamped
+  /// with its staging/queue/post times; `endpoint` identifies this half in
+  /// the collector's endpoint table.  Never schedules events or charges
+  /// CPU, so attaching cannot change timing.
+  void SetSpanCollector(spans::SpanCollector* collector,
+                        std::uint64_t endpoint) {
+    spans_ = collector;
+    span_endpoint_ = endpoint;
+  }
+
   /// Queue a send request.  `lkey` names the registered region covering
   /// [buf, buf+len).  Completion is reported on the event queue once every
   /// chunk has been transferred and locally completed.
@@ -196,6 +208,11 @@ class StreamTx {
     std::uint32_t lkey = 0;
     std::uint32_t wwis_outstanding = 0;
     bool fully_chunked = false;
+    /// Span provenance: when the application submitted the bytes and when
+    /// they left the coalescing stage (== submit_time unless staged).
+    SimTime submit_time = 0;
+    SimTime flush_time = 0;
+    bool coalesced = false;
     /// Coalesced aggregate only: the merged payload (base points into it)
     /// and the member sends, completed individually in submission order
     /// once every chunk of the aggregate has transferred.
@@ -290,6 +307,15 @@ class StreamTx {
   std::size_t next_rail_ = 0;           ///< round-robin cursor
   std::vector<std::uint64_t> rail_outstanding_ = {0};  ///< bytes in flight
   std::vector<std::deque<std::uint64_t>> rail_fifo_;   ///< chunk lens, FIFO
+  // Causal chunk tracing (null = off).  Completions on one rail return in
+  // post order, so a per-rail FIFO of chunk trace ids (0 = unsampled)
+  // pairs each WR completion with its record.
+  spans::SpanCollector* spans_ = nullptr;
+  std::uint64_t span_endpoint_ = 0;
+  std::vector<std::deque<std::uint64_t>> span_tx_fifo_;
+  /// Submit time of the oldest send in the staging buffer (aggregate
+  /// provenance: a coalesced chunk's staging span starts here).
+  SimTime staged_first_time_ = 0;
   // Coalescing staging buffer.  Logically ordered *after* chunk_queue_:
   // a flush appends the merged aggregate at the queue's back, so byte
   // continuity is preserved by construction.
@@ -327,8 +353,27 @@ class StreamRx {
   /// striped connection the chunk joins the reorder buffer and chunks are
   /// processed strictly in stripe-sequence order.
   void OnData(bool indirect, std::uint64_t len, bool has_stripe_seq = false,
-              std::uint64_t stripe_seq = 0, std::size_t rail = 0);
+              std::uint64_t stripe_seq = 0, std::size_t rail = 0,
+              std::uint64_t trace_ctx = 0);
   void OnCreditAvailable();
+
+  /// Attach causal chunk tracing; see StreamTx::SetSpanCollector.  The
+  /// receiver closes each sampled chunk's reorder/ring/copy/delivery
+  /// stages as the bytes move toward the application.
+  void SetSpanCollector(spans::SpanCollector* collector,
+                        std::uint64_t endpoint) {
+    spans_ = collector;
+    span_endpoint_ = endpoint;
+  }
+
+  /// Attach per-rail head-of-line-blocking histograms (`rail<i>.hol_wait`
+  /// in the socket registry): the time each arriving chunk spent parked in
+  /// the stripe reorder buffer behind an earlier-sequence chunk, recorded
+  /// against the rail it arrived on.  Entries may be null; the vector may
+  /// be shorter than the rail count.
+  void SetRailHolInstruments(std::vector<metrics::Histogram*> hol) {
+    rail_hol_ = std::move(hol);
+  }
 
   /// The peer closed its sending direction.  In-order delivery puts the
   /// SHUTDOWN behind all of the stream's data; once the intermediate
@@ -379,12 +424,15 @@ class StreamRx {
     bool indirect = false;
     std::uint64_t len = 0;
     std::size_t rail = 0;
+    SimTime arrive_time = 0;      ///< for the HoL-blocking wait
+    std::uint64_t trace_ctx = 0;  ///< span correlation id (0 = untraced)
   };
 
   /// The classic arrival handling of Fig. 4, factored out of OnData so
   /// striped chunks can be run through it in stripe-sequence order.
   void ProcessData(bool indirect, std::uint64_t len, bool striped,
-                   std::uint64_t stripe_seq, std::size_t rail);
+                   std::uint64_t stripe_seq, std::size_t rail,
+                   std::uint64_t trace_ctx);
   /// Fig. 3: advertise pending receives in order, gated on an empty
   /// intermediate buffer and no outstanding receives from a prior phase.
   void TryAdvertise();
@@ -431,6 +479,40 @@ class StreamRx {
   std::uint32_t rails_ = 1;
   std::uint64_t next_stripe_seq_ = 0;  ///< next delivery sequence expected
   std::map<std::uint64_t, StripedChunk> stripe_reorder_;
+
+  // --- Causal chunk tracing (all dormant while spans_ is null) ----------
+  /// Processing, ring copies and receive completions are each in stream
+  /// order, so cumulative byte counters pair sampled chunks with the copy
+  /// pass and receive completion that retire them — no per-byte state.
+  void SpanNoteProcessed(std::uint64_t trace_ctx, bool indirect,
+                         std::uint64_t len);
+  /// A ring copy pass is starting that will consume `pass_bytes` from the
+  /// front of the buffered (FIFO) ring bytes.
+  void SpanNoteCopyPassStart(std::uint64_t pass_bytes);
+  /// That pass finished (memcpy cost paid); `pass_bytes` left the ring.
+  void SpanNoteCopyPassDone(std::uint64_t pass_bytes);
+  /// A receive completion for `bytes` of stream payload was pushed.
+  void SpanNoteDelivered(std::uint64_t bytes);
+  void RecordHolWait(const StripedChunk& chunk);
+
+  struct SpanDeliverWait {
+    std::uint64_t id = 0;       ///< chunk trace id
+    std::uint64_t end_off = 0;  ///< stream offset one past the chunk
+  };
+  struct SpanRingWait {
+    std::uint64_t id = 0;
+    std::uint64_t fill_start = 0;  ///< cumulative ring-fill offsets
+    std::uint64_t fill_end = 0;
+  };
+  spans::SpanCollector* spans_ = nullptr;
+  std::uint64_t span_endpoint_ = 0;
+  std::uint64_t span_stream_off_ = 0;   ///< bytes processed in order
+  std::uint64_t span_delivered_ = 0;    ///< bytes delivered to the app
+  std::uint64_t span_ring_fill_ = 0;    ///< bytes ever written to the ring
+  std::uint64_t span_ring_copied_ = 0;  ///< bytes ever copied out of it
+  std::deque<SpanDeliverWait> span_deliver_wait_;
+  std::deque<SpanRingWait> span_ring_wait_;
+  std::vector<metrics::Histogram*> rail_hol_;  ///< per-rail HoL wait (ps)
 };
 
 }  // namespace exs

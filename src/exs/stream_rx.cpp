@@ -167,11 +167,20 @@ void StreamRx::SetStriping(std::uint32_t rails) {
 }
 
 void StreamRx::OnData(bool indirect, std::uint64_t len, bool has_stripe_seq,
-                      std::uint64_t stripe_seq, std::size_t rail) {
+                      std::uint64_t stripe_seq, std::size_t rail,
+                      std::uint64_t trace_ctx) {
+  if (spans_ != nullptr && trace_ctx != 0) {
+    spans_->NoteArrive(trace_ctx, ctx_.scheduler->Now(), span_endpoint_,
+                       static_cast<std::uint32_t>(rail));
+  }
   if (rails_ <= 1) {
     EXS_CHECK_MSG(!has_stripe_seq,
                   "stripe sequence on a single-rail connection");
-    ProcessData(indirect, len, /*striped=*/false, 0, 0);
+    // Never parked: zero reorder wait, recorded so per-rail counts stay
+    // comparable across striped and classic runs.
+    RecordHolWait(
+        StripedChunk{indirect, len, rail, ctx_.scheduler->Now(), trace_ctx});
+    ProcessData(indirect, len, /*striped=*/false, 0, rail, trace_ctx);
     return;
   }
   // Striped connection: park the notification until every predecessor in
@@ -183,7 +192,9 @@ void StreamRx::OnData(bool indirect, std::uint64_t len, bool has_stripe_seq,
   EXS_CHECK_MSG(has_stripe_seq, "striped connection requires a stripe seq");
   EXS_CHECK_MSG(stripe_seq >= next_stripe_seq_, "stripe sequence regressed");
   bool inserted =
-      stripe_reorder_.emplace(stripe_seq, StripedChunk{indirect, len, rail})
+      stripe_reorder_
+          .emplace(stripe_seq, StripedChunk{indirect, len, rail,
+                                            ctx_.scheduler->Now(), trace_ctx})
           .second;
   EXS_CHECK_MSG(inserted, "duplicate stripe sequence " << stripe_seq);
   while (!stripe_reorder_.empty() &&
@@ -191,13 +202,16 @@ void StreamRx::OnData(bool indirect, std::uint64_t len, bool has_stripe_seq,
     StripedChunk chunk = stripe_reorder_.begin()->second;
     stripe_reorder_.erase(stripe_reorder_.begin());
     ++next_stripe_seq_;
+    RecordHolWait(chunk);
     ProcessData(chunk.indirect, chunk.len, /*striped=*/true,
-                next_stripe_seq_ - 1, chunk.rail);
+                next_stripe_seq_ - 1, chunk.rail, chunk.trace_ctx);
   }
 }
 
 void StreamRx::ProcessData(bool indirect, std::uint64_t len, bool striped,
-                           std::uint64_t stripe_seq, std::size_t rail) {
+                           std::uint64_t stripe_seq, std::size_t rail,
+                           std::uint64_t trace_ctx) {
+  SpanNoteProcessed(trace_ctx, indirect, len);
   if (!indirect) {
     // Direct arrival (Fig. 4 lines 1-6).  By Theorem 1 it belongs to the
     // receive at the head of the queue; these checks *are* the safety
@@ -272,6 +286,7 @@ void StreamRx::DrainRing() {
   // Fig. 5: the copy occupies the CPU at memcpy bandwidth — this is the
   // "higher CPU usage at the receiver" the paper trades for latency.
   copy_in_progress_ = true;
+  SpanNoteCopyPassStart(n);
   SimDuration cost = ctx_.memcpy_bandwidth.TransmissionTime(n);
   ctx_.metrics->copy_busy_time->Add(static_cast<std::uint64_t>(cost));
   ctx_.cpu->Submit(cost, [this, n] {
@@ -298,6 +313,7 @@ void StreamRx::DrainRing() {
     pending_ack_bytes_ += n;
     ctx_.metrics->bytes_copied_out->Add(n);
     Trace(TraceEventType::kCopyOut, n);
+    SpanNoteCopyPassDone(n);
     // A plain receive completes with whatever one pass delivered; a
     // MSG_WAITALL receive keeps waiting until full.
     if (!front.waitall || front.filled == front.len) CompleteFront();
@@ -312,6 +328,7 @@ void StreamRx::CompleteFront() {
   ctx_.metrics->recvs_completed->Increment();
   ctx_.metrics->bytes_received->Add(r.filled);
   ctx_.events->Push(Event{EventType::kRecvComplete, r.id, r.filled, false});
+  SpanNoteDelivered(r.filled);
 }
 
 void StreamRx::MaybeSendAck() {
@@ -362,6 +379,7 @@ void StreamRx::MaybeFinishEof() {
     ctx_.metrics->bytes_received->Add(r.filled);
     ctx_.events->Push(Event{EventType::kRecvComplete, r.id, r.filled,
                             false});
+    SpanNoteDelivered(r.filled);
   }
   ctx_.events->Push(Event{EventType::kPeerClosed, 0, 0, false});
   TryReleaseRing();
@@ -379,6 +397,78 @@ bool StreamRx::TryReleaseRing() {
 void StreamRx::OnCreditAvailable() {
   MaybeSendAck();
   TryAdvertise();
+}
+
+// --- Causal chunk tracing ---------------------------------------------------
+//
+// Processing (ProcessData), ring copy-out passes and receive completions
+// each happen strictly in stream-byte order, so three cumulative byte
+// counters are enough to pair a sampled chunk with the copy pass and the
+// receive completion that retire its last byte.  None of these helpers
+// schedule events or charge CPU: attaching a collector cannot perturb the
+// simulation, which is what keeps golden fingerprints bit-identical.
+
+void StreamRx::SpanNoteProcessed(std::uint64_t trace_ctx, bool indirect,
+                                 std::uint64_t len) {
+  if (spans_ == nullptr) return;
+  span_stream_off_ += len;
+  if (indirect) {
+    span_ring_fill_ += len;
+    if (trace_ctx != 0) {
+      span_ring_wait_.push_back(
+          SpanRingWait{trace_ctx, span_ring_fill_ - len, span_ring_fill_});
+    }
+  }
+  if (trace_ctx != 0) {
+    spans_->NoteProcess(trace_ctx, ctx_.scheduler->Now());
+    span_deliver_wait_.push_back(
+        SpanDeliverWait{trace_ctx, span_stream_off_});
+  }
+}
+
+void StreamRx::SpanNoteCopyPassStart(std::uint64_t pass_bytes) {
+  if (spans_ == nullptr || span_ring_wait_.empty()) return;
+  // The pass consumes the FIFO prefix [span_ring_copied_, copied_after) of
+  // everything ever written to the ring: any chunk overlapping that window
+  // leaves ring residence now (the collector ignores repeats for chunks
+  // already marked by an earlier partial pass).
+  const SimTime now = ctx_.scheduler->Now();
+  const std::uint64_t copied_after = span_ring_copied_ + pass_bytes;
+  for (const SpanRingWait& w : span_ring_wait_) {
+    if (w.fill_start >= copied_after) break;
+    spans_->NoteRingCopyStart(w.id, now);
+  }
+}
+
+void StreamRx::SpanNoteCopyPassDone(std::uint64_t pass_bytes) {
+  if (spans_ == nullptr) return;
+  const SimTime now = ctx_.scheduler->Now();
+  span_ring_copied_ += pass_bytes;
+  while (!span_ring_wait_.empty() &&
+         span_ring_wait_.front().fill_end <= span_ring_copied_) {
+    spans_->NoteCopied(span_ring_wait_.front().id, now);
+    span_ring_wait_.pop_front();
+  }
+}
+
+void StreamRx::SpanNoteDelivered(std::uint64_t bytes) {
+  if (spans_ == nullptr || bytes == 0) return;
+  const SimTime now = ctx_.scheduler->Now();
+  span_delivered_ += bytes;
+  while (!span_deliver_wait_.empty() &&
+         span_deliver_wait_.front().end_off <= span_delivered_) {
+    spans_->NoteDeliver(span_deliver_wait_.front().id, now);
+    span_deliver_wait_.pop_front();
+  }
+}
+
+void StreamRx::RecordHolWait(const StripedChunk& chunk) {
+  if (chunk.rail >= rail_hol_.size() ||
+      rail_hol_[chunk.rail] == nullptr) {
+    return;
+  }
+  rail_hol_[chunk.rail]->Record(
+      static_cast<std::uint64_t>(ctx_.scheduler->Now() - chunk.arrive_time));
 }
 
 }  // namespace exs

@@ -93,6 +93,8 @@ void StreamTx::Submit(std::uint64_t id, const void* buf, std::uint64_t len,
   rec->base = static_cast<const std::uint8_t*>(buf);
   rec->len = len;
   rec->lkey = lkey;
+  rec->submit_time = ctx_.scheduler->Now();
+  rec->flush_time = rec->submit_time;  // never staged
   inflight_.emplace(id, rec);
   chunk_queue_.push_back(rec);
   Pump();
@@ -127,6 +129,7 @@ void StreamTx::StageCoalesced(std::uint64_t id, const void* buf,
   if (ctx_.carry_payload) {
     std::memcpy(staging_mem_.data() + staged_bytes_, buf, len);
   }
+  if (staged_.empty()) staged_first_time_ = ctx_.scheduler->Now();
   staged_.push_back(StagedSend{id, len});
   staged_bytes_ += len;
   ctx_.metrics->coalesced_sends->Increment();
@@ -157,6 +160,11 @@ void StreamTx::FlushCoalesced(CoalesceFlushReason reason) {
   rec->len = staged_bytes_;
   rec->lkey = rec->owned_mr->lkey();
   rec->members = std::move(staged_);
+  // The aggregate's staging span starts when its oldest member entered
+  // the buffer and ends now.
+  rec->submit_time = staged_first_time_;
+  rec->flush_time = ctx_.scheduler->Now();
+  rec->coalesced = true;
   staging_mem_.clear();
   staging_mr_.reset();
   staged_.clear();
@@ -375,9 +383,19 @@ void StreamTx::PostDirect(PendingSend& s, Advert& advert, std::uint64_t len,
   ctx_.metrics->direct_bytes->Add(len);
   ++s.wwis_outstanding;
   NoteWwisInFlight(+1);
+  std::uint64_t trace_ctx = 0;
+  if (spans_ != nullptr) {
+    trace_ctx = spans_->BeginChunk(
+        span_endpoint_, s.submit_time, s.flush_time, ctx_.scheduler->Now(),
+        len, /*indirect=*/false, s.coalesced,
+        static_cast<std::uint32_t>(rail));
+    if (span_tx_fifo_.size() <= rail) span_tx_fifo_.resize(rail + 1);
+    span_tx_fifo_[rail].push_back(trace_ctx);
+  }
   Rail(rail)->PostDataWwi(s.id, s.base + s.sent, s.lkey, len,
                           advert.addr + advert.filled, advert.rkey,
-                          /*indirect=*/false, Striping(), stripe_seq_);
+                          /*indirect=*/false, Striping(), stripe_seq_,
+                          trace_ctx);
   NoteStripePosted(rail, len);
 }
 
@@ -392,9 +410,19 @@ void StreamTx::PostIndirect(PendingSend& s, std::uint64_t len,
   NoteWwisInFlight(+1);
   std::uint64_t offset = remote_ring_.write_offset();
   remote_ring_.CommitWrite(len);
+  std::uint64_t trace_ctx = 0;
+  if (spans_ != nullptr) {
+    trace_ctx = spans_->BeginChunk(
+        span_endpoint_, s.submit_time, s.flush_time, ctx_.scheduler->Now(),
+        len, /*indirect=*/true, s.coalesced,
+        static_cast<std::uint32_t>(rail));
+    if (span_tx_fifo_.size() <= rail) span_tx_fifo_.resize(rail + 1);
+    span_tx_fifo_[rail].push_back(trace_ctx);
+  }
   Rail(rail)->PostDataWwi(s.id, s.base + s.sent, s.lkey, len,
                           remote_ring_addr_ + offset, remote_ring_rkey_,
-                          /*indirect=*/true, Striping(), stripe_seq_);
+                          /*indirect=*/true, Striping(), stripe_seq_,
+                          trace_ctx);
   NoteStripePosted(rail, len);
 }
 
@@ -412,6 +440,14 @@ void StreamTx::OnWwiComplete(std::uint64_t wr_id, std::size_t rail) {
   EXS_CHECK(s.wwis_outstanding > 0);
   --s.wwis_outstanding;
   NoteWwisInFlight(-1);
+  if (spans_ != nullptr && rail < span_tx_fifo_.size() &&
+      !span_tx_fifo_[rail].empty()) {
+    // Per-QP completions return in post order: the FIFO head is the chunk
+    // this completion retires (empty only if tracing attached mid-run).
+    spans_->NoteTxComplete(span_tx_fifo_[rail].front(),
+                           ctx_.scheduler->Now());
+    span_tx_fifo_[rail].pop_front();
+  }
   if (Striping()) {
     // Per-QP completions return in post order, so the head of the rail's
     // FIFO is exactly the chunk that completed.

@@ -81,6 +81,68 @@ void EmitCounter(std::vector<Emitted>& out, const std::string& name,
   out.push_back(Emitted{ts, std::move(j)});
 }
 
+/// A complete ("X") slice for one leg of a chunk's journey, tagged with
+/// the chunk's provenance so the Perfetto UI shows it on hover.
+void EmitChunkSlice(std::vector<Emitted>& out, const std::string& name,
+                    SimTime ts, SimDuration dur, int pid, int tid,
+                    const spans::ChunkRecord& c) {
+  std::string j = "{\"name\":";
+  metrics::AppendJsonString(&j, name);
+  j += ",\"cat\":\"chunk\",\"ph\":\"X\"";
+  j += ",\"ts\":" + FormatTs(ts);
+  j += ",\"dur\":" + FormatTs(dur);
+  j += ",\"pid\":" + std::to_string(pid);
+  j += ",\"tid\":" + std::to_string(tid);
+  j += ",\"args\":{\"chunk\":" + std::to_string(c.id);
+  j += ",\"len\":" + std::to_string(c.len);
+  j += ",\"indirect\":";
+  j += c.indirect ? "true" : "false";
+  j += ",\"coalesced\":";
+  j += c.coalesced ? "true" : "false";
+  j += ",\"rail\":" + std::to_string(c.tx_rail);
+  j += "}}";
+  out.push_back(Emitted{ts, std::move(j)});
+}
+
+/// A flow edge: 's' starts the arrow inside the sender-side slice at post
+/// time, 'f' lands it inside the receiver-side slice at arrival.  Flows
+/// bind by (cat, id); the id is the chunk trace id.
+void EmitChunkFlow(std::vector<Emitted>& out, char ph, SimTime ts,
+                   std::uint64_t id, int pid, int tid) {
+  std::string j = "{\"name\":\"chunk\",\"cat\":\"chunk\",\"ph\":\"";
+  j += ph;
+  j += "\",\"id\":" + std::to_string(id);
+  j += ",\"ts\":" + FormatTs(ts);
+  j += ",\"pid\":" + std::to_string(pid);
+  j += ",\"tid\":" + std::to_string(tid);
+  if (ph == 'f') j += ",\"bp\":\"e\"";
+  j += "}";
+  out.push_back(Emitted{ts, std::move(j)});
+}
+
+/// Chunk slices + flow events for the sources' collector (no-op when the
+/// source carries no collector or no endpoint ids).
+void EmitChunkSpans(std::vector<Emitted>& out, const TimelineSource& src,
+                    int pid) {
+  if (src.spans == nullptr) return;
+  for (const spans::ChunkRecord& c : src.spans->chunks()) {
+    if (!c.delivered()) continue;
+    const std::string label = "chunk " + std::to_string(c.id);
+    if (src.tx_endpoint != 0 && c.tx_endpoint == src.tx_endpoint) {
+      EmitChunkSlice(out, label + " tx", c.t_submit, c.t_post - c.t_submit,
+                     pid, /*tid=*/0, c);
+      EmitChunkSlice(out, label + " wire", c.t_post, c.t_arrive - c.t_post,
+                     pid, /*tid=*/0, c);
+      EmitChunkFlow(out, 's', c.t_post, c.id, pid, /*tid=*/0);
+    }
+    if (src.rx_endpoint != 0 && c.rx_endpoint == src.rx_endpoint) {
+      EmitChunkSlice(out, label + " rx", c.t_arrive, c.t_deliver - c.t_arrive,
+                     pid, /*tid=*/1, c);
+      EmitChunkFlow(out, 'f', c.t_arrive, c.id, pid, /*tid=*/1);
+    }
+  }
+}
+
 bool IsPhaseChange(TraceEventType type) {
   return type == TraceEventType::kSenderPhaseChanged ||
          type == TraceEventType::kReceiverPhaseChanged;
@@ -126,6 +188,7 @@ std::string ExportChromeTrace(const std::vector<TimelineSource>& sources) {
     EmitMetadata(out, "thread_name", pid, 1, "rx (incoming stream)");
     if (src.tx != nullptr) EmitHalf(out, *src.tx, pid, /*tid=*/0);
     if (src.rx != nullptr) EmitHalf(out, *src.rx, pid, /*tid=*/1);
+    EmitChunkSpans(out, src, pid);
     if (src.registry != nullptr) {
       for (const auto& [name, named] : src.registry->series()) {
         for (const auto& sample : named.instrument->samples()) {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/metrics.hpp"
+#include "common/spans.hpp"
 #include "exs/trace.hpp"
 
 namespace exs {
@@ -26,6 +27,16 @@ struct TimelineSource {
   const TraceLog* tx = nullptr;
   const TraceLog* rx = nullptr;
   const metrics::Registry* registry = nullptr;
+  /// Causal chunk tracing (common/spans.hpp): when set, every delivered
+  /// sampled chunk belonging to this socket contributes "X" slices (tx
+  /// residence, wire flight, rx residence) and Perfetto flow events
+  /// ("s"/"f", id = chunk trace id) that link the sender-side slice to the
+  /// receiver-side slice across processes in the timeline.  Null — or
+  /// endpoint ids left 0 — emits nothing, keeping legacy output
+  /// byte-identical.
+  const spans::SpanCollector* spans = nullptr;
+  std::uint64_t tx_endpoint = 0;  ///< this socket's ".tx" endpoint id
+  std::uint64_t rx_endpoint = 0;  ///< this socket's ".rx" endpoint id
 };
 
 /// Serialize the sources as a Chrome trace-event JSON object

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/units.hpp"
 
 namespace exs {
@@ -99,10 +100,16 @@ class TraceLog {
   std::size_t capacity() const { return capacity_; }
   std::uint64_t dropped() const { return dropped_; }
 
+  /// Mirror the capacity-drop count into a registry counter so truncation
+  /// is visible in metrics snapshots (JSON/CSV), not only to code that
+  /// polls dropped().  May be null to detach.
+  void SetDropCounter(metrics::Counter* counter) { drop_counter_ = counter; }
+
   void Record(const TraceEvent& event) {
     if (!enabled_) return;
     if (capacity_ != 0 && events_.size() >= capacity_) {
       ++dropped_;
+      if (drop_counter_ != nullptr) drop_counter_->Increment();
       return;
     }
     events_.push_back(event);
@@ -121,6 +128,7 @@ class TraceLog {
   bool enabled_ = false;
   std::size_t capacity_ = 0;
   std::uint64_t dropped_ = 0;
+  metrics::Counter* drop_counter_ = nullptr;
   std::vector<TraceEvent> events_;
 };
 

@@ -202,6 +202,7 @@ WcStatus QueuePair::Deliver(const PacketPtr& pkt, QueuePair& sender) {
     wc.imm = wr.imm;
     wc.has_stripe_seq = wr.has_stripe_seq;
     wc.stripe_seq = wr.stripe_seq;
+    wc.trace_ctx = wr.trace_ctx;
     wc.byte_len = static_cast<std::uint32_t>(pkt->notify_len);
     PushRecvCompletionLater(wc);
     return WcStatus::kSuccess;
@@ -243,6 +244,7 @@ WcStatus QueuePair::Deliver(const PacketPtr& pkt, QueuePair& sender) {
   wc.imm = wr.imm;
   wc.has_stripe_seq = wr.has_stripe_seq;
   wc.stripe_seq = wr.stripe_seq;
+  wc.trace_ctx = wr.trace_ctx;
   wc.byte_len = static_cast<std::uint32_t>(pkt->payload_len);
 
   if (wr.opcode == Opcode::kSend) {

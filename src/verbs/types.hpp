@@ -80,6 +80,12 @@ struct SendWorkRequest {
   /// RDMA opcodes address peer memory through these.
   std::uint64_t remote_addr = 0;
   std::uint32_t rkey = 0;
+
+  /// Opaque causal-tracing correlation id (common/spans.hpp); 0 = not
+  /// traced.  Pure metadata — carried alongside the message and surfaced
+  /// in the receive-side completion, but charged zero wire bytes, so
+  /// enabling tracing cannot change timing.
+  std::uint64_t trace_ctx = 0;
 };
 
 struct RecvWorkRequest {
@@ -98,6 +104,9 @@ struct WorkCompletion {
   /// Stripe sequence number from the extended header, if present.
   bool has_stripe_seq = false;
   std::uint64_t stripe_seq = 0;
+  /// Causal-tracing correlation id copied from the originating send work
+  /// request (0 = untraced).
+  std::uint64_t trace_ctx = 0;
   QueuePair* qp = nullptr;
 };
 

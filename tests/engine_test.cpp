@@ -375,6 +375,39 @@ TEST(ProgressEngineTest, WorkPerTickIsBounded) {
   EXPECT_GE(engine.TicksRun(), 4u);  // at most 8 events per tick
 }
 
+TEST(ProgressEngineTest, SchedulingInstrumentsRecordTicksAndDelays) {
+  Simulation sim(HardwareProfile::FdrInfiniBand(), 14, true);
+  metrics::Registry reg;
+  ProgressEngineOptions opts;
+  opts.tick_overhead = Microseconds(1);
+  opts.per_event_cpu = Microseconds(0.5);
+  ProgressEngine engine(sim.fabric().node(1).cpu(), opts, &reg);
+  auto [client, server] = sim.CreateConnectedPair(SocketType::kStream);
+  (void)client;
+
+  std::size_t dispatched = 0;
+  engine.Register(server, [&](Socket&, const Event&) { ++dispatched; });
+  for (std::uint64_t i = 0; i < 16; ++i) server->events().Push(FakeEvent(i));
+  sim.Run();
+  ASSERT_EQ(dispatched, 16u);
+
+  // The engine-level histograms: one tick_duration entry per tick, one
+  // sched_delay entry per serve, both in picoseconds.
+  const auto& hists = reg.histograms();
+  ASSERT_TRUE(hists.count("engine.tick_duration"));
+  const metrics::Histogram& ticks = *hists.at("engine.tick_duration").instrument;
+  EXPECT_EQ(ticks.count(), engine.TicksRun());
+  EXPECT_GE(ticks.min(), static_cast<std::uint64_t>(Microseconds(1)));
+  ASSERT_TRUE(hists.count("engine.sched_delay"));
+  EXPECT_GT(hists.at("engine.sched_delay").instrument->count(), 0u);
+
+  // The per-socket mirror (the per-DRR-queue HoL view) lands in the
+  // socket's own registry, next to its other instruments.
+  const auto& socket_hists = server->metrics_registry().histograms();
+  ASSERT_TRUE(socket_hists.count("engine.sched_delay"));
+  EXPECT_GT(socket_hists.at("engine.sched_delay").instrument->count(), 0u);
+}
+
 TEST(ProgressEngineTest, UnregisterLeavesEventsForDirectPolling) {
   EngineHarness h;
   auto [client, server] = h.Pair();

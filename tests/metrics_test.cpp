@@ -125,6 +125,59 @@ TEST(TimeWeightedSeries, DecimationIsBoundedAndDeterministic) {
   EXPECT_NEAR(a.Average(end), 6.0, 0.1);  // mean of i % 13 over a long run
 }
 
+TEST(TimeWeightedSeries, EmptySeriesExportsAsZeroes) {
+  Registry reg;
+  reg.GetSeries("idle", "bytes");  // registered, never recorded
+  const TimeWeightedSeries& s = *reg.series().at("idle").instrument;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.Average(1000), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_TRUE(s.samples().empty());
+
+  json::Value root;
+  std::string error;
+  ASSERT_TRUE(json::Parse(reg.ToJson(/*now=*/1000), &root, &error)) << error;
+  const json::Value* series = root.Find("series")->Find("idle");
+  ASSERT_NE(series, nullptr);
+  EXPECT_EQ(series->Find("avg")->number_value, 0.0);
+  EXPECT_TRUE(series->Find("samples")->array_items.empty());
+}
+
+TEST(TimeWeightedSeries, SingleSampleHoldsItsValueForever) {
+  TimeWeightedSeries s;
+  s.Record(50, 3.0);
+  EXPECT_EQ(s.count(), 1u);
+  ASSERT_EQ(s.samples().size(), 1u);
+  EXPECT_EQ(s.samples()[0].time, 50);
+  // The step function is constant after its only sample.
+  EXPECT_DOUBLE_EQ(s.Average(50), 3.0);
+  EXPECT_DOUBLE_EQ(s.Average(100000), 3.0);
+  EXPECT_EQ(s.min(), 3.0);
+  EXPECT_EQ(s.max(), 3.0);
+}
+
+TEST(TimeWeightedSeries, ExportAfterSameTimestampDoubleWrite) {
+  // The overwrite path (two Records at one instant) must leave the
+  // exported snapshot well-formed: one retained sample carrying the
+  // final value, and the integral built from it alone.
+  Registry reg;
+  TimeWeightedSeries& s = reg.GetSeries("ring", "bytes");
+  s.Record(100, 1.0);
+  s.Record(100, 5.0);
+
+  json::Value root;
+  std::string error;
+  ASSERT_TRUE(json::Parse(reg.ToJson(/*now=*/300), &root, &error)) << error;
+  const json::Value* series = root.Find("series")->Find("ring");
+  ASSERT_NE(series, nullptr);
+  ASSERT_EQ(series->Find("samples")->array_items.size(), 1u);
+  EXPECT_EQ(series->Find("samples")->array_items[0].array_items.size(), 2u);
+  EXPECT_EQ(series->Find("last")->number_value, 5.0);
+  EXPECT_EQ(series->Find("avg")->number_value, 5.0);
+  EXPECT_EQ(series->Find("max")->number_value, 5.0);
+}
+
 TEST(Registry, JsonSnapshotParsesBack) {
   Registry reg;
   reg.GetCounter("tx.bytes", "bytes").Add(12345);

@@ -1,0 +1,279 @@
+// Causal chunk tracing (common/spans.hpp): the collector stamps every
+// stage in order, stage durations sum to the end-to-end latency (and
+// CheckSpanConservation proves it can catch records where they don't),
+// sampling is a pure function of the seed, attaching the collector leaves
+// golden fingerprints bit-identical, and the timeline export links tx to
+// rx with Perfetto flow events.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/spans.hpp"
+#include "exs/exs.hpp"
+#include "exs/invariant_checker.hpp"
+
+namespace exs {
+namespace {
+
+using simnet::HardwareProfile;
+using spans::ChunkRecord;
+using spans::SpanCollector;
+using spans::Stage;
+
+// ---------------------------------------------------------------------------
+// Collector unit behaviour.
+// ---------------------------------------------------------------------------
+
+TEST(SpanCollector, StampsEveryStageAndConservesByConstruction) {
+  SpanCollector collector(/*seed=*/1);
+  const std::uint64_t tx = collector.RegisterEndpoint("client.tx");
+  const std::uint64_t rx = collector.RegisterEndpoint("server.rx");
+
+  const std::uint64_t id = collector.BeginChunk(
+      tx, /*submit=*/100, /*flush=*/140, /*post=*/200, /*len=*/4096,
+      /*indirect=*/true, /*coalesced=*/true, /*rail=*/0);
+  ASSERT_NE(id, 0u);
+  collector.NoteTxComplete(id, 950);
+  collector.NoteArrive(id, 1000, rx, 0);
+  collector.NoteProcess(id, 1100);
+  collector.NoteRingCopyStart(id, 1500);
+  collector.NoteCopied(id, 1900);
+  collector.NoteDeliver(id, 2000);
+
+  const ChunkRecord* r = collector.Find(id);
+  ASSERT_NE(r, nullptr);
+  EXPECT_TRUE(r->delivered());
+  EXPECT_EQ(r->StageDuration(Stage::kTxStaging), 40);
+  EXPECT_EQ(r->StageDuration(Stage::kTxQueue), 60);
+  EXPECT_EQ(r->StageDuration(Stage::kWire), 800);
+  EXPECT_EQ(r->StageDuration(Stage::kRxReorder), 100);
+  EXPECT_EQ(r->StageDuration(Stage::kRxRing), 400);
+  EXPECT_EQ(r->StageDuration(Stage::kRxCopy), 400);
+  EXPECT_EQ(r->StageDuration(Stage::kRxDeliver), 100);
+  EXPECT_EQ(r->EndToEnd(), 1900);
+
+  SimDuration sum = 0;
+  for (std::size_t s = 0; s < spans::kStageCount; ++s) {
+    sum += r->StageDuration(static_cast<Stage>(s));
+  }
+  EXPECT_EQ(sum, r->EndToEnd());
+  // t_tx_complete is the completion-fallacy comparator, not a stage.
+  EXPECT_EQ(r->t_tx_complete, 950);
+
+  EXPECT_TRUE(CheckSpanConservation(collector).ok());
+}
+
+TEST(SpanCollector, UnsampledIdZeroIsANoOpEverywhere) {
+  SpanCollector collector(/*seed=*/1);
+  collector.NoteArrive(0, 10, 1, 0);
+  collector.NoteProcess(0, 20);
+  collector.NoteDeliver(0, 30);
+  EXPECT_EQ(collector.Find(0), nullptr);
+  EXPECT_TRUE(collector.chunks().empty());
+  EXPECT_TRUE(CheckSpanConservation(collector).ok());
+}
+
+TEST(SpanCollector, SamplingIsDeterministicPerSeed) {
+  auto sampled_ordinals = [](std::uint64_t seed) {
+    SpanCollector c(seed, /*sample_period=*/8);
+    const std::uint64_t ep = c.RegisterEndpoint("tx");
+    std::set<std::uint64_t> kept;
+    for (std::uint64_t i = 0; i < 512; ++i) {
+      if (c.BeginChunk(ep, 0, 0, 0, 64, false, false, 0) != 0) kept.insert(i);
+    }
+    EXPECT_EQ(c.chunks_seen(), 512u);
+    return kept;
+  };
+  const auto a = sampled_ordinals(42);
+  const auto b = sampled_ordinals(42);
+  EXPECT_EQ(a, b);  // same seed → the same chunks, every run
+  EXPECT_FALSE(a.empty());
+  EXPECT_LT(a.size(), 512u);  // period 8 really thins the stream
+  EXPECT_NE(a, sampled_ordinals(43));
+}
+
+// ---------------------------------------------------------------------------
+// Conservation: clean end-to-end runs pass, tampered records are caught.
+// ---------------------------------------------------------------------------
+
+/// Mixed direct/indirect workload with spans attached; returns the sim so
+/// callers can inspect the collector or the timeline.
+void RunTracedWorkload(Simulation& sim, std::uint32_t rails = 1) {
+  StreamOptions opts;
+  opts.rails = rails;
+  opts.intermediate_buffer_bytes = 64 * kKiB;
+  auto [client, server] = sim.CreateConnectedPair(SocketType::kStream, opts);
+  client->EnableTracing();
+  server->EnableTracing();
+
+  std::vector<std::uint8_t> out(96 * kKiB), in(96 * kKiB);
+  // Small sends land indirect, the large tail goes direct once ADVERTs
+  // catch up — both provenance paths get exercised.
+  server->Recv(in.data(), in.size(), RecvFlags{.waitall = true});
+  std::uint64_t off = 0;
+  for (std::uint64_t len : {2 * kKiB, 6 * kKiB, 24 * kKiB, 64 * kKiB}) {
+    client->Send(out.data() + off, len);
+    off += len;
+  }
+  client->Close();
+  sim.Run();
+}
+
+TEST(SpanConservation, CleanRunPassesWithEveryChunkDelivered) {
+  Simulation sim(HardwareProfile::FdrInfiniBand(), 9, false);
+  SpanCollector& collector = sim.EnableChunkSpans();
+  RunTracedWorkload(sim);
+
+  ASSERT_FALSE(collector.chunks().empty());
+  for (const ChunkRecord& r : collector.chunks()) {
+    EXPECT_TRUE(r.delivered()) << "chunk " << r.id << " never delivered";
+  }
+  InvariantReport report = CheckSpanConservation(collector);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_TRUE(report.warnings.empty()) << report.Summary();
+  EXPECT_EQ(report.events_checked, collector.chunks().size());
+
+  spans::LatencyReport latency = collector.BuildReport();
+  EXPECT_EQ(latency.chunks_delivered, collector.chunks().size());
+  EXPECT_EQ(latency.end_to_end.count, latency.chunks_delivered);
+}
+
+TEST(SpanConservation, StripedRunPassesAndGroupsHolByRail) {
+  Simulation sim(HardwareProfile::FdrInfiniBand(), 9, false);
+  SpanCollector& collector = sim.EnableChunkSpans();
+  RunTracedWorkload(sim, /*rails=*/2);
+
+  InvariantReport report = CheckSpanConservation(collector);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  bool multi_rail = false;
+  for (const ChunkRecord& r : collector.chunks()) {
+    if (r.rx_rail > 0) multi_rail = true;
+  }
+  EXPECT_TRUE(multi_rail) << "striped run never used rail 1";
+  EXPECT_GE(collector.BuildReport().reorder_by_rail.size(), 2u);
+}
+
+TEST(SpanConservation, CatchesMissingAndNonMonotonicStamps) {
+  Simulation sim(HardwareProfile::FdrInfiniBand(), 9, false);
+  SpanCollector& collector = sim.EnableChunkSpans();
+  RunTracedWorkload(sim);
+  ASSERT_TRUE(CheckSpanConservation(collector).ok());
+
+  ChunkRecord* victim = collector.Find(collector.chunks().front().id);
+  ASSERT_NE(victim, nullptr);
+
+  // A skipped instrumentation site: one boundary never stamped.
+  const SimTime saved = victim->t_ring_end;
+  victim->t_ring_end = spans::kNoTime;
+  EXPECT_FALSE(CheckSpanConservation(collector).ok());
+  victim->t_ring_end = saved;
+  ASSERT_TRUE(CheckSpanConservation(collector).ok());
+
+  // An out-of-order stamp: processing "before" arrival.
+  victim->t_process = victim->t_arrive - 1;
+  EXPECT_FALSE(CheckSpanConservation(collector).ok());
+}
+
+TEST(SpanConservation, UndeliveredChunksWarnButDoNotFail) {
+  SpanCollector collector(/*seed=*/1);
+  const std::uint64_t ep = collector.RegisterEndpoint("tx");
+  ASSERT_NE(collector.BeginChunk(ep, 0, 0, 10, 64, false, false, 0), 0u);
+  InvariantReport report = CheckSpanConservation(collector);
+  EXPECT_TRUE(report.ok());
+  ASSERT_FALSE(report.warnings.empty());
+  EXPECT_NE(report.warnings.front().find("never delivered"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Zero-perturbation: enabling spans cannot change what the protocol did.
+// ---------------------------------------------------------------------------
+
+TEST(SpanSampling, FingerprintsAreBitIdenticalWithSpansEnabled) {
+  auto run = [](bool with_spans) {
+    auto sim = std::make_unique<Simulation>(HardwareProfile::FdrInfiniBand(),
+                                            17, false);
+    if (with_spans) sim->EnableChunkSpans();
+    StreamOptions opts;
+    opts.intermediate_buffer_bytes = 64 * kKiB;
+    auto [client, server] =
+        sim->CreateConnectedPair(SocketType::kStream, opts);
+    client->EnableTracing();
+    server->EnableTracing();
+    std::vector<std::uint8_t> out(48 * kKiB), in(48 * kKiB);
+    server->Recv(in.data(), in.size(), RecvFlags{.waitall = true});
+    for (std::uint64_t off = 0; off < out.size(); off += 8 * kKiB) {
+      client->Send(out.data() + off, 8 * kKiB);
+    }
+    client->Close();
+    sim->Run();
+    return std::pair<std::uint64_t, std::string>(
+        ConnectionFingerprint(*client, *server), sim->MetricsJson());
+  };
+  const auto off = run(false);
+  const auto on = run(true);
+  EXPECT_EQ(off.first, on.first);    // trace fingerprints: same protocol run
+  EXPECT_EQ(off.second, on.second);  // metrics snapshot: same numbers
+}
+
+TEST(SpanReport, RendersBitIdenticallyAcrossRuns) {
+  auto render = [] {
+    Simulation sim(HardwareProfile::FdrInfiniBand(), 23, false);
+    SpanCollector& collector = sim.EnableChunkSpans();
+    RunTracedWorkload(sim);
+    spans::LatencyReport report = collector.BuildReport();
+    return report.ToText() + report.ToJson();
+  };
+  EXPECT_EQ(render(), render());
+}
+
+// ---------------------------------------------------------------------------
+// Timeline: chunk slices and tx→rx flow events.
+// ---------------------------------------------------------------------------
+
+TEST(SpanTimeline, FlowEventsLinkTxToRx) {
+  Simulation sim(HardwareProfile::FdrInfiniBand(), 9, false);
+  sim.EnableChunkSpans();
+  RunTracedWorkload(sim);
+
+  json::Value root;
+  std::string error;
+  ASSERT_TRUE(json::Parse(sim.TimelineJson(), &root, &error)) << error;
+  std::set<double> starts, finishes;
+  std::size_t slices = 0;
+  for (const json::Value& ev : root.Find("traceEvents")->array_items) {
+    const std::string& ph = ev.Find("ph")->string_value;
+    if (ph == "X") {
+      ++slices;
+      EXPECT_GE(ev.Find("dur")->number_value, 0.0);
+    } else if (ph == "s") {
+      starts.insert(ev.Find("id")->number_value);
+    } else if (ph == "f") {
+      finishes.insert(ev.Find("id")->number_value);
+    }
+  }
+  EXPECT_GT(slices, 0u);
+  EXPECT_FALSE(starts.empty());
+  // Every flow arrow that starts on a tx track lands on an rx track.
+  EXPECT_EQ(starts, finishes);
+}
+
+TEST(SpanTimeline, NoChunkEventsWithoutSpans) {
+  Simulation sim(HardwareProfile::FdrInfiniBand(), 9, false);
+  RunTracedWorkload(sim);
+  json::Value root;
+  std::string error;
+  ASSERT_TRUE(json::Parse(sim.TimelineJson(), &root, &error)) << error;
+  for (const json::Value& ev : root.Find("traceEvents")->array_items) {
+    const std::string& ph = ev.Find("ph")->string_value;
+    EXPECT_NE(ph, "X");
+    EXPECT_NE(ph, "s");
+    EXPECT_NE(ph, "f");
+  }
+}
+
+}  // namespace
+}  // namespace exs

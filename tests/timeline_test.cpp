@@ -13,6 +13,7 @@
 #include "blast/blast.hpp"
 #include "common/json.hpp"
 #include "exs/exs.hpp"
+#include "exs/invariant_checker.hpp"
 #include "exs/timeline.hpp"
 #include "exs/trace.hpp"
 
@@ -192,6 +193,40 @@ TEST(TraceLogCap, BoundedLogDropsAndCounts) {
   // The retained prefix is still a sound (shorter) run for the validators.
   auto result = ValidateSenderTrace(client->tx_trace().events());
   EXPECT_TRUE(result.ok()) << result.Summary();
+}
+
+TEST(TraceLogCap, DropsSurfaceInTheMetricsSnapshot) {
+  // Satellite of the provenance work: a truncated trace must be visible
+  // in the ordinary metrics exports, not only via TraceLog::dropped().
+  Simulation sim(HardwareProfile::FdrInfiniBand(), 9, false);
+  auto [client, server] = sim.CreateConnectedPair(SocketType::kStream);
+  client->EnableTracing(/*capacity=*/8);
+  server->EnableTracing(/*capacity=*/8);
+  std::vector<std::uint8_t> buf(64 * 1024);
+  for (int i = 0; i < 16; ++i) {
+    server->Recv(buf.data(), buf.size(), RecvFlags{.waitall = true});
+    sim.RunFor(Microseconds(30));
+    client->Send(buf.data(), buf.size());
+    sim.Run();
+  }
+  ASSERT_GT(client->tx_trace().dropped(), 0u);
+  const auto& counters = client->metrics_registry().counters();
+  ASSERT_TRUE(counters.count("trace.dropped_tx"));
+  EXPECT_EQ(counters.at("trace.dropped_tx").instrument->value(),
+            client->tx_trace().dropped());
+  ASSERT_TRUE(counters.count("trace.dropped_rx"));
+  EXPECT_EQ(counters.at("trace.dropped_rx").instrument->value(),
+            client->rx_trace().dropped());
+
+  // And the checker, when told to tolerate the truncation, must say so
+  // out loud instead of silently passing on the retained prefix.
+  InvariantCheckOptions opts;
+  opts.allow_truncated = true;
+  InvariantReport report = CheckStreamSenderTrace(client->tx_trace(), opts);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  ASSERT_FALSE(report.warnings.empty());
+  EXPECT_NE(report.warnings.front().find("truncated"), std::string::npos);
+  EXPECT_NE(report.Summary().find("warning"), std::string::npos);
 }
 
 TEST(TraceLogCap, UnboundedByDefaultAndClearResetsDropCount) {

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_streams.json against the committed baseline.
+
+Usage: tools/bench_diff.py BASELINE FRESH [--tolerance 0.10]
+
+The simulator is deterministic, so on an unchanged tree the two files are
+byte-identical and this differ is a no-op.  Its job is to catch
+*unintentional* regressions: every numeric leaf must stay within
+--tolerance (relative) of the baseline, every non-numeric leaf must match
+exactly, and the two documents must have the same shape.  A deliberate
+performance change shows up here too — regenerate the baseline with
+bench/run_all.sh and commit it alongside the change.
+
+Schema versions gate everything: if the suite or any per-bench
+`schema_version` differs, the comparison refuses to run (exit 3) rather
+than produce misleading per-field noise — regenerate the baseline instead.
+
+Exit codes: 0 in tolerance, 1 regression, 2 usage/IO, 3 schema mismatch.
+"""
+
+import argparse
+import json
+import sys
+
+
+def walk(path, base, fresh, tolerance, problems):
+    """Append a human-readable problem line for every mismatched leaf."""
+    if type(base) is not type(fresh) and not (
+        isinstance(base, (int, float)) and isinstance(fresh, (int, float))
+    ):
+        problems.append(f"{path}: type changed "
+                        f"({type(base).__name__} -> {type(fresh).__name__})")
+        return
+    if isinstance(base, dict):
+        for key in base.keys() | fresh.keys():
+            if key not in base:
+                problems.append(f"{path}.{key}: new field (not in baseline)")
+            elif key not in fresh:
+                problems.append(f"{path}.{key}: missing from fresh results")
+            else:
+                walk(f"{path}.{key}", base[key], fresh[key], tolerance,
+                     problems)
+    elif isinstance(base, list):
+        if len(base) != len(fresh):
+            problems.append(f"{path}: length {len(base)} -> {len(fresh)}")
+            return
+        for i, (b, f) in enumerate(zip(base, fresh)):
+            walk(f"{path}[{i}]", b, f, tolerance, problems)
+    elif isinstance(base, bool) or base is None or isinstance(base, str):
+        if base != fresh:
+            problems.append(f"{path}: {base!r} -> {fresh!r}")
+    else:  # numeric leaf
+        if base == fresh:
+            return
+        if base == 0:
+            problems.append(f"{path}: 0 -> {fresh}")
+            return
+        rel = abs(fresh - base) / abs(base)
+        if rel > tolerance:
+            problems.append(
+                f"{path}: {base} -> {fresh} ({rel * 100:+.1f}%, "
+                f"tolerance {tolerance * 100:.0f}%)")
+
+
+def schema_versions(doc):
+    """(suite_version, {bench_name: version, ...}) of a merged results file."""
+    per_bench = {}
+    for section in ("benches", "latency"):
+        for entry in doc.get(section, []):
+            key = f"{section}:{entry.get('bench', '?')}"
+            per_bench[key] = entry.get("schema_version")
+    return doc.get("schema_version"), per_bench
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff merged bench results against a baseline")
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="max relative drift per numeric leaf (0.10)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            base = json.load(f)
+        with open(args.fresh) as f:
+            fresh = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_diff: {e}", file=sys.stderr)
+        return 2
+
+    base_suite, base_benches = schema_versions(base)
+    fresh_suite, fresh_benches = schema_versions(fresh)
+    if base_suite != fresh_suite or base_benches != fresh_benches:
+        print(f"bench_diff: schema mismatch — baseline suite={base_suite} "
+              f"{base_benches}, fresh suite={fresh_suite} {fresh_benches}",
+              file=sys.stderr)
+        print("regenerate the baseline: bench/run_all.sh --quick && "
+              "git add BENCH_streams.json", file=sys.stderr)
+        return 3
+
+    problems = []
+    walk("$", base, fresh, args.tolerance, problems)
+    if problems:
+        print(f"bench_diff: {len(problems)} field(s) out of tolerance:")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print(f"bench_diff: fresh results within {args.tolerance * 100:.0f}% "
+          f"of baseline ({args.baseline})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,6 +60,7 @@ std::string TortureResult::Describe() const {
       << " faults=" << faults_applied << "/" << faults_armed;
   for (const auto& f : failures) oss << "\n    failure: " << f;
   for (const auto& v : checker_violations) oss << "\n    invariant: " << v;
+  for (const auto& w : checker_warnings) oss << "\n    warning: " << w;
   return oss.str();
 }
 
@@ -97,6 +98,10 @@ TortureResult RunManyTorture(const TortureConfig& cfg) {
   const SimDuration horizon =
       EstimateHorizon(profile, per_stream * streams);
 
+  // Causal chunk tracing, sampling every chunk: the stage-attribution
+  // conservation rule below replays it.  Declared before the simulation so
+  // the sockets holding a pointer to it die first.
+  spans::SpanCollector span_collector(cfg.seed, /*sample_period=*/1);
   Simulation sim(profile, cfg.seed, /*carry_payload=*/true);
   engine::ProgressEngine engine(sim.fabric().node(1).cpu(),
                                 engine::ProgressEngineOptions{});
@@ -141,6 +146,7 @@ TortureResult RunManyTorture(const TortureConfig& cfg) {
         rx->socket = &s;
         rx->data.resize(per_stream);
         s.EnableTracing(cfg.trace_capacity);
+        s.EnableChunkSpans(&span_collector);
         s.Recv(rx->data.data(), per_stream, RecvFlags{.waitall = true});
         if (rxs.empty()) {
           // Control-delay faults hold one channel per node; aim them at
@@ -164,6 +170,7 @@ TortureResult RunManyTorture(const TortureConfig& cfg) {
                                     if (s == nullptr) ++rejected;
                                   });
     pending->EnableTracing(cfg.trace_capacity);
+    pending->EnableChunkSpans(&span_collector);
     clients.push_back(pending);
     if (i == 0) {
       injector.AttachControlTarget(0, &pending->channel_internal());
@@ -283,8 +290,10 @@ TortureResult RunManyTorture(const TortureConfig& cfg) {
   pool_opts.lease_bytes = aopts.pool.lease_bytes;
   pool_opts.allow_truncated = cfg.trace_capacity != 0;
   report.Merge(CheckPoolConservation(rx_logs, pool_opts));
+  report.Merge(CheckSpanConservation(span_collector));
 
   res.checker_violations = report.violations;
+  res.checker_warnings = report.warnings;
   res.events_checked = report.events_checked;
   res.fingerprint = fp;
   res.faults_armed = injector.FaultsArmed();
@@ -342,6 +351,9 @@ TortureResult RunTorture(const TortureConfig& cfg) {
       seqpacket ? SocketType::kSeqPacket : SocketType::kStream, opts);
   client->EnableTracing(cfg.trace_capacity);
   server->EnableTracing(cfg.trace_capacity);
+  // Sample every chunk: the stage-attribution conservation rule runs on
+  // each torture mode (a no-op for SEQPACKET, which traces no chunks).
+  sim.EnableChunkSpans();
 
   // Destroyed before `sim` (reverse declaration order): no simulated time
   // advances after the injector dies, so its scheduled lambdas never run
@@ -516,7 +528,9 @@ TortureResult RunTorture(const TortureConfig& cfg) {
   }
 
   InvariantReport report = CheckConnection(*client, *server);
+  report.Merge(CheckSpanConservation(*sim.chunk_spans()));
   res.checker_violations = report.violations;
+  res.checker_warnings = report.warnings;
   res.events_checked = report.events_checked;
   res.fingerprint = ConnectionFingerprint(*client, *server);
   res.faults_armed = injector.FaultsArmed();

@@ -67,6 +67,10 @@ struct TortureResult {
   std::vector<std::string> failures;
   /// Violations reported by the trace invariant checker specifically.
   std::vector<std::string> checker_violations;
+  /// Non-fatal checker caveats (truncated traces, undelivered sampled
+  /// chunks): the run still passes, but the caveats are printed so a
+  /// partially validated run never masquerades as a fully validated one.
+  std::vector<std::string> checker_warnings;
   std::uint64_t fingerprint = 0;    ///< ConnectionFingerprint of the run
   std::uint64_t events_checked = 0;
   std::uint64_t faults_armed = 0;
