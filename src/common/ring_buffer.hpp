@@ -82,6 +82,20 @@ class RingCursor {
     Sample();
   }
 
+  /// Overwrite all three cursors at once.  Used by stream resume: the
+  /// sender's remote view (`b_s`) is rebuilt from the receiver's
+  /// authoritative cursors, discarding writes that were posted but never
+  /// committed in delivery order at the receiver.
+  void Restore(std::uint64_t write, std::uint64_t read, std::uint64_t used) {
+    assert(write < (capacity_ == 0 ? 1 : capacity_) || write == 0);
+    assert(read < (capacity_ == 0 ? 1 : capacity_) || read == 0);
+    assert(used <= capacity_);
+    write_ = write;
+    read_ = read;
+    used_ = used;
+    Sample();
+  }
+
  private:
   std::uint64_t Advance(std::uint64_t cursor, std::uint64_t n) const {
     cursor += n;

@@ -46,6 +46,14 @@ ControlChannel::~ControlChannel() {
 }
 
 void ControlChannel::Connect(ControlChannel& a, ControlChannel& b) {
+  if (a.qp_ != nullptr || b.qp_ != nullptr) {
+    // Reconnect path: only a pair of dead channels may be re-wired, and
+    // both must reset together so the credit grants below stay symmetric.
+    EXS_CHECK_MSG(a.qp_ != nullptr && b.qp_ != nullptr && a.dead_ && b.dead_,
+                  "Connect on live channels — kill both before reconnecting");
+    a.ResetForResume();
+    b.ResetForResume();
+  }
   a.qp_ = std::make_unique<verbs::QueuePair>(*a.device_, *a.send_cq_,
                                              *a.recv_cq_);
   b.qp_ = std::make_unique<verbs::QueuePair>(*b.device_, *b.send_cq_,
@@ -53,6 +61,8 @@ void ControlChannel::Connect(ControlChannel& a, ControlChannel& b) {
   verbs::QueuePair::ConnectPair(*a.qp_, *b.qp_);
   a.qp_->SetInstruments(a.qp_inst_);
   b.qp_->SetInstruments(b.qp_inst_);
+  a.qp_->SetErrorHandler([ch = &a](verbs::WcStatus s) { ch->MarkDead(s); });
+  b.qp_->SetErrorHandler([ch = &b](verbs::WcStatus s) { ch->MarkDead(s); });
   // Pre-post the full pool on both sides before any traffic (§II-B: "each
   // side will post n RECV transactions at startup, prior to connection
   // establishment") and grant the matching credits to the peer.  An
@@ -66,6 +76,38 @@ void ControlChannel::Connect(ControlChannel& a, ControlChannel& b) {
   b.remote_credits_ = a.credits_;
   a.SampleCredits();
   b.SampleCredits();
+}
+
+void ControlChannel::MarkDead(verbs::WcStatus reason) {
+  dead_ = true;
+  if (fatal_notified_) return;
+  fatal_notified_ = true;
+  if (callbacks_.on_fatal) callbacks_.on_fatal(reason);
+}
+
+bool ControlChannel::Kill() {
+  if (dead_) return false;  // already dead: killing again is a no-op
+  if (qp_ != nullptr && !qp_->killed()) {
+    qp_->Kill();  // the error handler marks us dead synchronously
+  } else {
+    MarkDead(verbs::WcStatus::kWrFlushError);  // never connected
+  }
+  return true;
+}
+
+void ControlChannel::ResetForResume() {
+  // Park the dead QP instead of destroying it: scheduler closures it
+  // captured (guarded transmits, in-flight flush completions) must stay
+  // safe to run.  Its late completions fail the wc.qp identity check.
+  dead_qps_.push_back(std::move(qp_));
+  dead_ = false;
+  fatal_notified_ = false;
+  hold_until_ = 0;
+  deferred_.clear();
+  owed_credits_ = 0;
+  remote_credits_ = 0;
+  outstanding_wrs_ = 0;
+  SampleInflightWrs();
 }
 
 void ControlChannel::AttachReceivePool() {
@@ -203,9 +245,32 @@ void ControlChannel::PostRead(std::uint64_t wr_id, void* dst,
 }
 
 void ControlChannel::OnSendCompletion(const verbs::WorkCompletion& wc) {
-  EXS_CHECK_MSG(wc.status == verbs::WcStatus::kSuccess,
-                "send failed: " << verbs::ToString(wc.status)
-                                << " — the credit scheme should prevent this");
+  if (wc.qp != qp_.get()) return;  // late completion from a parked dead QP
+  if (wc.status != verbs::WcStatus::kSuccess) {
+    // Fatal transport statuses (flush, retry-exceeded) mark the channel
+    // dead and dispatch nothing: the resume handshake re-drives the stream
+    // from the delivered frontier, not from partial post-mortem reports.
+    // Anything else is still a protocol bug the credit scheme must prevent.
+    EXS_CHECK_MSG(wc.status == verbs::WcStatus::kWrFlushError ||
+                      wc.status == verbs::WcStatus::kRetryExceededError,
+                  "send failed: " << verbs::ToString(wc.status)
+                                  << " — the credit scheme should prevent this");
+    MarkDead(wc.status);
+    if (outstanding_wrs_ > 0) {
+      --outstanding_wrs_;
+      SampleInflightWrs();
+    }
+    return;
+  }
+  if (dead_) {
+    // Success completion racing the death (acknowledged just before the
+    // kill): account it, dispatch nothing.
+    if (outstanding_wrs_ > 0) {
+      --outstanding_wrs_;
+      SampleInflightWrs();
+    }
+    return;
+  }
   EXS_CHECK(outstanding_wrs_ > 0);
   --outstanding_wrs_;
   SampleInflightWrs();
@@ -220,6 +285,7 @@ void ControlChannel::OnSendCompletion(const verbs::WorkCompletion& wc) {
 }
 
 void ControlChannel::OnRecvCompletion(const verbs::WorkCompletion& wc) {
+  if (wc.qp != qp_.get()) return;  // late completion from a parked dead QP
   // The deferred-queue check keeps arrival order: once anything is held,
   // everything behind it queues too, even after the hold window expires.
   if (device_->scheduler().Now() < hold_until_ || !deferred_.empty()) {
@@ -231,6 +297,7 @@ void ControlChannel::OnRecvCompletion(const verbs::WorkCompletion& wc) {
 
 void ControlChannel::HoldIncoming(SimDuration hold) {
   EXS_CHECK(hold >= 0);
+  if (dead_) return;  // a fault hook on a dead transport is a no-op
   SimTime until = device_->scheduler().Now() + hold;
   if (until <= hold_until_) return;  // already covered by a longer hold
   hold_until_ = until;
@@ -247,8 +314,20 @@ void ControlChannel::DrainDeferred() {
 }
 
 void ControlChannel::ProcessRecvCompletion(const verbs::WorkCompletion& wc) {
-  EXS_CHECK_MSG(wc.status == verbs::WcStatus::kSuccess,
-                "receive failed: " << verbs::ToString(wc.status));
+  if (wc.status != verbs::WcStatus::kSuccess || dead_) {
+    // A flushed receive, or a delivery racing the QP's death.  Recycle a
+    // successfully consumed shared slot so the pool never leaks (flushed
+    // private receives belong to the dead QP and are simply gone — the
+    // reconnect re-posts a full pool); dispatch nothing.
+    if (wc.status != verbs::WcStatus::kSuccess) {
+      EXS_CHECK_MSG(wc.status == verbs::WcStatus::kWrFlushError,
+                    "receive failed: " << verbs::ToString(wc.status));
+      MarkDead(wc.status);
+    } else if (shared_slots_ != nullptr) {
+      shared_slots_->RepostSlot(wc.wr_id);
+    }
+    return;
+  }
   // Recycle the consumed slot right away so the pool never shrinks.  In
   // shared-slot mode the recycled receive goes back to the SRQ tail; its
   // slab bytes stay intact until some future arrival consumes that slot
@@ -297,6 +376,7 @@ void ControlChannel::MaybeSendStandaloneCredit() {
   // Return credits proactively once half the pool is owed and no other
   // message has carried them back.  The reserved credit guarantees this
   // can always go out.
+  if (dead_) return;
   if (owed_credits_ >= credits_ / 2 && remote_credits_ >= 1) {
     wire::ControlMessage msg;
     msg.type = static_cast<std::uint8_t>(wire::ControlType::kCredit);

@@ -77,6 +77,11 @@ class ControlChannel : public simnet::IncomingHoldTarget {
         on_read_done;
     /// Our send credit increased; blocked work may be retried.
     std::function<void()> on_credit_available;
+    /// The transport died: the queue pair entered the fatal error state
+    /// (killed locally, or its retries exhausted against a dead peer).
+    /// Invoked exactly once per death; after it fires CanSend() is false
+    /// until the channel is reconnected (Socket::ResumePair).
+    std::function<void(verbs::WcStatus)> on_fatal;
   };
 
   /// `shared_slots` switches the receive side to SRQ mode: no private
@@ -96,8 +101,19 @@ class ControlChannel : public simnet::IncomingHoldTarget {
   ControlChannel& operator=(const ControlChannel&) = delete;
 
   /// Wire two channels on opposite nodes together and pre-post the credit
-  /// pool on both.
+  /// pool on both.  Calling Connect again on a pair of *dead* channels
+  /// reconnects them: fresh queue pairs are built (the dead ones are parked
+  /// until teardown so their in-flight flush callbacks stay safe), the
+  /// receive pool is re-posted, and the credit scheme restarts from full.
+  /// A shared-slot channel keeps its admission-time reservation across the
+  /// reconnect — resuming is not a new admission.
   static void Connect(ControlChannel& a, ControlChannel& b);
+
+  /// Force the transport into the fatal error state (fault injection).
+  /// Returns false when the channel is already dead — the kill is a no-op,
+  /// never a dangling callback.
+  bool Kill();
+  bool dead() const { return dead_; }
 
   void set_callbacks(Callbacks callbacks) { callbacks_ = std::move(callbacks); }
 
@@ -115,8 +131,8 @@ class ControlChannel : public simnet::IncomingHoldTarget {
                         metrics::TimeWeightedSeries* inflight_wrs);
 
   /// Can a normal message (control or data) be sent right now?  One credit
-  /// is reserved for CREDIT messages.
-  bool CanSend() const { return remote_credits_ >= 2; }
+  /// is reserved for CREDIT messages; a dead transport can send nothing.
+  bool CanSend() const { return !dead_ && remote_credits_ >= 2; }
 
   /// Send an ADVERT or ACK; fills in the piggybacked credit return.
   /// Caller must have checked CanSend().
@@ -164,6 +180,8 @@ class ControlChannel : public simnet::IncomingHoldTarget {
   void OnSendCompletion(const verbs::WorkCompletion& wc);
   void OnRecvCompletion(const verbs::WorkCompletion& wc);
   void ProcessRecvCompletion(const verbs::WorkCompletion& wc);
+  void MarkDead(verbs::WcStatus reason);
+  void ResetForResume();
   void DrainDeferred();
   void AttachReceivePool();
   void PostSlotRecv(std::uint32_t slot);
@@ -182,6 +200,12 @@ class ControlChannel : public simnet::IncomingHoldTarget {
   std::unique_ptr<verbs::CompletionQueue> send_cq_;
   std::unique_ptr<verbs::CompletionQueue> recv_cq_;
   std::unique_ptr<verbs::QueuePair> qp_;
+  /// Killed queue pairs from before a reconnect, kept alive so scheduler
+  /// closures they captured stay valid; their late completions are dropped
+  /// by the wc.qp identity check in the CQ handlers.
+  std::vector<std::unique_ptr<verbs::QueuePair>> dead_qps_;
+  bool dead_ = false;
+  bool fatal_notified_ = false;
   std::vector<std::uint8_t> slab_;  ///< empty in shared-slot mode
   verbs::MemoryRegionPtr slab_mr_;
   Callbacks callbacks_;

@@ -62,6 +62,13 @@ SocketInstruments SocketInstruments::Create(metrics::Registry& registry) {
   inst.credit_messages_sent =
       &registry.GetCounter("channel.credit_messages_sent", "messages");
 
+  inst.transport_kills =
+      &registry.GetCounter("recovery.transport_kills", "kills");
+  inst.resumes = &registry.GetCounter("recovery.resumes", "resumes");
+  inst.retransmitted_bytes =
+      &registry.GetCounter("recovery.retransmitted_bytes", "bytes");
+  inst.resume_latency = &registry.GetHistogram("recovery.resume_latency", "ps");
+
   return inst;
 }
 

@@ -62,6 +62,12 @@ struct SocketInstruments {
   metrics::TimeWeightedSeries* send_credits = nullptr;
   metrics::Counter* credit_messages_sent = nullptr;
 
+  // Fatal-fault recovery (StreamOptions::recovery; docs/FAULTS.md).
+  metrics::Counter* transport_kills = nullptr;   ///< fatal transport deaths
+  metrics::Counter* resumes = nullptr;           ///< successful resumes
+  metrics::Counter* retransmitted_bytes = nullptr;  ///< re-sent after resume
+  metrics::Histogram* resume_latency = nullptr;  ///< ps, kill -> resume
+
   /// Create (or re-resolve) every instrument in `registry`.
   static SocketInstruments Create(metrics::Registry& registry);
 };

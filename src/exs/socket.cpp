@@ -50,6 +50,10 @@ Socket::Socket(verbs::Device& device, SocketType type, StreamOptions options,
   }
   EXS_CHECK_MSG(wiring_.shared_slots == nullptr || options_.rails == 1,
                 "shared control slots require a single-rail socket");
+  EXS_CHECK_MSG(!options_.recovery.enabled ||
+                    (type_ == SocketType::kStream &&
+                     options_.mode != ProtocolMode::kReadRendezvous),
+                "recovery supports stream sockets only");
   inst_ = SocketInstruments::Create(registry_);
   channel_ = std::make_unique<ControlChannel>(device, options_.credits,
                                               wiring_.shared_slots,
@@ -145,7 +149,7 @@ void Socket::WireCallbacks() {
         break;
       case wire::ControlType::kAck:
         EXS_CHECK_MSG(tx_ != nullptr, "ACK only exists in stream mode");
-        tx_->OnAck(msg.freed);
+        tx_->OnAck(msg.freed, msg.delivered);
         break;
       case wire::ControlType::kCredit:
         break;  // absorbed by the channel
@@ -202,6 +206,7 @@ void Socket::WireCallbacks() {
     if (rendezvous_tx_) rendezvous_tx_->OnCreditAvailable();
     if (rendezvous_rx_) rendezvous_rx_->OnCreditAvailable();
   };
+  cb.on_fatal = [this](verbs::WcStatus status) { OnTransportFatal(status); };
   channel_->set_callbacks(std::move(cb));
 }
 
@@ -227,6 +232,7 @@ void Socket::WireRailCallbacks(std::size_t rail) {
     // control traffic never waits on data-rail credits.
     if (tx_) tx_->OnCreditAvailable();
   };
+  cb.on_fatal = [this](verbs::WcStatus status) { OnTransportFatal(status); };
   data_rails_[rail - 1]->set_callbacks(std::move(cb));
 }
 
@@ -388,6 +394,112 @@ bool Socket::Quiescent() const {
     return rendezvous_tx_->Quiescent() && rendezvous_rx_->Quiescent();
   }
   return packet_tx_->Quiescent() && packet_rx_->Quiescent();
+}
+
+void Socket::OnTransportFatal(verbs::WcStatus /*status*/) {
+  // A multi-rail kill fires once per channel; the application sees one
+  // death per transport incident.
+  if (fatal_event_raised_) return;
+  fatal_event_raised_ = true;
+  death_time_ = device_->scheduler().Now();
+  inst_.transport_kills->Increment();
+  if (tx_) tx_->NoteTransportKilled();
+  if (rx_) rx_->NoteTransportKilled();
+  events_->Push(Event{EventType::kError, 0, 0, false});
+}
+
+bool Socket::KillTransport() {
+  EXS_CHECK_MSG(connected_, "KillTransport on unconnected socket");
+  bool any = channel_->Kill();
+  for (std::size_t r = 1; r < effective_rails_; ++r) {
+    any = data_rails_[r - 1]->Kill() || any;
+  }
+  return any;
+}
+
+bool Socket::TransportDead() const {
+  if (!connected_ || !channel_->dead()) return false;
+  for (std::size_t r = 1; r < effective_rails_; ++r) {
+    if (!data_rails_[r - 1]->dead()) return false;
+  }
+  return true;
+}
+
+void Socket::ResumePair(Socket& a, Socket& b, std::size_t max_rails) {
+  EXS_CHECK_MSG(a.tx_ != nullptr && b.tx_ != nullptr,
+                "resume is stream-only");
+  EXS_CHECK_MSG(a.options_.recovery.enabled && b.options_.recovery.enabled,
+                "resume requires StreamOptions::recovery on both sockets");
+  EXS_CHECK_MSG(a.connected_ && b.connected_, "resume before establishment");
+  EXS_CHECK_MSG(a.TransportDead() && b.TransportDead(),
+                "resume requires both transports dead");
+
+  // Rail failover: reconnect only the surviving rails (callers model an
+  // N -> N-1 rail loss by capping; 0 keeps the pre-kill count).  Rail 0 is
+  // the control channel and always survives as a channel object — only
+  // its queue pair is replaced.
+  std::size_t rails = std::min(a.effective_rails_, b.effective_rails_);
+  if (max_rails != 0) rails = std::min(rails, max_rails);
+  ControlChannel::Connect(*a.channel_, *b.channel_);
+  for (std::size_t r = 1; r < rails; ++r) {
+    ControlChannel::Connect(*a.data_rails_[r - 1], *b.data_rails_[r - 1]);
+  }
+  a.effective_rails_ = rails;
+  b.effective_rails_ = rails;
+  a.fatal_event_raised_ = false;
+  b.fatal_event_raised_ = false;
+
+  const SimTime now = a.device_->scheduler().Now();
+  a.inst_.resumes->Increment();
+  b.inst_.resumes->Increment();
+  a.inst_.resume_latency->Record(static_cast<std::uint64_t>(
+      now >= a.death_time_ ? now - a.death_time_ : 0));
+  b.inst_.resume_latency->Record(static_cast<std::uint64_t>(
+      now >= b.death_time_ ? now - b.death_time_ : 0));
+
+  // Each direction re-synchronises independently: the sender rewinds to
+  // its peer receiver's delivered frontier, both halves adopt a common
+  // indirect resume phase at or past where either stood.
+  auto rail_list = [rails](Socket& s) {
+    std::vector<ControlChannel*> list;
+    if (rails > 1) {
+      list.push_back(s.channel_.get());
+      for (std::size_t r = 1; r < rails; ++r) {
+        list.push_back(s.data_rails_[r - 1].get());
+      }
+    }
+    return list;
+  };
+  auto resume_phase = [](const StreamTx& tx, const StreamRx& rx) {
+    std::uint64_t p = std::max(tx.phase(), rx.phase());
+    return PhaseIsIndirect(p) ? p : NextPhase(p);
+  };
+  auto make_info = [&](Socket& tx_side, StreamRx& rx) {
+    StreamTx::ResumeInfo info;
+    info.delivered = rx.DeliveredFrontier();
+    info.ring_write = rx.RingWriteOffset();
+    info.ring_read = rx.RingReadOffset();
+    info.ring_used = rx.RingBytes();
+    info.peer_closed = rx.PeerClosed();
+    info.rails = rail_list(tx_side);
+    return info;
+  };
+  std::uint64_t phase_ab = resume_phase(*a.tx_, *b.rx_);
+  std::uint64_t phase_ba = resume_phase(*b.tx_, *a.rx_);
+  StreamTx::ResumeInfo info_ab = make_info(a, *b.rx_);
+  info_ab.resume_phase = phase_ab;
+  StreamTx::ResumeInfo info_ba = make_info(b, *a.rx_);
+  info_ba.resume_phase = phase_ba;
+
+  // Senders first (state only), then receivers (which re-advertise and
+  // restart the drain), then both pumps: by the time data can move, every
+  // half is in the resumed state.
+  a.tx_->ResumeTx(info_ab);
+  b.tx_->ResumeTx(info_ba);
+  a.rx_->ResumeRx(phase_ba, static_cast<std::uint32_t>(rails));
+  b.rx_->ResumeRx(phase_ab, static_cast<std::uint32_t>(rails));
+  a.tx_->OnCreditAvailable();
+  b.tx_->OnCreditAvailable();
 }
 
 }  // namespace exs

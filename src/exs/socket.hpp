@@ -45,7 +45,7 @@ struct SocketWiring {
   bool slots_reserved = false;
 };
 
-class Socket {
+class Socket : public simnet::TransportKillTarget {
  public:
   Socket(verbs::Device& device, SocketType type, StreamOptions options,
          std::string name, SocketWiring wiring = {});
@@ -140,6 +140,33 @@ class Socket {
   /// True when no requests are pending in either direction.
   bool Quiescent() const;
 
+  // ---- Fatal faults and recovery (StreamOptions::recovery) --------------
+
+  /// Force every transport channel this connection uses (control plus
+  /// effective data rails) into the fatal error state: in-flight WRs flush
+  /// with error completions, new posts are refused, and the peer's QPs die
+  /// after the transport's ack delay.  Returns false when the transport is
+  /// already dead — the kill is a no-op, never a second flush.
+  /// (Implements the FaultInjector's simnet::TransportKillTarget, the
+  /// kQpKill fault's landing point.)
+  bool KillTransport() override;
+
+  /// True once every channel the connection uses is dead.  The peer halves
+  /// die one ack-delay later than the killed side; resume requires both.
+  bool TransportDead() const;
+
+  /// Reconnect two killed stream sockets and resume both byte streams at
+  /// the exact delivered frontier (docs/PROTOCOL.md §12): fresh queue
+  /// pairs, a sequence handshake re-basing each sender on its peer
+  /// receiver's delivered bytes and ring cursors, retransmission of the
+  /// unacknowledged suffix from the senders' logs, and — when `max_rails`
+  /// is nonzero — rail failover onto the first `max_rails` surviving rails.
+  /// Requires StreamOptions::recovery.enabled on both sockets and both
+  /// transports dead.  Delivered byte content is unchanged by any
+  /// kill/resume: the equivalence harness in tests/stream_recovery_test
+  /// holds the delivered FNV fingerprint byte-identical to an unkilled run.
+  static void ResumePair(Socket& a, Socket& b, std::size_t max_rails = 0);
+
   // ---- Connection-establishment internals -------------------------------
   // Used by ConnectPair() and by the ConnectionService handshake
   // (exs/connection.hpp); not part of the application API.
@@ -177,6 +204,9 @@ class Socket {
   StreamContext MakeContext(TraceLog* trace);
   void WireCallbacks();
   void WireRailCallbacks(std::size_t rail);
+  /// First channel death of a (possibly multi-rail) transport kill: trace
+  /// markers on both halves, one kError event, the kill counter.
+  void OnTransportFatal(verbs::WcStatus status);
   /// Register "rail<i>.*" instruments and attach them to the channel
   /// carrying that rail (rail 0 is the control channel itself).
   void InstrumentRail(std::size_t rail, ControlChannel& channel);
@@ -209,6 +239,11 @@ class Socket {
   TraceLog rx_trace_;
   std::uint64_t next_request_id_ = 1;
   bool connected_ = false;
+  /// Recovery: one kError event per transport death (reset at resume so a
+  /// second kill reports again), and when the death was observed (resume
+  /// latency histogram).
+  bool fatal_event_raised_ = false;
+  SimTime death_time_ = 0;
 };
 
 }  // namespace exs

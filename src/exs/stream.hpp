@@ -154,7 +154,9 @@ class StreamTx {
               std::uint32_t lkey);
 
   void OnAdvert(const wire::ControlMessage& msg);
-  void OnAck(std::uint64_t freed);
+  /// `delivered` is the receiver's delivered-byte frontier piggybacked on
+  /// the ACK (always 0 when recovery is off).
+  void OnAck(std::uint64_t freed, std::uint64_t delivered = 0);
   void OnCreditAvailable() { Pump(); }
   /// A data WWI completed locally on `rail` (0 = the control channel).
   void OnWwiComplete(std::uint64_t wr_id, std::size_t rail = 0);
@@ -164,6 +166,40 @@ class StreamTx {
   /// transferred; no further sends are accepted.
   void RequestShutdown();
   bool ShutdownRequested() const { return shutdown_requested_; }
+
+  // ---- Fatal-fault recovery (StreamOptions::recovery) --------------------
+
+  /// The transport died under this half: record the kill in the trace so
+  /// the validators switch to their resume-aware rules.
+  void NoteTransportKilled() { Trace(TraceEventType::kTransportKilled); }
+
+  /// Everything the sender needs to re-synchronise at the receiver's
+  /// *delivered* frontier — not its own completed-WR boundary, which
+  /// Borrill's "completion fallacy" shows may lie beyond what ever arrived.
+  /// Assembled by Socket::ResumePair from the peer receiver's state.
+  struct ResumeInfo {
+    std::uint64_t delivered = 0;   ///< receiver's delivered-byte frontier F
+    std::uint64_t ring_write = 0;  ///< receiver's authoritative ring cursors
+    std::uint64_t ring_read = 0;
+    std::uint64_t ring_used = 0;
+    std::uint64_t resume_phase = 0;  ///< common odd phase both halves adopt
+    bool peer_closed = false;  ///< receiver already consumed our SHUTDOWN
+    /// Surviving rails (empty = single-rail); rail 0 must be the control
+    /// channel.  Rail failover hands in a shorter list than pre-kill.
+    std::vector<ControlChannel*> rails;
+  };
+
+  /// Rewind to the delivered frontier and rebuild the chunk queue from the
+  /// retransmission log: records wholly below F complete (their events may
+  /// never have been raised — the kill flushed the WR completions), records
+  /// straddling or beyond F are re-queued for retransmission from their
+  /// snapshot.  State only; the socket kicks Pump() once both directions
+  /// have resumed.
+  void ResumeTx(const ResumeInfo& info);
+
+  /// Recovery introspection.
+  std::uint64_t PeerDelivered() const { return peer_delivered_; }
+  std::size_t RetransmitLogDepth() const { return sent_log_.size(); }
 
   // Introspection for tests and invariant checks.
   std::uint64_t phase() const { return phase_; }
@@ -208,6 +244,12 @@ class StreamTx {
     std::uint32_t lkey = 0;
     std::uint32_t wwis_outstanding = 0;
     bool fully_chunked = false;
+    /// Recovery bookkeeping: offset of this record's first byte in the
+    /// outgoing stream (assigned when it joins the chunk queue), and
+    /// whether its application event already went out — a record can be
+    /// retransmitted after a kill without re-raising its completion.
+    std::uint64_t stream_off = 0;
+    bool completion_reported = false;
     /// Span provenance: when the application submitted the bytes and when
     /// they left the coalescing stage (== submit_time unless staged).
     SimTime submit_time = 0;
@@ -284,6 +326,12 @@ class StreamTx {
     return cap == 0 ? wire::kMaxWwiChunk
                     : (cap < wire::kMaxWwiChunk ? cap : wire::kMaxWwiChunk);
   }
+  bool RecoveryOn() const { return ctx_.options.recovery.enabled; }
+  /// Recovery: a record is joining the chunk queue — stamp its stream
+  /// offset and append it to the retransmission log.
+  void NoteQueued(const std::shared_ptr<PendingSend>& rec);
+  /// Recovery: the peer reported its delivered frontier; prune the log.
+  void NoteDelivered(std::uint64_t delivered);
   StreamContext ctx_;
   std::uint64_t phase_ = 0;  ///< P_s
   std::uint64_t seq_ = 0;    ///< S_s
@@ -295,6 +343,14 @@ class StreamTx {
   std::deque<Advert> advert_queue_;                        ///< q_A
   std::deque<std::shared_ptr<PendingSend>> chunk_queue_;   ///< not fully sent
   std::unordered_map<std::uint64_t, std::shared_ptr<PendingSend>> inflight_;
+  // Recovery (all dormant while !RecoveryOn()).  The retransmission log
+  // holds every queued record, payload snapshotted at Submit, until the
+  // receiver's delivered frontier passes it *and* its completion event has
+  // been raised (a delivered record's local WR completion can still be in
+  // flight — or flushed by a kill — when the frontier report arrives).
+  std::uint64_t next_stream_off_ = 0;   ///< stream offset of the next queue
+  std::uint64_t peer_delivered_ = 0;    ///< frontier last reported by peer
+  std::deque<std::shared_ptr<PendingSend>> sent_log_;
   bool last_transfer_indirect_ = false;  ///< connections begin direct
   bool shutdown_requested_ = false;
   bool shutdown_sent_ = false;
@@ -391,6 +447,28 @@ class StreamRx {
   bool TryReleaseRing();
   bool RingReleased() const { return ring_released_; }
 
+  // ---- Fatal-fault recovery (StreamOptions::recovery) --------------------
+
+  /// See StreamTx::NoteTransportKilled.
+  void NoteTransportKilled() { Trace(TraceEventType::kTransportKilled); }
+
+  /// The contiguous stream prefix this receiver has taken into custody:
+  /// bytes placed for the application plus bytes buffered in order in the
+  /// ring (ring contents are receiver memory and survive a transport
+  /// kill).  This — not the sender's completed-WR count — is where the
+  /// resume handshake re-synchronises.
+  std::uint64_t DeliveredFrontier() const { return seq_ + ring_.used(); }
+  std::uint64_t RingWriteOffset() const { return ring_.write_offset(); }
+  std::uint64_t RingReadOffset() const { return ring_.read_offset(); }
+
+  /// Adopt the resume phase and forget everything the kill invalidated:
+  /// parked striped chunks (dropped, the sender retransmits them), ADVERTs
+  /// the peer never honoured (every pending receive reverts to
+  /// un-advertised), un-flushed ACK counts (the sender adopts our cursors
+  /// directly).  Re-advertises and resumes the ring drain, which restarts
+  /// the stream from the delivered frontier.
+  void ResumeRx(std::uint64_t resume_phase, std::uint32_t rails);
+
   // Introspection for tests and invariant checks.
   std::uint64_t phase() const { return phase_; }
   std::uint64_t sequence() const { return seq_; }          ///< S_r
@@ -444,6 +522,7 @@ class StreamRx {
     return ctx_.options.coalesce.enabled &&
            ctx_.options.coalesce.piggyback_acks;
   }
+  bool RecoveryOn() const { return ctx_.options.recovery.enabled; }
   void MaybeSendAck();
   void CompleteFront();
   /// After the peer's SHUTDOWN, once every buffered byte has been copied

@@ -133,6 +133,7 @@ void StreamRx::TryAdvertise() {
     msg.seq = seq_est_;
     msg.set_phase(phase_);
     msg.waitall = r.waitall ? 1 : 0;
+    if (RecoveryOn()) msg.delivered = DeliveredFrontier();
     if (PiggybackAcks() && pending_ack_bytes_ > 0) {
       // The ADVERT never uses `freed` for itself, so the pending ACK count
       // rides along and the standalone ACK is saved entirely.  The sender
@@ -348,6 +349,7 @@ void StreamRx::MaybeSendAck() {
   wire::ControlMessage msg;
   msg.type = static_cast<std::uint8_t>(wire::ControlType::kAck);
   msg.freed = pending_ack_bytes_;
+  if (RecoveryOn()) msg.delivered = DeliveredFrontier();
   ctx_.channel->SendControl(msg);
   Trace(TraceEventType::kAckSent, pending_ack_bytes_);
   pending_ack_bytes_ = 0;
@@ -396,6 +398,54 @@ bool StreamRx::TryReleaseRing() {
 
 void StreamRx::OnCreditAvailable() {
   MaybeSendAck();
+  TryAdvertise();
+}
+
+void StreamRx::ResumeRx(std::uint64_t resume_phase, std::uint32_t rails) {
+  EXS_CHECK_MSG(RecoveryOn(), "resume on a socket without recovery enabled");
+  EXS_CHECK_MSG(PhaseIsIndirect(resume_phase),
+                "resume re-enters the protocol in an indirect phase");
+  // Marker first: seq field = S_r (which never rewinds), len = the
+  // delivered frontier the sender is resuming at.
+  Trace(TraceEventType::kResumeRx, DeliveredFrontier(), 0, resume_phase);
+
+  // The next-expected estimate re-bases on hard state.  Not the frontier:
+  // ring bytes drained into un-advertised receives advance S'_r by their
+  // count in DrainRing, so starting from S_r counts them exactly once.
+  seq_est_ = seq_;
+
+  // Chunks parked behind a missing stripe predecessor were never taken
+  // into custody; the sender retransmits them (and restarts its stripe
+  // sequence space to match).
+  stripe_reorder_.clear();
+  next_stripe_seq_ = 0;
+  rails_ = rails;
+
+  // Every outstanding ADVERT died with the transport: revert the pending
+  // queue to un-advertised so TryAdvertise re-issues them in order, exact
+  // continuation addresses included (filled bytes stay delivered).
+  for (PendingRecv& r : pending_) {
+    r.adverted = false;
+    r.advert_phase = 0;
+    r.rtt_pending = false;
+  }
+
+  // The sender adopts our cursors directly in its ResumeTx, so free space
+  // already drained needs no ACK — and an ACK for it would double-free.
+  pending_ack_bytes_ = 0;
+
+  // Chunk spans across a resume are best-effort: entries waiting on
+  // dropped chunks would never close.
+  span_deliver_wait_.clear();
+  span_ring_wait_.clear();
+
+  if (phase_ < resume_phase) AdvancePhaseTo(resume_phase);
+
+  // Restart delivery: drain buffered bytes into the (preserved) pending
+  // receives, then re-advertise — the first post-resume ADVERT carries the
+  // exact frontier sequence, which is what lets the sender's indirect-phase
+  // exact-sequence rule accept it.
+  DrainRing();
   TryAdvertise();
 }
 

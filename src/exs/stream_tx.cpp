@@ -95,9 +95,43 @@ void StreamTx::Submit(std::uint64_t id, const void* buf, std::uint64_t len,
   rec->lkey = lkey;
   rec->submit_time = ctx_.scheduler->Now();
   rec->flush_time = rec->submit_time;  // never staged
+  if (RecoveryOn()) {
+    // Snapshot the payload: the application's buffer is released at send
+    // completion, but retransmission after a kill may need the bytes long
+    // after that (the completion fallacy — completion is not delivery).
+    rec->owned.resize(len);
+    if (ctx_.carry_payload) std::memcpy(rec->owned.data(), buf, len);
+    rec->owned_mr =
+        ctx_.channel->device().RegisterMemory(rec->owned.data(), len);
+    rec->base = rec->owned.data();
+    rec->lkey = rec->owned_mr->lkey();
+  }
   inflight_.emplace(id, rec);
   chunk_queue_.push_back(rec);
+  NoteQueued(rec);
   Pump();
+}
+
+void StreamTx::NoteQueued(const std::shared_ptr<PendingSend>& rec) {
+  if (!RecoveryOn()) return;
+  rec->stream_off = next_stream_off_;
+  next_stream_off_ += rec->len;
+  sent_log_.push_back(rec);
+}
+
+void StreamTx::NoteDelivered(std::uint64_t delivered) {
+  if (!RecoveryOn() || delivered <= peer_delivered_) return;
+  peer_delivered_ = delivered;
+  // Prune records the receiver has fully taken into custody — but only
+  // once their completion event has gone out: a delivered record whose
+  // local WR completion is still in flight must survive a kill so the
+  // resume path can raise the event it will never receive.
+  while (!sent_log_.empty()) {
+    const PendingSend& front = *sent_log_.front();
+    if (front.stream_off + front.len > peer_delivered_) break;
+    if (!front.completion_reported) break;
+    sent_log_.pop_front();
+  }
 }
 
 bool StreamTx::ShouldStage(std::uint64_t len) const {
@@ -192,10 +226,12 @@ void StreamTx::FlushCoalesced(CoalesceFlushReason reason) {
       break;
   }
   inflight_.emplace(rec->id, rec);
+  NoteQueued(rec);  // the aggregate already owns its payload
   chunk_queue_.push_back(std::move(rec));
 }
 
 void StreamTx::OnAdvert(const wire::ControlMessage& msg) {
+  NoteDelivered(msg.delivered);
   if (msg.ack_piggyback != 0) {
     // The ADVERT doubles as an ACK (Coalesce::piggyback_acks): release the
     // freed buffer space first, exactly as the standalone ACK it replaces
@@ -224,7 +260,8 @@ void StreamTx::OnAdvert(const wire::ControlMessage& msg) {
   Pump();
 }
 
-void StreamTx::OnAck(std::uint64_t freed) {
+void StreamTx::OnAck(std::uint64_t freed, std::uint64_t delivered) {
+  NoteDelivered(delivered);
   remote_ring_.ReleaseFree(freed);
   Trace(TraceEventType::kAckReceived, freed);
   Pump();
@@ -468,6 +505,11 @@ void StreamTx::OnWwiComplete(std::uint64_t wr_id, std::size_t rail) {
 
 void StreamTx::CompleteSend(std::shared_ptr<PendingSend> rec) {
   inflight_.erase(rec->id);
+  // A record can reach here twice under recovery: once normally, and once
+  // when a resume finds it fully delivered (its flushed WR completions can
+  // never arrive).  The application sees exactly one event either way.
+  if (rec->completion_reported) return;
+  rec->completion_reported = true;
   if (rec->members.empty()) {
     ctx_.metrics->sends_completed->Increment();
     ctx_.metrics->bytes_sent->Add(rec->len);
@@ -483,6 +525,79 @@ void StreamTx::CompleteSend(std::shared_ptr<PendingSend> rec) {
     ctx_.metrics->bytes_sent->Add(m.len);
     ctx_.events->Push(Event{EventType::kSendComplete, m.id, m.len, false});
   }
+}
+
+void StreamTx::ResumeTx(const ResumeInfo& info) {
+  EXS_CHECK_MSG(RecoveryOn(), "resume on a socket without recovery enabled");
+  EXS_CHECK_MSG(PhaseIsIndirect(info.resume_phase),
+                "resume re-enters the protocol in an indirect phase");
+  // The marker leads: it records the frontier we rewind to and resets the
+  // validators' sequence baseline, so everything after it is checked
+  // against the resumed state.
+  seq_ = info.delivered;
+  if (peer_delivered_ < info.delivered) peer_delivered_ = info.delivered;
+  Trace(TraceEventType::kResumeTx, info.delivered, 0, info.resume_phase);
+
+  // The receiver's cursors are authoritative: writes we posted past its
+  // commit point were never taken into custody and will be re-posted.
+  remote_ring_.Restore(info.ring_write, info.ring_read, info.ring_used);
+
+  // ADVERTs from before the kill name a handshake that no longer exists;
+  // the receiver re-advertises everything outstanding.
+  advert_queue_.clear();
+
+  // Local WR completions for in-flight WWIs were flushed with error status
+  // and consumed by the dead channel; none will ever be dispatched here.
+  if (wwis_in_flight_ != 0) {
+    NoteWwisInFlight(-static_cast<std::int64_t>(wwis_in_flight_));
+  }
+
+  // Rail failover: adopt the surviving rail set and restart the stripe
+  // sequence space (the receiver restarts its reorder expectation too).
+  rails_ = info.rails;
+  stripe_seq_ = 0;
+  next_rail_ = 0;
+  rail_outstanding_.assign(rails_.empty() ? 1 : rails_.size(), 0);
+  rail_fifo_.assign(rails_.empty() ? 0 : rails_.size(), {});
+  span_tx_fifo_.clear();  // chunk spans across a resume are best-effort
+
+  // Rebuild the chunk queue from the retransmission log.  Records wholly
+  // below the frontier are done — but the kill may have flushed the WR
+  // completion that would have raised their event, so raise it now
+  // (CompleteSend dedups).  Records straddling or beyond the frontier are
+  // re-queued to retransmit their unacknowledged suffix.
+  chunk_queue_.clear();
+  inflight_.clear();
+  std::uint64_t retransmit = 0;
+  std::deque<std::shared_ptr<PendingSend>> survivors;
+  for (auto& rec : sent_log_) {
+    if (rec->stream_off + rec->len <= info.delivered) {
+      rec->sent = rec->len;
+      rec->fully_chunked = true;
+      rec->wwis_outstanding = 0;
+      CompleteSend(rec);
+      continue;
+    }
+    std::uint64_t new_sent =
+        info.delivered > rec->stream_off ? info.delivered - rec->stream_off
+                                         : 0;
+    if (rec->sent > new_sent) retransmit += rec->sent - new_sent;
+    rec->sent = new_sent;
+    rec->fully_chunked = false;
+    rec->wwis_outstanding = 0;
+    inflight_.emplace(rec->id, rec);
+    chunk_queue_.push_back(rec);
+    survivors.push_back(rec);
+  }
+  sent_log_ = std::move(survivors);
+  ctx_.metrics->retransmitted_bytes->Add(retransmit);
+
+  // A SHUTDOWN the receiver never consumed died with the transport; Pump
+  // re-sends it behind the retransmitted data.
+  if (!info.peer_closed) shutdown_sent_ = false;
+
+  if (phase_ < info.resume_phase) AdvancePhaseTo(info.resume_phase);
+  // The socket kicks Pump() once both directions have resumed.
 }
 
 }  // namespace exs

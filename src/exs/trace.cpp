@@ -25,6 +25,9 @@ const char* ToString(TraceEventType type) {
     case TraceEventType::kCoalesceFlushed: return "coalesce-flushed";
     case TraceEventType::kAckPiggybacked: return "ack-piggybacked";
     case TraceEventType::kZeroLengthSend: return "zero-length-send";
+    case TraceEventType::kTransportKilled: return "transport-killed";
+    case TraceEventType::kResumeTx: return "resume-tx";
+    case TraceEventType::kResumeRx: return "resume-rx";
   }
   return "?";
 }
@@ -91,6 +94,19 @@ TraceCheckResult ValidateSenderTrace(const std::vector<TraceEvent>& events) {
   bool last_transfer_indirect = false;
 
   for (const auto& ev : events) {
+    if (ev.type == TraceEventType::kResumeTx) {
+      // Resume marker: the sender legitimately rewound its sequence to the
+      // receiver's delivered frontier to retransmit the lost suffix.  The
+      // monotonicity baseline restarts here; phase never rewinds, so the
+      // phase baseline carries forward unchanged.
+      if (ev.phase < last_phase) {
+        Violation(result, ev, "sender phase went backwards at resume");
+      }
+      last_phase = ev.phase;
+      last_seq = ev.seq;
+      last_transfer_indirect = false;
+      continue;
+    }
     // Phase and sequence monotonicity — the foundation of every proof.
     if (ev.phase < last_phase) {
       Violation(result, ev, "sender phase went backwards");
@@ -182,6 +198,25 @@ TraceCheckResult ValidateReceiverTrace(
   bool have_last_advert_seq = false;
 
   for (const auto& ev : events) {
+    if (ev.type == TraceEventType::kResumeRx) {
+      // Resume marker: post-resume ADVERTs restart at the delivered
+      // frontier, which is at or below the receiver's pre-kill estimate
+      // (S'_r collapses back to S_r), so the ADVERT-sequence baseline and
+      // Lemma 2's between-indirect-arrivals window restart here.  The
+      // delivered sequence itself (S_r) never rewinds — that check runs
+      // straight through the marker.
+      if (ev.phase < last_phase) {
+        Violation(result, ev, "receiver phase went backwards at resume");
+      }
+      if (ev.seq < last_seq) {
+        Violation(result, ev, "receiver sequence went backwards at resume");
+      }
+      last_phase = ev.phase;
+      last_seq = ev.seq;
+      have_last_advert_seq = false;
+      advert_seen_since_indirect = false;
+      continue;
+    }
     if (ev.phase < last_phase) {
       Violation(result, ev, "receiver phase went backwards");
     }
@@ -249,7 +284,25 @@ TraceCheckResult ValidateConnectionTraces(
   result.violations.insert(result.violations.end(), rx.violations.begin(),
                            rx.violations.end());
 
-  // Conservation: bytes posted by kind equal bytes arriving by kind.
+  // Conservation: bytes posted by kind equal bytes arriving by kind.  A
+  // run with a transport kill breaks this per-kind identity legitimately —
+  // chunks in flight at the kill were posted but never arrive, and their
+  // retransmission may ride the other kind — so the cross-check is skipped;
+  // the receiver's unbroken sequence continuity (checked above and in the
+  // invariant checker) is what guarantees the delivered stream is gap-free
+  // and duplicate-free.
+  for (const auto& ev : sender_events) {
+    if (ev.type == TraceEventType::kResumeTx ||
+        ev.type == TraceEventType::kTransportKilled) {
+      return result;
+    }
+  }
+  for (const auto& ev : receiver_events) {
+    if (ev.type == TraceEventType::kResumeRx ||
+        ev.type == TraceEventType::kTransportKilled) {
+      return result;
+    }
+  }
   std::uint64_t direct_posted = 0, indirect_posted = 0;
   for (const auto& ev : sender_events) {
     if (ev.type == TraceEventType::kDirectPosted) direct_posted += ev.len;

@@ -53,6 +53,12 @@ enum class TraceEventType : std::uint8_t {
                      ///<  msg_phase = CoalesceFlushReason)
   kAckPiggybacked,   ///< receiver: ACK count folded into an ADVERT
   kZeroLengthSend,   ///< sender: zero-length Submit (completes instantly)
+  // Fatal-fault recovery (appended — earlier values stay stable).
+  kTransportKilled,  ///< either half: the transport entered the error state
+  kResumeTx,         ///< sender resumed: seq = delivered frontier it rewound
+                     ///< to, len = frontier, msg_phase = resume phase
+  kResumeRx,         ///< receiver resumed: seq = S_r at resume, len =
+                     ///< delivered frontier, msg_phase = resume phase
 };
 
 const char* ToString(TraceEventType type);

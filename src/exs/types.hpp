@@ -101,6 +101,19 @@ struct StreamOptions {
     bool piggyback_acks = true;
   } coalesce;
 
+  /// Fatal-fault recovery (off by default).  When enabled, the sender
+  /// snapshots every submitted payload into a retransmission log pruned by
+  /// the receiver's delivered-byte frontier (piggybacked on ACKs/ADVERTs),
+  /// so a killed transport can be reconnected with Socket::ResumePair: the
+  /// resume handshake re-synchronises both halves at the exact delivered
+  /// boundary — not the completed-WR boundary, which Borrill's "completion
+  /// fallacy" shows may lie beyond what ever arrived — and the sender
+  /// replays the unacknowledged suffix.  Off, the protocol is bit-identical
+  /// to pre-recovery builds (wire bytes, timing, and trace fingerprints).
+  struct Recovery {
+    bool enabled = false;
+  } recovery;
+
   /// Test-only sabotage hooks proving the invariant checker can catch real
   /// protocol bugs (tests/invariant_checker_test.cpp, exs_torture
   /// --sabotage).  Each disables one safety rule the paper's theorem rests

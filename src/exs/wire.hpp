@@ -52,6 +52,15 @@ struct ControlMessage {
   // message instead of an ACK + ADVERT pair.
   std::uint64_t freed = 0;
 
+  // Recovery (StreamOptions::recovery): the receiver's delivered-byte
+  // frontier — the contiguous stream prefix it has taken into custody
+  // (placed for the application or buffered in its ring).  Rides on ACKs
+  // and ADVERTs so the sender can prune its retransmission log; always 0
+  // when recovery is off, which keeps the wire bytes (and so all golden
+  // fingerprints) unchanged — control slots were already padded to
+  // kControlSlotBytes.
+  std::uint64_t delivered = 0;
+
   std::uint64_t phase() const {
     return (phase_hi << 32) | phase_lo;
   }

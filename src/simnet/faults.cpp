@@ -11,6 +11,7 @@ const char* ToString(FaultKind kind) {
     case FaultKind::kCpuStall: return "cpu_stall";
     case FaultKind::kSlowCopy: return "slow_copy";
     case FaultKind::kControlDelay: return "control_delay";
+    case FaultKind::kQpKill: return "qp_kill";
   }
   return "unknown";
 }
@@ -91,6 +92,16 @@ FaultPlan FaultPlan::Generate(std::uint64_t seed, const FaultPlanConfig& cfg) {
     ev.magnitude = magnitude_below(cfg.max_control_hold);
     if (ev.magnitude > 0) plan.events.push_back(ev);
   }
+  // Drawn last: plans generated with qp_kills == 0 (every plan from before
+  // the knob existed) consume the identical RNG prefix above and so replay
+  // byte-for-byte.
+  for (int i = 0; i < cfg.qp_kills; ++i) {
+    FaultEvent ev;
+    ev.kind = FaultKind::kQpKill;
+    ev.target = rng.NextBelow(2);
+    ev.at = window_at();
+    plan.events.push_back(ev);
+  }
   return plan;
 }
 
@@ -150,6 +161,14 @@ void FaultInjector::Apply(const FaultEvent& ev) {
       IncomingHoldTarget* target = control_targets_[ev.target];
       if (target == nullptr) return;  // endpoint not attached: skip
       target->HoldIncoming(ev.magnitude);
+      break;
+    }
+    case FaultKind::kQpKill: {
+      TransportKillTarget* target = kill_targets_[ev.target];
+      if (target == nullptr) return;  // endpoint not attached: skip
+      // A kill against an already-dead transport (an earlier kill, or the
+      // peer's propagated death) is a guaranteed no-op.
+      if (target->KillTransport()) ++kills_applied_;
       break;
     }
   }

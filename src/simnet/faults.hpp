@@ -24,6 +24,13 @@
 //                    frozen for the window and then released strictly in
 //                    arrival order — RC delivers in order, so a delayed
 //                    ADVERT delays everything behind it too.
+//   kQpKill        — fatal transport error: the endpoint's queue pairs
+//                    enter the error state, in-flight WRs flush with error
+//                    completions, and the peer dies one ack-delay later.
+//                    Unlike every other kind this one is not transient —
+//                    the connection stays down until something calls
+//                    Socket::ResumePair.  A kill targeting an endpoint
+//                    that is already dead (or not attached) is a no-op.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +49,8 @@ enum class FaultKind : std::uint8_t {
   kCpuStall,
   kSlowCopy,
   kControlDelay,
+  // Appended so recorded plans keep their numeric values.
+  kQpKill,
 };
 
 const char* ToString(FaultKind kind);
@@ -69,6 +78,9 @@ struct FaultPlanConfig {
   int cpu_stalls = 2;
   int slow_copy_windows = 1;
   int control_delays = 2;
+  /// Fatal QP kills (default 0: plans generated before this knob existed
+  /// draw the identical RNG sequence, so their schedules replay unchanged).
+  int qp_kills = 0;
   SimDuration max_link_stall_delay = 0;
   SimDuration max_jitter = 0;
   SimDuration max_cpu_stall = 0;
@@ -103,6 +115,18 @@ class IncomingHoldTarget {
   virtual void HoldIncoming(SimDuration hold) = 0;
 };
 
+/// Implemented by endpoints (the EXS socket) whose transport can be forced
+/// into the fatal error state.  Same layering rationale as
+/// IncomingHoldTarget.
+class TransportKillTarget {
+ public:
+  virtual ~TransportKillTarget() = default;
+  /// Kill the endpoint's transport.  Must return false — and do nothing —
+  /// when it is already dead: a fault scheduled against a dead transport
+  /// is a no-op, never a second flush or a dangling callback.
+  virtual bool KillTransport() = 0;
+};
+
 /// Arms a FaultPlan on a fabric: schedules every window open/close on the
 /// fabric's event scheduler and owns the RNG the jitter faults draw from.
 /// Must outlive the simulation run that executes the plan.
@@ -121,6 +145,15 @@ class FaultInjector {
     control_targets_[node] = target;
   }
 
+  /// Attach the endpoint that receives kQpKill faults for `node`.  Plans
+  /// containing kills for an unattached node skip them.
+  void AttachKillTarget(std::size_t node, TransportKillTarget* target) {
+    EXS_CHECK(node < 2);
+    kill_targets_[node] = target;
+  }
+
+  std::uint64_t KillsApplied() const { return kills_applied_; }
+
   /// Schedule every event of `plan`.  May be called once per injector.
   void Arm(const FaultPlan& plan);
 
@@ -133,8 +166,10 @@ class FaultInjector {
   Fabric* fabric_;
   Rng jitter_rng_;  ///< shared by all jitter windows; seeded per fabric
   IncomingHoldTarget* control_targets_[2] = {nullptr, nullptr};
+  TransportKillTarget* kill_targets_[2] = {nullptr, nullptr};
   std::uint64_t armed_ = 0;
   std::uint64_t applied_ = 0;
+  std::uint64_t kills_applied_ = 0;  ///< kills that actually took effect
   bool armed_once_ = false;
 };
 

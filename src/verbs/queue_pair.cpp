@@ -14,6 +14,8 @@ const char* ToString(WcStatus status) {
     case WcStatus::kRnrError: return "receiver-not-ready";
     case WcStatus::kLocalLengthError: return "local-length-error";
     case WcStatus::kRemoteAccessError: return "remote-access-error";
+    case WcStatus::kWrFlushError: return "wr-flush-error";
+    case WcStatus::kRetryExceededError: return "retry-exceeded-error";
   }
   return "?";
 }
@@ -67,6 +69,19 @@ SimDuration QueuePair::AckReturnDelay() const {
 
 void QueuePair::PostSend(const SendWorkRequest& wr) {
   EXS_CHECK_MSG(connected(), "PostSend on unconnected queue pair");
+
+  if (killed_) {
+    // Error-state QP: the WR never touches the wire and completes
+    // immediately with a flush status (real RC error-state semantics —
+    // posting is legal, working is not).
+    auto pkt = std::make_shared<Packet>();
+    pkt->wr = wr;
+    pkt->payload_len = wr.sge.length;
+    pkt->post_time = device_->scheduler().Now();
+    ++stats_.flushed_wrs;
+    CompleteSend(pkt, WcStatus::kWrFlushError, 0);
+    return;
+  }
 
   auto pkt = std::make_shared<Packet>();
   pkt->wr = wr;
@@ -135,6 +150,12 @@ void QueuePair::PostSend(const SendWorkRequest& wr) {
 }
 
 void QueuePair::ScheduleTransmit(const PacketPtr& pkt) {
+  // Track the packet until its completion is raised so Kill() can flush it.
+  // Completed packets are pruned lazily to keep the scan bounded.
+  if (outstanding_.size() >= 64) {
+    std::erase_if(outstanding_, [](const PacketPtr& p) { return p->done; });
+  }
+  outstanding_.push_back(pkt);
   // The HCA works through posted WRs FIFO, spending the per-WR overhead on
   // each before handing it to the link.
   SimTime now = device_->scheduler().Now();
@@ -145,6 +166,7 @@ void QueuePair::ScheduleTransmit(const PacketPtr& pkt) {
 }
 
 void QueuePair::Transmit(const PacketPtr& pkt) {
+  if (killed_) return;  // flushed by Kill() before reaching the wire
   std::uint64_t wire_bytes =
       pkt->payload_len + kWireHeaderBytes + (pkt->wr.has_imm ? 4 : 0) +
       (pkt->wr.has_stripe_seq ? kStripeHeaderBytes : 0);
@@ -162,6 +184,8 @@ void QueuePair::Transmit(const PacketPtr& pkt) {
 
 void QueuePair::CompleteSend(const PacketPtr& pkt, WcStatus status,
                              SimDuration extra_delay) {
+  if (pkt->done) return;  // already reported (or flushed by Kill)
+  pkt->done = true;
   if (pkt->suppress_success_completion && status == WcStatus::kSuccess) {
     return;  // data half of an emulated WWI; the notification reports
   }
@@ -181,6 +205,11 @@ void QueuePair::CompleteSend(const PacketPtr& pkt, WcStatus status,
 }
 
 WcStatus QueuePair::Deliver(const PacketPtr& pkt, QueuePair& sender) {
+  if (killed_) {
+    // A dead destination neither places bytes nor consumes receives; the
+    // sender's transport retries exhaust against silence.
+    return WcStatus::kRetryExceededError;
+  }
   ++stats_.messages_delivered;
   if (inst_.messages_delivered) inst_.messages_delivered->Increment();
   const SendWorkRequest& wr = pkt->wr;
@@ -282,7 +311,12 @@ WcStatus QueuePair::DeliverRead(const PacketPtr& pkt, QueuePair& sender) {
   stats_.wire_bytes_sent += wire_bytes;
   if (inst_.wire_bytes_sent) inst_.wire_bytes_sent->Add(wire_bytes);
   QueuePair* requester = &sender;
-  tx_channel_->Transmit(wire_bytes, [requester, response] {
+  tx_channel_->Transmit(wire_bytes, [requester, response, pkt] {
+    // `pkt` is the requester's original work request; if Kill() flushed it
+    // while the response was in flight, the READ already completed with an
+    // error and the landing response must not complete it again.
+    if (pkt->done) return;
+    pkt->done = true;
     if (requester->device_->carry_payload() && response->payload_len > 0) {
       std::memcpy(reinterpret_cast<void*>(response->wr.sge.addr),
                   response->payload.data(), response->payload_len);
@@ -327,6 +361,16 @@ void QueuePair::PostRecv(const RecvWorkRequest& wr) {
   EXS_CHECK_MSG(connected(), "PostRecv on unconnected queue pair");
   EXS_CHECK_MSG(srq_ == nullptr,
                 "PostRecv on an SRQ-attached queue pair; post to the SRQ");
+  if (killed_) {
+    ++stats_.flushed_wrs;
+    WorkCompletion wc;
+    wc.wr_id = wr.wr_id;
+    wc.opcode = WcOpcode::kRecv;
+    wc.status = WcStatus::kWrFlushError;
+    wc.qp = this;
+    PushRecvCompletionLater(wc);
+    return;
+  }
   if (wr.sge.length > 0) {
     const MemoryRegion* mr = device_->FindByLkey(wr.sge.lkey);
     EXS_CHECK_MSG(mr != nullptr && mr->Covers(wr.sge.addr, wr.sge.length),
@@ -335,6 +379,50 @@ void QueuePair::PostRecv(const RecvWorkRequest& wr) {
   ++stats_.recvs_posted;
   if (inst_.recvs_posted) inst_.recvs_posted->Increment();
   recv_queue_.push_back(wr);
+}
+
+void QueuePair::Kill() {
+  if (killed_) return;
+  killed_ = true;
+
+  // Flush every send WR whose completion is still owed.  The data half of
+  // an emulated WWI never reports (its notification half does, and is
+  // flushed on its own), so it is marked done silently.
+  for (const PacketPtr& pkt : outstanding_) {
+    if (pkt->done) continue;
+    if (pkt->suppress_success_completion) {
+      pkt->done = true;
+      continue;
+    }
+    ++stats_.flushed_wrs;
+    CompleteSend(pkt, WcStatus::kWrFlushError, 0);
+  }
+  outstanding_.clear();
+
+  // Flush the private receive queue.  Receives parked in a shared receive
+  // queue are the pool's, not this QP's, and stay available to the other
+  // attached QPs.
+  while (!recv_queue_.empty()) {
+    RecvWorkRequest recv = recv_queue_.front();
+    recv_queue_.pop_front();
+    ++stats_.flushed_wrs;
+    WorkCompletion wc;
+    wc.wr_id = recv.wr_id;
+    wc.opcode = WcOpcode::kRecv;
+    wc.status = WcStatus::kWrFlushError;
+    wc.qp = this;
+    PushRecvCompletionLater(wc);
+  }
+
+  if (error_handler_) error_handler_(WcStatus::kWrFlushError);
+
+  // The peer learns of the death when its transport retries exhaust: one
+  // ack-return delay later its own QP enters the error state too.
+  if (peer_ != nullptr && !peer_->killed_) {
+    QueuePair* peer = peer_;
+    device_->scheduler().ScheduleAfter(AckReturnDelay(),
+                                       [peer] { peer->Kill(); });
+  }
 }
 
 }  // namespace exs::verbs

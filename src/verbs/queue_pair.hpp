@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -37,6 +38,9 @@ struct QueuePairStats {
   /// per-QP split of a shared pool is the fairness signal: one connection
   /// monopolising the SRQ shows up here, not only in its victims' RNRs.
   std::uint64_t srq_recvs_consumed = 0;
+  /// Work requests completed with kWrFlushError after Kill() put the QP in
+  /// the error state (in-flight flushes plus refused new posts).
+  std::uint64_t flushed_wrs = 0;
 };
 
 /// Pre-resolved registry instruments a queue pair records into alongside
@@ -91,6 +95,24 @@ class QueuePair {
   /// Mirror future stat updates into registry instruments (all optional).
   void SetInstruments(const QueuePairInstruments& inst) { inst_ = inst; }
 
+  /// Transition to the fatal error state: every in-flight send WR and every
+  /// private posted receive completes with kWrFlushError, new posts are
+  /// refused with an immediate flush completion, and arriving messages are
+  /// dropped (the sender sees kRetryExceededError).  The peer QP discovers
+  /// the death when its transport retries exhaust — one ack-return delay
+  /// later it enters the error state too.  Idempotent; receives parked in a
+  /// shared receive queue stay in the pool (they belong to the device, not
+  /// this QP).
+  void Kill();
+  bool killed() const { return killed_; }
+
+  /// Callback invoked exactly once when the QP enters the error state,
+  /// before any flush completion is dispatched.  Lets the upper layer learn
+  /// of the death even when no WR happens to be outstanding.
+  void SetErrorHandler(std::function<void(WcStatus)> handler) {
+    error_handler_ = std::move(handler);
+  }
+
  private:
   struct Packet {
     SendWorkRequest wr;
@@ -104,6 +126,9 @@ class QueuePair {
     bool suppress_success_completion = false;
     std::uint64_t notify_len = 0;
     SimTime post_time = 0;  ///< for the completion-latency histogram
+    /// Send completion already raised (or flushed) — dedups the race
+    /// between a scheduled success completion and a Kill() flush.
+    bool done = false;
   };
   using PacketPtr = std::shared_ptr<Packet>;
 
@@ -134,6 +159,10 @@ class QueuePair {
   std::deque<RecvWorkRequest> recv_queue_;
   QueuePairStats stats_;
   QueuePairInstruments inst_;
+  bool killed_ = false;
+  /// Send WRs with a completion still owed; Kill() flushes these.
+  std::vector<PacketPtr> outstanding_;
+  std::function<void(WcStatus)> error_handler_;
 };
 
 }  // namespace exs::verbs

@@ -45,6 +45,10 @@ enum class WcStatus : std::uint8_t {
   kRnrError,          ///< message arrived with no posted receive
   kLocalLengthError,  ///< payload larger than the posted receive buffer
   kRemoteAccessError, ///< RDMA address/rkey check failed at the peer
+  // Fatal transport states (QueuePair::Kill).  Appended only — the values
+  // above are baked into recorded artefacts.
+  kWrFlushError,       ///< WR flushed: the queue pair entered the error state
+  kRetryExceededError, ///< transport retries exhausted against a dead peer
 };
 
 const char* ToString(WcStatus status);

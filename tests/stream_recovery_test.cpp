@@ -1,0 +1,577 @@
+// Fatal-fault recovery: directed kill/resume pins, the already-dead-QP
+// no-op regression, the resume-aware invariant rules, and the equivalence
+// property — for any (seed, kill point, workload variant) the delivered
+// byte stream of a killed-and-resumed run is byte-identical to the
+// unkilled golden run (the twin harness in tools/torture.cpp compares FNV
+// fingerprints of the delivered payloads).  A recorded corpus of twin-run
+// fingerprints pins the recovery schedule itself; regenerate after an
+// intentional protocol change with
+//
+//   EXS_UPDATE_GOLDEN=1 ./fault_test --gtest_filter='StreamRecoveryGolden*'
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/pattern.hpp"
+#include "common/rng.hpp"
+#include "exs/engine/acceptor.hpp"
+#include "exs/engine/progress_engine.hpp"
+#include "exs/exs.hpp"
+#include "exs/invariant_checker.hpp"
+#include "simnet/faults.hpp"
+#include "torture.hpp"
+
+namespace exs {
+namespace {
+
+using simnet::FaultInjector;
+using simnet::FaultKind;
+using simnet::FaultPlan;
+using simnet::HardwareProfile;
+
+StreamOptions RecoveryOpts() {
+  StreamOptions opts;
+  opts.recovery.enabled = true;
+  opts.intermediate_buffer_bytes = 64 * 1024;
+  return opts;
+}
+
+/// The kill flushes one side instantly; the peer's QPs die one ack delay
+/// later.  Pump simulated time until both transport halves are down.
+void AwaitBothDead(Simulation& sim, Socket* a, Socket* b) {
+  for (int i = 0; i < 1000 && !(a->TransportDead() && b->TransportDead());
+       ++i) {
+    sim.RunFor(Microseconds(50));
+  }
+  ASSERT_TRUE(a->TransportDead());
+  ASSERT_TRUE(b->TransportDead());
+}
+
+void ExpectCleanChecker(Socket* client, Socket* server) {
+  InvariantReport report = CheckConnection(*client, *server);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_GT(report.events_checked, 0u);
+}
+
+std::uint64_t CounterValue(Socket* s, const char* name, const char* unit) {
+  return s->metrics_registry().GetCounter(name, unit).value();
+}
+
+// Kill the connection before the receiver has ever advertised: the resume
+// handshake must cope with a zero delivered frontier and untouched ring
+// cursors, and the stream must then run to completion normally.
+TEST(StreamRecoveryTest, KillBeforeFirstAdvert) {
+  Simulation sim(HardwareProfile::FdrInfiniBand(), /*seed=*/5,
+                 /*carry_payload=*/true);
+  auto [client, server] =
+      sim.CreateConnectedPair(SocketType::kStream, RecoveryOpts());
+  client->EnableTracing();
+  server->EnableTracing();
+
+  ASSERT_TRUE(client->KillTransport());
+  AwaitBothDead(sim, client, server);
+  Socket::ResumePair(*client, *server);
+
+  constexpr std::uint64_t kTotal = 64 * 1024;
+  std::vector<std::uint8_t> out(kTotal), in(kTotal, 0);
+  FillPattern(out.data(), out.size(), 0, 5);
+  server->Recv(in.data(), kTotal, RecvFlags{.waitall = true});
+  client->Send(out.data(), kTotal);
+  sim.Run();
+
+  EXPECT_EQ(VerifyPattern(in.data(), in.size(), 0, 5), in.size());
+  EXPECT_EQ(server->stream_rx()->sequence(), kTotal);
+  EXPECT_EQ(CounterValue(client, "recovery.transport_kills", "kills"), 1u);
+  EXPECT_EQ(CounterValue(client, "recovery.resumes", "resumes"), 1u);
+  ExpectCleanChecker(client, server);
+}
+
+// Kill while WWI chunks are in flight: the sender's completed-but-
+// undelivered suffix (the completion fallacy — a send completion is not
+// delivery) must be retransmitted from the staging log, and the receiver
+// must end gap-free and duplicate-free at exactly `total` bytes.
+TEST(StreamRecoveryTest, KillMidChunkRetransmitsUndeliveredSuffix) {
+  Simulation sim(HardwareProfile::FdrInfiniBand(), /*seed=*/11,
+                 /*carry_payload=*/true);
+  auto [client, server] =
+      sim.CreateConnectedPair(SocketType::kStream, RecoveryOpts());
+  client->EnableTracing();
+  server->EnableTracing();
+
+  constexpr std::uint64_t kTotal = 192 * 1024;
+  std::vector<std::uint8_t> out(kTotal), in(kTotal, 0);
+  FillPattern(out.data(), out.size(), 0, 11);
+  server->Recv(in.data(), kTotal, RecvFlags{.waitall = true});
+  client->Send(out.data(), kTotal);
+
+  // Advance until delivery is mid-stream AND posted bytes run ahead of the
+  // delivered frontier — chunks are in flight, so the kill strands a
+  // completed-but-undelivered suffix that only retransmission can recover.
+  bool armed = false;
+  for (int i = 0; i < 400000 && !armed; ++i) {
+    sim.RunFor(Nanoseconds(500));
+    armed = server->stream_rx()->sequence() >= 16 * 1024 &&
+            client->stream_tx()->sequence() >
+                server->stream_rx()->DeliveredFrontier();
+  }
+  ASSERT_TRUE(armed) << "no instant with chunks in flight mid-stream";
+  ASSERT_LT(server->stream_rx()->sequence(), kTotal);
+  ASSERT_TRUE(client->KillTransport());
+  AwaitBothDead(sim, client, server);
+  Socket::ResumePair(*client, *server);
+  sim.Run();
+
+  EXPECT_EQ(VerifyPattern(in.data(), in.size(), 0, 11), in.size());
+  EXPECT_EQ(client->stream_tx()->sequence(), kTotal);
+  EXPECT_EQ(server->stream_rx()->sequence(), kTotal);
+  EXPECT_GT(CounterValue(client, "recovery.retransmitted_bytes", "bytes"), 0u);
+  ExpectCleanChecker(client, server);
+}
+
+// Striped connection killed while the receiver's stripe reorder buffer
+// holds chunks that arrived ahead of sequence: resume must discard the
+// partial reassembly state, restart stripe numbering at zero, and still
+// deliver the stream intact.
+TEST(StreamRecoveryTest, KillWithOccupiedStripeReorderBuffer) {
+  StreamOptions opts = RecoveryOpts();
+  opts.rails = 4;
+  opts.max_wwi_chunk = 4 * 1024;
+  Simulation sim(HardwareProfile::FdrInfiniBand(), /*seed=*/23,
+                 /*carry_payload=*/true);
+  auto [client, server] = sim.CreateConnectedPair(SocketType::kStream, opts);
+  client->EnableTracing();
+  server->EnableTracing();
+
+  constexpr std::uint64_t kTotal = 256 * 1024;
+  std::vector<std::uint8_t> out(kTotal), in(kTotal, 0);
+  FillPattern(out.data(), out.size(), 0, 23);
+  client->Send(out.data(), kTotal);
+
+  // Step in small slices until chunks are parked in the reorder buffer
+  // (rails drain unevenly, so a later stripe overtakes an earlier one).
+  std::size_t deepest = 0;
+  for (int i = 0; i < 200000 && deepest == 0; ++i) {
+    sim.RunFor(Nanoseconds(500));
+    deepest = std::max(deepest, server->stream_rx()->StripeReorderDepth());
+  }
+  EXPECT_GT(deepest, 0u)
+      << "workload never parked a chunk in the stripe reorder buffer";
+
+  ASSERT_TRUE(server->KillTransport());
+  AwaitBothDead(sim, client, server);
+  Socket::ResumePair(*client, *server);
+  server->Recv(in.data(), kTotal, RecvFlags{.waitall = true});
+  sim.Run();
+
+  EXPECT_EQ(VerifyPattern(in.data(), in.size(), 0, 23), in.size());
+  EXPECT_EQ(server->stream_rx()->sequence(), kTotal);
+  EXPECT_EQ(client->effective_rails(), 4u);
+  ExpectCleanChecker(client, server);
+}
+
+// A second kill landing immediately after ResumePair — while the resume
+// handshake's re-sent control traffic is still in flight — must flush
+// cleanly and allow a second resume to finish the stream.
+TEST(StreamRecoveryTest, DoubleKillDuringResume) {
+  Simulation sim(HardwareProfile::FdrInfiniBand(), /*seed=*/31,
+                 /*carry_payload=*/true);
+  auto [client, server] =
+      sim.CreateConnectedPair(SocketType::kStream, RecoveryOpts());
+  client->EnableTracing();
+  server->EnableTracing();
+
+  constexpr std::uint64_t kTotal = 128 * 1024;
+  std::vector<std::uint8_t> out(kTotal), in(kTotal, 0);
+  FillPattern(out.data(), out.size(), 0, 31);
+  server->Recv(in.data(), kTotal, RecvFlags{.waitall = true});
+  client->Send(out.data(), kTotal);
+  for (int i = 0; i < 100000 && server->stream_rx()->sequence() < 8 * 1024;
+       ++i) {
+    sim.RunFor(Microseconds(5));
+  }
+  ASSERT_TRUE(client->KillTransport());
+  AwaitBothDead(sim, client, server);
+  Socket::ResumePair(*client, *server);
+
+  // No simulated time has passed since the resume: everything it re-sent
+  // is still in flight when the second kill lands — this time on the
+  // other side, so both kill directions are covered.
+  ASSERT_TRUE(server->KillTransport());
+  AwaitBothDead(sim, client, server);
+  Socket::ResumePair(*client, *server);
+  sim.Run();
+
+  EXPECT_EQ(VerifyPattern(in.data(), in.size(), 0, 31), in.size());
+  EXPECT_EQ(server->stream_rx()->sequence(), kTotal);
+  EXPECT_EQ(CounterValue(client, "recovery.transport_kills", "kills"), 2u);
+  EXPECT_EQ(CounterValue(client, "recovery.resumes", "resumes"), 2u);
+  ExpectCleanChecker(client, server);
+}
+
+// Rail failover: a 4-rail striped stream resumes onto 2 surviving rails.
+// The unacknowledged suffix is re-chunked across the new rail set with
+// stripe numbering restarted at zero; the checker's resume-aware rules
+// accept the shrunken rail count and the stream must arrive intact.
+TEST(StreamRecoveryTest, RailFailoverRechunksAcrossSurvivingRails) {
+  StreamOptions opts = RecoveryOpts();
+  opts.rails = 4;
+  opts.max_wwi_chunk = 8 * 1024;
+  Simulation sim(HardwareProfile::FdrInfiniBand(), /*seed=*/41,
+                 /*carry_payload=*/true);
+  auto [client, server] = sim.CreateConnectedPair(SocketType::kStream, opts);
+  client->EnableTracing();
+  server->EnableTracing();
+  ASSERT_EQ(client->effective_rails(), 4u);
+
+  constexpr std::uint64_t kTotal = 256 * 1024;
+  std::vector<std::uint8_t> out(kTotal), in(kTotal, 0);
+  FillPattern(out.data(), out.size(), 0, 41);
+  server->Recv(in.data(), kTotal, RecvFlags{.waitall = true});
+  client->Send(out.data(), kTotal);
+  for (int i = 0; i < 100000 && server->stream_rx()->sequence() < 32 * 1024;
+       ++i) {
+    sim.RunFor(Microseconds(5));
+  }
+  ASSERT_LT(server->stream_rx()->sequence(), kTotal);
+  ASSERT_TRUE(client->KillTransport());
+  AwaitBothDead(sim, client, server);
+  Socket::ResumePair(*client, *server, /*max_rails=*/2);
+  EXPECT_EQ(client->effective_rails(), 2u);
+  EXPECT_EQ(server->effective_rails(), 2u);
+  sim.Run();
+
+  EXPECT_EQ(VerifyPattern(in.data(), in.size(), 0, 41), in.size());
+  EXPECT_EQ(server->stream_rx()->sequence(), kTotal);
+  ExpectCleanChecker(client, server);
+}
+
+// Regression: a fault scheduled against an already-dead transport is a
+// guaranteed no-op — not a second flush, not a dangling callback.  Both
+// the direct API and the FaultInjector path must agree, and a kill
+// arriving after a resume must land on the *new* queue pairs.
+TEST(StreamRecoveryTest, KillOnDeadTransportIsNoOp) {
+  Simulation sim(HardwareProfile::FdrInfiniBand(), /*seed=*/47,
+                 /*carry_payload=*/true);
+  auto [client, server] =
+      sim.CreateConnectedPair(SocketType::kStream, RecoveryOpts());
+  client->EnableTracing();
+  server->EnableTracing();
+
+  FaultInjector injector(sim.fabric());
+  injector.AttachKillTarget(0, client);
+  injector.AttachKillTarget(1, server);
+  FaultPlan plan;
+  simnet::FaultEvent ev;
+  ev.kind = FaultKind::kQpKill;
+  ev.target = 0;
+  ev.at = sim.Now() + Microseconds(10);
+  plan.events.push_back(ev);          // lands on a dead transport: no-op
+  ev.at = sim.Now() + Microseconds(20);
+  plan.events.push_back(ev);          // ditto — double-scheduled kill
+  ev.at = sim.Now() + Milliseconds(2);
+  plan.events.push_back(ev);          // lands after the resume: applies
+  injector.Arm(plan);
+
+  // Manual kill first: both planned near-term kills then hit a corpse.
+  ASSERT_TRUE(client->KillTransport());
+  EXPECT_FALSE(client->KillTransport());
+  AwaitBothDead(sim, client, server);
+  sim.RunFor(Microseconds(100));
+  EXPECT_EQ(injector.KillsApplied(), 0u);
+  EXPECT_EQ(injector.FaultsApplied(), 2u);
+
+  Socket::ResumePair(*client, *server);
+  constexpr std::uint64_t kTotal = 96 * 1024;
+  std::vector<std::uint8_t> out(kTotal), in(kTotal, 0);
+  FillPattern(out.data(), out.size(), 0, 47);
+  server->Recv(in.data(), kTotal, RecvFlags{.waitall = true});
+  client->Send(out.data(), kTotal);
+  sim.Run();  // the third kill fires mid-run against the fresh QPs
+
+  EXPECT_EQ(injector.KillsApplied(), 1u);
+  AwaitBothDead(sim, client, server);
+  Socket::ResumePair(*client, *server);
+  sim.Run();
+
+  EXPECT_EQ(VerifyPattern(in.data(), in.size(), 0, 47), in.size());
+  EXPECT_EQ(server->stream_rx()->sequence(), kTotal);
+  ExpectCleanChecker(client, server);
+}
+
+// The resume-aware gap-free/duplicate-free rule: the receiver-side byte
+// continuity check runs *through* kill/resume markers unreset, so a
+// duplicated delivery after a resume is still a violation.
+TEST(StreamRecoveryTest, CheckerRejectsDuplicateDeliveryAcrossResume) {
+  Simulation sim(HardwareProfile::FdrInfiniBand(), /*seed=*/53,
+                 /*carry_payload=*/true);
+  auto [client, server] =
+      sim.CreateConnectedPair(SocketType::kStream, RecoveryOpts());
+  client->EnableTracing();
+  server->EnableTracing();
+
+  constexpr std::uint64_t kTotal = 64 * 1024;
+  std::vector<std::uint8_t> out(kTotal), in(kTotal, 0);
+  FillPattern(out.data(), out.size(), 0, 53);
+  server->Recv(in.data(), kTotal, RecvFlags{.waitall = true});
+  client->Send(out.data(), kTotal);
+  for (int i = 0; i < 100000 && server->stream_rx()->sequence() < 8 * 1024;
+       ++i) {
+    sim.RunFor(Microseconds(5));
+  }
+  ASSERT_TRUE(client->KillTransport());
+  AwaitBothDead(sim, client, server);
+  Socket::ResumePair(*client, *server);
+  sim.Run();
+
+  // The honest trace is clean...
+  InvariantCheckOptions opts;
+  opts.rx_ring_capacity = server->stream_rx()->ring_capacity();
+  EXPECT_TRUE(CheckStreamReceiverTrace(server->rx_trace(), opts).ok());
+
+  // ...but replaying one delivery event (a duplicate byte range, exactly
+  // what a resume that ignored the delivered frontier would produce) must
+  // be convicted by the continuity rule.
+  TraceLog forged;
+  forged.Enable();
+  const TraceEvent* last_delivery = nullptr;
+  for (const TraceEvent& ev : server->rx_trace().events()) {
+    forged.Record(ev);
+    if (ev.type == TraceEventType::kDirectArrived ||
+        ev.type == TraceEventType::kCopyOut) {
+      last_delivery = &ev;
+    }
+  }
+  ASSERT_NE(last_delivery, nullptr);
+  forged.Record(*last_delivery);
+  InvariantReport report = CheckStreamReceiverTrace(forged, opts);
+  EXPECT_FALSE(report.ok());
+  bool continuity_conviction = false;
+  for (const std::string& v : report.violations) {
+    if (v.find("not contiguous") != std::string::npos) {
+      continuity_conviction = true;
+    }
+  }
+  EXPECT_TRUE(continuity_conviction) << report.Summary();
+}
+
+// Engine-accepted sockets (shared buffer pool + SRQ-backed control slots)
+// recover too: the resumed channel re-adopts its slot reservation instead
+// of re-reserving, the untouched second stream is not perturbed, and both
+// leases return to the pool after EOF.
+TEST(StreamRecoveryTest, EngineSocketResumesWithSharedSlotReservation) {
+  Simulation sim(HardwareProfile::FdrInfiniBand(), /*seed=*/61,
+                 /*carry_payload=*/true);
+  engine::ProgressEngine engine(sim.fabric().node(1).cpu(),
+                                engine::ProgressEngineOptions{});
+  StreamOptions opts = RecoveryOpts();
+  opts.credits = 8;
+  engine::AcceptorOptions aopts;
+  aopts.pool = {.pool_bytes = 2 * opts.intermediate_buffer_bytes,
+                .lease_bytes = opts.intermediate_buffer_bytes,
+                .high_watermark = 1.0,
+                .low_watermark = 1.0};
+  aopts.control_slots = 2 * opts.credits;
+  engine::Acceptor acceptor(sim.device(1), engine, aopts);
+
+  constexpr std::uint64_t kPerStream = 96 * 1024;
+  struct Rx {
+    Socket* socket = nullptr;
+    std::vector<std::uint8_t> data;
+    std::uint64_t received = 0;
+    bool eof = false;
+  };
+  std::vector<std::unique_ptr<Rx>> rxs;
+  std::unordered_map<Socket*, Rx*> rx_by_socket;
+  acceptor.Listen(
+      sim.connections(), 4000, opts,
+      [&](Socket& s, const Event& ev) {
+        auto it = rx_by_socket.find(&s);
+        if (it == rx_by_socket.end()) return;
+        if (ev.type == EventType::kRecvComplete) {
+          it->second->received += ev.bytes;
+        }
+        if (ev.type == EventType::kPeerClosed) it->second->eof = true;
+      },
+      [&](Socket& s) {
+        auto rx = std::make_unique<Rx>();
+        rx->socket = &s;
+        rx->data.resize(kPerStream);
+        s.Recv(rx->data.data(), kPerStream, RecvFlags{.waitall = true});
+        rx_by_socket.emplace(&s, rx.get());
+        rxs.push_back(std::move(rx));
+      });
+
+  std::vector<Socket*> clients;
+  for (int i = 0; i < 2; ++i) {
+    clients.push_back(sim.Connect(0, 4000, SocketType::kStream, opts,
+                                  [](Socket*) {}));
+  }
+  sim.Run();
+  ASSERT_EQ(rxs.size(), 2u);
+
+  std::vector<std::vector<std::uint8_t>> payloads(2);
+  for (int i = 0; i < 2; ++i) {
+    payloads[i].resize(kPerStream);
+    FillPattern(payloads[i].data(), kPerStream, 0, 61 + i);
+    clients[i]->Send(payloads[i].data(), kPerStream);
+  }
+  for (int i = 0; i < 100000 && rxs[0]->socket->stream_rx()->sequence() <
+                                    8 * 1024;
+       ++i) {
+    sim.RunFor(Microseconds(5));
+  }
+  ASSERT_TRUE(clients[0]->KillTransport());
+  AwaitBothDead(sim, clients[0], rxs[0]->socket);
+  Socket::ResumePair(*clients[0], *rxs[0]->socket);
+  sim.Run();
+  for (int i = 0; i < 2; ++i) {
+    clients[i]->Close();
+  }
+  sim.Run();
+
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(rxs[i]->received, kPerStream) << "stream " << i;
+    EXPECT_EQ(VerifyPattern(rxs[i]->data.data(), kPerStream, 0, 61 + i),
+              kPerStream)
+        << "stream " << i;
+    EXPECT_TRUE(rxs[i]->eof) << "stream " << i;
+  }
+  EXPECT_EQ(acceptor.pool().LeasesActive(), 0u)
+      << "leases must return to the pool after EOF, resume included";
+}
+
+// ---------------------------------------------------------------------------
+// The equivalence property, swept: kill offsets × profiles × workload
+// variants (classic dynamic, coalesce, striped).  Each case is a twin run
+// — unkilled golden and killed/resumed — and passes only when both legs
+// deliver the byte-identical stream (payload FNV fingerprints equal).
+// ---------------------------------------------------------------------------
+
+// The kill-mode harness derives its workload variant from the seed with
+// this exact domain separation; mirror it to pick one seed per variant so
+// the sweep provably covers all three chunking disciplines.
+std::uint64_t KillVariantForSeed(std::uint64_t seed) {
+  return SplitMix64(seed ^ 0x4b111f7e57a7e5ull).Next() % 3;
+}
+
+TEST(StreamRecoveryProperty, KilledRunsMatchUnkilledGoldenFingerprints) {
+  std::uint64_t variant_seed[3] = {0, 0, 0};
+  int found = 0;
+  for (std::uint64_t seed = 1; seed <= 64 && found < 3; ++seed) {
+    std::uint64_t v = KillVariantForSeed(seed);
+    if (variant_seed[v] == 0) {
+      variant_seed[v] = seed;
+      ++found;
+    }
+  }
+  ASSERT_EQ(found, 3) << "no seed in 1..64 produced every workload variant";
+
+  std::vector<torture::TortureConfig> cases;
+  for (std::uint64_t seed : variant_seed) {
+    for (std::uint32_t permille : {80u, 250u, 400u}) {
+      torture::TortureConfig cfg;
+      cfg.seed = seed;
+      cfg.mode = "kill";
+      cfg.profile = "fdr";
+      cfg.kill_permille = permille;
+      cases.push_back(cfg);
+    }
+  }
+  {
+    // Pinned rails (forced stripe) and the WAN profile, one case each.
+    torture::TortureConfig cfg;
+    cfg.seed = 7;
+    cfg.mode = "kill";
+    cfg.profile = "fdr";
+    cfg.rails = 2;
+    cfg.kill_permille = 250;
+    cases.push_back(cfg);
+    cfg.rails = 0;
+    cfg.profile = "wan";
+    cases.push_back(cfg);
+  }
+
+  for (const torture::TortureConfig& cfg : cases) {
+    torture::TortureResult res = torture::RunTorture(cfg);
+    EXPECT_TRUE(res.ok) << torture::EncodeCorpusEntry(cfg) << "\n"
+                        << res.Describe();
+    EXPECT_EQ(res.kills_applied, 1u) << torture::EncodeCorpusEntry(cfg);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Recorded twin-run fingerprints (the stream_golden_test convention): the
+// corpus file pins the exact recovery schedule — retransmission postings,
+// resume markers, and both delivered payloads — per configuration.  Each
+// entry also runs twice in-process as the determinism witness.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kRecoveryCorpusPath =
+    EXS_TEST_DATA_DIR "/recovery_golden.txt";
+
+std::vector<torture::TortureConfig> RecoveryGoldenConfigs() {
+  std::vector<torture::TortureConfig> cfgs;
+  for (std::uint64_t seed : {1, 2, 3, 4}) {
+    torture::TortureConfig cfg;
+    cfg.seed = seed;
+    cfg.mode = "kill";
+    cfg.profile = "fdr";
+    cfg.kill_permille = static_cast<std::uint32_t>(100 + 70 * seed);
+    cfgs.push_back(cfg);
+  }
+  torture::TortureConfig cfg;
+  cfg.seed = 5;
+  cfg.mode = "kill";
+  cfg.profile = "fdr";
+  cfg.rails = 2;
+  cfg.kill_permille = 250;
+  cfgs.push_back(cfg);
+  cfg.rails = 0;
+  cfg.seed = 1;
+  cfg.profile = "wan";
+  cfg.kill_permille = 200;
+  cfgs.push_back(cfg);
+  return cfgs;
+}
+
+TEST(StreamRecoveryGolden, TwinRunFingerprintsMatchCorpus) {
+  if (std::getenv("EXS_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream header(kRecoveryCorpusPath, std::ios::trunc);
+    ASSERT_TRUE(header.good()) << "cannot rewrite " << kRecoveryCorpusPath;
+    header << "# Twin-run recovery fingerprints (kill mode): chained FNV of\n"
+              "# the golden payload, the killed payload, and the killed\n"
+              "# leg's trace fingerprint.  Regenerate with\n"
+              "# EXS_UPDATE_GOLDEN=1 (see stream_recovery_test.cpp).\n";
+    header.close();
+    for (const torture::TortureConfig& cfg : RecoveryGoldenConfigs()) {
+      torture::TortureResult res = torture::RunTorture(cfg);
+      ASSERT_TRUE(res.ok) << torture::EncodeCorpusEntry(cfg) << "\n"
+                          << res.Describe();
+      torture::AppendCorpusEntry(kRecoveryCorpusPath, cfg, res.fingerprint);
+    }
+    GTEST_SKIP() << "corpus regenerated at " << kRecoveryCorpusPath;
+  }
+
+  std::vector<torture::TortureConfig> entries =
+      torture::LoadCorpus(kRecoveryCorpusPath);
+  ASSERT_FALSE(entries.empty());
+  for (const torture::TortureConfig& cfg : entries) {
+    torture::TortureResult first = torture::RunTorture(cfg);
+    torture::TortureResult second = torture::RunTorture(cfg);
+    EXPECT_TRUE(first.ok) << torture::EncodeCorpusEntry(cfg) << "\n"
+                          << first.Describe();
+    EXPECT_EQ(first.fingerprint, second.fingerprint)
+        << "nondeterministic twin run: " << torture::EncodeCorpusEntry(cfg);
+    EXPECT_EQ(first.fingerprint, cfg.expect_fingerprint)
+        << "recovery schedule drifted from the recorded corpus entry: "
+        << torture::EncodeCorpusEntry(cfg)
+        << " (intentional change? regenerate with EXS_UPDATE_GOLDEN=1)";
+  }
+}
+
+}  // namespace
+}  // namespace exs

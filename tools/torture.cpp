@@ -50,7 +50,7 @@ simnet::HardwareProfile ResolveProfile(const std::string& name) {
 bool ValidMode(const std::string& mode) {
   return mode == "dynamic" || mode == "direct" || mode == "indirect" ||
          mode == "coalesce" || mode == "stripe" || mode == "seqpacket" ||
-         mode == "many";
+         mode == "many" || mode == "kill";
 }
 
 std::string TortureResult::Describe() const {
@@ -58,6 +58,9 @@ std::string TortureResult::Describe() const {
   oss << (ok ? "PASS" : "FAIL") << " fp=0x" << std::hex << fingerprint
       << std::dec << " events=" << events_checked
       << " faults=" << faults_applied << "/" << faults_armed;
+  if (kills_applied != 0 || resumes != 0) {
+    oss << " kills=" << kills_applied << " resumes=" << resumes;
+  }
   for (const auto& f : failures) oss << "\n    failure: " << f;
   for (const auto& v : checker_violations) oss << "\n    invariant: " << v;
   for (const auto& w : checker_warnings) oss << "\n    warning: " << w;
@@ -302,11 +305,290 @@ TortureResult RunManyTorture(const TortureConfig& cfg) {
   return res;
 }
 
+// ---------------------------------------------------------------------------
+// "kill" mode: the recovery equivalence harness (docs/PROTOCOL.md §12).
+// ---------------------------------------------------------------------------
+
+/// FNV-1a over the delivered byte stream — the fingerprint the kill/resume
+/// equivalence claim is stated over.  Trace fingerprints legitimately
+/// differ between the twin runs (the killed run carries kill/resume
+/// markers and retransmission postings); the *payload* must not.
+std::uint64_t PayloadFingerprint(const std::uint8_t* data, std::size_t len) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+struct KillLegOutcome {
+  std::uint64_t payload_fp = 0;     ///< FNV over the delivered bytes
+  std::uint64_t connection_fp = 0;  ///< trace fingerprint of this leg
+};
+
+/// One leg of the kill-mode twin: the single-pair stream workload with
+/// recovery armed and — when `kill` — one fatal QP kill landing at the
+/// seed-derived (or pinned) fraction of the fault horizon, recovered
+/// in-line by Socket::ResumePair the moment both transport halves are
+/// dead.  Failures are prefixed with `label` so the twin report reads.
+void RunKillLeg(const TortureConfig& cfg, bool kill, const char* label,
+                TortureResult* res, KillLegOutcome* outcome) {
+  simnet::HardwareProfile profile = ResolveProfile(cfg.profile);
+  const SimDuration horizon = EstimateHorizon(profile, cfg.total_bytes);
+  auto fail = [&](const std::string& what) {
+    res->failures.push_back(std::string(label) + ": " + what);
+  };
+
+  // Seed-derived workload variant (domain-separated from the fault plan
+  // and the workload RNG): the recovery path must hold under every
+  // chunking discipline, so the sweep rotates classic dynamic, coalesce,
+  // and striped streams.  Pinning cfg.rails forces the striped variant.
+  std::uint64_t bits = SplitMix64(cfg.seed ^ 0x4b111f7e57a7e5ull).Next();
+  StreamOptions opts;
+  opts.recovery.enabled = true;
+  opts.intermediate_buffer_bytes = cfg.buffer_bytes;
+  const std::uint64_t variant = cfg.rails != 0 ? 2 : bits % 3;
+  if (variant == 1) opts.coalesce.enabled = true;
+  if (variant == 2) {
+    opts.rails =
+        cfg.rails != 0 ? cfg.rails : (((bits >> 2) & 1) != 0 ? 2u : 4u);
+    const bool rr =
+        cfg.sched.empty() ? ((bits >> 3) & 1) != 0 : cfg.sched == "rr";
+    opts.rail_scheduler =
+        rr ? RailScheduler::kRoundRobin : RailScheduler::kShortestOutstanding;
+    opts.max_wwi_chunk = 16 * 1024;
+  }
+
+  Simulation sim(profile, cfg.seed, /*carry_payload=*/true);
+  auto [client, server] = sim.CreateConnectedPair(SocketType::kStream, opts);
+  client->EnableTracing(cfg.trace_capacity);
+  server->EnableTracing(cfg.trace_capacity);
+
+  // Destroyed before `sim` (reverse declaration order), like every driver.
+  simnet::FaultInjector injector(sim.fabric());
+  injector.AttachControlTarget(0, &client->channel_internal());
+  injector.AttachControlTarget(1, &server->channel_internal());
+  injector.AttachKillTarget(0, client);
+  injector.AttachKillTarget(1, server);
+  simnet::FaultPlan plan;
+  if (cfg.enable_faults) {
+    // The transient base plan is identical in both legs; the kill below is
+    // appended outside the plan RNG, so golden and killed runs share every
+    // stall and jitter window byte-for-byte until the kill lands.
+    plan = simnet::FaultPlan::Generate(
+        cfg.seed, simnet::FaultPlanConfig::ScaledTo(horizon));
+  }
+  if (kill) {
+    const std::uint32_t permille =
+        cfg.kill_permille != 0
+            ? cfg.kill_permille
+            : static_cast<std::uint32_t>(50 + (bits >> 8) % 350);
+    simnet::FaultEvent ev;
+    ev.kind = simnet::FaultKind::kQpKill;
+    ev.target = bits & 1;
+    ev.at = static_cast<SimTime>(horizon / 1000 * permille);
+    plan.events.push_back(ev);
+  }
+  if (!plan.events.empty()) injector.Arm(plan);
+
+  // Workload RNG: the same domain separation as the classic driver, so a
+  // kill-mode seed exercises a comparable posting interleave.
+  Rng rng(SplitMix64(cfg.seed ^ 0x70e7f1c70ffe12edull).Next());
+  const std::uint64_t total = cfg.total_bytes;
+  const std::uint64_t max_message =
+      cfg.max_message < total ? cfg.max_message : total;
+
+  std::vector<std::uint8_t> out(total);
+  FillPattern(out.data(), out.size(), 0, cfg.seed);
+  std::vector<std::uint8_t> in(total, 0);
+
+  constexpr std::size_t kScratch = 6;
+  std::vector<std::vector<std::uint8_t>> scratch(
+      kScratch, std::vector<std::uint8_t>(max_message));
+  std::vector<std::size_t> free_scratch;
+  for (std::size_t i = 0; i < kScratch; ++i) free_scratch.push_back(i);
+
+  struct Posted {
+    std::size_t scratch_index;
+    std::uint64_t len;
+  };
+  std::unordered_map<std::uint64_t, Posted> posted;
+
+  std::uint64_t send_off = 0;
+  std::uint64_t recv_done = 0;
+  std::uint64_t pending_posted = 0;
+
+  server->events().SetHandler([&](const Event& ev) {
+    if (ev.type != EventType::kRecvComplete) return;
+    auto it = posted.find(ev.id);
+    if (it == posted.end()) {
+      fail("completion for unknown receive id");
+      return;
+    }
+    Posted rec = it->second;
+    posted.erase(it);
+    if (ev.bytes > rec.len || recv_done + ev.bytes > total) {
+      fail("receive completion exceeds posted/total size");
+      return;
+    }
+    std::memcpy(in.data() + recv_done, scratch[rec.scratch_index].data(),
+                ev.bytes);
+    recv_done += ev.bytes;
+    pending_posted -= rec.len;
+    free_scratch.push_back(rec.scratch_index);
+  });
+
+  std::uint64_t resumes_here = 0;
+  auto maybe_resume = [&]() {
+    if (!client->TransportDead() && !server->TransportDead()) return;
+    // The kill flushes one side instantly; the peer's QPs die one ack
+    // delay later.  Pump simulated time until both halves are down, then
+    // reconnect and resume at the delivered frontier.
+    std::uint64_t spins = 0;
+    while (!(client->TransportDead() && server->TransportDead())) {
+      sim.RunFor(Microseconds(100));
+      if (++spins > 100000u) {
+        fail("peer transport never observed the kill");
+        return;
+      }
+    }
+    Socket::ResumePair(*client, *server);
+    ++resumes_here;
+  };
+
+  try {
+    std::uint64_t guard = 0;
+    while (res->failures.empty() && recv_done < total) {
+      if (++guard > 2000000u) {
+        fail("no progress: stuck at " + std::to_string(recv_done) + "/" +
+             std::to_string(total) + " bytes");
+        break;
+      }
+      bool can_send = send_off < total;
+      bool can_recv = !free_scratch.empty() &&
+                      recv_done + pending_posted < total;
+      if (can_send && (rng.NextBool() || !can_recv)) {
+        std::uint64_t s = rng.NextInRange(1, max_message);
+        if (s > total - send_off) s = total - send_off;
+        client->Send(out.data() + send_off, s);
+        send_off += s;
+      } else if (can_recv) {
+        std::size_t idx = free_scratch.back();
+        free_scratch.pop_back();
+        std::uint64_t room = total - recv_done - pending_posted;
+        std::uint64_t r = rng.NextInRange(1, max_message);
+        if (r > room) r = room;
+        std::uint64_t id = server->Recv(scratch[idx].data(), r,
+                                        RecvFlags{.waitall = rng.NextBool(0.4)});
+        posted.emplace(id, Posted{idx, r});
+        pending_posted += r;
+      }
+      sim.RunFor(static_cast<SimDuration>(
+          rng.NextInRange(0, static_cast<std::uint64_t>(Microseconds(30)))));
+      if (!can_send && !can_recv) {
+        sim.Run();
+      } else if (rng.NextBool(0.08)) {
+        sim.Run();
+      }
+      maybe_resume();
+    }
+    if (res->failures.empty()) {
+      sim.Run();
+      // A late kill can land after the last byte delivered; resume anyway
+      // so quiescence below means "fully recovered", never "dead quiet".
+      maybe_resume();
+      sim.Run();
+    }
+  } catch (const InvariantViolation& violation) {
+    fail(std::string("runtime invariant violation: ") + violation.what());
+  }
+
+  if (res->failures.empty()) {
+    if (recv_done != total) {
+      fail("short delivery: " + std::to_string(recv_done) + "/" +
+           std::to_string(total) + " bytes");
+    } else if (std::size_t good =
+                   VerifyPattern(in.data(), in.size(), 0, cfg.seed);
+               good != in.size()) {
+      fail("payload corrupt at stream offset " + std::to_string(good));
+    }
+    if (!client->Quiescent() || !server->Quiescent()) {
+      fail("endpoints not quiescent after drain");
+    }
+    std::uint64_t tx_seq = client->stream_tx()->sequence();
+    std::uint64_t rx_seq = server->stream_rx()->sequence();
+    std::uint64_t rx_est = server->stream_rx()->sequence_estimate();
+    if (tx_seq != total || rx_seq != total || rx_est != total) {
+      fail("sequence disagreement: S_s=" + std::to_string(tx_seq) +
+           " S_r=" + std::to_string(rx_seq) +
+           " S'_r=" + std::to_string(rx_est) + " expected " +
+           std::to_string(total));
+    }
+    if (kill && injector.KillsApplied() == 0) {
+      fail("the fatal kill never took effect");
+    }
+  }
+
+  // The resume-aware checker: delivered-byte continuity (gap-free and
+  // duplicate-free through the markers) still runs; only the cross-log
+  // conservation rules are skipped on the killed leg.
+  InvariantReport report = CheckConnection(*client, *server);
+  for (const auto& v : report.violations) {
+    res->checker_violations.push_back(std::string(label) + ": " + v);
+  }
+  for (const auto& w : report.warnings) {
+    res->checker_warnings.push_back(std::string(label) + ": " + w);
+  }
+  res->events_checked += report.events_checked;
+  res->faults_armed += injector.FaultsArmed();
+  res->faults_applied += injector.FaultsApplied();
+  res->kills_applied += injector.KillsApplied();
+  res->resumes += resumes_here;
+  outcome->payload_fp = PayloadFingerprint(in.data(), in.size());
+  outcome->connection_fp = ConnectionFingerprint(*client, *server);
+}
+
+/// Twin-run equivalence: the same seed drives an unkilled golden leg and a
+/// killed/resumed leg; the run passes only if both legs individually pass
+/// AND deliver the byte-identical stream.
+TortureResult RunKillTorture(const TortureConfig& cfg) {
+  TortureResult res;
+  KillLegOutcome golden;
+  KillLegOutcome killed;
+  RunKillLeg(cfg, /*kill=*/false, "golden", &res, &golden);
+  RunKillLeg(cfg, /*kill=*/true, "killed", &res, &killed);
+  if (golden.payload_fp != killed.payload_fp) {
+    std::ostringstream oss;
+    oss << "delivered stream diverged across kill/resume: golden payload "
+        << "fp 0x" << std::hex << golden.payload_fp << ", killed 0x"
+        << killed.payload_fp;
+    res.failures.push_back(oss.str());
+  }
+  // The replay/determinism fingerprint chains both legs' payloads and the
+  // killed leg's trace fingerprint (which covers the kill/resume markers
+  // and the retransmission schedule).
+  std::uint64_t fp = 0xcbf29ce484222325ull;
+  auto mix = [&fp](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      fp ^= (v >> (8 * i)) & 0xff;
+      fp *= 0x100000001b3ull;
+    }
+  };
+  mix(golden.payload_fp);
+  mix(killed.payload_fp);
+  mix(killed.connection_fp);
+  res.fingerprint = fp;
+  res.ok = res.failures.empty() && res.checker_violations.empty();
+  return res;
+}
+
 }  // namespace
 
 TortureResult RunTorture(const TortureConfig& cfg) {
   EXS_CHECK_MSG(ValidMode(cfg.mode), "unknown mode '" << cfg.mode << "'");
   if (cfg.mode == "many") return RunManyTorture(cfg);
+  if (cfg.mode == "kill") return RunKillTorture(cfg);
   TortureResult res;
 
   simnet::HardwareProfile profile = ResolveProfile(cfg.profile);
@@ -557,6 +839,7 @@ std::string EncodeCorpusEntry(const TortureConfig& cfg) {
   if (cfg.rails != 0) oss << " rails=" << cfg.rails;
   if (!cfg.sched.empty()) oss << " sched=" << cfg.sched;
   if (cfg.streams != 0) oss << " streams=" << cfg.streams;
+  if (cfg.kill_permille != 0) oss << " killpm=" << cfg.kill_permille;
   oss << " fp=0x" << std::hex << cfg.expect_fingerprint;
   return oss.str();
 }
@@ -601,6 +884,8 @@ bool DecodeCorpusEntry(const std::string& line, TortureConfig* out) {
         cfg.sched = value;
       } else if (key == "streams") {
         cfg.streams = static_cast<std::uint32_t>(std::stoul(value));
+      } else if (key == "killpm") {
+        cfg.kill_permille = static_cast<std::uint32_t>(std::stoul(value));
       } else if (key == "fp") {
         cfg.expect_fingerprint = std::stoull(value, nullptr, 0);
       } else {

@@ -37,7 +37,13 @@ struct TortureConfig {
   /// N clients connect through the acceptor into one shared buffer pool /
   /// SRQ slot pool and the progress engine drives every accepted socket;
   /// the seed derives N from {4,8,16} unless `streams` pins it, and the
-  /// checker additionally replays pool conservation across all streams).
+  /// checker additionally replays pool conservation across all streams),
+  /// or "kill" (the recovery equivalence harness: twin runs of one
+  /// seed-derived workload variant — classic dynamic, coalesce, or
+  /// striped — one unkilled and one with a fatal QP kill landing
+  /// mid-transfer followed by Socket::ResumePair; the run passes only if
+  /// both deliver the byte-identical stream, proven by comparing FNV
+  /// fingerprints of the delivered payloads).
   std::string mode = "dynamic";
   /// "stripe" mode only: rail count (0 = derive {2,4} from the seed).
   std::uint32_t rails = 0;
@@ -45,6 +51,10 @@ struct TortureConfig {
   std::string sched;
   /// "many" mode only: concurrent stream count (0 = derive from the seed).
   std::uint32_t streams = 0;
+  /// "kill" mode only: when (in permille of the fault horizon) the fatal
+  /// QP kill lands (0 = derive from the seed).  Encoded to a corpus entry
+  /// only when pinned, so older corpus files round-trip byte-identically.
+  std::uint32_t kill_permille = 0;
   std::uint64_t total_bytes = 192 * 1024;
   std::uint64_t max_message = 24 * 1024;
   std::uint64_t buffer_bytes = 64 * 1024;
@@ -75,6 +85,10 @@ struct TortureResult {
   std::uint64_t events_checked = 0;
   std::uint64_t faults_armed = 0;
   std::uint64_t faults_applied = 0;
+  /// "kill" mode only: fatal kills that took effect and the ResumePair
+  /// invocations that recovered from them (zero in every other mode).
+  std::uint64_t kills_applied = 0;
+  std::uint64_t resumes = 0;
 
   std::string Describe() const;
 };

@@ -31,8 +31,11 @@ using exs::torture::TortureResult;
       "  --seed N         single seed (same as --seeds N..N)\n"
       "  --profiles CSV   subset of fdr,iwarp,wan (all)\n"
       "  --modes CSV      subset of dynamic,direct,indirect,coalesce,\n"
-      "                   stripe,seqpacket,many\n"
-      "                   (dynamic,direct,indirect,coalesce,stripe)\n"
+      "                   stripe,seqpacket,many,kill\n"
+      "                   (dynamic,direct,indirect,coalesce,stripe,kill)\n"
+      "  --kill-permille N     kill mode: pin when the fatal QP kill\n"
+      "                   lands, in permille of the fault horizon\n"
+      "                   (0 = derive from the seed)\n"
       "  --rails N        stripe mode: pin the rail count (0 = derive\n"
       "                   2 or 4 from the seed)\n"
       "  --sched S        stripe mode: pin the rail scheduler, rr or\n"
@@ -110,7 +113,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed_lo = 1, seed_hi = 20;
   std::vector<std::string> profiles = {"fdr", "iwarp", "wan"};
   std::vector<std::string> modes = {"dynamic", "direct", "indirect",
-                                    "coalesce", "stripe"};
+                                    "coalesce", "stripe", "kill"};
   TortureConfig base;
   std::string corpus_path;
   std::string replay_path;
@@ -142,6 +145,8 @@ int main(int argc, char** argv) {
       if (base.sched != "rr" && base.sched != "adaptive") Usage(argv[0]);
     } else if (arg == "--streams") {
       base.streams = static_cast<std::uint32_t>(ParseSize(next()));
+    } else if (arg == "--kill-permille") {
+      base.kill_permille = static_cast<std::uint32_t>(ParseSize(next()));
     } else if (arg == "--trace-capacity") {
       base.trace_capacity = static_cast<std::size_t>(ParseSize(next()));
     } else if (arg == "--no-faults") {
