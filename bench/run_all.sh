@@ -45,6 +45,16 @@ require_bin() {
   fi
 }
 
+# A bench that exits 0 but writes no (or an empty) results document would
+# otherwise surface only as a cryptic redirect error — or an empty entry —
+# at merge time; fail at the offending bench instead.
+require_json() {
+  if [[ ! -s "$2" ]]; then
+    echo "bench $1 emitted no results JSON at $2" >&2
+    exit 1
+  fi
+}
+
 json_files=()
 for bench in "${benches[@]}"; do
   bin="${build_dir}/bench/${bench}"
@@ -61,6 +71,7 @@ for bench in "${benches[@]}"; do
   echo "== ${bench} =="
   "${bin}" "${bench_args[@]}" "${passthrough[@]}" --json "${json}" \
     "${extra[@]}"
+  require_json "${bench}" "${json}"
   json_files+=("${json}")
 done
 
@@ -74,6 +85,7 @@ for bench in "${latency_benches[@]}"; do
     "${bin}" "${bench_args[@]}" "${passthrough[@]}" \
       --latency-json "${latency_json}"
   fi
+  require_json "${bench}" "${latency_json}"
   latency_files+=("${latency_json}")
 done
 

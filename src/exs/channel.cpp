@@ -18,6 +18,8 @@ ControlChannel::ControlChannel(verbs::Device& device, std::uint32_t credits,
                 ? static_cast<std::size_t>(credits) * wire::kControlSlotBytes
                 : 0) {
   EXS_CHECK_MSG(credits >= 4, "credit pool too small to make progress");
+  EXS_CHECK_MSG(credits <= 65535,
+                "credit pool exceeds the 16-bit wire credit_return field");
   EXS_CHECK_MSG(shared_slots != nullptr || !slots_pre_reserved,
                 "a slot reservation needs a pool to be reserved against");
   if (shared_slots_ == nullptr) {
@@ -181,7 +183,9 @@ std::uint32_t ControlChannel::TakeCreditReturn() {
 
 void ControlChannel::SendControl(wire::ControlMessage msg) {
   ConsumeCredit();
-  msg.credit_return = TakeCreditReturn();
+  // Fits: the constructor caps the pool at 65535 and at most the whole
+  // pool can be owed at once.
+  msg.credit_return = static_cast<std::uint16_t>(TakeCreditReturn());
 
   // Control messages travel inline: the payload is captured at post time,
   // so the stack-local serialisation buffer below is safe.
@@ -205,6 +209,18 @@ void ControlChannel::PostDataWwi(std::uint64_t wr_id, const void* src,
                                  bool indirect, bool has_stripe_seq,
                                  std::uint64_t stripe_seq,
                                  std::uint64_t trace_ctx) {
+  PostDataWwiTagged(wr_id, src, lkey, len, remote_addr, rkey, indirect,
+                    has_stripe_seq, stripe_seq, trace_ctx, MuxTag{});
+}
+
+void ControlChannel::PostDataWwiTagged(std::uint64_t wr_id, const void* src,
+                                       std::uint32_t lkey, std::uint64_t len,
+                                       std::uint64_t remote_addr,
+                                       std::uint32_t rkey, bool indirect,
+                                       bool has_stripe_seq,
+                                       std::uint64_t stripe_seq,
+                                       std::uint64_t trace_ctx,
+                                       const MuxTag& tag) {
   EXS_CHECK(wr_id != kControlWrId);
   ConsumeCredit();
 
@@ -220,6 +236,10 @@ void ControlChannel::PostDataWwi(std::uint64_t wr_id, const void* src,
   wr.imm = wire::EncodeDataImm(indirect, len);
   wr.has_stripe_seq = has_stripe_seq;
   wr.stripe_seq = stripe_seq;
+  wr.has_mux = tag.present;
+  wr.mux_stream = tag.stream;
+  wr.mux_seq = tag.seq;
+  wr.mux_epoch = tag.epoch;
   wr.trace_ctx = trace_ctx;
   ++outstanding_wrs_;
   SampleInflightWrs();
@@ -342,7 +362,12 @@ void ControlChannel::ProcessRecvCompletion(const verbs::WorkCompletion& wc) {
 
   if (wc.opcode == verbs::WcOpcode::kRecvRdmaWithImm) {
     EXS_CHECK(wc.has_imm);
-    if (callbacks_.on_data) {
+    // The raw hook (mux demultiplexing) replaces the decoded callback:
+    // credit accounting above already happened either way, so the mux
+    // layer may drop a stale arrival without disturbing conservation.
+    if (callbacks_.on_data_raw) {
+      callbacks_.on_data_raw(wc);
+    } else if (callbacks_.on_data) {
       callbacks_.on_data(wire::ImmIsIndirect(wc.imm), wire::ImmLength(wc.imm),
                          wc.has_stripe_seq, wc.stripe_seq, wc.trace_ctx);
     }

@@ -57,7 +57,14 @@ class ControlSlotSource {
   std::shared_ptr<void> liveness_ = std::make_shared<char>(0);
 };
 
-class ControlChannel : public simnet::IncomingHoldTarget {
+/// The transport surface a protocol half (StreamTx/StreamRx/SeqPacket*/
+/// Rendezvous*) drives.  Two implementations: ControlChannel — a dedicated
+/// queue pair per connection (classic) — and MuxStream (exs/mux.hpp) — one
+/// stream of a shared-QP MuxGroup, layering a per-stream credit window and
+/// fair dispatch over the shared channel's §II-B credits.  The protocol
+/// halves are written against this interface only, so multiplexing never
+/// touches the stream algorithms themselves.
+class ChannelEndpoint {
  public:
   struct Callbacks {
     /// An ADVERT or ACK arrived (CREDIT messages are absorbed internally).
@@ -70,6 +77,12 @@ class ControlChannel : public simnet::IncomingHoldTarget {
     std::function<void(bool indirect, std::uint64_t len, bool has_stripe_seq,
                        std::uint64_t stripe_seq, std::uint64_t trace_ctx)>
         on_data;
+    /// Raw variant of on_data: when set, it is invoked INSTEAD of on_data
+    /// with the undecoded work completion (imm, stripe and mux extensions
+    /// included).  The slot channels of a MuxGroup hook this to demultiplex
+    /// arrivals by stream id before decoding; everything else leaves it
+    /// unset and keeps the decoded callback.
+    std::function<void(const verbs::WorkCompletion&)> on_data_raw;
     /// A locally posted data WWI completed (transport-acknowledged).
     std::function<void(std::uint64_t wr_id)> on_data_sent;
     /// A locally posted RDMA READ completed (data landed here).
@@ -82,6 +95,50 @@ class ControlChannel : public simnet::IncomingHoldTarget {
     /// Invoked exactly once per death; after it fires CanSend() is false
     /// until the channel is reconnected (Socket::ResumePair).
     std::function<void(verbs::WcStatus)> on_fatal;
+  };
+
+  virtual ~ChannelEndpoint() = default;
+
+  virtual void set_callbacks(Callbacks callbacks) = 0;
+  /// Can a normal message (control or data) be sent right now?
+  virtual bool CanSend() const = 0;
+  /// The endpoint can accept no traffic until reconnected/revived.
+  virtual bool dead() const = 0;
+  /// Send an ADVERT or ACK; fills in the piggybacked credit return (and,
+  /// for mux endpoints, the stream id).  Caller must have checked CanSend().
+  virtual void SendControl(wire::ControlMessage msg) = 0;
+  /// Post a data chunk as RDMA WRITE WITH IMM into peer memory.  Caller
+  /// must have checked CanSend().  `wr_id` is returned via on_data_sent.
+  /// When `has_stripe_seq`, the chunk carries `stripe_seq` in an extended
+  /// wire header (multi-rail striping) at kStripeHeaderBytes extra cost.
+  /// `trace_ctx` rides as zero-cost work-request metadata and surfaces in
+  /// the peer's on_data callback (0 = untraced).
+  virtual void PostDataWwi(std::uint64_t wr_id, const void* src,
+                           std::uint32_t lkey, std::uint64_t len,
+                           std::uint64_t remote_addr, std::uint32_t rkey,
+                           bool indirect, bool has_stripe_seq = false,
+                           std::uint64_t stripe_seq = 0,
+                           std::uint64_t trace_ctx = 0) = 0;
+  /// Pull `len` bytes from peer memory with RDMA READ (rendezvous mode).
+  /// READs consume no receive at the target, hence no credit.  Mux
+  /// endpoints refuse this — rendezvous sockets keep dedicated channels.
+  virtual void PostRead(std::uint64_t wr_id, void* dst, std::uint32_t lkey,
+                        std::uint64_t len, std::uint64_t remote_addr,
+                        std::uint32_t rkey) = 0;
+  /// The device whose memory registrations cover this endpoint's traffic.
+  virtual verbs::Device& device() = 0;
+};
+
+class ControlChannel : public ChannelEndpoint,
+                       public simnet::IncomingHoldTarget {
+ public:
+  /// Extra wire metadata stamped on data WWIs posted through a MuxStream;
+  /// absent (present == false) on every classic post.
+  struct MuxTag {
+    bool present = false;
+    std::uint32_t stream = 0;
+    std::uint64_t seq = 0;
+    std::uint8_t epoch = 0;
   };
 
   /// `shared_slots` switches the receive side to SRQ mode: no private
@@ -113,9 +170,11 @@ class ControlChannel : public simnet::IncomingHoldTarget {
   /// Returns false when the channel is already dead — the kill is a no-op,
   /// never a dangling callback.
   bool Kill();
-  bool dead() const { return dead_; }
+  bool dead() const override { return dead_; }
 
-  void set_callbacks(Callbacks callbacks) { callbacks_ = std::move(callbacks); }
+  void set_callbacks(Callbacks callbacks) override {
+    callbacks_ = std::move(callbacks);
+  }
 
   /// Attach observability instruments: `credits` samples the send-credit
   /// balance whenever it changes; `credit_messages` counts standalone
@@ -132,29 +191,31 @@ class ControlChannel : public simnet::IncomingHoldTarget {
 
   /// Can a normal message (control or data) be sent right now?  One credit
   /// is reserved for CREDIT messages; a dead transport can send nothing.
-  bool CanSend() const { return !dead_ && remote_credits_ >= 2; }
+  bool CanSend() const override { return !dead_ && remote_credits_ >= 2; }
 
   /// Send an ADVERT or ACK; fills in the piggybacked credit return.
   /// Caller must have checked CanSend().
-  void SendControl(wire::ControlMessage msg);
+  void SendControl(wire::ControlMessage msg) override;
 
-  /// Post a data chunk as RDMA WRITE WITH IMM into peer memory.  Caller
-  /// must have checked CanSend().  `wr_id` is returned via on_data_sent.
-  /// When `has_stripe_seq`, the chunk carries `stripe_seq` in an extended
-  /// wire header (multi-rail striping) at kStripeHeaderBytes extra cost.
-  /// `trace_ctx` rides as zero-cost work-request metadata and surfaces in
-  /// the peer's on_data callback (0 = untraced).
   void PostDataWwi(std::uint64_t wr_id, const void* src, std::uint32_t lkey,
                    std::uint64_t len, std::uint64_t remote_addr,
                    std::uint32_t rkey, bool indirect,
                    bool has_stripe_seq = false, std::uint64_t stripe_seq = 0,
-                   std::uint64_t trace_ctx = 0);
+                   std::uint64_t trace_ctx = 0) override;
 
-  /// Pull `len` bytes from peer memory with RDMA READ (rendezvous mode).
-  /// READs consume no receive at the target, hence no credit.
+  /// PostDataWwi with a stream-multiplexing tag stamped on the work
+  /// request (kMuxHeaderBytes extra wire cost when present).  The plain
+  /// virtual overload forwards here with an absent tag.
+  void PostDataWwiTagged(std::uint64_t wr_id, const void* src,
+                         std::uint32_t lkey, std::uint64_t len,
+                         std::uint64_t remote_addr, std::uint32_t rkey,
+                         bool indirect, bool has_stripe_seq,
+                         std::uint64_t stripe_seq, std::uint64_t trace_ctx,
+                         const MuxTag& tag);
+
   void PostRead(std::uint64_t wr_id, void* dst, std::uint32_t lkey,
                 std::uint64_t len, std::uint64_t remote_addr,
-                std::uint32_t rkey);
+                std::uint32_t rkey) override;
 
   /// Fault injection (simnet/faults.hpp): freeze incoming completion
   /// dispatch for `hold`, then release the backlog strictly in arrival
@@ -169,10 +230,18 @@ class ControlChannel : public simnet::IncomingHoldTarget {
   /// Completions currently frozen by HoldIncoming.
   std::size_t HeldCompletions() const { return deferred_.size(); }
 
-  verbs::Device& device() { return *device_; }
+  verbs::Device& device() override { return *device_; }
+  /// Transport ack / death-propagation delay of the underlying queue pair
+  /// (valid once connected).  The mux tier's virtual per-stream kill uses
+  /// it so peer discovery keeps real-QP timing.
+  SimDuration AckReturnDelay() const { return qp_->AckReturnDelay(); }
   bool UsesSharedSlots() const { return shared_slots_ != nullptr; }
   std::uint32_t remote_credits() const { return remote_credits_; }
   std::uint32_t credit_pool_size() const { return credits_; }
+  /// Reposted receives not yet reported to the peer.  At quiescence
+  /// `peer.remote_credits() + owed_credits() == credit_pool_size()` — the
+  /// conservation law the mux invariant checker audits per slot.
+  std::uint32_t owed_credits() const { return owed_credits_; }
   const verbs::QueuePairStats& qp_stats() const { return qp_->stats(); }
   std::uint64_t credit_messages_sent() const { return credit_messages_sent_; }
 

@@ -28,9 +28,18 @@ Socket* ConnectionService::Connect(std::size_t node_index,
                                    std::uint16_t port, SocketType type,
                                    StreamOptions options,
                                    std::function<void(Socket*)> on_complete) {
+  return Connect(node_index, port, type, std::move(options), SocketWiring{},
+                 std::move(on_complete));
+}
+
+Socket* ConnectionService::Connect(std::size_t node_index,
+                                   std::uint16_t port, SocketType type,
+                                   StreamOptions options, SocketWiring wiring,
+                                   std::function<void(Socket*)> on_complete) {
   std::uint64_t id = next_id_++;
   auto socket = std::make_unique<Socket>(device(node_index), type, options,
-                                         "active-" + std::to_string(id));
+                                         "active-" + std::to_string(id),
+                                         std::move(wiring));
   Socket* raw = socket.get();
 
   HandshakeMessage req;
@@ -38,6 +47,10 @@ Socket* ConnectionService::Connect(std::size_t node_index,
   req.id = id;
   req.port = port;
   req.type = type;
+  if (raw->Muxed()) {
+    req.mux = true;
+    req.mux_stream = raw->mux_stream()->stream_id();
+  }
   req.ring = raw->LocalRingCredentials();
 
   pending_.emplace(id, Pending{id, std::move(socket), type,
@@ -86,9 +99,24 @@ void ConnectionService::HandleReq(std::size_t at_node,
 
   std::unique_ptr<Socket> socket;
   std::string name = "passive-" + std::to_string(msg.id);
+  AcceptMeta meta;
+  meta.mux = msg.mux;
+  meta.mux_stream = msg.mux_stream;
+  if (meta.mux && !listener->gate_) {
+    // A plain listener has no shared-QP pool to attach the stream to; the
+    // client sees the same REJECT a dead port produces.
+    ++listener->refused_count_;
+    EXS_DEBUG("rejecting muxed connection " << msg.id << ": listener on node "
+                                            << at_node << " has no QP pool");
+    HandshakeMessage reject;
+    reject.kind = HandshakeMessage::Kind::kReject;
+    reject.id = msg.id;
+    Transmit(at_node, reject);
+    return;
+  }
   if (listener->gate_) {
     socket = listener->gate_(device(at_node), msg.type, listener->options_,
-                             name);
+                             name, meta);
     if (socket == nullptr) {
       // Admission control refused: same REJECT the client would see for a
       // dead port, sent before any transport state was committed.

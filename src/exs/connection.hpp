@@ -38,6 +38,15 @@ namespace exs {
 
 class ConnectionService;
 
+/// What the REQ's private data says about the connection beyond its port
+/// and type.  A muxed client asks the server to carry the stream over its
+/// shared-QP pool under `mux_stream` instead of a dedicated transport; the
+/// accept gate either attaches a matching MuxStream or refuses.
+struct AcceptMeta {
+  bool mux = false;
+  std::uint32_t mux_stream = 0;
+};
+
 /// A passive endpoint bound to (node, port).  Accepted sockets are handed
 /// to the handler once their handshake completes.
 class Listener {
@@ -50,7 +59,7 @@ class Listener {
   /// an accepted socket starve the shared pools.
   using AcceptGate = std::function<std::unique_ptr<Socket>(
       verbs::Device& device, SocketType type, const StreamOptions& options,
-      const std::string& name)>;
+      const std::string& name, const AcceptMeta& meta)>;
 
   void SetAcceptHandler(AcceptHandler handler) {
     handler_ = std::move(handler);
@@ -120,6 +129,17 @@ class ConnectionService {
                   SocketType type, StreamOptions options,
                   std::function<void(Socket*)> on_complete);
 
+  /// As above, but the client socket is built with pre-provisioned wiring.
+  /// When the wiring carries a MuxStream the REQ advertises the stream id
+  /// so the server's accept gate can attach the matching stream from its
+  /// own shared-QP pool (the two MuxGroups must already be connected —
+  /// that is the point: the queue pairs are established once, then every
+  /// handshake rides them).
+  Socket* Connect(std::size_t node_index, std::uint16_t port,
+                  SocketType type, StreamOptions options,
+                  SocketWiring wiring,
+                  std::function<void(Socket*)> on_complete);
+
   std::size_t ActiveHandshakes() const { return pending_.size(); }
 
  private:
@@ -143,6 +163,10 @@ class ConnectionService {
     std::uint64_t id = 0;
     std::uint16_t port = 0;
     SocketType type = SocketType::kStream;
+    /// REQ: client asks for shared-QP multiplexing under this stream id.
+    /// Fits the private data — two bytes of flag + id in the real MAD.
+    bool mux = false;
+    std::uint32_t mux_stream = 0;
     Socket::RingCredentials ring;
   };
   static constexpr std::uint64_t kHandshakeWireBytes = 64;

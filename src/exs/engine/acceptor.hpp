@@ -13,10 +13,14 @@
 #include <functional>
 #include <string>
 
+#include <memory>
+#include <optional>
+
 #include "common/metrics.hpp"
 #include "exs/connection.hpp"
 #include "exs/engine/buffer_pool.hpp"
 #include "exs/engine/progress_engine.hpp"
+#include "exs/engine/qp_pool.hpp"
 #include "exs/engine/srq_pool.hpp"
 #include "verbs/device.hpp"
 
@@ -25,6 +29,11 @@ namespace exs::engine {
 struct AcceptorOptions {
   BufferPoolOptions pool;          ///< shared indirect-ring slab
   std::uint32_t control_slots = 0; ///< SRQ pool size (receives)
+  /// When set, REQs asking for multiplexing are carried over this shared-QP
+  /// pool instead of getting a dedicated transport; the pool's group must
+  /// be wired to the client side before the first handshake.  Unset, muxed
+  /// REQs are refused (same REJECT as memory pressure).
+  std::optional<QpPoolOptions> mux;
 };
 
 class Acceptor {
@@ -48,17 +57,22 @@ class Acceptor {
 
   BufferPool& pool() { return pool_; }
   ControlSlotPool& control_slots() { return slots_; }
+  /// The shared-QP pool, or null when AcceptorOptions::mux was unset.
+  QpPool* qp_pool() { return qp_pool_.get(); }
   std::uint64_t AdmissionRefusals() const { return admission_refusals_; }
 
  private:
   std::unique_ptr<Socket> Admit(verbs::Device& device, SocketType type,
                                 const StreamOptions& options,
-                                const std::string& name);
+                                const std::string& name,
+                                const AcceptMeta& meta);
+  void Refuse();
 
   verbs::Device* device_;
   ProgressEngine* engine_;
   BufferPool pool_;
   ControlSlotPool slots_;
+  std::unique_ptr<QpPool> qp_pool_;
   std::uint64_t admission_refusals_ = 0;
   metrics::Counter* refusals_counter_ = nullptr;
 };

@@ -38,6 +38,7 @@
 
 namespace exs {
 
+class MuxGroup;
 class Socket;
 
 struct InvariantCheckOptions {
@@ -128,6 +129,22 @@ InvariantReport CheckPoolConservation(
 /// ring capacities are taken from the sockets themselves.  Dispatches on
 /// the sockets' type.
 InvariantReport CheckConnection(Socket& a, Socket& b);
+
+/// Shared-QP multiplexing conservation (exs/mux.hpp), checked on a
+/// *quiescent* connected group pair — call only when no messages are in
+/// flight (the simulator's event queue drained):
+///   (a) every data WWI one group posted is accounted at its peer as
+///       delivered, epoch-stale, or orphaned — nothing vanishes inside the
+///       mux layer (both directions);
+///   (b) per-stream continuity: for every live stream pair in the same
+///       epoch, the sender's tx_seq equals the receiver's rx_expect (the
+///       shared QP's FIFO preserved each stream's subsequence), and no
+///       data WWIs remain outstanding;
+///   (c) per-slot §II-B credit conservation across the mux layer: each
+///       side's view of its peer slot's credits plus the credits the peer
+///       still owes equals the slot's pre-posted pool — multiplexing
+///       borrows the window, it never mints or leaks credits.
+InvariantReport CheckMuxGroupPair(const MuxGroup& a, const MuxGroup& b);
 
 /// Stage-attribution conservation (causal chunk tracing, common/spans.hpp):
 /// every delivered chunk record must carry a complete, monotonically

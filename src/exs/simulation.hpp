@@ -59,11 +59,25 @@ class Simulation {
   std::pair<Socket*, Socket*> CreateConnectedPair(
       SocketType type, StreamOptions client_options,
       StreamOptions server_options) {
-    sockets_.push_back(
-        std::make_unique<Socket>(device0_, type, client_options, "client"));
+    return CreateConnectedPair(type, std::move(client_options),
+                               std::move(server_options), SocketWiring{},
+                               SocketWiring{}, "client", "server");
+  }
+
+  /// Wiring-explicit variant: pre-provisioned transports (a MuxStream from
+  /// a shared-QP group) or engine-pool resources on either side.
+  std::pair<Socket*, Socket*> CreateConnectedPair(
+      SocketType type, StreamOptions client_options,
+      StreamOptions server_options, SocketWiring client_wiring,
+      SocketWiring server_wiring, std::string client_name = "client",
+      std::string server_name = "server") {
+    sockets_.push_back(std::make_unique<Socket>(device0_, type, client_options,
+                                                std::move(client_name),
+                                                std::move(client_wiring)));
     Socket* a = sockets_.back().get();
-    sockets_.push_back(
-        std::make_unique<Socket>(device1_, type, server_options, "server"));
+    sockets_.push_back(std::make_unique<Socket>(device1_, type, server_options,
+                                                std::move(server_name),
+                                                std::move(server_wiring)));
     Socket* b = sockets_.back().get();
     if (spans_) {
       a->EnableChunkSpans(spans_.get());
@@ -71,6 +85,23 @@ class Simulation {
     }
     Socket::ConnectPair(*a, *b);
     return {a, b};
+  }
+
+  /// A stream pair multiplexed over already-Connect()ed MuxGroups (`g0` on
+  /// node 0, `g1` on node 1): attaches the next free stream id on both
+  /// sides and wires the sockets over it.  No queue pairs are created —
+  /// that is the point of the tier.
+  std::pair<Socket*, Socket*> CreateMuxedPair(
+      MuxGroup& g0, MuxGroup& g1, StreamOptions options = StreamOptions{}) {
+    std::uint32_t id = g0.AllocateStreamId();
+    SocketWiring w0;
+    w0.mux_stream = g0.AttachStream(id);
+    SocketWiring w1;
+    w1.mux_stream = g1.AttachStream(id);
+    return CreateConnectedPair(SocketType::kStream, options, options,
+                               std::move(w0), std::move(w1),
+                               "client-s" + std::to_string(id),
+                               "server-s" + std::to_string(id));
   }
 
   /// Attach causal chunk tracing (common/spans.hpp) to every pair-created
@@ -99,6 +130,14 @@ class Simulation {
                   std::function<void(Socket*)> on_complete) {
     return connections().Connect(node_index, port, type, std::move(options),
                                  std::move(on_complete));
+  }
+  /// Wiring-carrying connect: a muxed client attaches a stream from its
+  /// local group and the REQ asks the server's QP pool for the match.
+  Socket* Connect(std::size_t node_index, std::uint16_t port, SocketType type,
+                  StreamOptions options, SocketWiring wiring,
+                  std::function<void(Socket*)> on_complete) {
+    return connections().Connect(node_index, port, type, std::move(options),
+                                 std::move(wiring), std::move(on_complete));
   }
   ConnectionService& connections() {
     if (!connections_) {

@@ -55,15 +55,31 @@ Socket::Socket(verbs::Device& device, SocketType type, StreamOptions options,
                      options_.mode != ProtocolMode::kReadRendezvous),
                 "recovery supports stream sockets only");
   inst_ = SocketInstruments::Create(registry_);
-  channel_ = std::make_unique<ControlChannel>(device, options_.credits,
-                                              wiring_.shared_slots,
-                                              wiring_.slots_reserved);
-  channel_->SetInstruments(inst_.send_credits, inst_.credit_messages_sent);
-  InstrumentRail(0, *channel_);
-  for (std::uint32_t rail = 1; rail < options_.rails; ++rail) {
-    data_rails_.push_back(
-        std::make_unique<ControlChannel>(device, options_.credits));
-    InstrumentRail(rail, *data_rails_.back());
+  mux_ = std::move(wiring_.mux_stream);
+  if (mux_ != nullptr) {
+    EXS_CHECK_MSG(type_ == SocketType::kStream &&
+                      options_.mode != ProtocolMode::kReadRendezvous,
+                  "mux requires a stream socket (rendezvous READs bypass "
+                  "the credit layering)");
+    EXS_CHECK_MSG(options_.rails == 1, "muxed sockets are single-rail");
+    EXS_CHECK_MSG(wiring_.shared_slots == nullptr,
+                  "mux slots already share receives; shared_slots does not "
+                  "compose with a muxed socket");
+    // No dedicated channel: the shared slot QPs live in the MuxGroup.
+    // Per-socket mux telemetry replaces the rail0 instruments.
+    mux_->SetInstruments(&registry_.GetHistogram("mux.hol_wait", "ps"),
+                         &registry_.GetCounter("mux.parks", "events"));
+  } else {
+    channel_ = std::make_unique<ControlChannel>(device, options_.credits,
+                                                wiring_.shared_slots,
+                                                wiring_.slots_reserved);
+    channel_->SetInstruments(inst_.send_credits, inst_.credit_messages_sent);
+    InstrumentRail(0, *channel_);
+    for (std::uint32_t rail = 1; rail < options_.rails; ++rail) {
+      data_rails_.push_back(
+          std::make_unique<ControlChannel>(device, options_.credits));
+      InstrumentRail(rail, *data_rails_.back());
+    }
   }
   events_ = std::make_unique<EventQueue>(device.node().cpu(),
                                          device.profile().per_event_cpu);
@@ -127,7 +143,7 @@ void Socket::InstrumentRail(std::size_t rail, ControlChannel& channel) {
 StreamContext Socket::MakeContext(TraceLog* trace) {
   StreamContext ctx;
   ctx.trace = trace;
-  ctx.channel = channel_.get();
+  ctx.channel = endpoint();
   ctx.scheduler = &device_->scheduler();
   ctx.cpu = &device_->node().cpu();
   ctx.events = events_.get();
@@ -140,7 +156,7 @@ StreamContext Socket::MakeContext(TraceLog* trace) {
 }
 
 void Socket::WireCallbacks() {
-  ControlChannel::Callbacks cb;
+  ChannelEndpoint::Callbacks cb;
   cb.on_control = [this](const wire::ControlMessage& msg) {
     switch (static_cast<wire::ControlType>(msg.type)) {
       case wire::ControlType::kAdvert:
@@ -207,14 +223,14 @@ void Socket::WireCallbacks() {
     if (rendezvous_rx_) rendezvous_rx_->OnCreditAvailable();
   };
   cb.on_fatal = [this](verbs::WcStatus status) { OnTransportFatal(status); };
-  channel_->set_callbacks(std::move(cb));
+  endpoint()->set_callbacks(std::move(cb));
 }
 
 void Socket::WireRailCallbacks(std::size_t rail) {
   // Data rails carry WWI chunks and the CREDIT messages the channel
   // absorbs internally; ADVERT/ACK/SHUTDOWN stay on rail 0 where their
   // ordering relative to single-rail traffic is defined.
-  ControlChannel::Callbacks cb;
+  ChannelEndpoint::Callbacks cb;
   cb.on_control = [](const wire::ControlMessage&) {
     EXS_CHECK_MSG(false, "control message on a data rail");
   };
@@ -257,7 +273,7 @@ void Socket::CompleteEstablishment(const RingCredentials& peer_ring) {
     std::size_t peer_rails = peer_ring.rails == 0 ? 1 : peer_ring.rails;
     effective_rails_ = std::min(ProvisionedRails(), peer_rails);
     if (effective_rails_ > 1) {
-      std::vector<ControlChannel*> rails;
+      std::vector<ChannelEndpoint*> rails;
       rails.push_back(channel_.get());
       for (std::size_t r = 1; r < effective_rails_; ++r) {
         rails.push_back(data_rails_[r - 1].get());
@@ -270,6 +286,20 @@ void Socket::CompleteEstablishment(const RingCredentials& peer_ring) {
 }
 
 void Socket::ConnectTransport(Socket& a, Socket& b) {
+  if (a.mux_ != nullptr || b.mux_ != nullptr) {
+    // Muxed connections: the slot queue pairs were wired when the two
+    // MuxGroups connected; per-connection establishment only checks that
+    // the sockets ride matching streams of peered groups.
+    EXS_CHECK_MSG(a.mux_ != nullptr && b.mux_ != nullptr,
+                  "both sockets of a muxed pair must be muxed");
+    EXS_CHECK_MSG(a.mux_->GroupAlive() && b.mux_->GroupAlive(),
+                  "muxed connect after group teardown");
+    EXS_CHECK_MSG(a.mux_->group().peer() == &b.mux_->group(),
+                  "muxed sockets belong to groups that are not peers");
+    EXS_CHECK_MSG(a.mux_->stream_id() == b.mux_->stream_id(),
+                  "muxed peers must ride the same stream id");
+    return;
+  }
   ControlChannel::Connect(*a.channel_, *b.channel_);
   std::size_t rails = std::min(a.ProvisionedRails(), b.ProvisionedRails());
   for (std::size_t r = 1; r < rails; ++r) {
@@ -410,6 +440,7 @@ void Socket::OnTransportFatal(verbs::WcStatus /*status*/) {
 
 bool Socket::KillTransport() {
   EXS_CHECK_MSG(connected_, "KillTransport on unconnected socket");
+  if (mux_ != nullptr) return mux_->Kill();  // virtual: the slot QP lives on
   bool any = channel_->Kill();
   for (std::size_t r = 1; r < effective_rails_; ++r) {
     any = data_rails_[r - 1]->Kill() || any;
@@ -418,7 +449,9 @@ bool Socket::KillTransport() {
 }
 
 bool Socket::TransportDead() const {
-  if (!connected_ || !channel_->dead()) return false;
+  if (!connected_) return false;
+  if (mux_ != nullptr) return mux_->dead();
+  if (!channel_->dead()) return false;
   for (std::size_t r = 1; r < effective_rails_; ++r) {
     if (!data_rails_[r - 1]->dead()) return false;
   }
@@ -440,9 +473,21 @@ void Socket::ResumePair(Socket& a, Socket& b, std::size_t max_rails) {
   // its queue pair is replaced.
   std::size_t rails = std::min(a.effective_rails_, b.effective_rails_);
   if (max_rails != 0) rails = std::min(rails, max_rails);
-  ControlChannel::Connect(*a.channel_, *b.channel_);
-  for (std::size_t r = 1; r < rails; ++r) {
-    ControlChannel::Connect(*a.data_rails_[r - 1], *b.data_rails_[r - 1]);
+  if (a.mux_ != nullptr || b.mux_ != nullptr) {
+    // Muxed resume: the slot transport never died (virtual kill), so no
+    // queue pairs are rebuilt — Revive bumps each stream's epoch (stale
+    // in-flight messages drop on arrival) and resets its window; the
+    // frontier handshake below is unchanged.
+    EXS_CHECK_MSG(a.mux_ != nullptr && b.mux_ != nullptr,
+                  "both sockets of a muxed pair must be muxed");
+    a.mux_->Revive();
+    b.mux_->Revive();
+    rails = 1;
+  } else {
+    ControlChannel::Connect(*a.channel_, *b.channel_);
+    for (std::size_t r = 1; r < rails; ++r) {
+      ControlChannel::Connect(*a.data_rails_[r - 1], *b.data_rails_[r - 1]);
+    }
   }
   a.effective_rails_ = rails;
   b.effective_rails_ = rails;
@@ -461,7 +506,7 @@ void Socket::ResumePair(Socket& a, Socket& b, std::size_t max_rails) {
   // its peer receiver's delivered frontier, both halves adopt a common
   // indirect resume phase at or past where either stood.
   auto rail_list = [rails](Socket& s) {
-    std::vector<ControlChannel*> list;
+    std::vector<ChannelEndpoint*> list;
     if (rails > 1) {
       list.push_back(s.channel_.get());
       for (std::size_t r = 1; r < rails; ++r) {

@@ -19,6 +19,7 @@
 #include "exs/channel.hpp"
 #include "exs/event_queue.hpp"
 #include "exs/instruments.hpp"
+#include "exs/mux.hpp"
 #include "exs/rendezvous.hpp"
 #include "exs/seqpacket.hpp"
 #include "exs/stream.hpp"
@@ -43,6 +44,13 @@ struct SocketWiring {
   /// adopts that reservation — refunding it at teardown — instead of
   /// reserving again at Connect time.
   bool slots_reserved = false;
+  /// Shared-QP multiplexing (docs/PROTOCOL.md §13): the socket rides this
+  /// stream of a MuxGroup instead of owning a dedicated control channel —
+  /// no queue pair, completion queues, or credit slab are created per
+  /// connection.  Stream sockets only; rails and shared_slots must stay
+  /// at their defaults.  Null (the default) is the classic dedicated
+  /// transport, bit-identical to pre-mux builds.
+  std::unique_ptr<MuxStream> mux_stream;
 };
 
 class Socket : public simnet::TransportKillTarget {
@@ -106,7 +114,13 @@ class Socket : public simnet::TransportKillTarget {
   const StreamOptions& options() const { return options_; }
   const std::string& name() const { return name_; }
   verbs::Device& device() { return *device_; }
+  /// Dedicated control channel — classic sockets only (null on a muxed
+  /// socket, whose transport is mux_stream()).
   const ControlChannel& channel() const { return *channel_; }
+  /// The mux endpoint this socket rides, or null on a classic socket.
+  MuxStream* mux_stream() { return mux_.get(); }
+  const MuxStream* mux_stream() const { return mux_.get(); }
+  bool Muxed() const { return mux_ != nullptr; }
 
   /// Protocol-state introspection (tests, invariant checks, examples).
   StreamTx* stream_tx() { return tx_.get(); }
@@ -210,6 +224,11 @@ class Socket : public simnet::TransportKillTarget {
   /// Register "rail<i>.*" instruments and attach them to the channel
   /// carrying that rail (rail 0 is the control channel itself).
   void InstrumentRail(std::size_t rail, ControlChannel& channel);
+  /// The transport the protocol halves drive: the mux stream when wired,
+  /// else the dedicated control channel.
+  ChannelEndpoint* endpoint() {
+    return mux_ ? static_cast<ChannelEndpoint*>(mux_.get()) : channel_.get();
+  }
 
   verbs::Device* device_;
   SocketType type_;
@@ -223,7 +242,8 @@ class Socket : public simnet::TransportKillTarget {
   std::vector<metrics::Histogram*> rail_hol_inst_;
   std::uint64_t span_tx_endpoint_ = 0;
   std::uint64_t span_rx_endpoint_ = 0;
-  std::unique_ptr<ControlChannel> channel_;
+  std::unique_ptr<ControlChannel> channel_;  ///< null on muxed sockets
+  std::unique_ptr<MuxStream> mux_;           ///< null on classic sockets
   /// Extra data-only rails 1..N-1 (empty on classic single-rail sockets).
   std::vector<std::unique_ptr<ControlChannel>> data_rails_;
   std::size_t effective_rails_ = 1;

@@ -102,7 +102,7 @@ class RingLease {
 
 /// Shared wiring handed to both halves by the socket.
 struct StreamContext {
-  ControlChannel* channel = nullptr;
+  ChannelEndpoint* channel = nullptr;
   simnet::EventScheduler* scheduler = nullptr;
   simnet::Cpu* cpu = nullptr;
   EventQueue* events = nullptr;
@@ -134,7 +134,7 @@ class StreamTx {
   /// itself).  Called at establishment when the negotiated rail count
   /// exceeds one; a classic single-rail connection never calls this and
   /// posts everything on the control channel, exactly as before.
-  void SetDataRails(std::vector<ControlChannel*> rails);
+  void SetDataRails(std::vector<ChannelEndpoint*> rails);
 
   /// Attach causal chunk tracing (common/spans.hpp).  Every WWI this
   /// sender posts becomes a (possibly sampled-out) chunk record stamped
@@ -186,7 +186,7 @@ class StreamTx {
     bool peer_closed = false;  ///< receiver already consumed our SHUTDOWN
     /// Surviving rails (empty = single-rail); rail 0 must be the control
     /// channel.  Rail failover hands in a shorter list than pre-kill.
-    std::vector<ControlChannel*> rails;
+    std::vector<ChannelEndpoint*> rails;
   };
 
   /// Rewind to the delivered frontier and rebuild the chunk queue from the
@@ -283,7 +283,7 @@ class StreamTx {
   void PostIndirect(PendingSend& s, std::uint64_t len, std::size_t rail);
   void NoteTransfer(bool indirect);
   bool Striping() const { return rails_.size() > 1; }
-  ControlChannel* Rail(std::size_t rail) {
+  ChannelEndpoint* Rail(std::size_t rail) {
     return rails_.empty() ? ctx_.channel : rails_[rail];
   }
   /// Rail the next chunk rides, per options.rail_scheduler, considering
@@ -358,7 +358,7 @@ class StreamTx {
   // Completions on one rail return in post order (RC FIFO per QP), so a
   // per-rail deque of posted chunk lengths is enough to account
   // outstanding bytes for the shortest-outstanding scheduler.
-  std::vector<ControlChannel*> rails_;
+  std::vector<ChannelEndpoint*> rails_;
   std::uint64_t stripe_seq_ = 0;        ///< next delivery sequence number
   std::size_t next_rail_ = 0;           ///< round-robin cursor
   std::vector<std::uint64_t> rail_outstanding_ = {0};  ///< bytes in flight

@@ -21,7 +21,7 @@ void StreamTx::SetRemoteRing(std::uint64_t addr, std::uint32_t rkey,
   }
 }
 
-void StreamTx::SetDataRails(std::vector<ControlChannel*> rails) {
+void StreamTx::SetDataRails(std::vector<ChannelEndpoint*> rails) {
   EXS_CHECK_MSG(!rails.empty() && rails[0] == ctx_.channel,
                 "rail 0 must be the control channel");
   EXS_CHECK_MSG(inflight_.empty() && stripe_seq_ == 0,

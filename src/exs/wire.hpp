@@ -33,8 +33,21 @@ struct ControlMessage {
   std::uint8_t type = 0;
   std::uint8_t waitall = 0;       // ADVERT: MSG_WAITALL was set
   std::uint8_t ack_piggyback = 0; // ADVERT: `freed` carries an ACK count
-  std::uint8_t reserved = 0;
-  std::uint32_t credit_return = 0;
+  /// Shared-QP multiplexing (StreamOptions::mux): the stream's reconnect
+  /// epoch; a message whose epoch trails the stream's current one predates
+  /// a virtual kill and is dropped.  Always 0 on unmuxed connections (this
+  /// byte was previously reserved, so classic wire bytes are unchanged).
+  std::uint8_t mux_epoch = 0;
+  /// §II-B piggybacked credit return.  Narrowed to 16 bits so the adjacent
+  /// half-word can carry the mux stream id in the same four header bytes;
+  /// the channel constructor caps the credit pool at 65535 accordingly.
+  std::uint16_t credit_return = 0;
+  /// Shared-QP multiplexing: which stream of the shared channel this
+  /// message belongs to.  Always 0 on unmuxed connections, keeping the
+  /// classic wire image bit-identical (the field occupies what was the
+  /// upper half of the old 32-bit credit_return, which never exceeded the
+  /// credit pool size and so never used those bits).
+  std::uint16_t stream_id = 0;
 
   // ADVERT fields (Fig. 3): where to write, how much fits, and the
   // receiver's expected sequence number and phase.
@@ -73,6 +86,9 @@ struct ControlMessage {
 inline constexpr std::uint32_t kControlSlotBytes = 64;
 static_assert(sizeof(ControlMessage) <= kControlSlotBytes,
               "control message fits one slot");
+static_assert(sizeof(ControlMessage) == 64,
+              "splitting credit_return must not change the wire image — the "
+              "mux fields pack into bytes that were zero before");
 
 inline void Serialize(const ControlMessage& msg, void* out) {
   std::memcpy(out, &msg, sizeof(msg));

@@ -44,12 +44,19 @@ class Device {
 
   std::size_t RegisteredRegionCount() const { return by_lkey_.size(); }
 
+  /// Lifetime count of queue pairs constructed against this device.  The
+  /// verbs-state budget signal for the mux benches: dedicated-per-stream
+  /// wiring grows this linearly with streams, a shared QP pool does not.
+  std::uint64_t QueuePairsCreated() const { return qps_created_; }
+  void NoteQueuePairCreated() { ++qps_created_; }
+
  private:
   simnet::Fabric* fabric_;
   std::size_t node_index_;
   bool carry_payload_;
   std::uint32_t next_key_ = 1;
   std::uint64_t cq_seed_ = 0;
+  std::uint64_t qps_created_ = 0;
   std::unordered_map<std::uint32_t, MemoryRegionPtr> by_lkey_;
   std::unordered_map<std::uint32_t, MemoryRegionPtr> by_rkey_;
 };

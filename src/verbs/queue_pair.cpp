@@ -34,7 +34,9 @@ const char* ToString(WcOpcode opcode) {
 
 QueuePair::QueuePair(Device& device, CompletionQueue& send_cq,
                      CompletionQueue& recv_cq)
-    : device_(&device), send_cq_(&send_cq), recv_cq_(&recv_cq) {}
+    : device_(&device), send_cq_(&send_cq), recv_cq_(&recv_cq) {
+  device.NoteQueuePairCreated();
+}
 
 void QueuePair::ConnectPair(QueuePair& a, QueuePair& b) {
   EXS_CHECK_MSG(!a.connected() && !b.connected(),
@@ -130,6 +132,10 @@ void QueuePair::PostSend(const SendWorkRequest& wr) {
     pkt->wr.has_imm = false;
     pkt->wr.has_stripe_seq = false;
     pkt->wr.stripe_seq = 0;
+    pkt->wr.has_mux = false;
+    pkt->wr.mux_stream = 0;
+    pkt->wr.mux_seq = 0;
+    pkt->wr.mux_epoch = 0;
     pkt->suppress_success_completion = true;
     ScheduleTransmit(pkt);
 
@@ -169,7 +175,8 @@ void QueuePair::Transmit(const PacketPtr& pkt) {
   if (killed_) return;  // flushed by Kill() before reaching the wire
   std::uint64_t wire_bytes =
       pkt->payload_len + kWireHeaderBytes + (pkt->wr.has_imm ? 4 : 0) +
-      (pkt->wr.has_stripe_seq ? kStripeHeaderBytes : 0);
+      (pkt->wr.has_stripe_seq ? kStripeHeaderBytes : 0) +
+      (pkt->wr.has_mux ? kMuxHeaderBytes : 0);
   stats_.wire_bytes_sent += wire_bytes;
   if (inst_.wire_bytes_sent) inst_.wire_bytes_sent->Add(wire_bytes);
   QueuePair* peer = peer_;
@@ -231,6 +238,10 @@ WcStatus QueuePair::Deliver(const PacketPtr& pkt, QueuePair& sender) {
     wc.imm = wr.imm;
     wc.has_stripe_seq = wr.has_stripe_seq;
     wc.stripe_seq = wr.stripe_seq;
+    wc.has_mux = wr.has_mux;
+    wc.mux_stream = wr.mux_stream;
+    wc.mux_seq = wr.mux_seq;
+    wc.mux_epoch = wr.mux_epoch;
     wc.trace_ctx = wr.trace_ctx;
     wc.byte_len = static_cast<std::uint32_t>(pkt->notify_len);
     PushRecvCompletionLater(wc);
@@ -273,6 +284,10 @@ WcStatus QueuePair::Deliver(const PacketPtr& pkt, QueuePair& sender) {
   wc.imm = wr.imm;
   wc.has_stripe_seq = wr.has_stripe_seq;
   wc.stripe_seq = wr.stripe_seq;
+  wc.has_mux = wr.has_mux;
+  wc.mux_stream = wr.mux_stream;
+  wc.mux_seq = wr.mux_seq;
+  wc.mux_epoch = wr.mux_epoch;
   wc.trace_ctx = wr.trace_ctx;
   wc.byte_len = static_cast<std::uint32_t>(pkt->payload_len);
 

@@ -106,6 +106,13 @@ class QueuePair {
   void Kill();
   bool killed() const { return killed_; }
 
+  /// Time for a transport acknowledgment (or a peer's discovery of this
+  /// QP's death) to cross the connection: propagation plus any emulated
+  /// extra delay.  Exposed so layers emulating transport faults above the
+  /// QP — the mux tier's virtual per-stream kill — can propagate them with
+  /// the same timing a real QP death would have.
+  SimDuration AckReturnDelay() const;
+
   /// Callback invoked exactly once when the QP enters the error state,
   /// before any flush completion is dispatched.  Lets the upper layer learn
   /// of the death even when no WR happens to be outstanding.
@@ -147,7 +154,6 @@ class QueuePair {
   bool TakeRecv(RecvWorkRequest* out);
 
   static WcOpcode SendWcOpcode(Opcode op);
-  SimDuration AckReturnDelay() const;
 
   Device* device_;
   CompletionQueue* send_cq_;

@@ -23,6 +23,12 @@ inline constexpr std::uint64_t kWireHeaderBytes = 30;
 /// for optional transport extensions).
 inline constexpr std::uint64_t kStripeHeaderBytes = 8;
 
+/// Extra header bytes charged when a message carries stream-multiplexing
+/// metadata (stream id + per-stream delivery sequence + epoch) so many
+/// streams can share one queue pair.  Same extended-header word cost as
+/// striping; a message may carry both extensions and pays for each.
+inline constexpr std::uint64_t kMuxHeaderBytes = 8;
+
 enum class Opcode : std::uint8_t {
   kSend,              ///< channel semantics; consumes a receive at the peer
   kRdmaWrite,         ///< memory semantics; peer passive
@@ -81,6 +87,17 @@ struct SendWorkRequest {
   bool has_stripe_seq = false;
   std::uint64_t stripe_seq = 0;
 
+  /// Optional stream-multiplexing extension (shared-QP streams): which of
+  /// the QP's streams this message belongs to, its position in that
+  /// stream's delivery sequence, and the stream's reconnect epoch (stale
+  /// in-flight messages from before a virtual kill are dropped by epoch).
+  /// Surfaced verbatim in the receive-side completion; costs
+  /// kMuxHeaderBytes on the wire.
+  bool has_mux = false;
+  std::uint32_t mux_stream = 0;
+  std::uint64_t mux_seq = 0;
+  std::uint8_t mux_epoch = 0;
+
   /// RDMA opcodes address peer memory through these.
   std::uint64_t remote_addr = 0;
   std::uint32_t rkey = 0;
@@ -108,6 +125,11 @@ struct WorkCompletion {
   /// Stripe sequence number from the extended header, if present.
   bool has_stripe_seq = false;
   std::uint64_t stripe_seq = 0;
+  /// Stream-multiplexing extension from the wire header, if present.
+  bool has_mux = false;
+  std::uint32_t mux_stream = 0;
+  std::uint64_t mux_seq = 0;
+  std::uint8_t mux_epoch = 0;
   /// Causal-tracing correlation id copied from the originating send work
   /// request (0 = untraced).
   std::uint64_t trace_ctx = 0;

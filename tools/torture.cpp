@@ -13,6 +13,7 @@
 #include "exs/engine/progress_engine.hpp"
 #include "exs/exs.hpp"
 #include "exs/invariant_checker.hpp"
+#include "exs/mux.hpp"
 #include "simnet/faults.hpp"
 
 namespace exs::torture {
@@ -50,7 +51,7 @@ simnet::HardwareProfile ResolveProfile(const std::string& name) {
 bool ValidMode(const std::string& mode) {
   return mode == "dynamic" || mode == "direct" || mode == "indirect" ||
          mode == "coalesce" || mode == "stripe" || mode == "seqpacket" ||
-         mode == "many" || mode == "kill";
+         mode == "many" || mode == "kill" || mode == "mux";
 }
 
 std::string TortureResult::Describe() const {
@@ -294,6 +295,203 @@ TortureResult RunManyTorture(const TortureConfig& cfg) {
   pool_opts.allow_truncated = cfg.trace_capacity != 0;
   report.Merge(CheckPoolConservation(rx_logs, pool_opts));
   report.Merge(CheckSpanConservation(span_collector));
+
+  res.checker_violations = report.violations;
+  res.checker_warnings = report.warnings;
+  res.events_checked = report.events_checked;
+  res.fingerprint = fp;
+  res.faults_armed = injector.FaultsArmed();
+  res.faults_applied = injector.FaultsApplied();
+  res.ok = res.failures.empty() && res.checker_violations.empty();
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// "mux" mode: the shared-QP multiplexing tier (docs/PROTOCOL.md §13).
+// ---------------------------------------------------------------------------
+
+/// N streams over two MuxGroups whose slot pool is `width` queue pairs per
+/// endpoint.  The seeded interleave from "many" mode drives every stream
+/// through the shared slots while control-delay faults hold slot 0 on each
+/// side (one held slot stalls every stream pinned to it — exactly the HoL
+/// coupling the tier must survive).  Beyond the per-pair protocol checks,
+/// the run replays the mux conservation laws (CheckMuxGroupPair): group
+/// data accounting, per-stream sequence continuity, and per-slot credit
+/// conservation at quiescence.
+TortureResult RunMuxTorture(const TortureConfig& cfg) {
+  TortureResult res;
+  simnet::HardwareProfile profile = ResolveProfile(cfg.profile);
+
+  // Seed-derived mux shape (domain-separated like "stripe"/"many"): the
+  // stream count, the slot-pool width, the per-stream window, and whether
+  // every byte is forced through the leased rings (indirect).
+  std::uint64_t bits = SplitMix64(cfg.seed ^ 0x3f9c2e57b8a4d1ull).Next();
+  const std::uint32_t streams =
+      cfg.streams != 0 ? cfg.streams
+                       : (bits % 3 == 0 ? 4u : bits % 3 == 1 ? 8u : 16u);
+  const std::uint32_t width =
+      cfg.width != 0
+          ? cfg.width
+          : ((bits >> 8) % 3 == 0 ? 1u : (bits >> 8) % 3 == 1 ? 2u : 4u);
+  EXS_CHECK_MSG(streams > 0, "mux mode needs at least one stream");
+  EXS_CHECK_MSG(width > 0, "mux mode needs at least one slot");
+
+  StreamOptions opts;
+  opts.intermediate_buffer_bytes = cfg.buffer_bytes;
+  // Bound the chunk size so bulk sends become several WWIs and the
+  // per-stream window actually parks streams (otherwise a whole direct
+  // transfer is one WWI and the DRR layer never engages).
+  opts.max_wwi_chunk = 8 * 1024;
+  if ((bits & 8) != 0) opts.mode = ProtocolMode::kIndirectOnly;
+  opts.sabotage.accept_stale_adverts = cfg.sabotage_stale_adverts;
+  opts.sabotage.advertise_without_gate = cfg.sabotage_advert_gate;
+
+  MuxOptions mopts;
+  mopts.width = width;
+  mopts.qp_credits = 64;
+  mopts.per_stream_credits =
+      (bits >> 4) % 3 == 0 ? 2u : (bits >> 4) % 3 == 1 ? 4u : 8u;
+
+  std::uint64_t per_stream = cfg.total_bytes / streams;
+  if (per_stream < 4096) per_stream = 4096;
+  const std::uint64_t max_message =
+      cfg.max_message < per_stream ? cfg.max_message : per_stream;
+  const SimDuration horizon = EstimateHorizon(profile, per_stream * streams);
+
+  Simulation sim(profile, cfg.seed, /*carry_payload=*/true);
+  // Groups after `sim` (their devices), before the injector (its hold
+  // targets are slot channels).  Sockets outliving the groups at sim
+  // teardown is safe: a MuxStream whose group died is inert.
+  MuxGroup g0(sim.device(0), mopts);
+  MuxGroup g1(sim.device(1), mopts);
+  MuxGroup::Connect(g0, g1);
+
+  simnet::FaultInjector injector(sim.fabric());
+  injector.AttachControlTarget(0, &g0.slot(0));
+  injector.AttachControlTarget(1, &g1.slot(0));
+  if (cfg.enable_faults) {
+    injector.Arm(simnet::FaultPlan::Generate(
+        cfg.seed, simnet::FaultPlanConfig::ScaledTo(horizon)));
+  }
+
+  struct Pair {
+    Socket* client = nullptr;
+    Socket* server = nullptr;
+    std::vector<std::uint8_t> in;
+    std::uint64_t received = 0;
+  };
+  std::vector<std::unique_ptr<Pair>> pairs;
+  std::uint64_t total_received = 0;
+  for (std::uint32_t i = 0; i < streams; ++i) {
+    auto pair = std::make_unique<Pair>();
+    auto [c, s] = sim.CreateMuxedPair(g0, g1, opts);
+    pair->client = c;
+    pair->server = s;
+    pair->in.resize(per_stream);
+    c->EnableTracing(cfg.trace_capacity);
+    s->EnableTracing(cfg.trace_capacity);
+    Pair* raw = pair.get();
+    s->events().SetHandler([raw, &total_received](const Event& ev) {
+      if (ev.type != EventType::kRecvComplete) return;
+      raw->received += ev.bytes;
+      total_received += ev.bytes;
+    });
+    s->Recv(pair->in.data(), per_stream, RecvFlags{.waitall = true});
+    pairs.push_back(std::move(pair));
+  }
+
+  // Seeded interleave (the "many" discipline): every iteration pushes one
+  // chunk on a random still-sending stream, then lets a random slice of
+  // time pass — slot sharing makes the cross-stream orderings the point.
+  Rng rng(SplitMix64(cfg.seed ^ 0x70e7f1c70ffe12edull).Next());
+  std::vector<std::vector<std::uint8_t>> payloads(pairs.size());
+  std::vector<std::uint64_t> sent(pairs.size(), 0);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    payloads[i].resize(per_stream);
+    FillPattern(payloads[i].data(), per_stream, 0, cfg.seed * 131 + i);
+  }
+
+  const std::uint64_t total = per_stream * pairs.size();
+  try {
+    std::uint64_t guard = 0;
+    while (res.failures.empty() && total_received < total) {
+      if (++guard > 2000000u) {
+        res.failures.push_back(
+            "no progress: stuck at " + std::to_string(total_received) + "/" +
+            std::to_string(total) + " bytes");
+        break;
+      }
+      std::vector<std::size_t> sendable;
+      for (std::size_t i = 0; i < pairs.size(); ++i) {
+        if (sent[i] < per_stream) sendable.push_back(i);
+      }
+      if (!sendable.empty()) {
+        std::size_t i = sendable[static_cast<std::size_t>(
+            rng.NextInRange(0, sendable.size() - 1))];
+        std::uint64_t s = rng.NextInRange(1, max_message);
+        if (s > per_stream - sent[i]) s = per_stream - sent[i];
+        pairs[i]->client->Send(payloads[i].data() + sent[i], s);
+        sent[i] += s;
+        sim.RunFor(static_cast<SimDuration>(rng.NextInRange(
+            0, static_cast<std::uint64_t>(Microseconds(30)))));
+        if (rng.NextBool(0.08)) sim.Run();
+      } else {
+        sim.Run();  // everything posted: drain to completion
+      }
+    }
+    if (res.failures.empty()) sim.Run();
+  } catch (const InvariantViolation& violation) {
+    res.failures.push_back(std::string("runtime invariant violation: ") +
+                           violation.what());
+  }
+
+  if (res.failures.empty()) {
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      const Pair& pair = *pairs[i];
+      if (pair.received != per_stream) {
+        res.failures.push_back("stream " + std::to_string(i) +
+                               " short delivery: " +
+                               std::to_string(pair.received) + "/" +
+                               std::to_string(per_stream) + " bytes");
+      } else if (std::size_t good = VerifyPattern(pair.in.data(), per_stream,
+                                                  0, cfg.seed * 131 + i);
+                 good != per_stream) {
+        // The group demuxed a chunk to the wrong stream iff this fires.
+        res.failures.push_back("stream " + std::to_string(i) +
+                               " payload corrupt at offset " +
+                               std::to_string(good));
+      }
+      if (!pair.client->Quiescent() || !pair.server->Quiescent()) {
+        res.failures.push_back("stream " + std::to_string(i) +
+                               " endpoints not quiescent after drain");
+      }
+    }
+    // The point of the tier: stream count never touched the QP budget.
+    if (sim.device(0).QueuePairsCreated() != width ||
+        sim.device(1).QueuePairsCreated() != width) {
+      res.failures.push_back(
+          "QP budget exceeded: created " +
+          std::to_string(sim.device(0).QueuePairsCreated()) + "/" +
+          std::to_string(sim.device(1).QueuePairsCreated()) +
+          " queue pairs for a width-" + std::to_string(width) + " pool");
+    }
+  }
+
+  // Per-pair protocol invariants plus the mux conservation laws; the
+  // fingerprint chains all pairs in attach order.
+  std::uint64_t fp = 0xcbf29ce484222325ull;
+  auto mix = [&fp](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      fp ^= (v >> (8 * i)) & 0xff;
+      fp *= 0x100000001b3ull;
+    }
+  };
+  InvariantReport report;
+  for (auto& pair : pairs) {
+    report.Merge(CheckConnection(*pair->client, *pair->server));
+    mix(ConnectionFingerprint(*pair->client, *pair->server));
+  }
+  report.Merge(CheckMuxGroupPair(g0, g1));
 
   res.checker_violations = report.violations;
   res.checker_warnings = report.warnings;
@@ -589,6 +787,7 @@ TortureResult RunTorture(const TortureConfig& cfg) {
   EXS_CHECK_MSG(ValidMode(cfg.mode), "unknown mode '" << cfg.mode << "'");
   if (cfg.mode == "many") return RunManyTorture(cfg);
   if (cfg.mode == "kill") return RunKillTorture(cfg);
+  if (cfg.mode == "mux") return RunMuxTorture(cfg);
   TortureResult res;
 
   simnet::HardwareProfile profile = ResolveProfile(cfg.profile);
@@ -839,6 +1038,7 @@ std::string EncodeCorpusEntry(const TortureConfig& cfg) {
   if (cfg.rails != 0) oss << " rails=" << cfg.rails;
   if (!cfg.sched.empty()) oss << " sched=" << cfg.sched;
   if (cfg.streams != 0) oss << " streams=" << cfg.streams;
+  if (cfg.width != 0) oss << " width=" << cfg.width;
   if (cfg.kill_permille != 0) oss << " killpm=" << cfg.kill_permille;
   oss << " fp=0x" << std::hex << cfg.expect_fingerprint;
   return oss.str();
@@ -884,6 +1084,8 @@ bool DecodeCorpusEntry(const std::string& line, TortureConfig* out) {
         cfg.sched = value;
       } else if (key == "streams") {
         cfg.streams = static_cast<std::uint32_t>(std::stoul(value));
+      } else if (key == "width") {
+        cfg.width = static_cast<std::uint32_t>(std::stoul(value));
       } else if (key == "killpm") {
         cfg.kill_permille = static_cast<std::uint32_t>(std::stoul(value));
       } else if (key == "fp") {

@@ -38,19 +38,30 @@ struct TortureConfig {
   /// SRQ slot pool and the progress engine drives every accepted socket;
   /// the seed derives N from {4,8,16} unless `streams` pins it, and the
   /// checker additionally replays pool conservation across all streams),
-  /// or "kill" (the recovery equivalence harness: twin runs of one
+  /// "kill" (the recovery equivalence harness: twin runs of one
   /// seed-derived workload variant — classic dynamic, coalesce, or
   /// striped — one unkilled and one with a fatal QP kill landing
   /// mid-transfer followed by Socket::ResumePair; the run passes only if
   /// both deliver the byte-identical stream, proven by comparing FNV
-  /// fingerprints of the delivered payloads).
+  /// fingerprints of the delivered payloads), or "mux" (the shared-QP
+  /// multiplexing tier: N streams ride a MuxGroup slot pool of `width`
+  /// queue pairs per endpoint — the seed derives N ∈ {4,8,16}, width ∈
+  /// {1,2,4} and the per-stream window unless `streams`/`width` pin
+  /// them — and the checker additionally replays the mux conservation
+  /// laws: group data accounting, per-stream sequence continuity, and
+  /// per-slot credit conservation).
   std::string mode = "dynamic";
   /// "stripe" mode only: rail count (0 = derive {2,4} from the seed).
   std::uint32_t rails = 0;
   /// "stripe" mode only: "rr" | "adaptive" ("" = derive from the seed).
   std::string sched;
-  /// "many" mode only: concurrent stream count (0 = derive from the seed).
+  /// "many"/"mux" modes: concurrent stream count (0 = derive from the
+  /// seed).
   std::uint32_t streams = 0;
+  /// "mux" mode only: slot queue pairs per MuxGroup (0 = derive {1,2,4}
+  /// from the seed).  Encoded to a corpus entry only when pinned, so
+  /// older corpus files round-trip byte-identically.
+  std::uint32_t width = 0;
   /// "kill" mode only: when (in permille of the fault horizon) the fatal
   /// QP kill lands (0 = derive from the seed).  Encoded to a corpus entry
   /// only when pinned, so older corpus files round-trip byte-identically.

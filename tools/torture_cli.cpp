@@ -31,8 +31,9 @@ using exs::torture::TortureResult;
       "  --seed N         single seed (same as --seeds N..N)\n"
       "  --profiles CSV   subset of fdr,iwarp,wan (all)\n"
       "  --modes CSV      subset of dynamic,direct,indirect,coalesce,\n"
-      "                   stripe,seqpacket,many,kill\n"
-      "                   (dynamic,direct,indirect,coalesce,stripe,kill)\n"
+      "                   stripe,seqpacket,many,kill,mux\n"
+      "                   (dynamic,direct,indirect,coalesce,stripe,kill,\n"
+      "                   mux)\n"
       "  --kill-permille N     kill mode: pin when the fatal QP kill\n"
       "                   lands, in permille of the fault horizon\n"
       "                   (0 = derive from the seed)\n"
@@ -40,8 +41,10 @@ using exs::torture::TortureResult;
       "                   2 or 4 from the seed)\n"
       "  --sched S        stripe mode: pin the rail scheduler, rr or\n"
       "                   adaptive (default: derive from the seed)\n"
-      "  --streams N      many mode: pin the concurrent stream count\n"
+      "  --streams N      many/mux modes: pin the concurrent stream count\n"
       "                   (0 = derive 4, 8 or 16 from the seed)\n"
+      "  --width N        mux mode: pin the slot queue pairs per group\n"
+      "                   (0 = derive 1, 2 or 4 from the seed)\n"
       "  --total BYTES    stream bytes per run (192K; K/M suffixes ok)\n"
       "  --max-message BYTES   largest send/recv posting (24K)\n"
       "  --buffer BYTES   intermediate buffer capacity (64K)\n"
@@ -113,7 +116,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed_lo = 1, seed_hi = 20;
   std::vector<std::string> profiles = {"fdr", "iwarp", "wan"};
   std::vector<std::string> modes = {"dynamic", "direct", "indirect",
-                                    "coalesce", "stripe", "kill"};
+                                    "coalesce", "stripe", "kill", "mux"};
   TortureConfig base;
   std::string corpus_path;
   std::string replay_path;
@@ -145,6 +148,8 @@ int main(int argc, char** argv) {
       if (base.sched != "rr" && base.sched != "adaptive") Usage(argv[0]);
     } else if (arg == "--streams") {
       base.streams = static_cast<std::uint32_t>(ParseSize(next()));
+    } else if (arg == "--width") {
+      base.width = static_cast<std::uint32_t>(ParseSize(next()));
     } else if (arg == "--kill-permille") {
       base.kill_permille = static_cast<std::uint32_t>(ParseSize(next()));
     } else if (arg == "--trace-capacity") {
