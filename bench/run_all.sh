@@ -7,6 +7,16 @@
 #
 # Extra arguments after `--` are passed through to every bench
 # (e.g. `bench/run_all.sh -- --runs 5 --messages 300`).
+#
+# Failure discipline: `set -e` alone is not enough — a bench invocation
+# that ever grows a `| tee`-style consumer, or runs inside a context that
+# disables errexit (command substitution, `if` guards), would swallow the
+# bench's exit code.  So every bench run below also carries an explicit
+# `|| { ...; exit 1; }` wrapper, and `pipefail` is set so any future
+# pipeline stage failing is fatal too.  (Audit 2026-08: the merge step's
+# `tr -d '\n' < file` redirections are not pipelines; the only pipelines
+# this script could grow are around the bench invocations, which the
+# explicit wrappers already cover.)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -30,7 +40,7 @@ done
 suite_schema_version=2
 
 benches=(fig09_throughput_outstanding fig12_message_size ext_coalescing
-         ext_striping ext_manystream)
+         ext_batching ext_striping ext_manystream)
 # Benches that also emit a per-stage latency provenance document
 # (--latency-json, see docs/OBSERVABILITY.md "Latency provenance").
 latency_benches=(ext_latency ext_manystream)
@@ -70,7 +80,7 @@ for bench in "${benches[@]}"; do
   done
   echo "== ${bench} =="
   "${bin}" "${bench_args[@]}" "${passthrough[@]}" --json "${json}" \
-    "${extra[@]}"
+    "${extra[@]}" || { echo "bench ${bench} failed (exit $?)" >&2; exit 1; }
   require_json "${bench}" "${json}"
   json_files+=("${json}")
 done
@@ -83,7 +93,8 @@ for bench in "${latency_benches[@]}"; do
     require_bin "${bin}"
     echo "== ${bench} (latency provenance) =="
     "${bin}" "${bench_args[@]}" "${passthrough[@]}" \
-      --latency-json "${latency_json}"
+      --latency-json "${latency_json}" ||
+      { echo "bench ${bench} (latency) failed (exit $?)" >&2; exit 1; }
   fi
   require_json "${bench}" "${latency_json}"
   latency_files+=("${latency_json}")

@@ -82,6 +82,9 @@ void ControlChannel::Connect(ControlChannel& a, ControlChannel& b) {
 
 void ControlChannel::MarkDead(verbs::WcStatus reason) {
   dead_ = true;
+  // Unposted batched WRs flush into the (now error-state) queue pair: each
+  // gets an immediate flush completion, keeping outstanding_wrs_ sound.
+  FlushSendBatch();
   if (fatal_notified_) return;
   fatal_notified_ = true;
   if (callbacks_.on_fatal) callbacks_.on_fatal(reason);
@@ -105,6 +108,7 @@ void ControlChannel::ResetForResume() {
   dead_ = false;
   fatal_notified_ = false;
   hold_until_ = 0;
+  pending_wrs_.clear();  // MarkDead already flushed; belt and braces
   deferred_.clear();
   owed_credits_ = 0;
   remote_credits_ = 0;
@@ -182,6 +186,9 @@ std::uint32_t ControlChannel::TakeCreditReturn() {
 }
 
 void ControlChannel::SendControl(wire::ControlMessage msg) {
+  // RC delivers in post order: a control message must not ring its own
+  // doorbell ahead of data WRs still waiting in the batch.
+  FlushSendBatch();
   ConsumeCredit();
   // Fits: the constructor caps the pool at 65535 and at most the whole
   // pool can be owed at once.
@@ -243,7 +250,75 @@ void ControlChannel::PostDataWwiTagged(std::uint64_t wr_id, const void* src,
   wr.trace_ctx = trace_ctx;
   ++outstanding_wrs_;
   SampleInflightWrs();
-  qp_->PostSend(wr);
+  EnqueueOrPost(wr);
+}
+
+void ControlChannel::PostDataWwiV(std::uint64_t wr_id, const SendSlice* slices,
+                                  std::uint32_t n, std::uint64_t len,
+                                  std::uint64_t remote_addr,
+                                  std::uint32_t rkey, bool indirect,
+                                  bool has_stripe_seq, std::uint64_t stripe_seq,
+                                  std::uint64_t trace_ctx) {
+  PostDataWwiVTagged(wr_id, slices, n, len, remote_addr, rkey, indirect,
+                     has_stripe_seq, stripe_seq, trace_ctx, MuxTag{});
+}
+
+void ControlChannel::PostDataWwiVTagged(
+    std::uint64_t wr_id, const SendSlice* slices, std::uint32_t n,
+    std::uint64_t len, std::uint64_t remote_addr, std::uint32_t rkey,
+    bool indirect, bool has_stripe_seq, std::uint64_t stripe_seq,
+    std::uint64_t trace_ctx, const MuxTag& tag) {
+  EXS_CHECK(wr_id != kControlWrId);
+  EXS_CHECK_MSG(n >= 1 && n <= verbs::kMaxSge,
+                "vectored post needs 1.." << verbs::kMaxSge << " slices, got "
+                                          << n);
+  ConsumeCredit();
+
+  verbs::SendWorkRequest wr;
+  wr.wr_id = wr_id;
+  wr.opcode = verbs::Opcode::kRdmaWriteWithImm;
+  wr.sge.addr = reinterpret_cast<std::uint64_t>(slices[0].addr);
+  wr.sge.length = slices[0].length;
+  wr.sge.lkey = slices[0].lkey;
+  for (std::uint32_t i = 1; i < n; ++i) {
+    wr.AddSge(verbs::Sge{reinterpret_cast<std::uint64_t>(slices[i].addr),
+                         slices[i].length, slices[i].lkey});
+  }
+  EXS_CHECK_MSG(wr.total_length() == len,
+                "gather list carries " << wr.total_length()
+                                       << " bytes but the chunk frames "
+                                       << len);
+  wr.remote_addr = remote_addr;
+  wr.rkey = rkey;
+  wr.has_imm = true;
+  wr.imm = wire::EncodeDataImm(indirect, len);
+  wr.has_stripe_seq = has_stripe_seq;
+  wr.stripe_seq = stripe_seq;
+  wr.has_mux = tag.present;
+  wr.mux_stream = tag.stream;
+  wr.mux_seq = tag.seq;
+  wr.mux_epoch = tag.epoch;
+  wr.trace_ctx = trace_ctx;
+  ++outstanding_wrs_;
+  SampleInflightWrs();
+  EnqueueOrPost(wr);
+}
+
+void ControlChannel::EnqueueOrPost(const verbs::SendWorkRequest& wr) {
+  if (batch_max_wrs_ == 0) {
+    qp_->PostSend(wr);
+    return;
+  }
+  pending_wrs_.push_back(wr);
+  if (pending_wrs_.size() >= batch_max_wrs_) FlushSendBatch();
+}
+
+void ControlChannel::FlushSendBatch() {
+  if (pending_wrs_.empty()) return;
+  // Posting into a killed QP is deliberate: each WR gets an immediate
+  // flush completion, which keeps outstanding_wrs_ accounting sound.
+  qp_->PostSendBatch(pending_wrs_);
+  pending_wrs_.clear();
 }
 
 void ControlChannel::PostRead(std::uint64_t wr_id, void* dst,
@@ -251,6 +326,8 @@ void ControlChannel::PostRead(std::uint64_t wr_id, void* dst,
                               std::uint64_t remote_addr,
                               std::uint32_t rkey) {
   EXS_CHECK(wr_id != kControlWrId);
+  // READs bypass the batch but must not overtake batched WWIs (RC FIFO).
+  FlushSendBatch();
   verbs::SendWorkRequest wr;
   wr.wr_id = wr_id;
   wr.opcode = verbs::Opcode::kRdmaRead;

@@ -57,6 +57,15 @@ class ControlSlotSource {
   std::shared_ptr<void> liveness_ = std::make_shared<char>(0);
 };
 
+/// One source slice of a vectored data post: the channel-layer face of a
+/// verbs gather element.  A PostDataWwiV slice list becomes the work
+/// request's SGE list, so it is bounded by verbs::kMaxSge entries.
+struct SendSlice {
+  const void* addr = nullptr;
+  std::uint32_t length = 0;
+  std::uint32_t lkey = 0;
+};
+
 /// The transport surface a protocol half (StreamTx/StreamRx/SeqPacket*/
 /// Rendezvous*) drives.  Two implementations: ControlChannel — a dedicated
 /// queue pair per connection (classic) — and MuxStream (exs/mux.hpp) — one
@@ -119,6 +128,23 @@ class ChannelEndpoint {
                            bool indirect, bool has_stripe_seq = false,
                            std::uint64_t stripe_seq = 0,
                            std::uint64_t trace_ctx = 0) = 0;
+  /// Vectored PostDataWwi: the chunk's `len` payload bytes are gathered
+  /// from `n` slices (1 <= n <= verbs::kMaxSge, slice lengths summing to
+  /// exactly `len`) by the HCA — one work request, one wire chunk, no
+  /// staging copy.  Semantics otherwise identical to PostDataWwi.
+  virtual void PostDataWwiV(std::uint64_t wr_id, const SendSlice* slices,
+                            std::uint32_t n, std::uint64_t len,
+                            std::uint64_t remote_addr, std::uint32_t rkey,
+                            bool indirect, bool has_stripe_seq = false,
+                            std::uint64_t stripe_seq = 0,
+                            std::uint64_t trace_ctx = 0) = 0;
+  /// Ring the doorbell for any data posts this endpoint is holding back
+  /// under doorbell batching (StreamOptions::Batching::doorbell).  A no-op
+  /// on endpoints that post eagerly — the default everywhere.
+  virtual void FlushPostedWrs() {}
+  /// Any posts currently held back awaiting a doorbell?  Senders use this
+  /// to decide whether a deferred flush event is worth scheduling.
+  virtual bool HasPendingPostedWrs() const { return false; }
   /// Pull `len` bytes from peer memory with RDMA READ (rendezvous mode).
   /// READs consume no receive at the target, hence no credit.  Mux
   /// endpoints refuse this — rendezvous sockets keep dedicated channels.
@@ -213,6 +239,41 @@ class ControlChannel : public ChannelEndpoint,
                          std::uint64_t stripe_seq, std::uint64_t trace_ctx,
                          const MuxTag& tag);
 
+  void PostDataWwiV(std::uint64_t wr_id, const SendSlice* slices,
+                    std::uint32_t n, std::uint64_t len,
+                    std::uint64_t remote_addr, std::uint32_t rkey,
+                    bool indirect, bool has_stripe_seq = false,
+                    std::uint64_t stripe_seq = 0,
+                    std::uint64_t trace_ctx = 0) override;
+
+  /// Vectored variant of PostDataWwiTagged: the work request's gather list
+  /// is built from `slices` (lengths must sum to exactly `len`).
+  void PostDataWwiVTagged(std::uint64_t wr_id, const SendSlice* slices,
+                          std::uint32_t n, std::uint64_t len,
+                          std::uint64_t remote_addr, std::uint32_t rkey,
+                          bool indirect, bool has_stripe_seq,
+                          std::uint64_t stripe_seq, std::uint64_t trace_ctx,
+                          const MuxTag& tag);
+
+  /// Arm doorbell batching: data WWIs accumulate in a pending list and are
+  /// posted through QueuePair::PostSendBatch — one doorbell per batch —
+  /// when `max_wrs` accumulate, when FlushPostedWrs() is called, or before
+  /// any operation that must not reorder around them (SendControl,
+  /// PostRead: RC FIFO order says control must not overtake batched data).
+  /// 0 disables (the default): every post rings its own doorbell
+  /// immediately, timing bit-identical to pre-batching builds.
+  void SetSendBatching(std::uint32_t max_wrs) { batch_max_wrs_ = max_wrs; }
+  /// Arm batched completion dispatch on both of this channel's CQs: up to
+  /// `max_n` completions per CPU pass, handlers clumped at one instant
+  /// (verbs::CompletionQueue::SetDispatchBatch).
+  void SetCqDispatchBatch(std::uint32_t max_n) {
+    send_cq_->SetDispatchBatch(max_n);
+    recv_cq_->SetDispatchBatch(max_n);
+  }
+  void FlushPostedWrs() override { FlushSendBatch(); }
+  bool HasPendingPostedWrs() const override { return !pending_wrs_.empty(); }
+  std::size_t PendingBatchedWrs() const { return pending_wrs_.size(); }
+
   void PostRead(std::uint64_t wr_id, void* dst, std::uint32_t lkey,
                 std::uint64_t len, std::uint64_t remote_addr,
                 std::uint32_t rkey) override;
@@ -242,10 +303,15 @@ class ControlChannel : public ChannelEndpoint,
   /// `peer.remote_credits() + owed_credits() == credit_pool_size()` — the
   /// conservation law the mux invariant checker audits per slot.
   std::uint32_t owed_credits() const { return owed_credits_; }
+  /// Whether the channel owns a queue pair yet (false before Connect);
+  /// qp_stats()/AckReturnDelay() are only valid when this holds.
+  bool HasQueuePair() const { return qp_ != nullptr; }
   const verbs::QueuePairStats& qp_stats() const { return qp_->stats(); }
   std::uint64_t credit_messages_sent() const { return credit_messages_sent_; }
 
  private:
+  void FlushSendBatch();
+  void EnqueueOrPost(const verbs::SendWorkRequest& wr);
   void OnSendCompletion(const verbs::WorkCompletion& wc);
   void OnRecvCompletion(const verbs::WorkCompletion& wc);
   void ProcessRecvCompletion(const verbs::WorkCompletion& wc);
@@ -290,6 +356,11 @@ class ControlChannel : public ChannelEndpoint,
   verbs::QueuePairInstruments qp_inst_;
   metrics::TimeWeightedSeries* inflight_wr_series_ = nullptr;
   std::uint64_t outstanding_wrs_ = 0;  ///< posted sends awaiting completion
+
+  std::uint32_t batch_max_wrs_ = 0;  ///< 0 = doorbell batching off
+  /// Data WRs built but not yet posted (doorbell batching).  Always empty
+  /// when batch_max_wrs_ == 0.
+  std::vector<verbs::SendWorkRequest> pending_wrs_;
 
   /// Work-request id marking internal control sends on the send CQ.
   static constexpr std::uint64_t kControlWrId = ~std::uint64_t{0};

@@ -37,6 +37,15 @@ SocketInstruments SocketInstruments::Create(metrics::Registry& registry) {
       &registry.GetCounter("tx.coalesce_flush_close", "flushes");
   inst.coalesce_flush_ordering =
       &registry.GetCounter("tx.coalesce_flush_ordering", "flushes");
+  inst.doorbell_batches = &registry.GetCounter("doorbell.batches", "doorbells");
+  inst.doorbell_wrs = &registry.GetCounter("doorbell.wrs_batched", "wrs");
+  inst.sendv_calls = &registry.GetCounter("tx.sendv_calls", "ops");
+  inst.coalesce_staging_copies =
+      &registry.GetCounter("tx.coalesce_staging_copies", "copies");
+  inst.coalesce_sg_flushes =
+      &registry.GetCounter("tx.coalesce_sg_flushes", "flushes");
+  inst.mr_registrations = &registry.GetCounter("mr.registrations", "regions");
+  inst.mr_cache_hits = &registry.GetCounter("mr.cache_hits", "pins");
 
   inst.recvs_completed = &registry.GetCounter("rx.recvs_completed", "ops");
   inst.bytes_received = &registry.GetCounter("rx.bytes_received", "bytes");

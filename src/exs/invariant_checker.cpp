@@ -614,6 +614,68 @@ InvariantReport CheckSeqPacketPair(const TraceLog& sender_log,
   return report;
 }
 
+namespace {
+
+/// Hot-path batching conservation for one socket's send rails, audited at
+/// quiescence from verbs-layer ground truth (QueuePairStats):
+///   - gather byte conservation: the summed SGE lengths of every posted
+///     send WR equal the wire payload those WRs carried — a gather list
+///     never sends more or fewer bytes than its slices name;
+///   - doorbell accounting: WRs posted through batched doorbells are a
+///     subset of all posted sends, and every doorbell ring covered at
+///     least one WR (PostSendBatch refuses empty batches);
+///   - flush discipline: no WR may still be parked behind an un-rung
+///     doorbell once the connection is quiescent — a batched post that
+///     never flushed is a send that silently never happened.
+/// Holds identically with batching off (all batch counters are zero).
+void CheckBatchingConservation(InvariantReport& report, const char* label,
+                               const Socket& s) {
+  // Mux slots post through the group owner's shared channels and are
+  // audited by CheckMuxGroupPair; rails here are classic per-socket QPs.
+  if (s.Muxed()) return;
+  for (std::size_t rail = 0; rail < s.effective_rails(); ++rail) {
+    const ControlChannel& ch =
+        rail == 0 ? s.channel() : s.data_rail(rail - 1);
+    if (!ch.HasQueuePair()) continue;  // never connected: nothing posted
+    ++report.events_checked;
+    const verbs::QueuePairStats& qp = ch.qp_stats();
+    if (qp.sge_bytes_posted != qp.payload_bytes_sent) {
+      std::ostringstream oss;
+      oss << label << " rail " << rail
+          << ": gather byte conservation broken — posted SGE lists sum to "
+          << qp.sge_bytes_posted << " byte(s) but the WRs carried "
+          << qp.payload_bytes_sent
+          << " payload byte(s); a scatter-gather WR lost or invented bytes";
+      report.violations.push_back(oss.str());
+    }
+    if (qp.batched_wrs > qp.sends_posted) {
+      std::ostringstream oss;
+      oss << label << " rail " << rail
+          << ": doorbell accounting broken — " << qp.batched_wrs
+          << " WR(s) attributed to batched doorbells but only "
+          << qp.sends_posted
+          << " send(s) were ever posted; a WR was double-counted";
+      report.violations.push_back(oss.str());
+    }
+    if (qp.doorbells > qp.batched_wrs) {
+      std::ostringstream oss;
+      oss << label << " rail " << rail << ": " << qp.doorbells
+          << " doorbell ring(s) covered only " << qp.batched_wrs
+          << " WR(s); an empty batch rang the doorbell";
+      report.violations.push_back(oss.str());
+    }
+    if (ch.PendingBatchedWrs() != 0) {
+      std::ostringstream oss;
+      oss << label << " rail " << rail << ": " << ch.PendingBatchedWrs()
+          << " WR(s) still parked behind an un-rung doorbell at "
+             "quiescence — a pump pass exited without flushing its batch";
+      report.violations.push_back(oss.str());
+    }
+  }
+}
+
+}  // namespace
+
 InvariantReport CheckConnection(Socket& a, Socket& b) {
   InvariantReport report;
   if (a.type() == SocketType::kSeqPacket) {
@@ -633,6 +695,8 @@ InvariantReport CheckConnection(Socket& a, Socket& b) {
   b_to_a.rails = static_cast<std::uint32_t>(b.effective_rails());
   report.Merge(CheckStreamPair(a.tx_trace(), b.rx_trace(), a_to_b));
   report.Merge(CheckStreamPair(b.tx_trace(), a.rx_trace(), b_to_a));
+  CheckBatchingConservation(report, "a->b", a);
+  CheckBatchingConservation(report, "b->a", b);
   return report;
 }
 

@@ -127,7 +127,11 @@ InvariantReport CheckPoolConservation(
 /// Check both directions of a connected socket pair.  Requires tracing to
 /// have been enabled on both sockets (reported as a violation otherwise);
 /// ring capacities are taken from the sockets themselves.  Dispatches on
-/// the sockets' type.
+/// the sockets' type.  For stream sockets, additionally audits hot-path
+/// batching conservation per send rail from verbs-layer ground truth:
+/// summed SGE lengths equal wire payload for every posted WR, batched-WR
+/// and doorbell counts balance, and no WR sits behind an un-rung doorbell
+/// at quiescence (docs/PROTOCOL.md §14).
 InvariantReport CheckConnection(Socket& a, Socket& b);
 
 /// Shared-QP multiplexing conservation (exs/mux.hpp), checked on a

@@ -273,6 +273,30 @@ void MuxStream::PostDataWwi(std::uint64_t wr_id, const void* src,
                            has_stripe_seq, stripe_seq, trace_ctx, tag);
 }
 
+void MuxStream::PostDataWwiV(std::uint64_t wr_id, const SendSlice* slices,
+                             std::uint32_t n, std::uint64_t len,
+                             std::uint64_t remote_addr, std::uint32_t rkey,
+                             bool indirect, bool has_stripe_seq,
+                             std::uint64_t stripe_seq,
+                             std::uint64_t trace_ctx) {
+  EXS_CHECK_MSG(!group_alive_.expired(), "post on a stream whose group died");
+  EXS_CHECK_MSG(!dead_, "post on a dead mux stream");
+  NoteUnblocked();
+  ControlChannel::MuxTag tag;
+  tag.present = true;
+  tag.stream = id_;
+  tag.seq = tx_seq_++;
+  tag.epoch = epoch_;
+  group_->slot_fifo_[slot_index_].push_back({id_, wr_id, epoch_});
+  ++outstanding_;
+  ++group_->stats_.data_posted;
+  if (group_->slot_in_round_[slot_index_]) {
+    deficit_ -= std::min(deficit_, len);
+  }
+  slot_->PostDataWwiVTagged(wr_id, slices, n, len, remote_addr, rkey, indirect,
+                            has_stripe_seq, stripe_seq, trace_ctx, tag);
+}
+
 void MuxStream::PostRead(std::uint64_t, void*, std::uint32_t, std::uint64_t,
                          std::uint64_t, std::uint32_t) {
   EXS_CHECK_MSG(false, "RDMA READ on a muxed connection — rendezvous "

@@ -81,6 +81,38 @@ Socket::Socket(verbs::Device& device, SocketType type, StreamOptions options,
       InstrumentRail(rail, *data_rails_.back());
     }
   }
+  // Hot-path batching (StreamOptions::batching).  Doorbell batching needs
+  // the pump-exit flush discipline only StreamTx implements, so it is
+  // stream-only and never muxed (a MuxStream posts through a shared slot
+  // whose other streams would be held hostage by a pending batch).
+  bool stream_proto = type_ == SocketType::kStream &&
+                      options_.mode != ProtocolMode::kReadRendezvous;
+  if (options_.batching.doorbell) {
+    EXS_CHECK_MSG(stream_proto && mux_ == nullptr,
+                  "doorbell batching requires a classic stream socket");
+    EXS_CHECK_MSG(options_.batching.max_wrs >= 1,
+                  "doorbell batching needs max_wrs >= 1");
+    channel_->SetSendBatching(options_.batching.max_wrs);
+    for (auto& rail : data_rails_) {
+      rail->SetSendBatching(options_.batching.max_wrs);
+    }
+  }
+  if (options_.batching.cq_drain > 1) {
+    EXS_CHECK_MSG(stream_proto && mux_ == nullptr,
+                  "batched CQ dispatch requires a classic stream socket");
+    channel_->SetCqDispatchBatch(options_.batching.cq_drain);
+    for (auto& rail : data_rails_) {
+      rail->SetCqDispatchBatch(options_.batching.cq_drain);
+    }
+  }
+  if (options_.batching.mr_cache_entries > 0) {
+    // Arm the device-level LRU registration cache plus the registration
+    // cost model, and mirror the device's traffic into this socket's
+    // mr.* instruments.
+    device.EnableMrCache(options_.batching.mr_cache_entries);
+    device.EnableMrCostModel();
+    device.SetMrInstruments(inst_.mr_registrations, inst_.mr_cache_hits);
+  }
   events_ = std::make_unique<EventQueue>(device.node().cpu(),
                                          device.profile().per_event_cpu);
   if (type_ == SocketType::kStream &&
@@ -132,6 +164,11 @@ void Socket::InstrumentRail(std::size_t rail, ControlChannel& channel) {
       &registry_.GetCounter(prefix + "messages_delivered", "messages");
   qp.completion_latency =
       &registry_.GetHistogram(prefix + "completion_latency", "ps");
+  // Doorbell batching aggregates socket-wide: every rail shares the
+  // doorbell.* counters, so the socket's achieved batch depth is simply
+  // doorbell.wrs_batched / doorbell.batches.
+  qp.doorbells = inst_.doorbell_batches;
+  qp.batched_wrs = inst_.doorbell_wrs;
   channel.SetQpInstruments(
       qp, &registry_.GetSeries(prefix + "inflight_wrs", "wrs"));
   // Head-of-line blocking per rail: time an arriving chunk sat in the
@@ -352,6 +389,34 @@ std::uint64_t Socket::Send(const void* buf, std::uint64_t len,
   return id;
 }
 
+std::uint64_t Socket::Sendv(const IoSlice* iov, std::uint32_t n,
+                            SendFlags /*flags*/) {
+  EXS_CHECK_MSG(connected_, "Sendv on unconnected socket");
+  EXS_CHECK_MSG(tx_ != nullptr, "Sendv is stream-only");
+  EXS_CHECK_MSG(n >= 1 && n <= verbs::kMaxSge,
+                "Sendv arity must be 1.." << verbs::kMaxSge << ", got " << n);
+  std::uint64_t id = next_request_id_++;
+  SendSlice slices[verbs::kMaxSge];
+  std::vector<verbs::MemoryRegionPtr> pins;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint32_t lkey = 0;
+    if (iov[i].len > 0) {
+      if (device_->mr_cache_enabled()) {
+        auto mr = device_->RegisterMemoryCached(
+            const_cast<void*>(iov[i].addr), iov[i].len);
+        lkey = mr->lkey();
+        pins.push_back(std::move(mr));
+      } else {
+        lkey = FindOrRegister(iov[i].addr, iov[i].len)->lkey();
+      }
+    }
+    slices[i] = SendSlice{iov[i].addr,
+                          static_cast<std::uint32_t>(iov[i].len), lkey};
+  }
+  tx_->SubmitV(id, slices, n, std::move(pins));
+  return id;
+}
+
 std::uint64_t Socket::Recv(void* buf, std::uint64_t len, RecvFlags flags) {
   EXS_CHECK_MSG(connected_, "Recv on unconnected socket");
   std::uint64_t id = next_request_id_++;
@@ -403,6 +468,15 @@ StreamStats Socket::stats() const {
                        inst_.coalesce_flush_phase->value() +
                        inst_.coalesce_flush_close->value() +
                        inst_.coalesce_flush_ordering->value();
+  s.doorbell_batches = inst_.doorbell_batches->value();
+  s.batched_wrs = inst_.doorbell_wrs->value();
+  s.sendv_calls = inst_.sendv_calls->value();
+  s.coalesce_staging_copies = inst_.coalesce_staging_copies->value();
+  s.coalesce_sg_flushes = inst_.coalesce_sg_flushes->value();
+  // Device-level truth (the registry mirrors only arm with the cache):
+  // actual registrations and cache-served pins on this socket's device.
+  s.mr_registrations = device_->mr_cache_stats().registrations;
+  s.mr_cache_hits = device_->mr_cache_stats().cache_hits;
   s.adverts_sent = inst_.adverts_sent->value();
   s.acks_sent = inst_.acks_sent->value();
   s.acks_piggybacked = inst_.acks_piggybacked->value();

@@ -80,6 +80,24 @@ class Socket : public simnet::TransportKillTarget {
   /// event.  The buffer must stay untouched until then (zero-copy).
   std::uint64_t Send(const void* buf, std::uint64_t len, SendFlags flags = {});
 
+  /// One element of a vectored send (exs_sendv) — the library's iovec.
+  struct IoSlice {
+    const void* addr = nullptr;
+    std::uint64_t len = 0;
+  };
+
+  /// Vectored asynchronous send (exs_sendv): one logical send — one
+  /// request id, one completion — whose payload is gathered from up to
+  /// verbs::kMaxSge slices by the HCA, with no host-side copy.  Stream
+  /// sockets only.  Every slice buffer must stay untouched until the
+  /// completion, exactly like Send's.  When the MR registration cache is
+  /// armed (StreamOptions::Batching::mr_cache_entries), slice
+  /// registrations are pinned through the cache and unpinned at
+  /// completion, so repeated sends from the same buffers hit warm
+  /// registrations.
+  std::uint64_t Sendv(const IoSlice* iov, std::uint32_t n,
+                      SendFlags flags = {});
+
   /// Asynchronous receive; RecvFlags::waitall requests MSG_WAITALL
   /// semantics (complete only when the buffer is full).
   std::uint64_t Recv(void* buf, std::uint64_t len, RecvFlags flags = {});

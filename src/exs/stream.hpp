@@ -124,6 +124,12 @@ struct StreamContext {
 class StreamTx {
  public:
   explicit StreamTx(StreamContext ctx) : ctx_(std::move(ctx)) {}
+  ~StreamTx() {
+    // Both timers capture `this`; a socket torn down with events still
+    // queued must not leave them armed.
+    flush_timer_.Cancel();
+    doorbell_flush_.Cancel();
+  }
 
   /// Learn where the peer's intermediate buffer lives (exchanged at
   /// connection establishment).
@@ -152,6 +158,18 @@ class StreamTx {
   /// chunk has been transferred and locally completed.
   void Submit(std::uint64_t id, const void* buf, std::uint64_t len,
               std::uint32_t lkey);
+
+  /// Queue a vectored send: one logical send (one id, one completion)
+  /// whose payload is gathered from `n` registered slices.  The slices ride
+  /// the wire as multi-SGE work requests — no staging copy — with chunks
+  /// clipped so no single WR needs more than verbs::kMaxSge gather entries.
+  /// Slice buffers must stay valid until the send completes, exactly like
+  /// Submit's.  With recovery on, the slices are snapshotted into an owned
+  /// contiguous log record instead (retransmission needs the bytes anyway).
+  /// `pins` are registration-cache pins covering the slices; they are
+  /// released (Device::UnpinCached) when the send completes.
+  void SubmitV(std::uint64_t id, const SendSlice* slices, std::uint32_t n,
+               std::vector<verbs::MemoryRegionPtr> pins = {});
 
   void OnAdvert(const wire::ControlMessage& msg);
   /// `delivered` is the receiver's delivered-byte frontier piggybacked on
@@ -231,9 +249,14 @@ class StreamTx {
 
  private:
   /// One member of a coalesced aggregate: a small send that was merged.
+  /// `base`/`lkey` name the member's original buffer — used only by sendv
+  /// aggregation (Batching::sendv_aggregation), where the flush gathers
+  /// members by reference instead of from a staging copy.
   struct StagedSend {
     std::uint64_t id = 0;
     std::uint64_t len = 0;
+    const std::uint8_t* base = nullptr;
+    std::uint32_t lkey = 0;
   };
 
   struct PendingSend {
@@ -261,6 +284,13 @@ class StreamTx {
     std::vector<std::uint8_t> owned;
     verbs::MemoryRegionPtr owned_mr;
     std::vector<StagedSend> members;
+    /// Vectored payload (SubmitV, or sendv-aggregated coalescing): the
+    /// record's bytes live in these slices instead of [base, base+len).
+    /// Empty = classic contiguous record.
+    std::vector<SendSlice> slices;
+    /// Registration-cache pins taken for this record's slices, dropped
+    /// (verbs::Device::UnpinCached) when the send completes.
+    std::vector<verbs::MemoryRegionPtr> pinned;
   };
 
   /// A received ADVERT queued at the sender (the paper's q_A).
@@ -276,11 +306,33 @@ class StreamTx {
 
   /// The matching loop of Fig. 2: emit chunks while an ADVERT or buffer
   /// space and a credit are available; otherwise wait for the event that
-  /// unblocks us (ADVERT, ACK, or credit return).
+  /// unblocks us (ADVERT, ACK, or credit return).  Pump wraps the loop so
+  /// every exit path rings pending doorbells (Batching::doorbell defers
+  /// posts until here); the loop body itself lives in PumpChunks.
   void Pump();
+  void PumpChunks();
   void PostDirect(PendingSend& s, Advert& advert, std::uint64_t len,
                   std::size_t rail);
   void PostIndirect(PendingSend& s, std::uint64_t len, std::size_t rail);
+  /// Post one chunk of `s` — [s.sent, s.sent+len) — as a WWI on `rail`,
+  /// contiguous or gathered from the record's slice list.
+  void PostWwiChunk(PendingSend& s, std::uint64_t len,
+                    std::uint64_t remote_addr, std::uint32_t rkey,
+                    bool indirect, std::size_t rail, std::uint64_t trace_ctx);
+  /// Sendv aggregation active?  Requires coalescing and is suspended while
+  /// recovery is on (the retransmission log needs owned snapshots).
+  bool AggregationOn() const {
+    return ctx_.options.batching.sendv_aggregation &&
+           ctx_.options.coalesce.enabled && !RecoveryOn();
+  }
+  /// Clip a sliced record's chunk so one WR never needs more than
+  /// verbs::kMaxSge gather entries.  Identity for contiguous records.
+  std::uint64_t ClipChunkToSges(const PendingSend& s, std::uint64_t len) const;
+  /// Build the gather window [off, off+len) of a sliced record into `out`
+  /// (capacity verbs::kMaxSge — guaranteed to fit by ClipChunkToSges).
+  /// Returns the entry count; zero-length slices contribute nothing.
+  std::uint32_t BuildSliceWindow(const PendingSend& s, std::uint64_t off,
+                                 std::uint64_t len, SendSlice* out) const;
   void NoteTransfer(bool indirect);
   bool Striping() const { return rails_.size() > 1; }
   ChannelEndpoint* Rail(std::size_t rail) {
@@ -299,8 +351,10 @@ class StreamTx {
   /// where holding it back cannot delay a direct transfer?
   bool ShouldStage(std::uint64_t len) const;
   /// Append a small send to the staging buffer (flushing first if it would
-  /// not fit), arming the max_delay timer on the first staged byte.
-  void StageCoalesced(std::uint64_t id, const void* buf, std::uint64_t len);
+  /// not fit), arming the max_delay timer on the first staged byte.  Under
+  /// sendv aggregation the bytes are recorded by reference — no memcpy.
+  void StageCoalesced(std::uint64_t id, const void* buf, std::uint64_t len,
+                      std::uint32_t lkey);
   /// Merge every staged send into one aggregate PendingSend at the back of
   /// the chunk queue.  Only appends — safe to call from inside Pump; all
   /// other callers run Pump() afterwards.
@@ -380,6 +434,10 @@ class StreamTx {
   std::vector<StagedSend> staged_;
   std::uint64_t staged_bytes_ = 0;
   simnet::EventHandle flush_timer_;
+  /// Deferred doorbell ring (Batching::doorbell): a zero-delay event that
+  /// flushes every rail's pending batch after all pump passes of the
+  /// current simulated instant have appended their chunks.
+  simnet::EventHandle doorbell_flush_;
 };
 
 // ---------------------------------------------------------------------------

@@ -78,7 +78,7 @@ void StreamTx::Submit(std::uint64_t id, const void* buf, std::uint64_t len,
   }
 
   if (ShouldStage(len)) {
-    StageCoalesced(id, buf, len);
+    StageCoalesced(id, buf, len, lkey);
     Pump();  // a max-bytes flush may just have queued an aggregate
     return;
   }
@@ -106,6 +106,60 @@ void StreamTx::Submit(std::uint64_t id, const void* buf, std::uint64_t len,
     rec->base = rec->owned.data();
     rec->lkey = rec->owned_mr->lkey();
   }
+  inflight_.emplace(id, rec);
+  chunk_queue_.push_back(rec);
+  NoteQueued(rec);
+  Pump();
+}
+
+void StreamTx::SubmitV(std::uint64_t id, const SendSlice* slices,
+                       std::uint32_t n,
+                       std::vector<verbs::MemoryRegionPtr> pins) {
+  EXS_CHECK_MSG(!shutdown_requested_, "send after Close()");
+  EXS_CHECK_MSG(n >= 1 && n <= verbs::kMaxSge,
+                "Sendv arity must be 1.." << verbs::kMaxSge << ", got " << n);
+  ctx_.metrics->sendv_calls->Increment();
+
+  std::uint64_t total = 0;
+  for (std::uint32_t i = 0; i < n; ++i) total += slices[i].length;
+  if (total == 0) {
+    for (const auto& mr : pins) ctx_.channel->device().UnpinCached(mr);
+    Trace(TraceEventType::kZeroLengthSend);
+    ctx_.metrics->sends_completed->Increment();
+    ctx_.events->Push(Event{EventType::kSendComplete, id, 0, false});
+    return;
+  }
+  if (!staged_.empty()) {
+    // Staged bytes precede this send in the stream.
+    FlushCoalesced(CoalesceFlushReason::kOrdering);
+  }
+
+  auto rec = std::make_shared<PendingSend>();
+  rec->id = id;
+  rec->len = total;
+  rec->submit_time = ctx_.scheduler->Now();
+  rec->flush_time = rec->submit_time;
+  if (RecoveryOn()) {
+    // The retransmission log needs an owned snapshot anyway, so recovery
+    // mode gathers the slices host-side into a contiguous record — the
+    // vectored call keeps its semantics, not its zero-copy.
+    rec->owned.resize(total);
+    std::uint64_t off = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (ctx_.carry_payload && slices[i].length > 0) {
+        std::memcpy(rec->owned.data() + off, slices[i].addr,
+                    slices[i].length);
+      }
+      off += slices[i].length;
+    }
+    rec->owned_mr =
+        ctx_.channel->device().RegisterMemory(rec->owned.data(), total);
+    rec->base = rec->owned.data();
+    rec->lkey = rec->owned_mr->lkey();
+  } else {
+    rec->slices.assign(slices, slices + n);
+  }
+  rec->pinned = std::move(pins);
   inflight_.emplace(id, rec);
   chunk_queue_.push_back(rec);
   NoteQueued(rec);
@@ -145,26 +199,33 @@ bool StreamTx::ShouldStage(std::uint64_t len) const {
 }
 
 void StreamTx::StageCoalesced(std::uint64_t id, const void* buf,
-                              std::uint64_t len) {
+                              std::uint64_t len, std::uint32_t lkey) {
   const auto& knobs = ctx_.options.coalesce;
   if (staged_bytes_ + len > knobs.max_bytes) {
     // Would overflow the staging buffer: flush what is held, then stage
     // this send into the fresh buffer (the overflow split).
     FlushCoalesced(CoalesceFlushReason::kMaxBytes);
   }
-  if (staging_mem_.empty()) {
-    // Each flush hands the buffer's ownership to its aggregate (the bytes
-    // must stay put until the merged WWI completes), so staging restarts
-    // with a fresh registered region.
-    staging_mem_.resize(knobs.max_bytes);
-    staging_mr_ = ctx_.channel->device().RegisterMemory(staging_mem_.data(),
-                                                        staging_mem_.size());
-  }
-  if (ctx_.carry_payload) {
-    std::memcpy(staging_mem_.data() + staged_bytes_, buf, len);
+  if (!AggregationOn()) {
+    // Classic staging: copy the member into the owned buffer.  Under sendv
+    // aggregation the member is held by reference instead and the flush
+    // gathers it with an SGE — no buffer, no registration, no memcpy.
+    if (staging_mem_.empty()) {
+      // Each flush hands the buffer's ownership to its aggregate (the bytes
+      // must stay put until the merged WWI completes), so staging restarts
+      // with a fresh registered region.
+      staging_mem_.resize(knobs.max_bytes);
+      staging_mr_ = ctx_.channel->device().RegisterMemory(
+          staging_mem_.data(), staging_mem_.size());
+    }
+    ctx_.metrics->coalesce_staging_copies->Increment();
+    if (ctx_.carry_payload) {
+      std::memcpy(staging_mem_.data() + staged_bytes_, buf, len);
+    }
   }
   if (staged_.empty()) staged_first_time_ = ctx_.scheduler->Now();
-  staged_.push_back(StagedSend{id, len});
+  staged_.push_back(
+      StagedSend{id, len, static_cast<const std::uint8_t*>(buf), lkey});
   staged_bytes_ += len;
   ctx_.metrics->coalesced_sends->Increment();
   ctx_.metrics->coalesced_bytes->Add(len);
@@ -188,11 +249,23 @@ void StreamTx::FlushCoalesced(CoalesceFlushReason reason) {
   flush_timer_.Cancel();
   auto rec = std::make_shared<PendingSend>();
   rec->id = staged_.front().id;  // WWI wr_ids resolve to the aggregate
-  rec->owned = std::move(staging_mem_);
-  rec->owned_mr = std::move(staging_mr_);
-  rec->base = rec->owned.data();
-  rec->len = staged_bytes_;
-  rec->lkey = rec->owned_mr->lkey();
+  if (AggregationOn()) {
+    // Zero-copy flush: the aggregate's payload stays in the members'
+    // buffers, gathered on the wire as an SGE list.
+    rec->slices.reserve(staged_.size());
+    for (const StagedSend& m : staged_) {
+      rec->slices.push_back(
+          SendSlice{m.base, static_cast<std::uint32_t>(m.len), m.lkey});
+    }
+    rec->len = staged_bytes_;
+    ctx_.metrics->coalesce_sg_flushes->Increment();
+  } else {
+    rec->owned = std::move(staging_mem_);
+    rec->owned_mr = std::move(staging_mr_);
+    rec->base = rec->owned.data();
+    rec->len = staged_bytes_;
+    rec->lkey = rec->owned_mr->lkey();
+  }
   rec->members = std::move(staged_);
   // The aggregate's staging span starts when its oldest member entered
   // the buffer and ends now.
@@ -307,6 +380,31 @@ void StreamTx::NoteWwisInFlight(std::int64_t delta) {
 }
 
 void StreamTx::Pump() {
+  PumpChunks();
+  if (!ctx_.options.batching.doorbell) return;
+  // Hold the doorbell across every pump pass of this simulated instant: a
+  // burst of Submits (or a window refill) lands as several pump passes at
+  // one timestamp, and flushing per pass would ring a doorbell per chunk.
+  // Instead a zero-delay flush event — FIFO-ordered after everything else
+  // queued at this instant — rings one doorbell per rail for the lot.  A
+  // batch that reaches max_wrs still posts inline (EnqueueOrPost), so the
+  // deferred ring only ever covers the partial tail.  No simulated time
+  // passes with the doorbell held, so the posts carry the same timestamp
+  // eager flushing would give them.
+  if (doorbell_flush_.Pending()) return;
+  bool pending = false;
+  for (std::size_t rail = 0; rail < RailCount() && !pending; ++rail) {
+    pending = Rail(rail)->HasPendingPostedWrs();
+  }
+  if (!pending) return;
+  doorbell_flush_ = ctx_.scheduler->ScheduleAfter(0, [this] {
+    for (std::size_t rail = 0; rail < RailCount(); ++rail) {
+      Rail(rail)->FlushPostedWrs();
+    }
+  });
+}
+
+void StreamTx::PumpChunks() {
   while (!chunk_queue_.empty()) {
     PendingSend& s = *chunk_queue_.front();
     EXS_CHECK(s.sent < s.len);
@@ -352,6 +450,7 @@ void StreamTx::Pump() {
       }
       std::uint64_t len =
           NextChunkLen(s.len - s.sent, advert.len - advert.filled, MaxChunk());
+      len = ClipChunkToSges(s, len);
       PostDirect(s, advert, len, rail);
       seq_ += len;
       s.sent += len;
@@ -368,6 +467,7 @@ void StreamTx::Pump() {
       if (rail == kNoRail) return;
       std::uint64_t len = NextChunkLen(
           s.len - s.sent, remote_ring_.ContiguousWritable(), MaxChunk());
+      len = ClipChunkToSges(s, len);
       if (PhaseIsDirect(phase_)) {
         // First indirect transfer of a burst (Fig. 2 lines 18-20).
         AdvancePhaseTo(NextPhase(phase_));
@@ -429,10 +529,8 @@ void StreamTx::PostDirect(PendingSend& s, Advert& advert, std::uint64_t len,
     if (span_tx_fifo_.size() <= rail) span_tx_fifo_.resize(rail + 1);
     span_tx_fifo_[rail].push_back(trace_ctx);
   }
-  Rail(rail)->PostDataWwi(s.id, s.base + s.sent, s.lkey, len,
-                          advert.addr + advert.filled, advert.rkey,
-                          /*indirect=*/false, Striping(), stripe_seq_,
-                          trace_ctx);
+  PostWwiChunk(s, len, advert.addr + advert.filled, advert.rkey,
+               /*indirect=*/false, rail, trace_ctx);
   NoteStripePosted(rail, len);
 }
 
@@ -456,11 +554,79 @@ void StreamTx::PostIndirect(PendingSend& s, std::uint64_t len,
     if (span_tx_fifo_.size() <= rail) span_tx_fifo_.resize(rail + 1);
     span_tx_fifo_[rail].push_back(trace_ctx);
   }
-  Rail(rail)->PostDataWwi(s.id, s.base + s.sent, s.lkey, len,
-                          remote_ring_addr_ + offset, remote_ring_rkey_,
-                          /*indirect=*/true, Striping(), stripe_seq_,
-                          trace_ctx);
+  PostWwiChunk(s, len, remote_ring_addr_ + offset, remote_ring_rkey_,
+               /*indirect=*/true, rail, trace_ctx);
   NoteStripePosted(rail, len);
+}
+
+void StreamTx::PostWwiChunk(PendingSend& s, std::uint64_t len,
+                            std::uint64_t remote_addr, std::uint32_t rkey,
+                            bool indirect, std::size_t rail,
+                            std::uint64_t trace_ctx) {
+  if (s.slices.empty()) {
+    Rail(rail)->PostDataWwi(s.id, s.base + s.sent, s.lkey, len, remote_addr,
+                            rkey, indirect, Striping(), stripe_seq_,
+                            trace_ctx);
+    return;
+  }
+  SendSlice window[verbs::kMaxSge];
+  std::uint32_t n = BuildSliceWindow(s, s.sent, len, window);
+  Rail(rail)->PostDataWwiV(s.id, window, n, len, remote_addr, rkey, indirect,
+                           Striping(), stripe_seq_, trace_ctx);
+}
+
+std::uint64_t StreamTx::ClipChunkToSges(const PendingSend& s,
+                                        std::uint64_t len) const {
+  if (s.slices.empty() || len == 0) return len;
+  // Walk the slice list from the chunk's start offset, accumulating bytes
+  // until either `len` is covered or a kMaxSge-entry window is full; the
+  // chunk is clipped to what one work request can gather.  Zero-length
+  // slices consume no entry (BuildSliceWindow skips them).
+  std::uint64_t pos = 0;
+  std::size_t i = 0;
+  while (i < s.slices.size() && pos + s.slices[i].length <= s.sent) {
+    pos += s.slices[i].length;
+    ++i;
+  }
+  std::uint32_t entries = 0;
+  std::uint64_t avail = 0;
+  for (; i < s.slices.size() && entries < verbs::kMaxSge; ++i) {
+    std::uint64_t skip = s.sent > pos ? s.sent - pos : 0;
+    std::uint64_t take = s.slices[i].length - skip;
+    pos += s.slices[i].length;
+    if (take == 0) continue;
+    ++entries;
+    avail += take;
+    if (avail >= len) return len;
+  }
+  return avail < len ? avail : len;
+}
+
+std::uint32_t StreamTx::BuildSliceWindow(const PendingSend& s,
+                                         std::uint64_t off, std::uint64_t len,
+                                         SendSlice* out) const {
+  std::uint32_t n = 0;
+  std::uint64_t pos = 0;
+  for (const SendSlice& slice : s.slices) {
+    if (len == 0) break;
+    std::uint64_t end = pos + slice.length;
+    if (end > off) {
+      std::uint64_t skip = off - pos;
+      std::uint64_t take = slice.length - skip;
+      if (take > len) take = len;
+      if (take > 0) {
+        EXS_CHECK(n < verbs::kMaxSge);  // guaranteed by ClipChunkToSges
+        out[n++] = SendSlice{
+            static_cast<const std::uint8_t*>(slice.addr) + skip,
+            static_cast<std::uint32_t>(take), slice.lkey};
+        off += take;
+        len -= take;
+      }
+    }
+    pos = end;
+  }
+  EXS_CHECK_MSG(len == 0, "slice window ran past the record's payload");
+  return n;
 }
 
 void StreamTx::NoteTransfer(bool indirect) {
@@ -510,6 +676,12 @@ void StreamTx::CompleteSend(std::shared_ptr<PendingSend> rec) {
   // never arrive).  The application sees exactly one event either way.
   if (rec->completion_reported) return;
   rec->completion_reported = true;
+  if (!rec->pinned.empty()) {
+    for (const auto& mr : rec->pinned) {
+      ctx_.channel->device().UnpinCached(mr);
+    }
+    rec->pinned.clear();
+  }
   if (rec->members.empty()) {
     ctx_.metrics->sends_completed->Increment();
     ctx_.metrics->bytes_sent->Add(rec->len);

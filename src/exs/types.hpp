@@ -101,6 +101,43 @@ struct StreamOptions {
     bool piggyback_acks = true;
   } coalesce;
 
+  /// Hot-path batching (off by default; everything here is opt-in and the
+  /// defaults are bit-identical to pre-batching builds).  Three
+  /// independently armable pieces:
+  ///   - doorbell batching: the WWIs one sender pump pass produces are
+  ///     posted behind a single doorbell (QueuePair::PostSendBatch), so a
+  ///     burst of small chunks pays one doorbell_cost plus per_wr_cost
+  ///     each instead of send_wr_overhead each — the WR-bound-regime
+  ///     optimisation (RDMAbox-style WR merging);
+  ///   - sendv aggregation: the coalescing stage records staged members as
+  ///     gather-list references instead of memcpy-ing them into a staging
+  ///     buffer, and flushes them as one multi-SGE WWI — zero staging
+  ///     copies on the coalesce path (requires coalesce.enabled; falls
+  ///     back to staging copies while recovery is on, which needs an owned
+  ///     snapshot anyway);
+  ///   - MR registration cache: arms the device-level LRU cache
+  ///     (verbs::Device::EnableMrCache) plus the registration cost model,
+  ///     so Sendv slice registration and staging-buffer reuse hit warm
+  ///     registrations instead of re-pinning.
+  struct Batching {
+    /// Post the chunks of one pump pass behind a single doorbell.
+    bool doorbell = false;
+    /// Bound on WRs per doorbell ring (the batch depth the benches sweep).
+    std::uint32_t max_wrs = 8;
+    /// Completions handed to this socket's channels per CPU pass — the
+    /// ibv_poll_cq drain-loop idiom (verbs::CompletionQueue::
+    /// SetDispatchBatch).  Per-event CPU still accrues per completion;
+    /// what changes is that a drained clump's handlers run at one
+    /// simulated instant, so the sends they trigger land in one doorbell
+    /// batch.  1 (the default) keeps one-completion-per-pass dispatch,
+    /// bit-identical to pre-batching builds.
+    std::uint32_t cq_drain = 1;
+    /// Coalesce by gather-list aggregation instead of staging copies.
+    bool sendv_aggregation = false;
+    /// Unpinned entries the device MR cache retains; 0 leaves it off.
+    std::size_t mr_cache_entries = 0;
+  } batching;
+
   /// Fatal-fault recovery (off by default).  When enabled, the sender
   /// snapshots every submitted payload into a retransmission log pruned by
   /// the receiver's delivered-byte frontier (piggybacked on ACKs/ADVERTs),
@@ -181,6 +218,20 @@ struct StreamStats {
   std::uint64_t coalesced_sends = 0;
   std::uint64_t coalesced_bytes = 0;
   std::uint64_t coalesce_flushes = 0;
+  /// Hot-path batching: doorbells rung through batched posting and the
+  /// work requests they covered (tx side, all rails); vectored Sendv()
+  /// calls; staging-buffer memcpys performed on the coalesce path (exactly
+  /// 0 when sendv aggregation is active — the zero-copy witness); merged
+  /// flushes emitted as one multi-SGE gather WWI.
+  std::uint64_t doorbell_batches = 0;
+  std::uint64_t batched_wrs = 0;
+  std::uint64_t sendv_calls = 0;
+  std::uint64_t coalesce_staging_copies = 0;
+  std::uint64_t coalesce_sg_flushes = 0;
+  /// MR registration traffic on the socket's device: actual registrations
+  /// performed and pins served from the registration cache.
+  std::uint64_t mr_registrations = 0;
+  std::uint64_t mr_cache_hits = 0;
 
   // Receiver half (this socket's incoming stream).
   std::uint64_t adverts_sent = 0;

@@ -3,14 +3,28 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
+#include <map>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 
+#include "common/metrics.hpp"
 #include "simnet/fabric.hpp"
 #include "verbs/completion.hpp"
 #include "verbs/memory.hpp"
 
 namespace exs::verbs {
+
+/// Observable counters of the MR registration cache (and the registration
+/// cost model): `registrations` counts *actual* device registrations —
+/// cache misses and uncached RegisterMemory calls alike — while
+/// `cache_hits` counts pins satisfied without touching the device.
+struct MrCacheStats {
+  std::uint64_t registrations = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t evictions = 0;
+};
 
 class Device {
  public:
@@ -25,6 +39,45 @@ class Device {
 
   MemoryRegionPtr RegisterMemory(void* addr, std::size_t length);
   void DeregisterMemory(const MemoryRegionPtr& mr);
+
+  /// Charge the profile's mr_register_cost (page pinning + MTT update) as
+  /// simulated host-CPU time on every actual registration.  Off by
+  /// default — the seed model registered for free, and recorded artefacts
+  /// depend on that — so timing changes only when a run opts in.
+  void EnableMrCostModel(bool on = true) { mr_cost_armed_ = on; }
+  bool mr_cost_armed() const { return mr_cost_armed_; }
+  /// Total simulated time charged for registrations so far.
+  SimDuration MrTimeCharged() const { return mr_time_charged_; }
+
+  /// Arm an LRU registration cache of at most `capacity` *unpinned*
+  /// regions keyed by (addr, length) — the rdma-pipe buffer-reuse pattern.
+  /// Pinned entries never count against capacity and are never evicted.
+  void EnableMrCache(std::size_t capacity);
+  bool mr_cache_enabled() const { return mr_cache_capacity_ > 0; }
+
+  /// Pin a registration through the cache: a (addr, length) pair seen
+  /// before (and still cached) is returned without touching the device —
+  /// a cache hit; otherwise the region is registered (paying the cost
+  /// model) and enters the cache pinned.  Each pin must be matched by an
+  /// UnpinCached before the entry becomes evictable.  Requires
+  /// EnableMrCache; falls back to plain RegisterMemory otherwise.
+  MemoryRegionPtr RegisterMemoryCached(void* addr, std::size_t length);
+
+  /// Drop one pin.  The registration stays valid and cached (warm for the
+  /// next RegisterMemoryCached of the same buffer) until LRU eviction
+  /// deregisters it.  Unpinning a region the cache does not hold is a
+  /// no-op, so callers may release uncached regions uniformly.
+  void UnpinCached(const MemoryRegionPtr& mr);
+
+  const MrCacheStats& mr_cache_stats() const { return mr_cache_stats_; }
+  /// Mirror future registration/cache-hit counts into registry counters
+  /// (either may be null): the `mr.registrations` / `mr.cache_hits`
+  /// instruments of docs/OBSERVABILITY.md.
+  void SetMrInstruments(metrics::Counter* registrations,
+                        metrics::Counter* cache_hits) {
+    mr_registrations_counter_ = registrations;
+    mr_cache_hits_counter_ = cache_hits;
+  }
 
   /// Key lookups used by the data path; null when unknown or invalidated.
   const MemoryRegion* FindByLkey(std::uint32_t lkey) const;
@@ -51,6 +104,18 @@ class Device {
   void NoteQueuePairCreated() { ++qps_created_; }
 
  private:
+  struct CacheEntry {
+    std::uint64_t addr = 0;
+    std::uint64_t length = 0;
+    MemoryRegionPtr mr;
+    std::uint32_t pins = 0;
+  };
+  using CacheList = std::list<CacheEntry>;  // front = most recently used
+  using CacheKey = std::pair<std::uint64_t, std::uint64_t>;
+
+  void ChargeRegistration();
+  void EvictOverCapacity();
+
   simnet::Fabric* fabric_;
   std::size_t node_index_;
   bool carry_payload_;
@@ -59,6 +124,15 @@ class Device {
   std::uint64_t qps_created_ = 0;
   std::unordered_map<std::uint32_t, MemoryRegionPtr> by_lkey_;
   std::unordered_map<std::uint32_t, MemoryRegionPtr> by_rkey_;
+
+  bool mr_cost_armed_ = false;
+  SimDuration mr_time_charged_ = 0;
+  std::size_t mr_cache_capacity_ = 0;
+  CacheList mr_cache_;
+  std::map<CacheKey, CacheList::iterator> mr_cache_index_;
+  MrCacheStats mr_cache_stats_;
+  metrics::Counter* mr_registrations_counter_ = nullptr;
+  metrics::Counter* mr_cache_hits_counter_ = nullptr;
 };
 
 }  // namespace exs::verbs

@@ -70,7 +70,37 @@ SimDuration QueuePair::AckReturnDelay() const {
 }
 
 void QueuePair::PostSend(const SendWorkRequest& wr) {
+  PostSendCharged(wr, device_->profile().send_wr_overhead);
+}
+
+void QueuePair::PostSendBatch(std::span<const SendWorkRequest> wrs) {
+  if (wrs.empty()) return;
+  const auto& profile = device_->profile();
+  ++stats_.doorbells;
+  stats_.batched_wrs += wrs.size();
+  if (inst_.doorbells) inst_.doorbells->Increment();
+  if (inst_.batched_wrs) inst_.batched_wrs->Add(wrs.size());
+  if (profile.doorbell_cost == 0 && profile.per_wr_cost == 0) {
+    // Profile does not decompose the doorbell: a batch costs exactly what
+    // N single posts would, so batching changes no timing.
+    for (const SendWorkRequest& wr : wrs) {
+      PostSendCharged(wr, profile.send_wr_overhead);
+    }
+    return;
+  }
+  // One doorbell ring amortised over the batch: the first WR carries the
+  // MMIO + driver-entry cost, every WR pays its descriptor work.
+  for (std::size_t i = 0; i < wrs.size(); ++i) {
+    SimDuration cost = profile.per_wr_cost + (i == 0 ? profile.doorbell_cost : 0);
+    PostSendCharged(wrs[i], cost);
+  }
+}
+
+void QueuePair::PostSendCharged(const SendWorkRequest& wr,
+                                SimDuration wr_cost) {
   EXS_CHECK_MSG(connected(), "PostSend on unconnected queue pair");
+  EXS_CHECK_MSG(wr.num_sge >= 1 && wr.num_sge <= kMaxSge,
+                "send WR gather list length out of [1, kMaxSge]");
 
   if (killed_) {
     // Error-state QP: the WR never touches the wire and completes
@@ -78,7 +108,7 @@ void QueuePair::PostSend(const SendWorkRequest& wr) {
     // posting is legal, working is not).
     auto pkt = std::make_shared<Packet>();
     pkt->wr = wr;
-    pkt->payload_len = wr.sge.length;
+    pkt->payload_len = wr.total_length();
     pkt->post_time = device_->scheduler().Now();
     ++stats_.flushed_wrs;
     CompleteSend(pkt, WcStatus::kWrFlushError, 0);
@@ -87,15 +117,17 @@ void QueuePair::PostSend(const SendWorkRequest& wr) {
 
   auto pkt = std::make_shared<Packet>();
   pkt->wr = wr;
-  pkt->payload_len = wr.sge.length;
+  pkt->payload_len = wr.total_length();
   pkt->post_time = device_->scheduler().Now();
 
   if (wr.opcode == Opcode::kRdmaRead) {
     // The SGE names *local* memory the response lands in.
+    EXS_CHECK_MSG(wr.num_sge == 1, "RDMA READ takes a single SGE");
     const MemoryRegion* mr = device_->FindByLkey(wr.sge.lkey);
     EXS_CHECK_MSG(mr != nullptr && mr->Covers(wr.sge.addr, wr.sge.length),
                   "RDMA READ response buffer not registered");
   } else if (wr.inline_data) {
+    EXS_CHECK_MSG(wr.num_sge == 1, "inline sends take a single SGE");
     EXS_CHECK_MSG(wr.sge.length <= device_->max_inline(),
                   "inline payload exceeds max_inline");
     // Inline payloads are always carried: the upper layer's control
@@ -105,19 +137,31 @@ void QueuePair::PostSend(const SendWorkRequest& wr) {
       std::memcpy(pkt->payload.data(),
                   reinterpret_cast<const void*>(wr.sge.addr), wr.sge.length);
     }
-  } else if (wr.sge.length > 0) {
-    const MemoryRegion* mr = device_->FindByLkey(wr.sge.lkey);
-    EXS_CHECK_MSG(mr != nullptr && mr->Covers(wr.sge.addr, wr.sge.length),
-                  "send payload not covered by registered memory (lkey)");
-    if (device_->carry_payload()) {
-      pkt->payload.resize(wr.sge.length);
-      std::memcpy(pkt->payload.data(),
-                  reinterpret_cast<const void*>(wr.sge.addr), wr.sge.length);
+  } else if (pkt->payload_len > 0) {
+    // Each gather element is validated against its own region — a list may
+    // span several registrations.  Zero-length elements are legal padding
+    // (real HCAs accept them) and touch no memory.  When the fabric
+    // carries payload bytes the HCA's gather DMA is modelled by
+    // snapshotting the slices, in order, into one contiguous image.
+    if (device_->carry_payload()) pkt->payload.reserve(pkt->payload_len);
+    for (std::uint32_t i = 0; i < wr.num_sge; ++i) {
+      const Sge& sge = wr.sge_at(i);
+      if (sge.length == 0) continue;
+      const MemoryRegion* mr = device_->FindByLkey(sge.lkey);
+      EXS_CHECK_MSG(mr != nullptr && mr->Covers(sge.addr, sge.length),
+                    "send payload not covered by registered memory (lkey)");
+      if (device_->carry_payload()) {
+        const auto* src = reinterpret_cast<const std::uint8_t*>(sge.addr);
+        pkt->payload.insert(pkt->payload.end(), src, src + sge.length);
+      }
     }
   }
 
   ++stats_.sends_posted;
   stats_.payload_bytes_sent += pkt->payload_len;
+  stats_.sge_entries_posted += wr.num_sge;
+  stats_.sge_bytes_posted += wr.total_length();
+  if (wr.num_sge > 1) ++stats_.gather_wrs;
   if (inst_.sends_posted) inst_.sends_posted->Increment();
   if (inst_.payload_bytes_sent) inst_.payload_bytes_sent->Add(pkt->payload_len);
 
@@ -137,25 +181,26 @@ void QueuePair::PostSend(const SendWorkRequest& wr) {
     pkt->wr.mux_seq = 0;
     pkt->wr.mux_epoch = 0;
     pkt->suppress_success_completion = true;
-    ScheduleTransmit(pkt);
+    ScheduleTransmit(pkt, wr_cost);
 
     auto notify = std::make_shared<Packet>();
     notify->wr = wr;  // keeps the WWI opcode, imm, stripe seq and wr_id
     notify->wr.sge = Sge{};
+    notify->wr.num_sge = 1;
     notify->payload_len = 0;
     notify->wwi_notify = true;
-    notify->notify_len = wr.sge.length;
+    notify->notify_len = pkt->payload_len;
     notify->post_time = pkt->post_time;
     ++stats_.sends_posted;
     if (inst_.sends_posted) inst_.sends_posted->Increment();
-    ScheduleTransmit(notify);
+    ScheduleTransmit(notify, wr_cost);
     return;
   }
 
-  ScheduleTransmit(pkt);
+  ScheduleTransmit(pkt, wr_cost);
 }
 
-void QueuePair::ScheduleTransmit(const PacketPtr& pkt) {
+void QueuePair::ScheduleTransmit(const PacketPtr& pkt, SimDuration wr_cost) {
   // Track the packet until its completion is raised so Kill() can flush it.
   // Completed packets are pruned lazily to keep the scan bounded.
   if (outstanding_.size() >= 64) {
@@ -165,8 +210,7 @@ void QueuePair::ScheduleTransmit(const PacketPtr& pkt) {
   // The HCA works through posted WRs FIFO, spending the per-WR overhead on
   // each before handing it to the link.
   SimTime now = device_->scheduler().Now();
-  SimTime ready = (now > hca_busy_until_ ? now : hca_busy_until_) +
-                  device_->profile().send_wr_overhead;
+  SimTime ready = (now > hca_busy_until_ ? now : hca_busy_until_) + wr_cost;
   hca_busy_until_ = ready;
   device_->scheduler().ScheduleAt(ready, [this, pkt] { Transmit(pkt); });
 }

@@ -14,6 +14,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/metrics.hpp"
@@ -41,6 +42,17 @@ struct QueuePairStats {
   /// Work requests completed with kWrFlushError after Kill() put the QP in
   /// the error state (in-flight flushes plus refused new posts).
   std::uint64_t flushed_wrs = 0;
+  /// Doorbell rings through PostSendBatch and the work requests they
+  /// covered.  batched_wrs / doorbells is the achieved batch depth.
+  std::uint64_t doorbells = 0;
+  std::uint64_t batched_wrs = 0;
+  /// Gather-list accounting: WRs posted with more than one SGE, total SGE
+  /// entries across all posted sends, and the summed SGE byte lengths.
+  /// sge_bytes_posted == payload_bytes_sent is the per-WR gather byte-
+  /// conservation fact the invariant checker audits.
+  std::uint64_t gather_wrs = 0;
+  std::uint64_t sge_entries_posted = 0;
+  std::uint64_t sge_bytes_posted = 0;
 };
 
 /// Pre-resolved registry instruments a queue pair records into alongside
@@ -54,6 +66,8 @@ struct QueuePairInstruments {
   metrics::Counter* payload_bytes_sent = nullptr;
   metrics::Counter* wire_bytes_sent = nullptr;
   metrics::Counter* messages_delivered = nullptr;
+  metrics::Counter* doorbells = nullptr;        ///< PostSendBatch rings
+  metrics::Counter* batched_wrs = nullptr;      ///< WRs covered by them
   metrics::Histogram* completion_latency = nullptr;  ///< ps, post -> send WC
 };
 
@@ -73,8 +87,17 @@ class QueuePair {
   /// Post a send-queue work request (SEND / RDMA WRITE / WWI / READ).
   /// Local misuse (unregistered memory, oversize inline, not connected)
   /// throws InvariantViolation; remote failures arrive as error
-  /// completions.
+  /// completions.  A WR may gather up to kMaxSge source slices; the peer
+  /// sees one contiguous payload of total_length() bytes.
   void PostSend(const SendWorkRequest& wr);
+
+  /// Post a batch of send WRs behind a single doorbell.  Semantically
+  /// identical to posting each WR in order; the difference is cost: one
+  /// profile doorbell_cost for the whole batch plus per_wr_cost per WR,
+  /// instead of send_wr_overhead per WR.  On profiles that do not split
+  /// the doorbell out (doorbell_cost == per_wr_cost == 0) the batch is
+  /// charged exactly like N single posts, so timing is unchanged.
+  void PostSendBatch(std::span<const SendWorkRequest> wrs);
 
   /// Post a receive buffer.  Zero-length receives are permitted (they can
   /// still be consumed by WWI notifications).  Disallowed once an SRQ is
@@ -139,7 +162,10 @@ class QueuePair {
   };
   using PacketPtr = std::shared_ptr<Packet>;
 
-  void ScheduleTransmit(const PacketPtr& pkt);
+  /// PostSend body with an explicit per-WR HCA charge (the batch path
+  /// passes the decomposed doorbell/per-WR costs).
+  void PostSendCharged(const SendWorkRequest& wr, SimDuration wr_cost);
+  void ScheduleTransmit(const PacketPtr& pkt, SimDuration wr_cost);
   void Transmit(const PacketPtr& pkt);
   /// Runs on the destination QP at arrival time; returns the status the
   /// transport acknowledgment reports back to the sender.

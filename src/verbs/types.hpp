@@ -4,11 +4,14 @@
 // against: send and receive work requests posted to a queue pair, completed
 // asynchronously through completion queues.  Differences from the hardware
 // API are intentional simplifications and are documented in DESIGN.md
-// (single SGE per work request; local misuse throws instead of returning
-// errno; remote failures still surface as error completions).
+// (bounded gather list of kMaxSge entries per send work request, a single
+// SGE per receive; local misuse throws instead of returning errno; remote
+// failures still surface as error completions).
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <stdexcept>
 
 namespace exs::verbs {
 
@@ -68,10 +71,54 @@ struct Sge {
   std::uint32_t lkey = 0;
 };
 
+/// Gather-list bound per send work request (ibv_device_attr.max_sge
+/// analogue).  Compile-time checked by SendWorkRequest::SetSgeList and
+/// runtime-checked by AddSge, mirroring real verb builders that refuse a
+/// longer list rather than silently truncating it.
+inline constexpr std::uint32_t kMaxSge = 8;
+
 struct SendWorkRequest {
   std::uint64_t wr_id = 0;
   Opcode opcode = Opcode::kSend;
+  /// First gather element.  Most requests stop here: `num_sge` defaults to
+  /// 1 and plain `wr.sge = {...}` assignment keeps its historical meaning.
   Sge sge;
+  /// Gather elements 2..num_sge live here (index i-1 for element i).
+  std::array<Sge, kMaxSge - 1> extra_sge{};
+  std::uint32_t num_sge = 1;
+
+  /// Append one gather element.  Throws on overflow — a list longer than
+  /// kMaxSge is a local misuse, like posting to the wrong QP.
+  void AddSge(const Sge& entry) {
+    if (num_sge >= kMaxSge) {
+      throw std::invalid_argument("SendWorkRequest: gather list exceeds "
+                                  "kMaxSge entries");
+    }
+    extra_sge[num_sge - 1] = entry;
+    ++num_sge;
+  }
+
+  /// Install a whole gather list at once; arity is checked at compile time
+  /// (the rdmalib2 builder idiom).
+  template <typename... Rest>
+  void SetSgeList(const Sge& head, const Rest&... rest) {
+    static_assert(1 + sizeof...(rest) <= kMaxSge,
+                  "gather list exceeds kMaxSge entries");
+    sge = head;
+    num_sge = 1;
+    (AddSge(rest), ...);
+  }
+
+  const Sge& sge_at(std::uint32_t i) const {
+    return i == 0 ? sge : extra_sge[i - 1];
+  }
+
+  /// Total gathered payload bytes — what lands contiguously at the peer.
+  std::uint64_t total_length() const {
+    std::uint64_t total = 0;
+    for (std::uint32_t i = 0; i < num_sge; ++i) total += sge_at(i).length;
+    return total;
+  }
 
   /// Copy the payload into the work request at post time instead of
   /// reading registered memory during the transfer; only valid up to the

@@ -15,6 +15,7 @@
 #include "exs/invariant_checker.hpp"
 #include "exs/mux.hpp"
 #include "simnet/faults.hpp"
+#include "verbs/types.hpp"
 
 namespace exs::torture {
 
@@ -51,7 +52,8 @@ simnet::HardwareProfile ResolveProfile(const std::string& name) {
 bool ValidMode(const std::string& mode) {
   return mode == "dynamic" || mode == "direct" || mode == "indirect" ||
          mode == "coalesce" || mode == "stripe" || mode == "seqpacket" ||
-         mode == "many" || mode == "kill" || mode == "mux";
+         mode == "many" || mode == "kill" || mode == "mux" ||
+         mode == "batch";
 }
 
 std::string TortureResult::Describe() const {
@@ -801,6 +803,33 @@ TortureResult RunTorture(const TortureConfig& cfg) {
   // buffer and ACK piggyback armed — the corpus round-trips it through the
   // existing mode key.
   if (cfg.mode == "coalesce") opts.coalesce.enabled = true;
+  // "batch" arms the whole hot-path batching stack — coalescing with
+  // gather-list (sendv) aggregation, doorbell batching, and the MR
+  // registration cache — and drives sends through vectored Sendv.  The
+  // seed picks the batch depth and Sendv arity (domain-separated from the
+  // fault plan and workload RNGs); explicit cfg.batch / cfg.arity pin
+  // their axes so a corpus line replays the exact configuration.
+  std::uint32_t sendv_arity = 1;
+  if (cfg.mode == "batch") {
+    std::uint64_t bits = SplitMix64(cfg.seed ^ 0xba7c4d00bbe11ull).Next();
+    std::uint32_t depth =
+        cfg.batch != 0 ? cfg.batch : (2u << (bits % 3));  // {2,4,8}
+    sendv_arity =
+        cfg.arity != 0 ? cfg.arity : (1u << ((bits >> 2) % 3));  // {1,2,4}
+    EXS_CHECK_MSG(sendv_arity >= 1 && sendv_arity <= verbs::kMaxSge,
+                  "sendv arity out of [1, kMaxSge]");
+    opts.coalesce.enabled = true;
+    opts.batching.doorbell = true;
+    opts.batching.max_wrs = depth;
+    opts.batching.sendv_aggregation = true;
+    opts.batching.mr_cache_entries = 32;
+    // Batched CQ dispatch: {1, 4, 16} completions per CPU pass, so the
+    // completion-clocked refills also exercise the clumped-post path.
+    opts.batching.cq_drain = 1u << (2 * ((bits >> 5) % 3));
+    // Small chunks so a single posting becomes several WRs per pump pass
+    // — otherwise the doorbell batch never fills.
+    opts.max_wwi_chunk = 16 * 1024;
+  }
   if (cfg.mode == "stripe") {
     // Multi-rail striping.  The seed picks the point in the
     // {2,4 rails} × {dynamic,indirect} × {rr,adaptive} cube (domain-
@@ -941,7 +970,24 @@ TortureResult RunTorture(const TortureConfig& cfg) {
         } else {
           std::uint64_t s = rng.NextInRange(1, max_message);
           if (s > total - send_off) s = total - send_off;
-          client->Send(out.data() + send_off, s);
+          if (cfg.mode == "batch") {
+            // Vectored posting: carve the message into `sendv_arity`
+            // slices (zero-length middles are legal padding) — one
+            // logical send, one completion, gathered by the HCA.
+            Socket::IoSlice iov[verbs::kMaxSge];
+            std::uint64_t off = send_off, left = s;
+            std::uint32_t n = 0;
+            for (std::uint32_t k = 0; k < sendv_arity; ++k) {
+              std::uint64_t take =
+                  (k + 1 == sendv_arity) ? left : rng.NextInRange(0, left);
+              iov[n++] = {out.data() + off, take};
+              off += take;
+              left -= take;
+            }
+            client->Sendv(iov, n);
+          } else {
+            client->Send(out.data() + send_off, s);
+          }
           send_off += s;
         }
       } else if (can_recv) {
@@ -1040,6 +1086,8 @@ std::string EncodeCorpusEntry(const TortureConfig& cfg) {
   if (cfg.streams != 0) oss << " streams=" << cfg.streams;
   if (cfg.width != 0) oss << " width=" << cfg.width;
   if (cfg.kill_permille != 0) oss << " killpm=" << cfg.kill_permille;
+  if (cfg.batch != 0) oss << " batch=" << cfg.batch;
+  if (cfg.arity != 0) oss << " arity=" << cfg.arity;
   oss << " fp=0x" << std::hex << cfg.expect_fingerprint;
   return oss.str();
 }
@@ -1088,6 +1136,10 @@ bool DecodeCorpusEntry(const std::string& line, TortureConfig* out) {
         cfg.width = static_cast<std::uint32_t>(std::stoul(value));
       } else if (key == "killpm") {
         cfg.kill_permille = static_cast<std::uint32_t>(std::stoul(value));
+      } else if (key == "batch") {
+        cfg.batch = static_cast<std::uint32_t>(std::stoul(value));
+      } else if (key == "arity") {
+        cfg.arity = static_cast<std::uint32_t>(std::stoul(value));
       } else if (key == "fp") {
         cfg.expect_fingerprint = std::stoull(value, nullptr, 0);
       } else {

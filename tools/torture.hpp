@@ -49,7 +49,13 @@ struct TortureConfig {
   /// {1,2,4} and the per-stream window unless `streams`/`width` pin
   /// them — and the checker additionally replays the mux conservation
   /// laws: group data accounting, per-stream sequence continuity, and
-  /// per-slot credit conservation).
+  /// per-slot credit conservation), or "batch" (the hot-path batching
+  /// stack armed in full — coalescing with sendv aggregation, doorbell
+  /// batching, and the MR registration cache — driven through vectored
+  /// Sendv postings; the seed derives the batch depth ∈ {2,4,8} and the
+  /// Sendv arity ∈ {1,2,4} unless `batch`/`arity` pin them, and the
+  /// checker additionally audits per-rail gather-byte and doorbell
+  /// conservation).
   std::string mode = "dynamic";
   /// "stripe" mode only: rail count (0 = derive {2,4} from the seed).
   std::uint32_t rails = 0;
@@ -66,6 +72,13 @@ struct TortureConfig {
   /// QP kill lands (0 = derive from the seed).  Encoded to a corpus entry
   /// only when pinned, so older corpus files round-trip byte-identically.
   std::uint32_t kill_permille = 0;
+  /// "batch" mode only: WRs per doorbell ring (0 = derive {2,4,8} from
+  /// the seed).  Encoded to a corpus entry only when pinned, so older
+  /// corpus files round-trip byte-identically.
+  std::uint32_t batch = 0;
+  /// "batch" mode only: slices per vectored Sendv posting (0 = derive
+  /// {1,2,4} from the seed).  Encoded only when pinned, like `batch`.
+  std::uint32_t arity = 0;
   std::uint64_t total_bytes = 192 * 1024;
   std::uint64_t max_message = 24 * 1024;
   std::uint64_t buffer_bytes = 64 * 1024;

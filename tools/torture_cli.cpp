@@ -31,12 +31,16 @@ using exs::torture::TortureResult;
       "  --seed N         single seed (same as --seeds N..N)\n"
       "  --profiles CSV   subset of fdr,iwarp,wan (all)\n"
       "  --modes CSV      subset of dynamic,direct,indirect,coalesce,\n"
-      "                   stripe,seqpacket,many,kill,mux\n"
+      "                   stripe,seqpacket,many,kill,mux,batch\n"
       "                   (dynamic,direct,indirect,coalesce,stripe,kill,\n"
-      "                   mux)\n"
+      "                   mux,batch)\n"
       "  --kill-permille N     kill mode: pin when the fatal QP kill\n"
       "                   lands, in permille of the fault horizon\n"
       "                   (0 = derive from the seed)\n"
+      "  --batch N        batch mode: pin the WRs per doorbell ring\n"
+      "                   (0 = derive 2, 4 or 8 from the seed)\n"
+      "  --arity N        batch mode: pin the slices per Sendv posting\n"
+      "                   (0 = derive 1, 2 or 4 from the seed)\n"
       "  --rails N        stripe mode: pin the rail count (0 = derive\n"
       "                   2 or 4 from the seed)\n"
       "  --sched S        stripe mode: pin the rail scheduler, rr or\n"
@@ -116,7 +120,8 @@ int main(int argc, char** argv) {
   std::uint64_t seed_lo = 1, seed_hi = 20;
   std::vector<std::string> profiles = {"fdr", "iwarp", "wan"};
   std::vector<std::string> modes = {"dynamic", "direct", "indirect",
-                                    "coalesce", "stripe", "kill", "mux"};
+                                    "coalesce", "stripe", "kill", "mux",
+                                    "batch"};
   TortureConfig base;
   std::string corpus_path;
   std::string replay_path;
@@ -141,6 +146,10 @@ int main(int argc, char** argv) {
       base.max_message = ParseSize(next());
     } else if (arg == "--buffer") {
       base.buffer_bytes = ParseSize(next());
+    } else if (arg == "--batch") {
+      base.batch = static_cast<std::uint32_t>(ParseSize(next()));
+    } else if (arg == "--arity") {
+      base.arity = static_cast<std::uint32_t>(ParseSize(next()));
     } else if (arg == "--rails") {
       base.rails = static_cast<std::uint32_t>(ParseSize(next()));
     } else if (arg == "--sched") {
