@@ -100,9 +100,19 @@ std::vector<Point> RunSweep(const Args& args) {
   Table table({"message size", "depth", "Mb/s", "gain vs depth-1",
                "achieved depth"});
   std::vector<Point> points;
-  for (std::uint64_t size : kSizes) {
+  // --quick keeps the 512 B point CI gates on plus one larger size, with
+  // the depth-1 baseline (first, so gains stay well-defined) and depth 8.
+  const std::vector<std::uint64_t> sizes =
+      args.quick ? std::vector<std::uint64_t>{512, 2048}
+                 : std::vector<std::uint64_t>(std::begin(kSizes),
+                                              std::end(kSizes));
+  const std::vector<std::uint32_t> depths =
+      args.quick ? std::vector<std::uint32_t>{1, 8}
+                 : std::vector<std::uint32_t>(std::begin(kDepths),
+                                              std::end(kDepths));
+  for (std::uint64_t size : sizes) {
     double baseline = 0.0;
-    for (std::uint32_t depth : kDepths) {
+    for (std::uint32_t depth : depths) {
       blast::BlastSummary s =
           blast::RunRepeated(BaseFor(args, size, depth), args.runs);
       Point p;

@@ -59,7 +59,13 @@ std::vector<Point> RunProfile(const std::string& profile, const Args& args) {
   Table table({"message size", "off Mb/s", "on Mb/s", "gain",
                "merged sends/flush", "acks piggybacked"});
   std::vector<Point> points;
-  for (std::uint64_t size : kSizes) {
+  // --quick keeps the smallest size, the 256 B point CI gates on, and the
+  // staging-capacity boundary where the columns converge.
+  const std::vector<std::uint64_t> sizes =
+      args.quick ? std::vector<std::uint64_t>{64, 256, 4096}
+                 : std::vector<std::uint64_t>(std::begin(kSizes),
+                                              std::end(kSizes));
+  for (std::uint64_t size : sizes) {
     blast::BlastConfig off = BaseFor(profile, args);
     off.fixed_message_bytes = size;
     blast::BlastConfig on = off;

@@ -75,6 +75,7 @@ struct Point {
   double spread = 0.0;
   std::uint64_t parks = 0;
   double hol_p99_us = 0.0;
+  double hol_p999_us = 0.0;
   bool checker_ran = false;
   std::uint64_t checker_violations = 0;
 };
@@ -236,6 +237,7 @@ Point RunPoint(bool muxed, std::uint32_t streams,
               .value());
     }
     pt.hol_p99_us = merged.Percentile(99.0) / 1e6;  // ps -> us
+    pt.hol_p999_us = merged.Percentile(99.9) / 1e6;
   }
 
   InvariantReport report;
@@ -270,6 +272,7 @@ void WriteJson(const Args& args, const std::vector<Point>& points,
          << ",\"fairness\":" << p.fairness << ",\"spread\":" << p.spread
          << ",\"parks\":" << p.parks
          << ",\"hol_p99_us\":" << p.hol_p99_us
+         << ",\"hol_p999_us\":" << p.hol_p999_us
          << ",\"checker_ran\":" << (p.checker_ran ? "true" : "false")
          << ",\"checker_violations\":" << p.checker_violations << "}";
   }

@@ -28,7 +28,10 @@ void Run(const Args& args) {
               "128 KiB Mb/s", "2 MiB Mb/s"});
   Table ratio({"outstanding sends", "512 B ratio", "8 KiB ratio",
                "128 KiB ratio", "2 MiB ratio"});
-  for (std::uint32_t sends : kSends) {
+  // --quick samples the shallow, paper-anomaly (5), and deep ends.
+  const std::vector<std::uint32_t> send_sweep =
+      args.quick ? std::vector<std::uint32_t>{1, 5, 32} : kSends;
+  for (std::uint32_t sends : send_sweep) {
     std::vector<std::string> trow = {std::to_string(sends)};
     std::vector<std::string> rrow = {std::to_string(sends)};
     for (std::uint64_t size : kSizes) {

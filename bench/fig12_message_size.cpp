@@ -40,7 +40,11 @@ std::vector<Point> Run(const Args& args) {
   Table table({"message size", "throughput Mb/s", "direct:total ratio",
                "mode switches"});
   std::vector<Point> points;
-  for (std::uint64_t size : kSizes) {
+  // --quick samples the small / knee / large regimes of the size curve.
+  const std::vector<std::uint64_t> sizes =
+      args.quick ? std::vector<std::uint64_t>{512, 32 * kKiB, 2 * kMiB}
+                 : kSizes;
+  for (std::uint64_t size : sizes) {
     blast::BlastConfig c = FdrBaseConfig(args);
     c.outstanding_recvs = 4;
     c.outstanding_sends = 2;

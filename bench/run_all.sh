@@ -40,7 +40,7 @@ done
 suite_schema_version=2
 
 benches=(fig09_throughput_outstanding fig12_message_size ext_coalescing
-         ext_batching ext_striping ext_manystream)
+         ext_batching ext_striping ext_manystream ext_openloop)
 # Benches that also emit a per-stage latency provenance document
 # (--latency-json, see docs/OBSERVABILITY.md "Latency provenance").
 latency_benches=(ext_latency ext_manystream)

@@ -28,8 +28,11 @@ void Run(const Args& args) {
                   FormatMetric(s.mode_switches, 1),
                   FormatMetric(s.direct_ratio, 2)});
   };
-  for (std::uint32_t k : kOutstandingSweep) add_case(k, k);
-  for (std::uint32_t k : kOutstandingSweep) {
+  // --quick keeps the sweep's endpoints and midpoint.
+  const std::vector<std::uint32_t> sweep =
+      args.quick ? std::vector<std::uint32_t>{1, 4, 16} : kOutstandingSweep;
+  for (std::uint32_t k : sweep) add_case(k, k);
+  for (std::uint32_t k : sweep) {
     if (k >= 2) add_case(k, k / 2);
   }
   table.Print(std::cout, args.csv);

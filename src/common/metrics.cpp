@@ -238,6 +238,7 @@ std::string Registry::ToJson(SimTime now) const {
     AppendField(&out, "p50", FormatJsonNumber(h.Percentile(50)), &f);
     AppendField(&out, "p90", FormatJsonNumber(h.Percentile(90)), &f);
     AppendField(&out, "p99", FormatJsonNumber(h.Percentile(99)), &f);
+    AppendField(&out, "p999", FormatJsonNumber(h.Percentile(99.9)), &f);
     std::string buckets = "[";
     bool first_bucket = true;
     for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
@@ -317,6 +318,8 @@ std::string Registry::ToCsv(SimTime now) const {
         FormatJsonNumber(h.Percentile(90)));
     row(name, "histogram", entry.unit, "p99",
         FormatJsonNumber(h.Percentile(99)));
+    row(name, "histogram", entry.unit, "p999",
+        FormatJsonNumber(h.Percentile(99.9)));
   }
   for (const auto& [name, entry] : series_) {
     const TimeWeightedSeries& s = *entry.instrument;

@@ -32,22 +32,6 @@ SimDuration NearestRank(const std::vector<SimDuration>& sorted, double p) {
   return sorted[rank - 1];
 }
 
-StageStats Summarise(std::vector<SimDuration>* durations) {
-  StageStats st;
-  if (durations->empty()) return st;
-  std::sort(durations->begin(), durations->end());
-  st.count = durations->size();
-  st.min_ps = durations->front();
-  st.max_ps = durations->back();
-  for (SimDuration d : *durations) {
-    st.sum_ps += static_cast<std::uint64_t>(d);
-  }
-  st.p50_ps = NearestRank(*durations, 50.0);
-  st.p99_ps = NearestRank(*durations, 99.0);
-  st.p999_ps = NearestRank(*durations, 99.9);
-  return st;
-}
-
 std::string FormatUs(SimDuration ps) {
   char buf[40];
   std::snprintf(buf, sizeof buf, "%.3f",
@@ -65,6 +49,22 @@ void AppendStageJson(std::ostringstream* out, const char* name,
 }
 
 }  // namespace
+
+StageStats Summarise(std::vector<SimDuration>* durations) {
+  StageStats st;
+  if (durations->empty()) return st;
+  std::sort(durations->begin(), durations->end());
+  st.count = durations->size();
+  st.min_ps = durations->front();
+  st.max_ps = durations->back();
+  for (SimDuration d : *durations) {
+    st.sum_ps += static_cast<std::uint64_t>(d);
+  }
+  st.p50_ps = NearestRank(*durations, 50.0);
+  st.p99_ps = NearestRank(*durations, 99.0);
+  st.p999_ps = NearestRank(*durations, 99.9);
+  return st;
+}
 
 const char* StageName(Stage s) {
   switch (s) {

@@ -101,6 +101,13 @@ struct StageStats {
   SimDuration p999_ps = 0;
 };
 
+/// Summarise a duration sample into exact nearest-rank StageStats
+/// (p50/p99/p999 over the sorted values — bit-stable for fixed seeds).
+/// Sorts `durations` in place.  Shared by the latency report and every
+/// harness that reports response-time percentiles (e.g. the RPC tier's
+/// open-loop bench).
+StageStats Summarise(std::vector<SimDuration>* durations);
+
 /// The derived attribution report over all delivered sampled chunks.
 struct LatencyReport {
   std::uint64_t chunks_delivered = 0;

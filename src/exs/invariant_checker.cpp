@@ -973,6 +973,92 @@ InvariantReport CheckPoolConservation(
   return report;
 }
 
+InvariantReport CheckRpcConservation(
+    const std::vector<const rpc::RpcLedger*>& clients,
+    const rpc::RpcServerCounters* server) {
+  InvariantReport report;
+  std::uint64_t issued = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t answered = 0;
+  std::uint64_t refused = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t stale = 0;
+  for (std::size_t c = 0; c < clients.size(); ++c) {
+    const rpc::RpcLedger& ledger = *clients[c];
+    issued += ledger.issued();
+    shed += ledger.shed_local;
+    stale += ledger.stale_responses;
+    std::uint64_t client_timed_out = 0;
+    for (std::size_t i = 0; i < ledger.outcome.size(); ++i) {
+      ++report.events_checked;
+      const auto o = static_cast<rpc::Outcome>(ledger.outcome[i]);
+      const std::uint8_t attempts = ledger.outcome_count[i];
+      if (o == rpc::Outcome::kPending || attempts == 0) {
+        report.violations.push_back(
+            "rpc: client " + std::to_string(c) + " request " +
+            std::to_string(i + 1) +
+            " lost: no terminal outcome at quiescence");
+        continue;
+      }
+      if (attempts != 1) {
+        report.violations.push_back(
+            "rpc: client " + std::to_string(c) + " request " +
+            std::to_string(i + 1) + " resolved " + std::to_string(attempts) +
+            " times (outcome must be exactly one of "
+            "answered/timed-out/refused)");
+      }
+      switch (o) {
+        case rpc::Outcome::kAnswered: ++answered; break;
+        case rpc::Outcome::kRefused: ++refused; break;
+        case rpc::Outcome::kTimedOut:
+          ++timed_out;
+          ++client_timed_out;
+          break;
+        case rpc::Outcome::kPending: break;
+      }
+    }
+    if (ledger.cancelled > client_timed_out) {
+      report.violations.push_back(
+          "rpc: client " + std::to_string(c) + " records " +
+          std::to_string(ledger.cancelled) + " cancellations but only " +
+          std::to_string(client_timed_out) + " timed-out outcomes");
+    }
+  }
+  if (shed > refused) {
+    report.violations.push_back(
+        "rpc: " + std::to_string(shed) + " locally shed request(s) exceed " +
+        std::to_string(refused) + " refused outcome(s)");
+  }
+  if (server != nullptr) {
+    const std::uint64_t on_wire = issued - (shed < issued ? shed : issued);
+    if (server->requests_received != on_wire) {
+      report.violations.push_back(
+          "rpc: server received " + std::to_string(server->requests_received) +
+          " request(s) but clients put " + std::to_string(on_wire) +
+          " on the wire (" + std::to_string(issued) + " issued - " +
+          std::to_string(shed) + " shed)");
+    }
+    const std::uint64_t refused_remote = refused - (shed < refused ? shed : refused);
+    const std::uint64_t accounted = answered + refused_remote + stale;
+    if (server->responses_sent != accounted) {
+      report.violations.push_back(
+          "rpc: server sent " + std::to_string(server->responses_sent) +
+          " response(s) but clients account " + std::to_string(accounted) +
+          " (" + std::to_string(answered) + " answered + " +
+          std::to_string(refused_remote) + " refused + " +
+          std::to_string(stale) + " stale)");
+    }
+    if (server->responses_sent != server->answered + server->refused) {
+      report.violations.push_back(
+          "rpc: server response split broken: " +
+          std::to_string(server->responses_sent) + " sent != " +
+          std::to_string(server->answered) + " answered + " +
+          std::to_string(server->refused) + " refused");
+    }
+  }
+  return report;
+}
+
 std::uint64_t TraceFingerprint(const TraceLog& log) {
   // FNV-1a over every recorded field, in order.  Traces carry no memory
   // addresses, so the hash is stable across processes and ASLR.

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/spans.hpp"
+#include "exs/rpc/ledger.hpp"
 #include "exs/trace.hpp"
 #include "exs/types.hpp"
 
@@ -160,6 +161,24 @@ InvariantReport CheckMuxGroupPair(const MuxGroup& a, const MuxGroup& b);
 /// of the byte-continuity rules above.
 InvariantReport CheckSpanConservation(const spans::SpanCollector& collector,
                                       SimDuration slack_ps = 0);
+
+/// RPC request/response conservation (src/exs/rpc/), audited at
+/// quiescence over the clients' ledgers and (optionally) the server's
+/// counters:
+///   (a) exactly-one-outcome: every issued request carries exactly one
+///       terminal outcome — answered, timed out, or refused; a pending
+///       request at quiescence is a *lost* request, and an outcome
+///       recorded twice (even agreeing) is a double resolution — the
+///       ledger counts attempts precisely so forged duplicates convict;
+///   (b) wire conservation against the server: requests received equal
+///       requests issued minus the ones shed client-side before touching
+///       the wire, and responses sent equal the responses the clients
+///       accounted — answered + remotely-refused + stale (a post-timeout
+///       answer is counted, never re-resolved);
+///   (c) the server's own split holds: responses == answered + refused.
+InvariantReport CheckRpcConservation(
+    const std::vector<const rpc::RpcLedger*>& clients,
+    const rpc::RpcServerCounters* server = nullptr);
 
 /// Order-sensitive FNV-1a hash over every recorded field of the trace.
 /// Two runs with identical protocol behaviour produce identical

@@ -1,0 +1,58 @@
+// Per-client KV workload composition: op mix x Zipf keys x value-size
+// mix, drawn from one domain-separated Rng per client.
+//
+// The torture harness and the open-loop bench share this so "the
+// workload" means the same thing in both: a fixed (seed, client) pair
+// yields the identical request train, independent of the transport or
+// the arrival process pacing it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "exs/loadgen/popularity.hpp"
+#include "exs/rpc/framing.hpp"
+
+namespace exs::loadgen {
+
+struct WorkloadOptions {
+  std::uint64_t key_space = 4096;
+  double zipf_theta = 0.99;
+  double get_fraction = 0.70;
+  double put_fraction = 0.25;  ///< remainder is DEL
+  /// Value sizes for PUTs; defaults mirror a small-object cache mix.
+  std::vector<SizeMix::Class> size_classes = {
+      {64, 6.0}, {256, 3.0}, {480, 1.0}};
+};
+
+class WorkloadGenerator {
+ public:
+  struct Request {
+    rpc::Op op = rpc::Op::kGet;
+    std::string key;
+    std::uint32_t value_len = 0;  ///< 0 except for PUT
+  };
+
+  /// The generator owns its Rng, seeded by the caller (domain-separate
+  /// per client: SplitMix64(seed ^ client_tag).Next()).
+  WorkloadGenerator(const WorkloadOptions& options, std::uint64_t seed);
+
+  Request Next();
+
+  /// Deterministic fill for a PUT value: byte i of `key`'s value is a
+  /// pure function of (key hash, i), so any reader can verify content.
+  static void FillValue(const std::string& key, std::uint8_t* out,
+                        std::uint32_t len);
+
+  const ZipfSampler& zipf() const { return zipf_; }
+
+ private:
+  WorkloadOptions options_;
+  Rng rng_;
+  ZipfSampler zipf_;
+  SizeMix sizes_;
+};
+
+}  // namespace exs::loadgen

@@ -1,0 +1,92 @@
+// The RPC conservation ledger: the ground truth CheckRpcConservation
+// replays.
+//
+// The tier's safety statement mirrors the stream layer's byte
+// conservation: every request a client issues reaches exactly one
+// terminal outcome — answered, timed out, or refused — never zero and
+// never two.  A response that arrives after its call already timed out
+// is *stale*: it is counted (the bytes are real and the server did the
+// work) but it must not flip the outcome a second time.
+//
+// The ledger deliberately records outcome *attempts*, not just the final
+// state: `outcome_count[i]` increments on every RecordOutcome call, so a
+// client bug that resolves a call twice is visible to the checker as a
+// count of 2 even if both attempts agreed — the audit catches the
+// double-resolution itself, not merely contradictory resolutions
+// (tests/rpc_test.cpp forges exactly this to prove conviction).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace exs::rpc {
+
+enum class Outcome : std::uint8_t {
+  kPending = 0,
+  kAnswered = 1,  ///< a response (OK or NOT_FOUND) resolved the call
+  kTimedOut = 2,  ///< the deadline fired first (or the call was cancelled)
+  kRefused = 3,   ///< the server answered REFUSED, or the client shed the
+                  ///< call at submission (pipeline overflow)
+};
+
+/// Per-client request ledger.  Correlation ids are dense per client,
+/// starting at 1, so request i lives at index i-1.
+struct RpcLedger {
+  /// Terminal outcome of each issued request (first outcome recorded
+  /// wins; later attempts only bump outcome_count).
+  std::vector<std::uint8_t> outcome;
+  /// Times an outcome was recorded for each request — exactly 1 for a
+  /// correct client.
+  std::vector<std::uint8_t> outcome_count;
+  /// Responses that arrived for an already-resolved call (post-timeout
+  /// arrivals).  Not an outcome.
+  std::uint64_t stale_responses = 0;
+  /// Cancellations folded into kTimedOut (locally abandoned calls),
+  /// tracked separately for reporting.
+  std::uint64_t cancelled = 0;
+  /// Requests shed client-side (pipeline overflow) — these carry
+  /// kRefused without ever touching the wire.
+  std::uint64_t shed_local = 0;
+
+  std::uint64_t issued() const { return outcome.size(); }
+
+  /// Issue request with the next dense correlation id; returns the id.
+  std::uint64_t RecordIssue() {
+    outcome.push_back(static_cast<std::uint8_t>(Outcome::kPending));
+    outcome_count.push_back(0);
+    return outcome.size();
+  }
+
+  /// Record a terminal outcome for `correlation_id`.  Returns true when
+  /// this was the first outcome (the caller may run completion actions);
+  /// false means the call was already resolved — the attempt is still
+  /// counted for the audit.
+  bool RecordOutcome(std::uint64_t correlation_id, Outcome o) {
+    if (correlation_id == 0 || correlation_id > outcome.size()) return false;
+    const std::size_t i = correlation_id - 1;
+    if (outcome_count[i] != 0xff) ++outcome_count[i];
+    if (outcome[i] != static_cast<std::uint8_t>(Outcome::kPending)) {
+      return false;
+    }
+    outcome[i] = static_cast<std::uint8_t>(o);
+    return true;
+  }
+
+  std::uint64_t Count(Outcome o) const {
+    std::uint64_t n = 0;
+    for (std::uint8_t v : outcome) {
+      if (v == static_cast<std::uint8_t>(o)) ++n;
+    }
+    return n;
+  }
+};
+
+/// Server-side conservation counters, mirrored by the KV server.
+struct RpcServerCounters {
+  std::uint64_t requests_received = 0;
+  std::uint64_t responses_sent = 0;  ///< answered + refused
+  std::uint64_t answered = 0;        ///< OK or NOT_FOUND
+  std::uint64_t refused = 0;         ///< REFUSED status
+};
+
+}  // namespace exs::rpc

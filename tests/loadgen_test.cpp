@@ -1,0 +1,196 @@
+// Traffic-generator determinism and distribution tests.
+//
+// The golden pins freeze the exact sample trains at fixed seeds: the
+// arrival processes and samplers are pure functions of an Rng, so any
+// change to draw order or arithmetic shows up as a golden mismatch here
+// before it silently shifts every bench result.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "exs/loadgen/arrivals.hpp"
+#include "exs/loadgen/popularity.hpp"
+#include "exs/loadgen/workload.hpp"
+
+namespace exs::loadgen {
+namespace {
+
+// ---- golden pins --------------------------------------------------------
+
+TEST(PoissonGolden, FirstGapsAtSeed42) {
+  Rng rng(42);
+  PoissonProcess poisson(Microseconds(1));
+  const std::vector<SimDuration> expected = {
+      87589, 476392, 1139569, 2586181, 4804098, 1468543, 1270321, 1897176,
+  };
+  std::vector<SimDuration> got;
+  for (std::size_t i = 0; i < expected.size(); ++i) got.push_back(poisson.Next(rng));
+  EXPECT_EQ(got, expected);
+}
+
+TEST(OnOffGolden, BurstTrainAtSeed7) {
+  Rng rng(7);
+  OnOffBurstProcess proc(OnOffBurstProcess::Options{});
+  const std::vector<SimDuration> expected = {
+      1205896, 1830255, 4695125, 62675,  517022, 779506,
+      2796317, 600421,  296652,  170195, 188049, 1100974,
+  };
+  std::vector<SimDuration> got;
+  for (std::size_t i = 0; i < expected.size(); ++i) got.push_back(proc.Next(rng));
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(proc.bursts_started(), 1u);
+}
+
+TEST(ZipfGolden, FirstRanksAtSeed99) {
+  Rng rng(99);
+  ZipfSampler zipf(1024, 0.99);
+  const std::vector<std::uint64_t> expected = {
+      6, 36, 8, 344, 202, 2, 3, 0, 320, 43, 143, 1,
+  };
+  std::vector<std::uint64_t> got;
+  for (std::size_t i = 0; i < expected.size(); ++i) got.push_back(zipf.Sample(rng));
+  EXPECT_EQ(got, expected);
+}
+
+TEST(WorkloadGolden, RequestTrainAtSeed1234) {
+  WorkloadGenerator gen(WorkloadOptions{}, 1234);
+  struct Pin {
+    rpc::Op op;
+    const char* key;
+    std::uint32_t value_len;
+  };
+  const std::vector<Pin> expected = {
+      {rpc::Op::kPut, "k0", 256},  {rpc::Op::kGet, "k1305", 0},
+      {rpc::Op::kGet, "k1603", 0}, {rpc::Op::kGet, "k2", 0},
+      {rpc::Op::kGet, "k180", 0},  {rpc::Op::kGet, "k3", 0},
+      {rpc::Op::kGet, "k178", 0},  {rpc::Op::kGet, "k945", 0},
+  };
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const WorkloadGenerator::Request r = gen.Next();
+    EXPECT_EQ(static_cast<int>(r.op), static_cast<int>(expected[i].op))
+        << "request " << i;
+    EXPECT_EQ(r.key, expected[i].key) << "request " << i;
+    EXPECT_EQ(r.value_len, expected[i].value_len) << "request " << i;
+  }
+}
+
+// ---- properties ---------------------------------------------------------
+
+TEST(PoissonProperty, MeanAndVarianceMatchExponential) {
+  Rng rng(2024);
+  const SimDuration mean = Microseconds(2);
+  PoissonProcess poisson(mean);
+  constexpr int kSamples = 200000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double g = static_cast<double>(poisson.Next(rng));
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double m = sum / kSamples;
+  const double var = sum_sq / kSamples - m * m;
+  const double target = static_cast<double>(mean);
+  EXPECT_NEAR(m, target, 0.02 * target);
+  // Exponential: variance == mean^2.
+  EXPECT_NEAR(var, target * target, 0.05 * target * target);
+}
+
+TEST(OnOffProperty, BurstSizeMatchesGeometricMean) {
+  Rng rng(5150);
+  OnOffBurstProcess::Options opts;
+  opts.mean_burst_size = 8.0;
+  OnOffBurstProcess proc(opts);
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) proc.Next(rng);
+  const double mean_burst =
+      static_cast<double>(kSamples) / static_cast<double>(proc.bursts_started());
+  EXPECT_NEAR(mean_burst, 8.0, 0.5);
+}
+
+TEST(ZipfProperty, RankFrequencyDecreasesAndTopMatches) {
+  Rng rng(77);
+  ZipfSampler zipf(256, 0.99);
+  constexpr int kSamples = 200000;
+  std::vector<std::uint64_t> counts(256, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf.Sample(rng)];
+  // Head ranks strictly dominate the tail.
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[7]);
+  EXPECT_GT(counts[7], counts[255]);
+  const double top = static_cast<double>(counts[0]) / kSamples;
+  EXPECT_NEAR(top, zipf.TopProbability(), 0.01);
+}
+
+TEST(ZipfProperty, ThetaZeroIsUniform) {
+  Rng rng(31);
+  ZipfSampler zipf(64, 0.0);
+  constexpr int kSamples = 128000;
+  std::vector<std::uint64_t> counts(64, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf.Sample(rng)];
+  for (std::uint64_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), kSamples / 64.0, 0.15 * kSamples / 64.0);
+  }
+}
+
+TEST(SizeMixProperty, FrequenciesTrackWeights) {
+  Rng rng(11);
+  SizeMix mix({{64, 6.0}, {256, 3.0}, {480, 1.0}});
+  EXPECT_EQ(mix.MaxBytes(), 480u);
+  EXPECT_NEAR(mix.MeanBytes(), (64 * 6.0 + 256 * 3.0 + 480 * 1.0) / 10.0, 1e-9);
+  constexpr int kSamples = 100000;
+  std::map<std::uint32_t, int> counts;
+  for (int i = 0; i < kSamples; ++i) ++counts[mix.Sample(rng)];
+  EXPECT_NEAR(counts[64] / double(kSamples), 0.6, 0.02);
+  EXPECT_NEAR(counts[256] / double(kSamples), 0.3, 0.02);
+  EXPECT_NEAR(counts[480] / double(kSamples), 0.1, 0.02);
+}
+
+TEST(WorkloadProperty, OpMixAndDeterminism) {
+  WorkloadOptions opts;
+  WorkloadGenerator a(opts, 555), b(opts, 555), c(opts, 556);
+  constexpr int kSamples = 50000;
+  int gets = 0, puts = 0, dels = 0, diverged = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const auto ra = a.Next();
+    const auto rb = b.Next();
+    const auto rc = c.Next();
+    EXPECT_EQ(ra.key, rb.key);
+    EXPECT_EQ(static_cast<int>(ra.op), static_cast<int>(rb.op));
+    EXPECT_EQ(ra.value_len, rb.value_len);
+    if (ra.key != rc.key || ra.op != rc.op) ++diverged;
+    switch (ra.op) {
+      case rpc::Op::kGet: ++gets; break;
+      case rpc::Op::kPut:
+        ++puts;
+        EXPECT_GT(ra.value_len, 0u);
+        break;
+      case rpc::Op::kDel: ++dels; break;
+    }
+  }
+  EXPECT_GT(diverged, kSamples / 2);  // different seed, different train
+  EXPECT_NEAR(gets / double(kSamples), 0.70, 0.02);
+  EXPECT_NEAR(puts / double(kSamples), 0.25, 0.02);
+  EXPECT_NEAR(dels / double(kSamples), 0.05, 0.02);
+}
+
+TEST(WorkloadProperty, FillValueIsDeterministicAndKeyed) {
+  std::uint8_t a1[64], a2[64], b[64];
+  WorkloadGenerator::FillValue("k17", a1, sizeof a1);
+  WorkloadGenerator::FillValue("k17", a2, sizeof a2);
+  WorkloadGenerator::FillValue("k18", b, sizeof b);
+  EXPECT_EQ(0, std::memcmp(a1, a2, sizeof a1));
+  EXPECT_NE(0, std::memcmp(a1, b, sizeof a1));
+  // A prefix fill matches the prefix of a longer fill (byte i depends
+  // only on (key, i)).
+  std::uint8_t short_fill[16];
+  WorkloadGenerator::FillValue("k17", short_fill, sizeof short_fill);
+  EXPECT_EQ(0, std::memcmp(a1, short_fill, sizeof short_fill));
+}
+
+}  // namespace
+}  // namespace exs::loadgen

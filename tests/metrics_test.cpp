@@ -209,6 +209,9 @@ TEST(Registry, JsonSnapshotParsesBack) {
   ASSERT_NE(hist, nullptr);
   EXPECT_EQ(hist->Find("count")->number_value, 2.0);
   EXPECT_EQ(hist->Find("sum")->number_value, 1000.0);
+  ASSERT_NE(hist->Find("p999"), nullptr);
+  EXPECT_GE(hist->Find("p999")->number_value,
+            hist->Find("p50")->number_value);
   ASSERT_TRUE(hist->Find("buckets")->IsArray());
   EXPECT_EQ(hist->Find("buckets")->array_items.size(), 2u);
 

@@ -7,9 +7,15 @@ The simulator is deterministic, so on an unchanged tree the two files are
 byte-identical and this differ is a no-op.  Its job is to catch
 *unintentional* regressions: every numeric leaf must stay within
 --tolerance (relative) of the baseline, every non-numeric leaf must match
-exactly, and the two documents must have the same shape.  A deliberate
+exactly, and nothing the baseline records may go missing.  A deliberate
 performance change shows up here too — regenerate the baseline with
 bench/run_all.sh and commit it alongside the change.
+
+Fields present only in the fresh results are *additive* (a bench started
+exporting a new statistic, e.g. a p999 percentile) and are reported as
+notices, not failures — the schema_version gate below is the tripwire for
+incompatible shape changes, so a pure addition must not force a version
+bump across every baseline.
 
 Schema versions gate everything: if the suite or any per-bench
 `schema_version` differs, the comparison refuses to run (exit 3) rather
@@ -23,7 +29,7 @@ import json
 import sys
 
 
-def walk(path, base, fresh, tolerance, problems):
+def walk(path, base, fresh, tolerance, problems, notices):
     """Append a human-readable problem line for every mismatched leaf."""
     if type(base) is not type(fresh) and not (
         isinstance(base, (int, float)) and isinstance(fresh, (int, float))
@@ -34,18 +40,21 @@ def walk(path, base, fresh, tolerance, problems):
     if isinstance(base, dict):
         for key in base.keys() | fresh.keys():
             if key not in base:
-                problems.append(f"{path}.{key}: new field (not in baseline)")
+                # Additive: a bench grew a new exported field.  Surface it
+                # so the baseline gets regenerated eventually, but do not
+                # fail the diff over data the baseline never measured.
+                notices.append(f"{path}.{key}: new field (not in baseline)")
             elif key not in fresh:
                 problems.append(f"{path}.{key}: missing from fresh results")
             else:
                 walk(f"{path}.{key}", base[key], fresh[key], tolerance,
-                     problems)
+                     problems, notices)
     elif isinstance(base, list):
         if len(base) != len(fresh):
             problems.append(f"{path}: length {len(base)} -> {len(fresh)}")
             return
         for i, (b, f) in enumerate(zip(base, fresh)):
-            walk(f"{path}[{i}]", b, f, tolerance, problems)
+            walk(f"{path}[{i}]", b, f, tolerance, problems, notices)
     elif isinstance(base, bool) or base is None or isinstance(base, str):
         if base != fresh:
             problems.append(f"{path}: {base!r} -> {fresh!r}")
@@ -101,7 +110,10 @@ def main():
         return 3
 
     problems = []
-    walk("$", base, fresh, args.tolerance, problems)
+    notices = []
+    walk("$", base, fresh, args.tolerance, problems, notices)
+    for n in notices:
+        print(f"bench_diff: note: {n} — regenerate the baseline to record it")
     if problems:
         print(f"bench_diff: {len(problems)} field(s) out of tolerance:")
         for p in problems:

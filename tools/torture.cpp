@@ -13,7 +13,10 @@
 #include "exs/engine/progress_engine.hpp"
 #include "exs/exs.hpp"
 #include "exs/invariant_checker.hpp"
+#include "exs/loadgen/workload.hpp"
 #include "exs/mux.hpp"
+#include "exs/rpc/kv_server.hpp"
+#include "exs/rpc/rpc_client.hpp"
 #include "simnet/faults.hpp"
 #include "verbs/types.hpp"
 
@@ -53,7 +56,7 @@ bool ValidMode(const std::string& mode) {
   return mode == "dynamic" || mode == "direct" || mode == "indirect" ||
          mode == "coalesce" || mode == "stripe" || mode == "seqpacket" ||
          mode == "many" || mode == "kill" || mode == "mux" ||
-         mode == "batch";
+         mode == "batch" || mode == "rpc";
 }
 
 std::string TortureResult::Describe() const {
@@ -506,6 +509,210 @@ TortureResult RunMuxTorture(const TortureConfig& cfg) {
 }
 
 // ---------------------------------------------------------------------------
+// "rpc" mode: the RPC/KV tier (src/exs/rpc) under transient faults.
+// ---------------------------------------------------------------------------
+
+/// N RpcClients over a shared MuxGroup slot pool drive one sharded KV
+/// server through seeded request trains (Zipf keys, GET/PUT/DEL mix,
+/// mixed value sizes) while control-delay faults hold slot 0 on each
+/// side.  A tight per-call deadline, a small client pipeline bound, and
+/// a deliberately starved value slab keep every terminal outcome live in
+/// one run — answered, timed out, refused (remote slab/oversize refusals
+/// plus local sheds) — and the run passes only if the RPC conservation
+/// law holds: every issued call reaches exactly one outcome, stale
+/// post-timeout responses never double-resolve, the server's counters
+/// agree with the union of the client ledgers, and the mux conservation
+/// laws hold underneath.  The fingerprint chains every client's outcome
+/// sequence with the server's counters, so a replay that resolves even
+/// one call differently is caught by the corpus comparison.
+TortureResult RunRpcTorture(const TortureConfig& cfg) {
+  TortureResult res;
+  simnet::HardwareProfile profile = ResolveProfile(cfg.profile);
+
+  // Seed-derived shape (domain-separated like "many"/"mux"): the client
+  // count, the slot-pool width, and the per-client call train length.
+  std::uint64_t bits = SplitMix64(cfg.seed ^ 0x59c4a11e57e21ull).Next();
+  const std::uint32_t streams =
+      cfg.streams != 0 ? cfg.streams
+                       : (bits % 3 == 0 ? 4u : bits % 3 == 1 ? 8u : 16u);
+  const std::uint32_t width =
+      cfg.width != 0
+          ? cfg.width
+          : ((bits >> 8) % 3 == 0 ? 1u : (bits >> 8) % 3 == 1 ? 2u : 4u);
+  const std::uint32_t calls_per_client =
+      (bits >> 16) % 3 == 0 ? 24u : (bits >> 16) % 3 == 1 ? 48u : 96u;
+  EXS_CHECK_MSG(streams > 0, "rpc mode needs at least one client");
+  EXS_CHECK_MSG(width > 0, "rpc mode needs at least one slot");
+
+  // Token-sized per-stream state, the mux tier's operating point.
+  StreamOptions opts;
+  opts.credits = 8;
+  opts.intermediate_buffer_bytes = 2 * 1024;
+  opts.max_wwi_chunk = 2 * 1024;
+  opts.sabotage.accept_stale_adverts = cfg.sabotage_stale_adverts;
+  opts.sabotage.advertise_without_gate = cfg.sabotage_advert_gate;
+
+  MuxOptions mopts;
+  mopts.width = width;
+
+  const SimDuration horizon = EstimateHorizon(
+      profile, static_cast<std::uint64_t>(streams) * calls_per_client * 512);
+
+  Simulation sim(profile, cfg.seed, /*carry_payload=*/true);
+  MuxGroup g0(sim.device(0), mopts);
+  MuxGroup g1(sim.device(1), mopts);
+  MuxGroup::Connect(g0, g1);
+
+  simnet::FaultInjector injector(sim.fabric());
+  injector.AttachControlTarget(0, &g0.slot(0));
+  injector.AttachControlTarget(1, &g1.slot(0));
+  if (cfg.enable_faults) {
+    injector.Arm(simnet::FaultPlan::Generate(
+        cfg.seed, simnet::FaultPlanConfig::ScaledTo(horizon)));
+  }
+
+  // Starved slab: a slice of PUTs is REFUSED slab-full, and the 480-byte
+  // size class overflows the 256-byte slots (oversize refusals) — the
+  // conservation law must hold straight through the overload regime.
+  rpc::KvServerOptions kv_opts;
+  kv_opts.slab_slots = 12;
+  kv_opts.slot_bytes = 256;
+  kv_opts.recv_chunk_bytes = 512;
+  rpc::KvServer server(kv_opts);
+
+  rpc::RpcClientOptions copts;
+  copts.default_deadline = Microseconds(400);  // fault holds overrun this
+  copts.max_outstanding = 4;                   // tight => local sheds
+  copts.recv_chunk_bytes = 512;
+  copts.deliver_values = false;
+
+  loadgen::WorkloadOptions wl;
+  wl.key_space = 64;  // small, so DELs and overwriting PUTs land on keys
+
+  std::vector<std::unique_ptr<rpc::RpcClient>> rpcs;
+  std::vector<loadgen::WorkloadGenerator> gens;
+  rpcs.reserve(streams);
+  gens.reserve(streams);
+  for (std::uint32_t i = 0; i < streams; ++i) {
+    auto [c, s] = sim.CreateMuxedPair(g0, g1, opts);
+    server.Attach(*s);
+    rpcs.push_back(
+        std::make_unique<rpc::RpcClient>(*c, sim.scheduler(), copts));
+    gens.emplace_back(wl, SplitMix64(cfg.seed ^ (0x4b5ull + i)).Next());
+  }
+
+  // Seeded interleave (the "many" discipline, calls instead of chunks):
+  // every iteration issues one call on a random client with train left,
+  // then lets a random slice of time pass.
+  Rng rng(SplitMix64(cfg.seed ^ 0x70e7f1c70ffe12edull).Next());
+  std::vector<std::uint32_t> remaining(streams, calls_per_client);
+  std::uint64_t total_remaining =
+      static_cast<std::uint64_t>(streams) * calls_per_client;
+  try {
+    while (total_remaining > 0) {
+      std::vector<std::size_t> issuable;
+      for (std::size_t i = 0; i < remaining.size(); ++i) {
+        if (remaining[i] > 0) issuable.push_back(i);
+      }
+      std::size_t i = issuable[static_cast<std::size_t>(
+          rng.NextInRange(0, issuable.size() - 1))];
+      --remaining[i];
+      --total_remaining;
+      const loadgen::WorkloadGenerator::Request req = gens[i].Next();
+      std::uint8_t value[512];
+      if (req.op == rpc::Op::kPut) {
+        loadgen::WorkloadGenerator::FillValue(req.key, value, req.value_len);
+      }
+      rpcs[i]->Call(req.op, req.key,
+                    req.op == rpc::Op::kPut ? value : nullptr, req.value_len);
+      sim.RunFor(static_cast<SimDuration>(rng.NextInRange(
+          0, static_cast<std::uint64_t>(Microseconds(30)))));
+      if (rng.NextBool(0.08)) sim.Run();
+    }
+    // Drain: every pending call resolves (response or deadline timer).
+    sim.Run();
+    for (auto& rpc : rpcs) rpc->CloseSend();
+    sim.Run();
+  } catch (const InvariantViolation& violation) {
+    res.failures.push_back(std::string("runtime invariant violation: ") +
+                           violation.what());
+  }
+
+  if (res.failures.empty()) {
+    for (std::size_t i = 0; i < rpcs.size(); ++i) {
+      if (rpcs[i]->pending_calls() != 0) {
+        res.failures.push_back(
+            "client " + std::to_string(i) + " still has " +
+            std::to_string(rpcs[i]->pending_calls()) +
+            " pending calls after drain");
+      }
+      if (rpcs[i]->framing_failed()) {
+        res.failures.push_back("client " + std::to_string(i) +
+                               " frame decoder failed");
+      }
+    }
+    if (server.stats().framing_errors != 0) {
+      res.failures.push_back(
+          std::to_string(server.stats().framing_errors) +
+          " server-side framing errors");
+    }
+    // Zombie slots exist only while a send pins them; at quiescence the
+    // slab must hold exactly the live keys.
+    if (server.slab().zombies() != 0) {
+      res.failures.push_back(std::to_string(server.slab().zombies()) +
+                             " zombie slab slots after drain");
+    }
+    if (sim.device(0).QueuePairsCreated() != width ||
+        sim.device(1).QueuePairsCreated() != width) {
+      res.failures.push_back(
+          "QP budget exceeded: created " +
+          std::to_string(sim.device(0).QueuePairsCreated()) + "/" +
+          std::to_string(sim.device(1).QueuePairsCreated()) +
+          " queue pairs for a width-" + std::to_string(width) + " pool");
+    }
+  }
+
+  // The conservation replay, plus the mux laws underneath.  The
+  // fingerprint chains every outcome in issue order per client — a
+  // replay resolving one call differently (answered vs timed out, say)
+  // diverges here even though both runs pass the checker.
+  std::uint64_t fp = 0xcbf29ce484222325ull;
+  auto mix = [&fp](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      fp ^= (v >> (8 * i)) & 0xff;
+      fp *= 0x100000001b3ull;
+    }
+  };
+  std::vector<const rpc::RpcLedger*> ledgers;
+  for (const auto& rpc : rpcs) {
+    const rpc::RpcLedger& ledger = rpc->ledger();
+    ledgers.push_back(&ledger);
+    for (std::uint8_t o : ledger.outcome) mix(o);
+    mix(ledger.stale_responses);
+    mix(ledger.shed_local);
+  }
+  mix(server.counters().requests_received);
+  mix(server.counters().answered);
+  mix(server.counters().refused);
+  mix(server.stats().hits);
+  mix(server.stats().misses);
+  mix(server.stats().slab_full_refusals);
+  mix(server.stats().oversize_refusals);
+
+  InvariantReport report = CheckRpcConservation(ledgers, &server.counters());
+  report.Merge(CheckMuxGroupPair(g0, g1));
+
+  res.checker_violations = report.violations;
+  res.checker_warnings = report.warnings;
+  res.events_checked = report.events_checked;
+  res.fingerprint = fp;
+  res.faults_armed = injector.FaultsArmed();
+  res.faults_applied = injector.FaultsApplied();
+  res.ok = res.failures.empty() && res.checker_violations.empty();
+  return res;
+}
+
+// ---------------------------------------------------------------------------
 // "kill" mode: the recovery equivalence harness (docs/PROTOCOL.md §12).
 // ---------------------------------------------------------------------------
 
@@ -790,6 +997,7 @@ TortureResult RunTorture(const TortureConfig& cfg) {
   if (cfg.mode == "many") return RunManyTorture(cfg);
   if (cfg.mode == "kill") return RunKillTorture(cfg);
   if (cfg.mode == "mux") return RunMuxTorture(cfg);
+  if (cfg.mode == "rpc") return RunRpcTorture(cfg);
   TortureResult res;
 
   simnet::HardwareProfile profile = ResolveProfile(cfg.profile);

@@ -55,18 +55,26 @@ struct TortureConfig {
   /// Sendv postings; the seed derives the batch depth ∈ {2,4,8} and the
   /// Sendv arity ∈ {1,2,4} unless `batch`/`arity` pin them, and the
   /// checker additionally audits per-rail gather-byte and doorbell
-  /// conservation).
+  /// conservation), or "rpc" (the RPC/KV tier: N RpcClients over a
+  /// shared MuxGroup slot pool drive one sharded KV server through
+  /// seeded Zipf/size-mixed request trains under a tight deadline, a
+  /// small pipeline bound, and a starved value slab — the seed derives
+  /// N ∈ {4,8,16}, width ∈ {1,2,4} and the train length unless
+  /// `streams`/`width` pin them, and the checker additionally replays
+  /// the RPC conservation law: exactly one terminal outcome per issued
+  /// call, stale responses never double-resolving, server counters
+  /// agreeing with the client ledgers).
   std::string mode = "dynamic";
   /// "stripe" mode only: rail count (0 = derive {2,4} from the seed).
   std::uint32_t rails = 0;
   /// "stripe" mode only: "rr" | "adaptive" ("" = derive from the seed).
   std::string sched;
-  /// "many"/"mux" modes: concurrent stream count (0 = derive from the
-  /// seed).
+  /// "many"/"mux"/"rpc" modes: concurrent stream/client count (0 =
+  /// derive from the seed).
   std::uint32_t streams = 0;
-  /// "mux" mode only: slot queue pairs per MuxGroup (0 = derive {1,2,4}
-  /// from the seed).  Encoded to a corpus entry only when pinned, so
-  /// older corpus files round-trip byte-identically.
+  /// "mux"/"rpc" modes: slot queue pairs per MuxGroup (0 = derive
+  /// {1,2,4} from the seed).  Encoded to a corpus entry only when
+  /// pinned, so older corpus files round-trip byte-identically.
   std::uint32_t width = 0;
   /// "kill" mode only: when (in permille of the fault horizon) the fatal
   /// QP kill lands (0 = derive from the seed).  Encoded to a corpus entry

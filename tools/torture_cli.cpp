@@ -31,9 +31,9 @@ using exs::torture::TortureResult;
       "  --seed N         single seed (same as --seeds N..N)\n"
       "  --profiles CSV   subset of fdr,iwarp,wan (all)\n"
       "  --modes CSV      subset of dynamic,direct,indirect,coalesce,\n"
-      "                   stripe,seqpacket,many,kill,mux,batch\n"
+      "                   stripe,seqpacket,many,kill,mux,batch,rpc\n"
       "                   (dynamic,direct,indirect,coalesce,stripe,kill,\n"
-      "                   mux,batch)\n"
+      "                   mux,batch,rpc)\n"
       "  --kill-permille N     kill mode: pin when the fatal QP kill\n"
       "                   lands, in permille of the fault horizon\n"
       "                   (0 = derive from the seed)\n"
@@ -45,10 +45,10 @@ using exs::torture::TortureResult;
       "                   2 or 4 from the seed)\n"
       "  --sched S        stripe mode: pin the rail scheduler, rr or\n"
       "                   adaptive (default: derive from the seed)\n"
-      "  --streams N      many/mux modes: pin the concurrent stream count\n"
-      "                   (0 = derive 4, 8 or 16 from the seed)\n"
-      "  --width N        mux mode: pin the slot queue pairs per group\n"
-      "                   (0 = derive 1, 2 or 4 from the seed)\n"
+      "  --streams N      many/mux/rpc modes: pin the concurrent stream\n"
+      "                   count (0 = derive 4, 8 or 16 from the seed)\n"
+      "  --width N        mux/rpc modes: pin the slot queue pairs per\n"
+      "                   group (0 = derive 1, 2 or 4 from the seed)\n"
       "  --total BYTES    stream bytes per run (192K; K/M suffixes ok)\n"
       "  --max-message BYTES   largest send/recv posting (24K)\n"
       "  --buffer BYTES   intermediate buffer capacity (64K)\n"
@@ -121,7 +121,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> profiles = {"fdr", "iwarp", "wan"};
   std::vector<std::string> modes = {"dynamic", "direct", "indirect",
                                     "coalesce", "stripe", "kill", "mux",
-                                    "batch"};
+                                    "batch", "rpc"};
   TortureConfig base;
   std::string corpus_path;
   std::string replay_path;
